@@ -1,0 +1,29 @@
+// Command snbgen generates the SNB-like social-network dataset of
+// Section 7.1 / Appendix B to a directory of CSV files (plus
+// schema.json) consumable by cmd/gsql:
+//
+//	snbgen -sf 1 -out ./snb-sf1
+//	gsql -data ./snb-sf1 -query myquery.gsql -run MyQuery ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gsqlgo/internal/ldbc"
+)
+
+func main() {
+	sf := flag.Float64("sf", 1, "scale factor (persons ≈ 1000·sf)")
+	seed := flag.Int64("seed", 7, "generator seed")
+	deg := flag.Int("knows-degree", 0, "average KNOWS degree (0 = default)")
+	out := flag.String("out", "snb-data", "output directory")
+	flag.Parse()
+
+	g := ldbc.Generate(ldbc.Config{SF: *sf, Seed: *seed, AvgKnowsDegree: *deg})
+	if err := g.DumpCSV(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d vertices, %d edges to %s\n", g.NumVertices(), g.NumEdges(), *out)
+}

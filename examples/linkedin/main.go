@@ -1,0 +1,72 @@
+// Command linkedin runs the paper's opening example (Example 1,
+// Figure 1): joining a relational HR table against a professional
+// network graph — "find the employees who have made the most LinkedIn
+// connections outside the company since 2016". The FROM clause mixes a
+// relational conjunct (Employee:emp) with a graph pattern over
+// undirected Connected edges; SQL-style GROUP BY aggregation ranks the
+// employees.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gsqlgo"
+	"gsqlgo/internal/graph"
+)
+
+func main() {
+	persons := flag.Int("persons", 200, "people in the network")
+	conns := flag.Int("connections", 1500, "connections in the network")
+	k := flag.Int("k", 10, "top-k employees")
+	since := flag.String("since", "2016-01-01", "count connections made on/after this date")
+	flag.Parse()
+
+	g := graph.BuildLinkedInGraph(graph.LinkedInConfig{
+		Persons: *persons, Connections: *conns, Companies: 6, Seed: 21,
+	})
+	db := gsqlgo.Open(g, gsqlgo.Options{})
+
+	// The HR database: every third person works at ACME.
+	var rows [][]gsqlgo.Value
+	for i := 0; i < *persons; i += 3 {
+		rows = append(rows, []gsqlgo.Value{
+			gsqlgo.Str(fmt.Sprintf("Employee %d", i)),
+			gsqlgo.Str(fmt.Sprintf("person%d@mail.example", i)),
+		})
+	}
+	tbl, err := gsqlgo.NewRelTable("Employee", []string{"name", "email"}, rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.RegisterTable(tbl); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := db.Install(`
+CREATE QUERY TopConnectors(datetime since, int k) FOR GRAPH LinkedIn {
+  SELECT emp.name AS name, emp.email AS email, count(*) AS connections INTO Result
+  FROM Employee:emp, Person:p -(Connected:c)- Person:outsider
+  WHERE emp.email == p.email
+    AND outsider.worksFor != "ACME"
+    AND c.since >= since
+  GROUP BY emp.name, emp.email
+  ORDER BY connections DESC, emp.name ASC
+  LIMIT k;
+
+  RETURN Result;
+}`); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Run("TopConnectors", map[string]gsqlgo.Value{
+		"since": gsqlgo.Datetime(*since),
+		"k":     gsqlgo.Int(int64(*k)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Employees with the most connections outside ACME since %s:\n\n%s",
+		*since, res.Returned)
+}

@@ -1,0 +1,114 @@
+// Command quickstart demonstrates the library end to end on the
+// paper's running SalesGraph example (Examples 3-5, Figure 2): build a
+// small property graph, run a single-pass three-way aggregation with
+// vertex and global accumulators, and produce multiple output tables
+// from one traversal with the multi-output SELECT.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gsqlgo"
+)
+
+func main() {
+	// 1. Declare the schema: Customer and Product vertices, directed
+	// Bought edges carrying quantity and discount.
+	schema := gsqlgo.NewSchema()
+	if _, err := schema.AddVertexType("Customer",
+		gsqlgo.AttrDef{Name: "name", Type: gsqlgo.AttrString}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := schema.AddVertexType("Product",
+		gsqlgo.AttrDef{Name: "name", Type: gsqlgo.AttrString},
+		gsqlgo.AttrDef{Name: "category", Type: gsqlgo.AttrString},
+		gsqlgo.AttrDef{Name: "listPrice", Type: gsqlgo.AttrFloat}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := schema.AddEdgeType("Bought", true,
+		gsqlgo.AttrDef{Name: "quantity", Type: gsqlgo.AttrInt},
+		gsqlgo.AttrDef{Name: "discount", Type: gsqlgo.AttrFloat}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Load data.
+	g := gsqlgo.NewGraph(schema)
+	customers := map[string]gsqlgo.VID{}
+	for _, name := range []string{"ann", "bob", "cindy"} {
+		v, err := g.AddVertex("Customer", name, map[string]gsqlgo.Value{
+			"name": gsqlgo.Str(name),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		customers[name] = v
+	}
+	products := map[string]gsqlgo.VID{}
+	for _, p := range []struct {
+		name, cat string
+		price     float64
+	}{
+		{"teddy bear", "toy", 20},
+		{"rc car", "toy", 60},
+		{"apple", "grocery", 1},
+	} {
+		v, err := g.AddVertex("Product", p.name, map[string]gsqlgo.Value{
+			"name":      gsqlgo.Str(p.name),
+			"category":  gsqlgo.Str(p.cat),
+			"listPrice": gsqlgo.Float(p.price),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		products[p.name] = v
+	}
+	buy := func(c, p string, qty int64, discount float64) {
+		if _, err := g.AddEdge("Bought", customers[c], products[p], map[string]gsqlgo.Value{
+			"quantity": gsqlgo.Int(qty),
+			"discount": gsqlgo.Float(discount),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	buy("ann", "teddy bear", 2, 0)
+	buy("ann", "rc car", 1, 0.10)
+	buy("bob", "teddy bear", 1, 0)
+	buy("bob", "apple", 10, 0)
+	buy("cindy", "rc car", 2, 0.25)
+
+	// 3. Open the engine and install the Figure 2 query with the
+	// Example 5 multi-output SELECT: three tables from one pass.
+	db := gsqlgo.Open(g, gsqlgo.Options{})
+	err := db.Install(`
+CREATE QUERY ToyRevenue() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy;
+  SumAccum<float> @revenuePerCust;
+
+  SELECT c.name, c.@revenuePerCust AS revenue INTO PerCust;
+         p.name, p.@revenuePerToy AS revenue INTO PerToy;
+         @@totalRevenue AS revenue INTO Total
+  FROM   Customer:c -(Bought>:e)- Product:p
+  WHERE  p.category == "toy"
+  ACCUM  float salesPrice = e.quantity * p.listPrice * (1.0 - e.discount),
+         c.@revenuePerCust += salesPrice,
+         p.@revenuePerToy += salesPrice,
+         @@totalRevenue += salesPrice;
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Run("ToyRevenue", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. One traversal, three grouping criteria — the accumulator
+	// paradigm's single-pass multi-aggregation (Example 4).
+	for _, name := range []string{"PerCust", "PerToy", "Total"} {
+		fmt.Printf("== %s ==\n%s\n", name, res.Tables[name])
+	}
+}

@@ -1,0 +1,98 @@
+// Command socialnetwork exercises the library on the SNB-like social
+// graph of Section 7.1 / Appendix B: it generates a scaled social
+// network, answers adapted LDBC IC queries (friend neighbourhoods via
+// bounded KNOWS repetitions over undirected edges), and runs the
+// Appendix B multi-grouping comparison between accumulator-style and
+// GROUPING-SET-style aggregation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"gsqlgo"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.5, "scale factor (persons ≈ 1000·sf)")
+	hops := flag.Int("hops", 3, "KNOWS hop bound for the friend neighbourhood")
+	person := flag.String("person", "person0", "seed person key")
+	flag.Parse()
+
+	fmt.Printf("Generating SNB-like graph at SF %.1f ...\n", *sf)
+	g := ldbc.Generate(ldbc.Config{SF: *sf, Seed: 7})
+	fmt.Printf("  %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	db := gsqlgo.Open(g, gsqlgo.Options{})
+	for _, src := range ldbc.ICQueries(*hops) {
+		if err := db.Install(src); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pv, ok := g.VertexByKey("Person", *person)
+	if !ok {
+		log.Fatalf("no person %q", *person)
+	}
+	p := gsqlgo.Vertex(int64(pv))
+	k := gsqlgo.Int(10)
+
+	run := func(short string, args map[string]gsqlgo.Value) {
+		start := time.Now()
+		res, err := db.Run(ldbc.ICName(short, *hops), args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		el := time.Since(start).Round(time.Millisecond)
+		fmt.Printf("== %s (KNOWS*1..%d) in %s ==\n", short, *hops, el)
+		switch {
+		case res.Returned != nil:
+			fmt.Println(res.Returned)
+		case len(res.Printed) > 0:
+			fmt.Println(res.Printed[0])
+		}
+	}
+	run("ic3", map[string]gsqlgo.Value{
+		"p": p, "countryX": gsqlgo.Str("Country-1"), "countryY": gsqlgo.Str("Country-2"), "k": k,
+	})
+	run("ic5", map[string]gsqlgo.Value{
+		"p": p, "minDate": gsqlgo.Datetime("2010-06-01"), "k": k,
+	})
+	run("ic6", map[string]gsqlgo.Value{
+		"p": p, "tagName": gsqlgo.Str("Tag-3"), "k": k,
+	})
+	run("ic9", map[string]gsqlgo.Value{
+		"p": p, "maxDate": gsqlgo.Datetime("2012-06-01"), "k": k,
+	})
+	run("ic11", map[string]gsqlgo.Value{
+		"p": p, "countryName": gsqlgo.Str("Country-0"), "maxYear": gsqlgo.Int(2010), "k": k,
+	})
+
+	// Appendix B: same traversal, two aggregation styles.
+	fmt.Println("== Appendix B: Qgs (GROUPING SETS style) vs Qacc (accumulator style) ==")
+	args := map[string]gsqlgo.Value{
+		"lo": graph.MustDatetime("2010-01-01"),
+		"hi": graph.MustDatetime("2012-12-31"),
+	}
+	if err := db.Install(ldbc.QGS()); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Install(ldbc.QACC()); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := db.Run("Qgs", args); err != nil {
+		log.Fatal(err)
+	}
+	gsT := time.Since(start)
+	start = time.Now()
+	if _, err := db.Run("Qacc", args); err != nil {
+		log.Fatal(err)
+	}
+	accT := time.Since(start)
+	fmt.Printf("Qgs:  %s\nQacc: %s\nspeedup: %.2fx (paper: 2.48x-3.05x)\n",
+		gsT.Round(time.Millisecond), accT.Round(time.Millisecond), float64(gsT)/float64(accT))
+}

@@ -1,0 +1,42 @@
+package gsqlgo_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary end to end
+// (skipped under -short): each must exit zero and print its headline
+// output. This keeps the examples honest as the API evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	cases := []struct {
+		dir  string
+		args []string
+		want string
+	}{
+		{"quickstart", nil, "== Total =="},
+		{"recommender", []string{"-k", "3"}, "toy recommendations"},
+		{"pagerank", []string{"-pages", "60", "-iters", "15"}, "max |GSQL - native| divergence"},
+		{"pathcount", []string{"-n", "10"}, "all-shortest-paths:  2   (paper: 2)"},
+		{"grouping", nil, "== EXPLAIN AccumStyle =="},
+		{"linkedin", []string{"-persons", "60", "-connections", "300", "-k", "3"}, "connections"},
+		{"socialnetwork", []string{"-sf", "0.1", "-hops", "2"}, "speedup"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("examples/%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module gsqlgo
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package gsqlgo is a Go reproduction of "Aggregation Support for
+// Modern Graph Analytics in TigerGraph" (Deutsch, Xu, Wu, Lee —
+// SIGMOD 2020): an in-memory property-graph engine with a GSQL-style
+// query language featuring accumulator-based aggregation (vertex @
+// and global @@ accumulators with snapshot map/reduce semantics),
+// direction-aware regular path expressions (DARPEs), and the paper's
+// all-shortest-paths pattern-matching semantics evaluated by
+// polynomial path counting — alongside the competing non-repeated-edge
+// and non-repeated-vertex semantics as reference baselines.
+//
+// Typical use:
+//
+//	schema := gsqlgo.NewSchema()
+//	schema.AddVertexType("Person", gsqlgo.AttrDef{Name: "name", Type: gsqlgo.AttrString})
+//	schema.AddEdgeType("Knows", false) // undirected
+//	g := gsqlgo.NewGraph(schema)
+//	// ... AddVertex/AddEdge or LoadVerticesCSV/LoadEdgesCSV ...
+//	db := gsqlgo.Open(g, gsqlgo.Options{})
+//	db.Install(`CREATE QUERY Hello(...) { ... }`)
+//	res, err := db.Run("Hello", map[string]gsqlgo.Value{...})
+package gsqlgo
+
+import (
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/value"
+)
+
+// Re-exported graph types.
+type (
+	// Schema is the catalog of vertex and edge types.
+	Schema = graph.Schema
+	// Graph is the in-memory property graph.
+	Graph = graph.Graph
+	// AttrDef declares one vertex/edge attribute.
+	AttrDef = graph.AttrDef
+	// AttrType is the declared type of an attribute.
+	AttrType = graph.AttrType
+	// VID identifies a vertex.
+	VID = graph.VID
+	// EID identifies an edge.
+	EID = graph.EID
+)
+
+// Attribute types.
+const (
+	AttrInt      = graph.AttrInt
+	AttrFloat    = graph.AttrFloat
+	AttrString   = graph.AttrString
+	AttrBool     = graph.AttrBool
+	AttrDatetime = graph.AttrDatetime
+)
+
+// Re-exported engine types.
+type (
+	// Options configures path-match semantics, parallelism and the
+	// Appendix A multiplicity-shortcut ablation.
+	Options = core.Options
+	// Result is the outcome of one query run.
+	Result = core.Result
+	// Table is a named result table.
+	Table = core.Table
+	// Value is a GSQL runtime value.
+	Value = value.Value
+	// Semantics selects a path-legality flavor (Section 6.1).
+	Semantics = match.Semantics
+)
+
+// Path-legality flavors.
+const (
+	// AllShortestPaths is the paper's default: polynomial path
+	// counting (Theorems 6.1 and 7.1).
+	AllShortestPaths = match.AllShortestPaths
+	// NonRepeatedEdge is Cypher's default semantics (exponential
+	// enumeration baseline).
+	NonRepeatedEdge = match.NonRepeatedEdge
+	// NonRepeatedVertex is the Gremlin-tutorial semantics
+	// (exponential enumeration baseline).
+	NonRepeatedVertex = match.NonRepeatedVertex
+	// ShortestExists is the SparQL-style existence semantics.
+	ShortestExists = match.ShortestExists
+)
+
+// Value constructors.
+var (
+	// Int wraps an int64.
+	Int = value.NewInt
+	// Float wraps a float64.
+	Float = value.NewFloat
+	// Str wraps a string.
+	Str = value.NewString
+	// Bool wraps a bool.
+	Bool = value.NewBool
+	// DatetimeUnix wraps Unix seconds as a datetime.
+	DatetimeUnix = value.NewDatetime
+	// Vertex wraps a vertex id (use Graph.VertexByKey to obtain one).
+	Vertex = value.NewVertex
+)
+
+// Datetime parses "YYYY-MM-DD[ HH:MM:SS]" (UTC) into a datetime value;
+// it panics on malformed literals (use graph CSV loading for data).
+func Datetime(s string) Value { return graph.MustDatetime(s) }
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return graph.NewSchema() }
+
+// NewGraph returns an empty graph over the schema.
+func NewGraph(s *Schema) *Graph { return graph.New(s) }
+
+// DB couples a graph with a GSQL engine.
+type DB struct {
+	g *Graph
+	e *core.Engine
+}
+
+// Open creates a DB over a loaded graph.
+func Open(g *Graph, opts Options) *DB {
+	return &DB{g: g, e: core.New(g, opts)}
+}
+
+// Graph returns the underlying graph.
+func (db *DB) Graph() *Graph { return db.g }
+
+// Install parses GSQL source and registers its queries.
+func (db *DB) Install(src string) error { return db.e.Install(src) }
+
+// Run executes an installed query.
+func (db *DB) Run(name string, args map[string]Value) (*Result, error) {
+	return db.e.Run(name, args)
+}
+
+// InstallAndRun installs a single-query source and runs it.
+func (db *DB) InstallAndRun(src string, args map[string]Value) (*Result, error) {
+	return db.e.InstallAndRun(src, args)
+}
+
+// Queries lists installed query names.
+func (db *DB) Queries() []string { return db.e.Queries() }
+
+// Explain renders a human-readable evaluation plan for an installed
+// query: per-hop strategy (adjacency expansion vs polynomial counting
+// vs enumeration), clause structure, and effective path semantics.
+func (db *DB) Explain(name string) (string, error) { return db.e.Explain(name) }
+
+// RelTable re-exports the relational-table type joinable against
+// graph patterns in FROM clauses (Example 1 of the paper).
+type RelTable = core.RelTable
+
+// NewRelTable builds a relational table from columns and rows.
+func NewRelTable(name string, cols []string, rows [][]Value) (*RelTable, error) {
+	return core.NewRelTable(name, cols, rows)
+}
+
+// RegisterTable registers a relational table for use in this DB's
+// FROM clauses.
+func (db *DB) RegisterTable(t *RelTable) error { return db.e.RegisterTable(t) }
+
+// RegisterAccumulator installs a user-defined accumulator type — the
+// extensible accumulator library of Section 3. The name must follow
+// the *Accum convention to be usable in declarations.
+func RegisterAccumulator(c accum.CustomType) { accum.Register(c) }
+
+// CustomAccumulator re-exports the registration record type.
+type CustomAccumulator = accum.CustomType
+
+// Accumulator re-exports the accumulator instance interface for
+// user-defined types.
+type Accumulator = accum.Accumulator
+
+// AccumSpec re-exports the accumulator type descriptor.
+type AccumSpec = accum.Spec

@@ -1,0 +1,149 @@
+package gsqlgo
+
+import (
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+// TestFacadeEndToEnd exercises the public API surface the examples and
+// README use.
+func TestFacadeEndToEnd(t *testing.T) {
+	schema := NewSchema()
+	if _, err := schema.AddVertexType("Person",
+		AttrDef{Name: "name", Type: AttrString},
+		AttrDef{Name: "age", Type: AttrInt},
+		AttrDef{Name: "joined", Type: AttrDatetime}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schema.AddEdgeType("Knows", false); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(schema)
+	ann, err := g.AddVertex("Person", "ann", map[string]Value{
+		"name": Str("Ann"), "age": Int(30), "joined": Datetime("2020-01-02"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := g.AddVertex("Person", "bob", map[string]Value{"name": Str("Bob"), "age": Int(40)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("Knows", ann, bob, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	db := Open(g, Options{Semantics: AllShortestPaths})
+	if err := db.Install(`
+CREATE QUERY Neighbors(vertex<Person> p) {
+  SumAccum<int> @@n;
+  AvgAccum<float> @@avgAge;
+  S = SELECT f
+      FROM Person:p -(Knows)- Person:f
+      ACCUM @@n += 1, @@avgAge += f.age;
+  PRINT @@n, @@avgAge;
+}
+`); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Queries()) != 1 {
+		t.Fatal("Queries() wrong")
+	}
+	res, err := db.Run("Neighbors", map[string]Value{"p": Vertex(int64(ann))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Printed[0].Rows[0][0].Int() != 1 {
+		t.Errorf("neighbor count: %v", res.Printed[0])
+	}
+	if res.Printed[1].Rows[0][0].Float() != 40 {
+		t.Errorf("avg age: %v", res.Printed[1])
+	}
+	if db.Graph() != g {
+		t.Error("Graph() accessor wrong")
+	}
+}
+
+// TestFacadeCustomAccumulator registers a user accumulator through the
+// public API and uses it from GSQL (the extensible library of
+// Section 3).
+func TestFacadeCustomAccumulator(t *testing.T) {
+	RegisterAccumulator(CustomAccumulator{
+		Name:           "CountDistinctAccum",
+		OrderInvariant: true,
+		New: func(spec *AccumSpec) Accumulator {
+			return &countDistinct{spec: spec, seen: map[string]bool{}}
+		},
+	})
+	schema := NewSchema()
+	if _, err := schema.AddVertexType("V", AttrDef{Name: "name", Type: AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := schema.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(schema)
+	a, _ := g.AddVertex("V", "a", map[string]Value{"name": Str("x")})
+	b, _ := g.AddVertex("V", "b", map[string]Value{"name": Str("x")})
+	c, _ := g.AddVertex("V", "c", map[string]Value{"name": Str("y")})
+	if _, err := g.AddEdge("E", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("E", a, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("E", b, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	db := Open(g, Options{})
+	res, err := db.InstallAndRun(`
+CREATE QUERY DistinctNames() {
+  CountDistinctAccum @@names;
+  S = SELECT t FROM V:s -(E>)- V:t
+      ACCUM @@names += t.name;
+  PRINT @@names;
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Printed[0].Rows[0][0].Int() != 2 {
+		t.Errorf("distinct names: %v", res.Printed[0])
+	}
+}
+
+// countDistinct is the test's custom accumulator.
+type countDistinct struct {
+	spec *AccumSpec
+	seen map[string]bool
+}
+
+func (a *countDistinct) Spec() *AccumSpec { return a.spec }
+
+func (a *countDistinct) Input(v Value, mult uint64) error {
+	a.seen[v.Key()] = true
+	return nil
+}
+
+func (a *countDistinct) Assign(v Value) error {
+	a.seen = map[string]bool{v.Key(): true}
+	return nil
+}
+
+func (a *countDistinct) Merge(other Accumulator) error {
+	for k := range other.(*countDistinct).seen {
+		a.seen[k] = true
+	}
+	return nil
+}
+
+func (a *countDistinct) Value() Value { return value.NewInt(int64(len(a.seen))) }
+
+func (a *countDistinct) Clone() Accumulator {
+	c := &countDistinct{spec: a.spec, seen: map[string]bool{}}
+	for k := range a.seen {
+		c.seen[k] = true
+	}
+	return c
+}

@@ -1,0 +1,562 @@
+package accum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gsqlgo/internal/value"
+)
+
+func mustInput(t *testing.T, a Accumulator, v value.Value, mult uint64) {
+	t.Helper()
+	if err := a.Input(v, mult); err != nil {
+		t.Fatalf("Input(%v, %d) on %s: %v", v, mult, a.Spec(), err)
+	}
+}
+
+func TestSumAccumInt(t *testing.T) {
+	a := MustNew(SumSpec(value.KindInt))
+	mustInput(t, a, value.NewInt(2), 1)
+	mustInput(t, a, value.NewInt(3), 4) // multiplicity shortcut: +12
+	if got := a.Value(); got.Int() != 14 {
+		t.Errorf("sum = %v, want 14", got)
+	}
+	if err := a.Assign(value.NewInt(100)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value().Int() != 100 {
+		t.Error("assign failed")
+	}
+	if err := a.Input(value.NewFloat(1.5), 1); err == nil {
+		t.Error("float input into SumAccum<int> must error")
+	}
+	if err := a.Input(value.NewString("x"), 1); err == nil {
+		t.Error("string input into SumAccum<int> must error")
+	}
+}
+
+func TestSumAccumFloatAcceptsInts(t *testing.T) {
+	a := MustNew(SumSpec(value.KindFloat))
+	mustInput(t, a, value.NewFloat(0.5), 2)
+	mustInput(t, a, value.NewInt(3), 1)
+	if got := a.Value(); got.Float() != 4 {
+		t.Errorf("sum = %v, want 4", got)
+	}
+}
+
+func TestSumAccumString(t *testing.T) {
+	a := MustNew(SumSpec(value.KindString))
+	mustInput(t, a, value.NewString("ab"), 2)
+	mustInput(t, a, value.NewString("c"), 1)
+	if got := a.Value(); got.Str() != "ababc" {
+		t.Errorf("concat = %q, want abab c", got)
+	}
+	if err := a.Input(value.NewString("x"), maxReplication+1); err != ErrReplication {
+		t.Errorf("huge multiplicity: %v, want ErrReplication", err)
+	}
+	if a.Spec().OrderInvariant() {
+		t.Error("SumAccum<string> must be order-sensitive")
+	}
+}
+
+func TestMinMaxAccum(t *testing.T) {
+	min := MustNew(MinSpec(value.KindInt))
+	max := MustNew(MaxSpec(value.KindInt))
+	// Empty extremes (identity of the combiner).
+	if min.Value().Int() != math.MaxInt64 || max.Value().Int() != math.MinInt64 {
+		t.Error("empty Min/Max extremes wrong")
+	}
+	for _, v := range []int64{5, -2, 9} {
+		mustInput(t, min, value.NewInt(v), 3) // multiplicity irrelevant
+		mustInput(t, max, value.NewInt(v), 3)
+	}
+	if min.Value().Int() != -2 || max.Value().Int() != 9 {
+		t.Errorf("min=%v max=%v", min.Value(), max.Value())
+	}
+	// Float extremes.
+	fmin := MustNew(MinSpec(value.KindFloat))
+	if !math.IsInf(fmin.Value().Float(), 1) {
+		t.Error("empty MinAccum<float> must report +Inf")
+	}
+	mustInput(t, fmin, value.NewInt(2), 1) // int widens into float min
+	if fmin.Value().Int() != 2 {
+		t.Errorf("fmin = %v", fmin.Value())
+	}
+	// Strings: empty reports null.
+	smin := MustNew(MinSpec(value.KindString))
+	if !smin.Value().IsNull() {
+		t.Error("empty MinAccum<string> must report null")
+	}
+	mustInput(t, smin, value.NewString("b"), 1)
+	mustInput(t, smin, value.NewString("a"), 1)
+	if smin.Value().Str() != "a" {
+		t.Errorf("smin = %v", smin.Value())
+	}
+}
+
+func TestAvgAccumOrderAndShortcutInvariance(t *testing.T) {
+	a := MustNew(AvgSpec(value.KindFloat))
+	mustInput(t, a, value.NewFloat(1), 1)
+	mustInput(t, a, value.NewFloat(2), 3) // shortcut: three inputs of 2
+	if got := a.Value().Float(); got != (1+2*3)/4.0 {
+		t.Errorf("avg = %v, want 1.75", got)
+	}
+	if err := a.Assign(value.NewFloat(10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value().Float() != 10 {
+		t.Error("assign must reset to a single sample")
+	}
+	empty := MustNew(AvgSpec(value.KindFloat))
+	if empty.Value().Float() != 0 {
+		t.Error("empty avg must be 0")
+	}
+}
+
+func TestOrAndAccum(t *testing.T) {
+	or := MustNew(OrSpec())
+	and := MustNew(AndSpec())
+	if or.Value().Bool() || !and.Value().Bool() {
+		t.Error("identities wrong: Or starts false, And starts true")
+	}
+	mustInput(t, or, value.NewBool(false), 5)
+	mustInput(t, and, value.NewBool(true), 5)
+	if or.Value().Bool() || !and.Value().Bool() {
+		t.Error("neutral inputs must not change values")
+	}
+	mustInput(t, or, value.NewBool(true), 1)
+	mustInput(t, and, value.NewBool(false), 1)
+	if !or.Value().Bool() || and.Value().Bool() {
+		t.Error("Or/And aggregation wrong")
+	}
+	if err := or.Input(value.NewInt(1), 1); err == nil {
+		t.Error("non-bool input must error")
+	}
+}
+
+func TestSetAccum(t *testing.T) {
+	a := MustNew(SetSpec(value.KindInt))
+	mustInput(t, a, value.NewInt(2), 7) // multiplicity-insensitive
+	mustInput(t, a, value.NewInt(1), 1)
+	mustInput(t, a, value.NewInt(2), 1)
+	got := a.Value()
+	if got.Kind() != value.KindSet || len(got.Elems()) != 2 {
+		t.Fatalf("set = %v", got)
+	}
+	if got.Elems()[0].Int() != 1 || got.Elems()[1].Int() != 2 {
+		t.Errorf("set order = %v", got)
+	}
+}
+
+func TestBagAccumCounts(t *testing.T) {
+	a := MustNew(BagSpec(value.KindString))
+	mustInput(t, a, value.NewString("x"), 1000000) // single count update
+	mustInput(t, a, value.NewString("y"), 2)
+	got := a.Value()
+	if got.Kind() != value.KindMap {
+		t.Fatalf("bag value kind %v", got.Kind())
+	}
+	counts := map[string]int64{}
+	for _, p := range got.Pairs() {
+		counts[p.Key.Str()] = p.Val.Int()
+	}
+	if counts["x"] != 1000000 || counts["y"] != 2 {
+		t.Errorf("bag counts = %v", counts)
+	}
+}
+
+func TestListAccumOrderSensitive(t *testing.T) {
+	a := MustNew(ListSpec(value.KindInt))
+	mustInput(t, a, value.NewInt(3), 2)
+	mustInput(t, a, value.NewInt(1), 1)
+	got := a.Value()
+	if len(got.Elems()) != 3 || got.Elems()[0].Int() != 3 || got.Elems()[2].Int() != 1 {
+		t.Errorf("list = %v", got)
+	}
+	if a.Spec().OrderInvariant() {
+		t.Error("ListAccum must be order-sensitive")
+	}
+	if err := a.Input(value.NewInt(1), maxReplication+5); err != ErrReplication {
+		t.Errorf("huge multiplicity: %v, want ErrReplication", err)
+	}
+}
+
+func TestMapAccumNestedAggregation(t *testing.T) {
+	a := MustNew(MapSpec(value.KindString, SumSpec(value.KindInt)))
+	in := func(k string, v int64, mult uint64) value.Value {
+		return value.NewTuple([]value.Value{value.NewString(k), value.NewInt(v)})
+	}
+	mustInput(t, a, in("a", 1, 0), 1)
+	mustInput(t, a, in("a", 2, 0), 3)
+	mustInput(t, a, in("b", 5, 0), 1)
+	got := a.Value()
+	want := map[string]int64{"a": 7, "b": 5}
+	for _, p := range got.Pairs() {
+		if p.Val.Int() != want[p.Key.Str()] {
+			t.Errorf("map[%s] = %v, want %d", p.Key, p.Val, want[p.Key.Str()])
+		}
+	}
+	if len(got.Pairs()) != 2 {
+		t.Errorf("map size %d", len(got.Pairs()))
+	}
+	if err := a.Input(value.NewInt(1), 1); err == nil {
+		t.Error("non-tuple input must error")
+	}
+}
+
+func TestHeapAccumTopK(t *testing.T) {
+	tt := &TupleType{Name: "Scored", Fields: []TupleField{
+		{Name: "score", Kind: value.KindInt},
+		{Name: "name", Kind: value.KindString},
+	}}
+	a := MustNew(HeapSpec(tt, 3, SortField{Field: "score", Desc: true}, SortField{Field: "name"}))
+	push := func(score int64, name string) {
+		mustInput(t, a, value.NewTuple([]value.Value{value.NewInt(score), value.NewString(name)}), 1)
+	}
+	push(5, "e")
+	push(9, "a")
+	push(1, "z")
+	push(9, "b")
+	push(7, "c")
+	got := a.Value().Elems()
+	if len(got) != 3 {
+		t.Fatalf("heap size %d, want 3", len(got))
+	}
+	names := []string{}
+	for _, e := range got {
+		names = append(names, e.Elems()[1].Str())
+	}
+	// 9/a, 9/b (name ASC tiebreak), then 7/c.
+	if names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("heap order = %v", names)
+	}
+	// Multiplicity capped at capacity.
+	b := MustNew(HeapSpec(tt, 2, SortField{Field: "score", Desc: true}))
+	mustInput(t, b, value.NewTuple([]value.Value{value.NewInt(1), value.NewString("x")}), 100)
+	if len(b.Value().Elems()) != 2 {
+		t.Errorf("heap with huge multiplicity = %v", b.Value())
+	}
+	if err := a.Input(value.NewInt(3), 1); err == nil {
+		t.Error("non-tuple input must error")
+	}
+}
+
+func TestGroupByAccum(t *testing.T) {
+	spec := GroupBySpec(
+		[]value.Kind{value.KindString, value.KindInt},
+		[]*Spec{SumSpec(value.KindFloat), AvgSpec(value.KindFloat)},
+	)
+	a := MustNew(spec)
+	in := func(k1 string, k2 int64, sum, av value.Value) value.Value {
+		return value.NewTuple([]value.Value{value.NewString(k1), value.NewInt(k2), sum, av})
+	}
+	mustInput(t, a, in("x", 1, value.NewFloat(2), value.NewFloat(10)), 1)
+	mustInput(t, a, in("x", 1, value.NewFloat(3), value.NewFloat(20)), 1)
+	// Null skips the aggregate — per-grouping-set selection (Ex. 13).
+	mustInput(t, a, in("y", 2, value.NewFloat(7), value.Null), 1)
+	got := a.Value()
+	if len(got.Pairs()) != 2 {
+		t.Fatalf("groups = %d, want 2", len(got.Pairs()))
+	}
+	for _, p := range got.Pairs() {
+		k1 := p.Key.Elems()[0].Str()
+		vals := p.Val.Elems()
+		switch k1 {
+		case "x":
+			if vals[0].Float() != 5 || vals[1].Float() != 15 {
+				t.Errorf("group x = %v", p.Val)
+			}
+		case "y":
+			if vals[0].Float() != 7 || vals[1].Float() != 0 {
+				t.Errorf("group y = %v", p.Val)
+			}
+		}
+	}
+	if err := a.Input(value.NewTuple([]value.Value{value.NewString("x")}), 1); err == nil {
+		t.Error("wrong arity must error")
+	}
+	if err := a.Assign(value.NewInt(1)); err == nil {
+		t.Error("GroupByAccum assign must error")
+	}
+}
+
+func TestCustomAccumRegistry(t *testing.T) {
+	// A product accumulator, as a user extension.
+	type prod struct {
+		spec *Spec
+		val  float64
+	}
+	Register(CustomType{
+		Name:           "ProductAccum",
+		OrderInvariant: true,
+		New: func(s *Spec) Accumulator {
+			return &customAdapter{spec: s, val: 1, combine: func(cur, in float64, mult uint64) float64 {
+				for i := uint64(0); i < mult; i++ {
+					cur *= in
+				}
+				return cur
+			}}
+		},
+	})
+	defer Unregister("ProductAccum")
+	_ = prod{}
+	spec := CustomSpec("ProductAccum")
+	if !spec.OrderInvariant() {
+		t.Error("registered custom must report order invariance")
+	}
+	a, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInput(t, a, value.NewFloat(3), 1)
+	mustInput(t, a, value.NewFloat(2), 2)
+	if a.Value().Float() != 12 {
+		t.Errorf("product = %v, want 12", a.Value())
+	}
+	if _, err := New(CustomSpec("NotRegistered")); err == nil {
+		t.Error("unregistered custom must error")
+	}
+}
+
+func TestSpecValidateErrors(t *testing.T) {
+	bad := []*Spec{
+		SumSpec(value.KindBool),
+		AvgSpec(value.KindString),
+		MinSpec(value.KindList),
+		{Kind: KindSet},
+		{Kind: KindMap},
+		{Kind: KindMap, Keys: []value.Kind{value.KindList}, Nested: []*Spec{SumSpec(value.KindInt)}},
+		{Kind: KindHeap},
+		HeapSpec(&TupleType{Name: "T", Fields: []TupleField{{Name: "a", Kind: value.KindInt}}}, 0, SortField{Field: "a"}),
+		HeapSpec(&TupleType{Name: "T", Fields: []TupleField{{Name: "a", Kind: value.KindInt}}}, 2, SortField{Field: "zed"}),
+		{Kind: KindGroupBy},
+		GroupBySpec([]value.Kind{value.KindInt}, []*Spec{SumSpec(value.KindBool)}),
+		CustomSpec("missing"),
+		{Kind: Kind(99)},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%v) must fail", s)
+		}
+	}
+}
+
+func TestSpecStringAndKindByName(t *testing.T) {
+	tt := &TupleType{Name: "T", Fields: []TupleField{{Name: "a", Kind: value.KindInt}}}
+	cases := map[string]*Spec{
+		"SumAccum<float>":                    SumSpec(value.KindFloat),
+		"OrAccum":                            OrSpec(),
+		"MapAccum<string, SumAccum<int>>":    MapSpec(value.KindString, SumSpec(value.KindInt)),
+		"HeapAccum<T>(5, a DESC)":            HeapSpec(tt, 5, SortField{Field: "a", Desc: true}),
+		"GroupByAccum<int, AvgAccum<float>>": GroupBySpec([]value.Kind{value.KindInt}, []*Spec{AvgSpec(value.KindFloat)}),
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if k, ok := KindByName("SumAccum"); !ok || k != KindSum {
+		t.Error("KindByName(SumAccum) wrong")
+	}
+	if _, ok := KindByName("FooAccum"); ok {
+		t.Error("KindByName must miss unknown names")
+	}
+}
+
+// orderInvariantSpecs are the specs exercised by the property tests.
+func orderInvariantSpecs() []*Spec {
+	tt := &TupleType{Name: "S", Fields: []TupleField{{Name: "v", Kind: value.KindInt}}}
+	return []*Spec{
+		SumSpec(value.KindInt),
+		SumSpec(value.KindFloat),
+		MinSpec(value.KindInt),
+		MaxSpec(value.KindInt),
+		AvgSpec(value.KindFloat),
+		OrSpec(),
+		AndSpec(),
+		BitwiseAndSpec(),
+		BitwiseOrSpec(),
+		SetSpec(value.KindInt),
+		BagSpec(value.KindInt),
+		MapSpec(value.KindInt, SumSpec(value.KindInt)),
+		HeapSpec(tt, 4, SortField{Field: "v", Desc: true}),
+		GroupBySpec([]value.Kind{value.KindInt}, []*Spec{SumSpec(value.KindInt), MaxSpec(value.KindInt)}),
+	}
+}
+
+// randomInputFor builds a valid random input for the spec.
+func randomInputFor(s *Spec, r *rand.Rand) value.Value {
+	ri := func() value.Value { return value.NewInt(int64(r.Intn(7))) }
+	switch s.Kind {
+	case KindSum, KindMin, KindMax, KindAvg, KindSet, KindBag:
+		if s.Elem == value.KindFloat {
+			return value.NewFloat(float64(r.Intn(28)) / 4)
+		}
+		return ri()
+	case KindOr, KindAnd:
+		return value.NewBool(r.Intn(2) == 0)
+	case KindBitwiseAnd, KindBitwiseOr:
+		return value.NewInt(int64(r.Intn(16)))
+	case KindMap:
+		return value.NewTuple([]value.Value{ri(), ri()})
+	case KindHeap:
+		return value.NewTuple([]value.Value{ri()})
+	case KindGroupBy:
+		elems := []value.Value{ri()}
+		for range s.Nested {
+			elems = append(elems, ri())
+		}
+		return value.NewTuple(elems)
+	default:
+		return ri()
+	}
+}
+
+// TestMultiplicityShortcutProperty verifies the Appendix A shortcut:
+// for order-invariant accumulators, Input(v, μ) equals μ repetitions
+// of Input(v, 1).
+func TestMultiplicityShortcutProperty(t *testing.T) {
+	specs := orderInvariantSpecs()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := specs[r.Intn(len(specs))]
+		shortcut, long := MustNew(s), MustNew(s)
+		for i := 0; i < 5; i++ {
+			v := randomInputFor(s, r)
+			mult := uint64(1 + r.Intn(6))
+			if err := shortcut.Input(v, mult); err != nil {
+				t.Logf("%s shortcut input: %v", s, err)
+				return false
+			}
+			for j := uint64(0); j < mult; j++ {
+				if err := long.Input(v, 1); err != nil {
+					t.Logf("%s long input: %v", s, err)
+					return false
+				}
+			}
+		}
+		if !value.Equal(shortcut.Value(), long.Value()) {
+			t.Logf("%s: shortcut %v != long %v", s, shortcut.Value(), long.Value())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelMergeDeterminism verifies the snapshot semantics
+// determinism claim (Section 4.3): partitioning inputs arbitrarily
+// across worker-local deltas and merging yields the same value as a
+// sequential fold, for every order-invariant accumulator type.
+func TestParallelMergeDeterminism(t *testing.T) {
+	specs := orderInvariantSpecs()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := specs[r.Intn(len(specs))]
+		inputs := make([]value.Value, 3+r.Intn(10))
+		for i := range inputs {
+			inputs[i] = randomInputFor(s, r)
+		}
+		sequential := MustNew(s)
+		for _, v := range inputs {
+			if err := sequential.Input(v, 1); err != nil {
+				return false
+			}
+		}
+		// Partition into k worker deltas, shuffled.
+		k := 1 + r.Intn(4)
+		workers := make([]Accumulator, k)
+		for i := range workers {
+			workers[i] = MustNew(s)
+		}
+		perm := r.Perm(len(inputs))
+		for _, idx := range perm {
+			if err := workers[r.Intn(k)].Input(inputs[idx], 1); err != nil {
+				return false
+			}
+		}
+		merged := MustNew(s)
+		for _, w := range workers {
+			if err := merged.Merge(w); err != nil {
+				t.Logf("%s merge: %v", s, err)
+				return false
+			}
+		}
+		if !value.Equal(sequential.Value(), merged.Value()) {
+			t.Logf("%s: sequential %v != merged %v", s, sequential.Value(), merged.Value())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneIsDeep verifies clones do not alias mutable state.
+func TestCloneIsDeep(t *testing.T) {
+	for _, s := range orderInvariantSpecs() {
+		a := MustNew(s)
+		r := rand.New(rand.NewSource(1))
+		mustInput(t, a, randomInputFor(s, r), 1)
+		before := a.Value()
+		c := a.Clone()
+		mustInput(t, c, randomInputFor(s, r), 2)
+		mustInput(t, c, randomInputFor(s, r), 1)
+		if !value.Equal(a.Value(), before) {
+			t.Errorf("%s: clone mutation leaked into original", s)
+		}
+	}
+}
+
+func TestMergeTypeMismatch(t *testing.T) {
+	a := MustNew(SumSpec(value.KindInt))
+	b := MustNew(OrSpec())
+	if err := a.Merge(b); err == nil {
+		t.Error("merging different accumulator types must error")
+	}
+}
+
+// customAdapter backs the registry test with a float fold.
+type customAdapter struct {
+	spec    *Spec
+	val     float64
+	combine func(cur, in float64, mult uint64) float64
+}
+
+func (a *customAdapter) Spec() *Spec { return a.spec }
+
+func (a *customAdapter) Input(v value.Value, mult uint64) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return mismatch(a.spec, v)
+	}
+	a.val = a.combine(a.val, f, mult)
+	return nil
+}
+
+func (a *customAdapter) Assign(v value.Value) error {
+	f, ok := v.AsFloat()
+	if !ok {
+		return mismatch(a.spec, v)
+	}
+	a.val = f
+	return nil
+}
+
+func (a *customAdapter) Merge(other Accumulator) error {
+	o, ok := other.(*customAdapter)
+	if !ok {
+		return mergeMismatch(a.spec, other)
+	}
+	a.val = a.combine(a.val, o.val, 1)
+	return nil
+}
+
+func (a *customAdapter) Value() value.Value { return value.NewFloat(a.val) }
+
+func (a *customAdapter) Clone() Accumulator { c := *a; return &c }

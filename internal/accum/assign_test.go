@@ -1,0 +1,247 @@
+package accum
+
+import (
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+// TestAssignForms exercises the "=" operator of each accumulator type.
+func TestAssignForms(t *testing.T) {
+	// SumAccum<string>.
+	ss := MustNew(SumSpec(value.KindString))
+	if err := ss.Assign(value.NewString("x")); err != nil {
+		t.Fatal(err)
+	}
+	mustInput(t, ss, value.NewString("y"), 1)
+	if ss.Value().Str() != "xy" {
+		t.Errorf("string assign+input: %v", ss.Value())
+	}
+	if err := ss.Assign(value.NewInt(1)); err == nil {
+		t.Error("string accum assigning int must error")
+	}
+	// Clone and merge of sumString.
+	c := ss.Clone()
+	mustInput(t, c, value.NewString("z"), 1)
+	if ss.Value().Str() != "xy" {
+		t.Error("sumString clone leaked")
+	}
+	if err := ss.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Value().Str() != "xyxyz" {
+		t.Errorf("sumString merge: %v", ss.Value())
+	}
+	if err := ss.Merge(MustNew(SumSpec(value.KindInt))); err == nil {
+		t.Error("sumString merging sumNum must error")
+	}
+
+	// Bool assign.
+	or := MustNew(OrSpec())
+	if err := or.Assign(value.NewBool(true)); err != nil {
+		t.Fatal(err)
+	}
+	if !or.Value().Bool() {
+		t.Error("or assign")
+	}
+	if err := or.Assign(value.NewInt(1)); err == nil {
+		t.Error("or assigning int must error")
+	}
+
+	// Set assign from list and set values.
+	st := MustNew(SetSpec(value.KindInt))
+	if err := st.Assign(value.NewList([]value.Value{value.NewInt(2), value.NewInt(2), value.NewInt(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Value().Elems()) != 2 {
+		t.Errorf("set assign: %v", st.Value())
+	}
+	if err := st.Assign(value.NewInt(1)); err == nil {
+		t.Error("set assigning scalar must error")
+	}
+
+	// Bag assign counts duplicates.
+	bg := MustNew(BagSpec(value.KindInt))
+	if err := bg.Assign(value.NewList([]value.Value{value.NewInt(1), value.NewInt(1), value.NewInt(2)})); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range bg.Value().Pairs() {
+		if p.Key.Int() == 1 && p.Val.Int() != 2 {
+			t.Errorf("bag assign counts: %v", bg.Value())
+		}
+	}
+	if err := bg.Assign(value.NewInt(1)); err == nil {
+		t.Error("bag assigning scalar must error")
+	}
+	// Bag clone/merge.
+	bc := bg.Clone()
+	if err := bg.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	if err := bg.Merge(st); err == nil {
+		t.Error("bag merging set must error")
+	}
+
+	// List assign.
+	ls := MustNew(ListSpec(value.KindInt))
+	if err := ls.Assign(value.NewList([]value.Value{value.NewInt(3), value.NewInt(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Value().Elems()) != 2 {
+		t.Errorf("list assign: %v", ls.Value())
+	}
+	if err := ls.Assign(value.NewInt(1)); err == nil {
+		t.Error("list assigning scalar must error")
+	}
+	lc := ls.Clone()
+	if err := ls.Merge(lc); err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Value().Elems()) != 4 {
+		t.Errorf("list merge: %v", ls.Value())
+	}
+	if err := ls.Merge(st); err == nil {
+		t.Error("list merging set must error")
+	}
+
+	// Map assign from a map value.
+	mp := MustNew(MapSpec(value.KindString, SumSpec(value.KindInt)))
+	if err := mp.Assign(value.NewMap([]value.Pair{
+		{Key: value.NewString("a"), Val: value.NewInt(5)},
+	})); err != nil {
+		t.Fatal(err)
+	}
+	mustInput(t, mp, value.NewTuple([]value.Value{value.NewString("a"), value.NewInt(2)}), 1)
+	if mp.Value().Pairs()[0].Val.Int() != 7 {
+		t.Errorf("map assign + input: %v", mp.Value())
+	}
+	if err := mp.Assign(value.NewInt(1)); err == nil {
+		t.Error("map assigning scalar must error")
+	}
+	// Map merge with disjoint and overlapping keys.
+	mp2 := MustNew(MapSpec(value.KindString, SumSpec(value.KindInt)))
+	mustInput(t, mp2, value.NewTuple([]value.Value{value.NewString("a"), value.NewInt(1)}), 1)
+	mustInput(t, mp2, value.NewTuple([]value.Value{value.NewString("b"), value.NewInt(4)}), 1)
+	if err := mp.Merge(mp2); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int64{}
+	for _, p := range mp.Value().Pairs() {
+		got[p.Key.Str()] = p.Val.Int()
+	}
+	if got["a"] != 8 || got["b"] != 4 {
+		t.Errorf("map merge: %v", got)
+	}
+	if err := mp.Merge(st); err == nil {
+		t.Error("map merging set must error")
+	}
+
+	// Heap assign from a list of tuples.
+	tt := &TupleType{Name: "T", Fields: []TupleField{{Name: "a", Kind: value.KindInt}}}
+	hp := MustNew(HeapSpec(tt, 2, SortField{Field: "a", Desc: true}))
+	if err := hp.Assign(value.NewList([]value.Value{
+		value.NewTuple([]value.Value{value.NewInt(1)}),
+		value.NewTuple([]value.Value{value.NewInt(5)}),
+		value.NewTuple([]value.Value{value.NewInt(3)}),
+	})); err != nil {
+		t.Fatal(err)
+	}
+	elems := hp.Value().Elems()
+	if len(elems) != 2 || elems[0].Elems()[0].Int() != 5 {
+		t.Errorf("heap assign: %v", hp.Value())
+	}
+	if err := hp.Assign(value.NewInt(1)); err == nil {
+		t.Error("heap assigning scalar must error")
+	}
+	if err := hp.Merge(st); err == nil {
+		t.Error("heap merging set must error")
+	}
+
+	// Min/Max assign.
+	mn := MustNew(MinSpec(value.KindInt))
+	if err := mn.Assign(value.NewInt(5)); err != nil {
+		t.Fatal(err)
+	}
+	mustInput(t, mn, value.NewInt(9), 1)
+	if mn.Value().Int() != 5 {
+		t.Errorf("min assign+input: %v", mn.Value())
+	}
+	if err := mn.Assign(value.NewString("x")); err == nil {
+		t.Error("min assigning string must error")
+	}
+
+	// Avg assign type error.
+	av := MustNew(AvgSpec(value.KindFloat))
+	if err := av.Assign(value.NewString("x")); err == nil {
+		t.Error("avg assigning string must error")
+	}
+	// Avg input type error.
+	if err := av.Input(value.NewString("x"), 1); err == nil {
+		t.Error("avg string input must error")
+	}
+}
+
+// TestSpecAccessors covers the remaining Spec plumbing.
+func TestSpecAccessors(t *testing.T) {
+	for _, s := range orderInvariantSpecs() {
+		a := MustNew(s)
+		if a.Spec() != s {
+			t.Errorf("Spec() identity lost for %s", s)
+		}
+	}
+	if ArraySpec(value.KindInt).Kind != KindArray {
+		t.Error("ArraySpec kind wrong")
+	}
+	if ArraySpec(value.KindInt).OrderInvariant() {
+		t.Error("ArrayAccum must be order-sensitive")
+	}
+	// Map over an order-sensitive nested type is order-sensitive.
+	if MapSpec(value.KindInt, ListSpec(value.KindInt)).OrderInvariant() {
+		t.Error("MapAccum<., ListAccum> must be order-sensitive")
+	}
+	// GroupBy over invariant nested types is invariant.
+	gb := GroupBySpec([]value.Kind{value.KindInt}, []*Spec{SumSpec(value.KindInt)})
+	if !gb.OrderInvariant() {
+		t.Error("GroupByAccum over sums must be order-invariant")
+	}
+	// GroupBy NumGroups accessor.
+	a := MustNew(gb).(*groupBy)
+	if a.NumGroups() != 0 {
+		t.Error("fresh groupBy must have 0 groups")
+	}
+	mustInput(t, a, value.NewTuple([]value.Value{value.NewInt(1), value.NewInt(2)}), 1)
+	if a.NumGroups() != 1 {
+		t.Error("NumGroups after one input")
+	}
+	// mapAcc sortedKeys helper.
+	m := MustNew(MapSpec(value.KindInt, SumSpec(value.KindInt))).(*mapAcc)
+	mustInput(t, m, value.NewTuple([]value.Value{value.NewInt(2), value.NewInt(1)}), 1)
+	mustInput(t, m, value.NewTuple([]value.Value{value.NewInt(1), value.NewInt(1)}), 1)
+	keys := m.sortedKeys()
+	if len(keys) != 2 || keys[0].Int() != 1 {
+		t.Errorf("sortedKeys: %v", keys)
+	}
+}
+
+// TestSetBagInputTypeErrors covers element-kind validation.
+func TestSetBagInputTypeErrors(t *testing.T) {
+	st := MustNew(SetSpec(value.KindInt))
+	if err := st.Input(value.NewString("x"), 1); err == nil {
+		t.Error("set wrong-kind input must error")
+	}
+	bg := MustNew(BagSpec(value.KindInt))
+	if err := bg.Input(value.NewString("x"), 1); err == nil {
+		t.Error("bag wrong-kind input must error")
+	}
+	ls := MustNew(ListSpec(value.KindInt))
+	if err := ls.Input(value.NewString("x"), 1); err == nil {
+		t.Error("list wrong-kind input must error")
+	}
+	// Float collections accept ints (widening).
+	fs := MustNew(SetSpec(value.KindFloat))
+	mustInput(t, fs, value.NewInt(3), 1)
+	fb := MustNew(BagSpec(value.KindFloat))
+	mustInput(t, fb, value.NewInt(3), 1)
+	fl := MustNew(ListSpec(value.KindFloat))
+	mustInput(t, fl, value.NewInt(3), 1)
+}

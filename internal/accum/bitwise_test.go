@@ -1,0 +1,64 @@
+package accum
+
+import (
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+func TestBitwiseAccums(t *testing.T) {
+	or := MustNew(BitwiseOrSpec())
+	and := MustNew(BitwiseAndSpec())
+	// Identities.
+	if or.Value().Int() != 0 {
+		t.Error("BitwiseOr identity must be 0")
+	}
+	if and.Value().Int() != ^int64(0) {
+		t.Error("BitwiseAnd identity must be all ones")
+	}
+	mustInput(t, or, value.NewInt(0b0101), 7) // idempotent under multiplicity
+	mustInput(t, or, value.NewInt(0b0010), 1)
+	if or.Value().Int() != 0b0111 {
+		t.Errorf("or = %b", or.Value().Int())
+	}
+	mustInput(t, and, value.NewInt(0b1110), 1)
+	mustInput(t, and, value.NewInt(0b0111), 3)
+	if and.Value().Int() != 0b0110 {
+		t.Errorf("and = %b", and.Value().Int())
+	}
+	// Assign and merge.
+	if err := or.Assign(value.NewInt(8)); err != nil {
+		t.Fatal(err)
+	}
+	other := MustNew(BitwiseOrSpec())
+	mustInput(t, other, value.NewInt(1), 1)
+	if err := or.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if or.Value().Int() != 9 {
+		t.Errorf("merged or = %d", or.Value().Int())
+	}
+	// Type errors and mismatched merges.
+	if err := or.Input(value.NewString("x"), 1); err == nil {
+		t.Error("non-int input must error")
+	}
+	if err := or.Assign(value.NewFloat(1)); err == nil {
+		t.Error("non-int assign must error")
+	}
+	if err := or.Merge(and); err == nil {
+		t.Error("or/and merge must error")
+	}
+	// Specs.
+	if BitwiseOrSpec().String() != "BitwiseOrAccum" || BitwiseAndSpec().String() != "BitwiseAndAccum" {
+		t.Error("bitwise spec names wrong")
+	}
+	if !BitwiseOrSpec().OrderInvariant() || !BitwiseOrSpec().TractableClassOK() {
+		t.Error("bitwise accumulators are order-invariant and tractable")
+	}
+	// Clone independence.
+	c := and.Clone()
+	mustInput(t, c, value.NewInt(0), 1)
+	if and.Value().Int() == 0 {
+		t.Error("clone mutation leaked")
+	}
+}

@@ -1,0 +1,113 @@
+package accum
+
+import (
+	"fmt"
+	"sort"
+
+	"gsqlgo/internal/value"
+)
+
+// heap implements HeapAccum<T>(capacity, field [ASC|DESC]...): a
+// bounded priority queue of tuples ordered lexicographically by the
+// configured sort fields. The full tuple is used as a final tiebreak
+// so the retained top-k set is deterministic (order-invariant), which
+// keeps HeapAccum inside the snapshot semantics' deterministic class.
+type heap struct {
+	spec    *Spec
+	sortIdx []int // tuple field index per sort component
+	elems   []value.Value
+}
+
+func newHeap(s *Spec) *heap {
+	idx := make([]int, len(s.Sort))
+	for i, f := range s.Sort {
+		idx[i] = s.Tuple.FieldIndex(f.Field)
+	}
+	return &heap{spec: s, sortIdx: idx}
+}
+
+func (a *heap) Spec() *Spec { return a.spec }
+
+// less orders tuples by the sort spec, whole-tuple tiebreak last.
+func (a *heap) less(x, y value.Value) bool {
+	xe, ye := x.Elems(), y.Elems()
+	for i, fi := range a.sortIdx {
+		c := value.Compare(xe[fi], ye[fi])
+		if a.spec.Sort[i].Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return value.Compare(x, y) < 0
+}
+
+func (a *heap) checkTuple(v value.Value) error {
+	if v.Kind() != value.KindTuple || len(v.Elems()) != len(a.spec.Tuple.Fields) {
+		return fmt.Errorf("accum: %s expects a %d-field tuple, got %s", a.spec, len(a.spec.Tuple.Fields), v.Kind())
+	}
+	return nil
+}
+
+func (a *heap) Input(v value.Value, mult uint64) error {
+	if err := a.checkTuple(v); err != nil {
+		return err
+	}
+	// Inserting μ identical copies is equivalent to inserting
+	// min(μ, capacity) copies — the rest are evicted immediately.
+	n := mult
+	if n > uint64(a.spec.Capacity) {
+		n = uint64(a.spec.Capacity)
+	}
+	for i := uint64(0); i < n; i++ {
+		a.insert(v)
+	}
+	return nil
+}
+
+func (a *heap) insert(v value.Value) {
+	pos := sort.Search(len(a.elems), func(i int) bool { return a.less(v, a.elems[i]) })
+	a.elems = append(a.elems, value.Null)
+	copy(a.elems[pos+1:], a.elems[pos:])
+	a.elems[pos] = v
+	if len(a.elems) > a.spec.Capacity {
+		a.elems = a.elems[:a.spec.Capacity]
+	}
+}
+
+func (a *heap) Assign(v value.Value) error {
+	switch v.Kind() {
+	case value.KindList, value.KindSet:
+		a.elems = a.elems[:0]
+		for _, e := range v.Elems() {
+			if err := a.Input(e, 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return mismatch(a.spec, v)
+}
+
+func (a *heap) Merge(other Accumulator) error {
+	o, ok := other.(*heap)
+	if !ok {
+		return mergeMismatch(a.spec, other)
+	}
+	for _, e := range o.elems {
+		a.insert(e)
+	}
+	return nil
+}
+
+// Value returns the retained tuples, best first.
+func (a *heap) Value() value.Value {
+	return value.NewList(append([]value.Value(nil), a.elems...))
+}
+
+func (a *heap) Clone() Accumulator {
+	c := *a
+	c.elems = append([]value.Value(nil), a.elems...)
+	return &c
+}

@@ -1,0 +1,43 @@
+package accum
+
+import "sync"
+
+// CustomType registers a user-defined accumulator constructor — the Go
+// analogue of GSQL's C++ accumulator extension interface ("Extensible
+// Accumulator Library", Section 3). New must return a fresh empty
+// instance; OrderInvariant must report whether the combiner is
+// commutative and associative (non-invariant customs are excluded from
+// the tractable class and from deterministic parallel reduction, like
+// ListAccum).
+type CustomType struct {
+	Name           string
+	OrderInvariant bool
+	New            func(spec *Spec) Accumulator
+}
+
+var (
+	customMu  sync.RWMutex
+	customReg = map[string]CustomType{}
+)
+
+// Register installs a custom accumulator type under its name,
+// replacing any previous registration.
+func Register(c CustomType) {
+	customMu.Lock()
+	defer customMu.Unlock()
+	customReg[c.Name] = c
+}
+
+// Unregister removes a custom accumulator type.
+func Unregister(name string) {
+	customMu.Lock()
+	defer customMu.Unlock()
+	delete(customReg, name)
+}
+
+func lookupCustom(name string) (CustomType, bool) {
+	customMu.RLock()
+	defer customMu.RUnlock()
+	c, ok := customReg[name]
+	return c, ok
+}

@@ -1,0 +1,333 @@
+// Package accum implements GSQL's accumulator abstraction (Section 3
+// of the paper): polymorphic data containers holding an internal value
+// V, accepting inputs I, and folding them in with a binary combiner
+// ⊕ : V × I → V. Accumulators implement "=" (Assign) and "+="
+// (Input); Input takes an explicit multiplicity so the engine can
+// replace μ identical ACCUM executions by one multiplicity-adjusted
+// input (the Theorem 7.1 / Appendix A shortcut): Sum-like accumulators
+// scale, multiplicity-insensitive ones (Min, Max, Or, And, Set, Map)
+// input once, Bag adjusts counts, and order-sensitive ones replicate.
+//
+// Worker-local accumulator instances merge with Merge, giving the
+// map/reduce snapshot semantics of Section 4.3 deterministic results
+// for every order-invariant type.
+package accum
+
+import (
+	"fmt"
+	"strings"
+
+	"gsqlgo/internal/value"
+)
+
+// Kind enumerates the built-in accumulator types.
+type Kind int
+
+// Built-in accumulator kinds (Section 3, "Accumulator Types").
+const (
+	KindSum Kind = iota
+	KindMin
+	KindMax
+	KindAvg
+	KindOr
+	KindAnd
+	KindSet
+	KindBag
+	KindList
+	KindArray
+	KindMap
+	KindHeap
+	KindGroupBy
+	KindBitwiseAnd
+	KindBitwiseOr
+	KindCustom // user-registered (the paper's extensible library)
+)
+
+var kindNames = map[Kind]string{
+	KindSum:        "SumAccum",
+	KindMin:        "MinAccum",
+	KindMax:        "MaxAccum",
+	KindAvg:        "AvgAccum",
+	KindOr:         "OrAccum",
+	KindAnd:        "AndAccum",
+	KindSet:        "SetAccum",
+	KindBag:        "BagAccum",
+	KindList:       "ListAccum",
+	KindArray:      "ArrayAccum",
+	KindMap:        "MapAccum",
+	KindHeap:       "HeapAccum",
+	KindGroupBy:    "GroupByAccum",
+	KindBitwiseAnd: "BitwiseAndAccum",
+	KindBitwiseOr:  "BitwiseOrAccum",
+}
+
+// KindByName resolves a GSQL accumulator type name ("SumAccum", ...).
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// TupleField is one field of a named tuple type (TYPEDEF TUPLE).
+type TupleField struct {
+	Name string
+	Kind value.Kind
+}
+
+// TupleType is a named tuple type used by HeapAccum.
+type TupleType struct {
+	Name   string
+	Fields []TupleField
+}
+
+// FieldIndex returns the position of the named field, or -1.
+func (t *TupleType) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SortField selects a heap ordering component.
+type SortField struct {
+	Field string
+	Desc  bool
+}
+
+// Spec is a parsed accumulator type.
+type Spec struct {
+	Kind Kind
+
+	// Elem is the element/input scalar kind for Sum, Min, Max, Avg,
+	// Set, Bag, List and Array.
+	Elem value.Kind
+
+	// Keys are the key kinds of Map (one) or GroupBy (one or more).
+	Keys []value.Kind
+	// KeyNames optionally names GroupBy keys (diagnostics only).
+	KeyNames []string
+	// Nested are the value accumulator specs of Map (one) or GroupBy
+	// (one or more).
+	Nested []*Spec
+
+	// Heap configuration.
+	Capacity int
+	Tuple    *TupleType
+	Sort     []SortField
+
+	// Custom accumulator name (Kind == KindCustom).
+	CustomName string
+}
+
+// Convenience spec constructors.
+
+// SumSpec returns a SumAccum<elem> spec.
+func SumSpec(elem value.Kind) *Spec { return &Spec{Kind: KindSum, Elem: elem} }
+
+// MinSpec returns a MinAccum<elem> spec.
+func MinSpec(elem value.Kind) *Spec { return &Spec{Kind: KindMin, Elem: elem} }
+
+// MaxSpec returns a MaxAccum<elem> spec.
+func MaxSpec(elem value.Kind) *Spec { return &Spec{Kind: KindMax, Elem: elem} }
+
+// AvgSpec returns an AvgAccum<elem> spec.
+func AvgSpec(elem value.Kind) *Spec { return &Spec{Kind: KindAvg, Elem: elem} }
+
+// OrSpec returns an OrAccum spec.
+func OrSpec() *Spec { return &Spec{Kind: KindOr} }
+
+// BitwiseAndSpec returns a BitwiseAndAccum spec (integer AND fold,
+// identity ^0).
+func BitwiseAndSpec() *Spec { return &Spec{Kind: KindBitwiseAnd} }
+
+// BitwiseOrSpec returns a BitwiseOrAccum spec (integer OR fold,
+// identity 0).
+func BitwiseOrSpec() *Spec { return &Spec{Kind: KindBitwiseOr} }
+
+// AndSpec returns an AndAccum spec.
+func AndSpec() *Spec { return &Spec{Kind: KindAnd} }
+
+// SetSpec returns a SetAccum<elem> spec.
+func SetSpec(elem value.Kind) *Spec { return &Spec{Kind: KindSet, Elem: elem} }
+
+// BagSpec returns a BagAccum<elem> spec.
+func BagSpec(elem value.Kind) *Spec { return &Spec{Kind: KindBag, Elem: elem} }
+
+// ListSpec returns a ListAccum<elem> spec.
+func ListSpec(elem value.Kind) *Spec { return &Spec{Kind: KindList, Elem: elem} }
+
+// ArraySpec returns an ArrayAccum<elem> spec.
+func ArraySpec(elem value.Kind) *Spec { return &Spec{Kind: KindArray, Elem: elem} }
+
+// MapSpec returns a MapAccum<key, nested> spec.
+func MapSpec(key value.Kind, nested *Spec) *Spec {
+	return &Spec{Kind: KindMap, Keys: []value.Kind{key}, Nested: []*Spec{nested}}
+}
+
+// HeapSpec returns a HeapAccum<tuple>(capacity, sort...) spec.
+func HeapSpec(tuple *TupleType, capacity int, sort ...SortField) *Spec {
+	return &Spec{Kind: KindHeap, Tuple: tuple, Capacity: capacity, Sort: sort}
+}
+
+// GroupBySpec returns a GroupByAccum<keys -> nested aggregates> spec.
+func GroupBySpec(keys []value.Kind, nested []*Spec) *Spec {
+	return &Spec{Kind: KindGroupBy, Keys: keys, Nested: nested}
+}
+
+// CustomSpec returns a spec for a registered user-defined accumulator.
+func CustomSpec(name string) *Spec { return &Spec{Kind: KindCustom, CustomName: name} }
+
+// String renders the spec in GSQL type syntax.
+func (s *Spec) String() string {
+	switch s.Kind {
+	case KindOr, KindAnd, KindBitwiseAnd, KindBitwiseOr:
+		return kindNames[s.Kind]
+	case KindSum, KindMin, KindMax, KindAvg, KindSet, KindBag, KindList, KindArray:
+		return fmt.Sprintf("%s<%s>", kindNames[s.Kind], s.Elem)
+	case KindMap:
+		return fmt.Sprintf("MapAccum<%s, %s>", s.Keys[0], s.Nested[0])
+	case KindHeap:
+		parts := make([]string, len(s.Sort))
+		for i, f := range s.Sort {
+			dir := "ASC"
+			if f.Desc {
+				dir = "DESC"
+			}
+			parts[i] = f.Field + " " + dir
+		}
+		return fmt.Sprintf("HeapAccum<%s>(%d, %s)", s.Tuple.Name, s.Capacity, strings.Join(parts, ", "))
+	case KindGroupBy:
+		keys := make([]string, len(s.Keys))
+		for i, k := range s.Keys {
+			keys[i] = k.String()
+			if i < len(s.KeyNames) && s.KeyNames[i] != "" {
+				keys[i] += " " + s.KeyNames[i]
+			}
+		}
+		nested := make([]string, len(s.Nested))
+		for i, n := range s.Nested {
+			nested[i] = n.String()
+		}
+		return fmt.Sprintf("GroupByAccum<%s, %s>", strings.Join(keys, ", "), strings.Join(nested, ", "))
+	case KindCustom:
+		return s.CustomName
+	default:
+		return fmt.Sprintf("Accum(%d)", s.Kind)
+	}
+}
+
+// numericKind reports whether k is int or float.
+func numericKind(k value.Kind) bool { return k == value.KindInt || k == value.KindFloat }
+
+// orderedKind reports whether values of k can be Min/Max aggregated.
+func orderedKind(k value.Kind) bool {
+	switch k {
+	case value.KindInt, value.KindFloat, value.KindString, value.KindDatetime, value.KindBool, value.KindVertex:
+		return true
+	}
+	return false
+}
+
+// Validate checks the spec's internal consistency.
+func (s *Spec) Validate() error {
+	switch s.Kind {
+	case KindSum:
+		if !numericKind(s.Elem) && s.Elem != value.KindString {
+			return fmt.Errorf("accum: SumAccum requires a numeric or string element, got %s", s.Elem)
+		}
+	case KindAvg:
+		if !numericKind(s.Elem) {
+			return fmt.Errorf("accum: AvgAccum requires a numeric element, got %s", s.Elem)
+		}
+	case KindMin, KindMax:
+		if !orderedKind(s.Elem) {
+			return fmt.Errorf("accum: %s requires an ordered element, got %s", kindNames[s.Kind], s.Elem)
+		}
+	case KindOr, KindAnd, KindBitwiseAnd, KindBitwiseOr:
+		// no parameters
+	case KindSet, KindBag, KindList, KindArray:
+		if s.Elem == value.KindNull {
+			return fmt.Errorf("accum: %s requires an element type", kindNames[s.Kind])
+		}
+	case KindMap:
+		if len(s.Keys) != 1 || len(s.Nested) != 1 {
+			return fmt.Errorf("accum: MapAccum requires one key and one value type")
+		}
+		if !orderedKind(s.Keys[0]) {
+			return fmt.Errorf("accum: MapAccum key must be an ordered type, got %s", s.Keys[0])
+		}
+		return s.Nested[0].Validate()
+	case KindHeap:
+		if s.Tuple == nil || len(s.Tuple.Fields) == 0 {
+			return fmt.Errorf("accum: HeapAccum requires a tuple type")
+		}
+		if s.Capacity <= 0 {
+			return fmt.Errorf("accum: HeapAccum capacity must be positive, got %d", s.Capacity)
+		}
+		if len(s.Sort) == 0 {
+			return fmt.Errorf("accum: HeapAccum requires at least one sort field")
+		}
+		for _, f := range s.Sort {
+			if s.Tuple.FieldIndex(f.Field) < 0 {
+				return fmt.Errorf("accum: HeapAccum sort field %q not in tuple %s", f.Field, s.Tuple.Name)
+			}
+		}
+	case KindGroupBy:
+		if len(s.Keys) == 0 || len(s.Nested) == 0 {
+			return fmt.Errorf("accum: GroupByAccum requires keys and nested accumulators")
+		}
+		for _, k := range s.Keys {
+			if !orderedKind(k) {
+				return fmt.Errorf("accum: GroupByAccum key must be an ordered type, got %s", k)
+			}
+		}
+		for _, n := range s.Nested {
+			if err := n.Validate(); err != nil {
+				return err
+			}
+		}
+	case KindCustom:
+		if _, ok := lookupCustom(s.CustomName); !ok {
+			return fmt.Errorf("accum: unregistered custom accumulator %q", s.CustomName)
+		}
+	default:
+		return fmt.Errorf("accum: unknown accumulator kind %d", s.Kind)
+	}
+	return nil
+}
+
+// OrderInvariant reports whether the accumulator's reduce result is
+// independent of input order (Section 4.3): true for every built-in
+// type except ListAccum, ArrayAccum and SumAccum<string>, and
+// recursively for MapAccum/GroupByAccum over invariant nested types.
+func (s *Spec) OrderInvariant() bool {
+	switch s.Kind {
+	case KindList, KindArray:
+		return false
+	case KindSum:
+		return s.Elem != value.KindString
+	case KindMap, KindGroupBy:
+		for _, n := range s.Nested {
+			if !n.OrderInvariant() {
+				return false
+			}
+		}
+		return true
+	case KindCustom:
+		c, ok := lookupCustom(s.CustomName)
+		return ok && c.OrderInvariant
+	default:
+		return true
+	}
+}
+
+// TractableClassOK reports whether the accumulator type is admitted by
+// the tractable query class of Theorem 7.1, which disallows ListAccum,
+// ArrayAccum and SumAccum<string> (their results depend on path
+// multiplicities in an order-sensitive way).
+func (s *Spec) TractableClassOK() bool { return s.OrderInvariant() }

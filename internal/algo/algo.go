@@ -1,0 +1,218 @@
+// Package algo collects the iterative graph analytics of Section 5 as
+// GSQL query sources — PageRank (Figure 4), weakly connected
+// components and single-source shortest paths, the algorithm class
+// the paper argues needs accumulator/control-flow support inside the
+// query language — together with independent native Go implementations
+// used as test oracles.
+package algo
+
+import (
+	"fmt"
+	"math"
+
+	"gsqlgo/internal/graph"
+)
+
+// PageRankSource returns Figure 4's PageRank for a given vertex/edge
+// type, with the conventional explicit @@maxDifference initializer.
+func PageRankSource(vertexType, edgeType string) string {
+	return fmt.Sprintf(`
+CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {
+  MaxAccum<float> @@maxDifference = 9999;
+  SumAccum<float> @received_score;
+  SumAccum<float> @score = 1;
+
+  AllV = {%[1]s.*};
+  WHILE @@maxDifference > maxChange LIMIT maxIteration DO
+     @@maxDifference = 0;
+     S = SELECT v
+         FROM       AllV:v -(%[2]s>)- %[1]s:n
+         ACCUM      n.@received_score += v.@score/v.outdegree()
+         POST-ACCUM v.@score = 1-dampingFactor + dampingFactor * v.@received_score,
+                    v.@received_score = 0,
+                    @@maxDifference += abs(v.@score - v.@score');
+  END;
+  AllP = {%[1]s.*};
+  PRINT AllP[AllP.name, AllP.@score];
+}
+`, vertexType, edgeType)
+}
+
+// PageRankNative mirrors the GSQL semantics exactly: synchronous
+// updates, and only vertices with outgoing edges are rescored (they
+// are the distinct FROM bindings).
+func PageRankNative(g *graph.Graph, maxChange float64, maxIter int, damping float64) []float64 {
+	n := g.NumVertices()
+	score := make([]float64, n)
+	for i := range score {
+		score[i] = 1
+	}
+	received := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		maxDiff := 0.0
+		for i := range received {
+			received[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			out := g.OutDegree(graph.VID(v))
+			if out == 0 {
+				continue
+			}
+			share := score[v] / float64(out)
+			for _, h := range g.Neighbors(graph.VID(v)) {
+				if h.Dir == graph.DirOut || h.Dir == graph.DirUndir {
+					received[h.To] += share
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if g.OutDegree(graph.VID(v)) == 0 {
+				continue
+			}
+			old := score[v]
+			score[v] = 1 - damping + damping*received[v]
+			if d := math.Abs(score[v] - old); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff <= maxChange {
+			break
+		}
+	}
+	return score
+}
+
+// WCCSource returns a label-propagation weakly-connected-components
+// query over an undirected (or any-direction) edge type: every vertex
+// starts labelled with its own id and repeatedly adopts the minimum
+// label among its neighbours via a MinAccum, the canonical
+// accumulator+loop composition of Section 5.
+func WCCSource(vertexType, edgeType string) string {
+	return fmt.Sprintf(`
+CREATE QUERY WCC (int maxIteration) {
+  MinAccum<int> @cc = 9223372036854775807;
+  MinAccum<int> @ccNew = 9223372036854775807;
+  SumAccum<int> @@changed = 1;
+
+  Start = {%[1]s.*};
+  Init = SELECT v FROM Start:v
+         POST_ACCUM v.@cc = v.vid(), v.@ccNew = v.vid();
+
+  WHILE @@changed > 0 LIMIT maxIteration DO
+    @@changed = 0;
+    S = SELECT v
+        FROM Start:v -(_)- %[1]s:n
+        ACCUM n.@ccNew += v.@cc
+        POST-ACCUM @@changed += n.@cc - min(n.@cc, n.@ccNew),
+                   n.@cc = min(n.@cc, n.@ccNew);
+  END;
+
+  AllV = {%[1]s.*};
+  PRINT AllV[AllV.name, AllV.@cc];
+}
+`, vertexType)
+}
+
+// WCCNative computes components over all edges regardless of
+// direction via union-find.
+func WCCNative(g *graph.Graph) []int {
+	parent := make([]int, g.NumVertices())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for e := graph.EID(0); int(e) < g.NumEdges(); e++ {
+		s, d := g.EdgeEndpoints(e)
+		union(int(s), int(d))
+	}
+	out := make([]int, g.NumVertices())
+	for v := range out {
+		out[v] = find(v)
+	}
+	// Normalize to the minimum vertex id per component, matching the
+	// GSQL query's labels.
+	minOf := map[int]int{}
+	for v, r := range out {
+		if m, ok := minOf[r]; !ok || v < m {
+			minOf[r] = v
+		}
+	}
+	for v, r := range out {
+		out[v] = minOf[r]
+	}
+	return out
+}
+
+// SSSPSource returns an unweighted single-source shortest-path query:
+// frontier expansion with a MinAccum distance, terminating when the
+// frontier is empty (vertex-set size in the loop condition).
+// edgeDarpe is the hop symbol, direction-adorned as desired (e.g.
+// "LinkTo>" to follow directed links forward, "Knows" for undirected
+// edges).
+func SSSPSource(vertexType, edgeDarpe string) string {
+	return fmt.Sprintf(`
+CREATE QUERY SSSP (vertex<%[1]s> src, int maxIteration) {
+  MinAccum<int> @dist = 1000000000;
+
+  Frontier = SELECT src FROM %[1]s:src
+             POST_ACCUM src.@dist = 0;
+
+  WHILE Frontier.size() > 0 LIMIT maxIteration DO
+    Frontier = SELECT n
+               FROM Frontier:f -(%[2]s)- %[1]s:n
+               WHERE f.@dist + 1 < n.@dist
+               ACCUM n.@dist += f.@dist + 1;
+  END;
+
+  AllV = {%[1]s.*};
+  SELECT v.name AS name, v.@dist AS dist INTO Dist
+  FROM AllV:v
+  WHERE v.@dist < 1000000000
+  ORDER BY v.@dist ASC, v.name ASC;
+}
+`, vertexType, edgeDarpe)
+}
+
+// SSSPNative is a plain BFS over one edge type, following undirected
+// edges both ways and directed edges forward.
+func SSSPNative(g *graph.Graph, src graph.VID, edgeType string) []int {
+	const inf = math.MaxInt32
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	frontier := []graph.VID{src}
+	for len(frontier) > 0 {
+		var next []graph.VID
+		for _, v := range frontier {
+			for _, h := range g.Neighbors(v) {
+				if g.EdgeTypeOf(h.Edge).Name != edgeType || h.Dir == graph.DirIn {
+					continue
+				}
+				if dist[h.To] > dist[v]+1 {
+					dist[h.To] = dist[v] + 1
+					next = append(next, h.To)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}

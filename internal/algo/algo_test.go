@@ -1,0 +1,152 @@
+package algo
+
+import (
+	"math"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+func TestPageRankMatchesNative(t *testing.T) {
+	g := graph.BuildLinkGraph(80, 6, 3)
+	e := core.New(g, core.Options{})
+	if err := e.Install(PageRankSource("Page", "LinkTo")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run("PageRank", map[string]value.Value{
+		"maxChange":     value.NewFloat(0.0005),
+		"maxIteration":  value.NewInt(30),
+		"dampingFactor": value.NewFloat(0.85),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := PageRankNative(g, 0.0005, 30, 0.85)
+	tab := res.Printed[0]
+	if len(tab.Rows) != g.NumVertices() {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		v, _ := g.VertexByKey("Page", row[0].Str())
+		if math.Abs(row[1].Float()-oracle[v]) > 1e-6 {
+			t.Errorf("score[%s] = %v, native %v", row[0], row[1], oracle[v])
+		}
+	}
+}
+
+func knowsGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	s := graph.NewSchema()
+	if _, err := s.AddVertexType("Person", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("Knows", false); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(s)
+	// Two components: {0..5} in a path plus chord, {6..8} in a
+	// triangle, and an isolated vertex 9.
+	vs := make([]graph.VID, 10)
+	for i := range vs {
+		v, err := g.AddVertex("Person", string(rune('a'+i)), map[string]value.Value{
+			"name": value.NewString(string(rune('a' + i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs[i] = v
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {1, 4}, {6, 7}, {7, 8}, {8, 6}} {
+		if _, err := g.AddEdge("Knows", vs[e[0]], vs[e[1]], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestWCCMatchesNative(t *testing.T) {
+	g := knowsGraph(t)
+	e := core.New(g, core.Options{})
+	if err := e.Install(WCCSource("Person", "Knows")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run("WCC", map[string]value.Value{"maxIteration": value.NewInt(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := WCCNative(g)
+	tab := res.Printed[0]
+	for _, row := range tab.Rows {
+		v, _ := g.VertexByKey("Person", row[0].Str())
+		if row[1].Int() != int64(oracle[v]) {
+			t.Errorf("cc[%s] = %v, native %d", row[0], row[1], oracle[v])
+		}
+	}
+	// Distinct components: two non-trivial plus the isolated vertex.
+	comps := map[int64]bool{}
+	for _, row := range tab.Rows {
+		comps[row[1].Int()] = true
+	}
+	if len(comps) != 3 {
+		t.Errorf("components = %d, want 3", len(comps))
+	}
+}
+
+func TestSSSPMatchesNative(t *testing.T) {
+	// Undirected social distances.
+	g := knowsGraph(t)
+	e := core.New(g, core.Options{})
+	if err := e.Install(SSSPSource("Person", "Knows")); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := g.VertexByKey("Person", "a")
+	res, err := e.Run("SSSP", map[string]value.Value{
+		"src": value.NewVertex(int64(src)), "maxIteration": value.NewInt(50),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := SSSPNative(g, src, "Knows")
+	tab := res.Tables["Dist"]
+	if tab == nil {
+		t.Fatal("Dist table missing")
+	}
+	reachable := 0
+	for _, d := range oracle {
+		if d < math.MaxInt32 {
+			reachable++
+		}
+	}
+	if len(tab.Rows) != reachable {
+		t.Fatalf("reachable rows = %d, native %d", len(tab.Rows), reachable)
+	}
+	for _, row := range tab.Rows {
+		v, _ := g.VertexByKey("Person", row[0].Str())
+		if row[1].Int() != int64(oracle[v]) {
+			t.Errorf("dist[%s] = %v, native %d", row[0], row[1], oracle[v])
+		}
+	}
+
+	// Directed variant on the link graph.
+	lg := graph.BuildLinkGraph(50, 3, 9)
+	le := core.New(lg, core.Options{})
+	if err := le.Install(SSSPSource("Page", "LinkTo>")); err != nil {
+		t.Fatal(err)
+	}
+	lsrc, _ := lg.VertexByKey("Page", "page0")
+	lres, err := le.Run("SSSP", map[string]value.Value{
+		"src": value.NewVertex(int64(lsrc)), "maxIteration": value.NewInt(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loracle := SSSPNative(lg, lsrc, "LinkTo")
+	for _, row := range lres.Tables["Dist"].Rows {
+		v, _ := lg.VertexByKey("Page", row[0].Str())
+		if row[1].Int() != int64(loracle[v]) {
+			t.Errorf("directed dist[%s] = %v, native %d", row[0], row[1], loracle[v])
+		}
+	}
+}

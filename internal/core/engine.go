@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: the GSQL
+// execution engine with accumulator-based aggregation. Query blocks
+// evaluate FROM patterns into a compressed binding table (distinct
+// binding → multiplicity, Appendix A), run the ACCUM clause under
+// snapshot map/reduce semantics (Section 4.3) — in parallel across
+// binding shards, with worker-local accumulator deltas merged by each
+// accumulator's ⊕ combiner — then run POST-ACCUM once per distinct
+// vertex (Section 4.4), and finally produce vertex sets and output
+// tables (multi-output SELECT, Example 5). Pattern hops containing
+// Kleene stars are evaluated by the polynomial path-counting engine of
+// package match under the default all-shortest-paths semantics, or by
+// the enumeration baselines when configured (Section 7.1's
+// comparison).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/value"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Semantics selects the path-legality flavor for pattern hops
+	// containing repetition. The default (AllShortestPaths) is the
+	// polynomial-counting engine; NonRepeatedEdge / NonRepeatedVertex
+	// enumerate explicitly and model the competing systems.
+	Semantics match.Semantics
+	// Workers bounds ACCUM-phase parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// NoMultiplicityShortcut disables the Appendix A compressed
+	// binding-table shortcut: a binding with multiplicity μ executes
+	// the ACCUM clause μ times instead of once. Exists for the
+	// ablation benchmark only.
+	NoMultiplicityShortcut bool
+	// EnumLimits bounds the enumeration baselines.
+	EnumLimits match.EnumLimits
+}
+
+// Engine installs and runs GSQL queries against one graph. An Engine
+// is safe for concurrent use: each Run owns its accumulator state, and
+// the shared catalog/caches are mutex-guarded (the graph itself must
+// not be mutated while queries run).
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+
+	mu        sync.Mutex
+	queries   map[string]*gsql.Query
+	dfaCache  map[string]*darpe.DFA
+	relTables map[string]*RelTable
+}
+
+// New returns an engine over the graph.
+func New(g *graph.Graph, opts Options) *Engine {
+	return &Engine{
+		g:        g,
+		opts:     opts,
+		queries:  make(map[string]*gsql.Query),
+		dfaCache: make(map[string]*darpe.DFA),
+	}
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Install parses GSQL source and registers its queries (the CREATE
+// QUERY / INSTALL QUERY workflow collapsed into one step).
+func (e *Engine) Install(src string) error {
+	f, err := gsql.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, q := range f.Queries {
+		if err := e.validate(q); err != nil {
+			return fmt.Errorf("core: query %s: %w", q.Name, err)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, q := range f.Queries {
+		if _, dup := e.queries[q.Name]; dup {
+			return fmt.Errorf("core: query %q already installed", q.Name)
+		}
+	}
+	for _, q := range f.Queries {
+		e.queries[q.Name] = q
+	}
+	return nil
+}
+
+// Queries lists installed query names.
+func (e *Engine) Queries() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.queries))
+	for name := range e.queries {
+		out = append(out, name)
+	}
+	return out
+}
+
+// dfa compiles (with caching) the DFA for a DARPE.
+func (e *Engine) dfa(text string, expr darpe.Expr) (*darpe.DFA, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d, ok := e.dfaCache[text]; ok {
+		return d, nil
+	}
+	d, err := darpe.CompileDFA(expr)
+	if err != nil {
+		return nil, err
+	}
+	e.dfaCache[text] = d
+	return d, nil
+}
+
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Table is a named result table.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]value.Value
+}
+
+// String renders the table for display.
+func (t *Table) String() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Cols, "\t"))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		sb.WriteString(strings.Join(parts, "\t"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Result is the outcome of one query run.
+type Result struct {
+	// Tables holds every SELECT ... INTO output by name.
+	Tables map[string]*Table
+	// Printed holds PRINT outputs in order.
+	Printed []*Table
+	// Returned holds the RETURN value (nil if the query does not
+	// return).
+	Returned *Table
+	// Globals exposes the final values of the query's global
+	// accumulators (diagnostics and tests).
+	Globals map[string]value.Value
+}
+
+// Run executes an installed query with the given arguments.
+func (e *Engine) Run(name string, args map[string]value.Value) (*Result, error) {
+	e.mu.Lock()
+	q, ok := e.queries[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: query %q is not installed", name)
+	}
+	rs, err := newRunState(e, q, args)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rs.execStmts(q.Stmts); err != nil {
+		return nil, fmt.Errorf("core: query %s: %w", name, err)
+	}
+	for gname, acc := range rs.globals {
+		rs.res.Globals[gname] = acc.Value()
+	}
+	return rs.res, nil
+}
+
+// InstallAndRun parses, installs and runs a single query in one step
+// (convenience for examples and tests).
+func (e *Engine) InstallAndRun(src string, args map[string]value.Value) (*Result, error) {
+	f, err := gsql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(f.Queries) != 1 {
+		return nil, fmt.Errorf("core: InstallAndRun expects exactly one query, got %d", len(f.Queries))
+	}
+	if err := e.Install(src); err != nil {
+		return nil, err
+	}
+	return e.Run(f.Queries[0].Name, args)
+}

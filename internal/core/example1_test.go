@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// example1Src is the paper's Figure 1 query: join the relational
+// Employee table against the LinkedIn graph to find the employees with
+// the most connections outside the company since a given date.
+const example1Src = `
+CREATE QUERY TopConnectors(datetime since, int k) FOR GRAPH LinkedIn {
+  SELECT emp.name AS name, emp.email AS email, count(*) AS connections INTO Result
+  FROM Employee:emp, Person:p -(Connected:c)- Person:outsider
+  WHERE emp.email == p.email
+    AND outsider.worksFor != "ACME"
+    AND c.since >= since
+  GROUP BY emp.name, emp.email
+  ORDER BY connections DESC, emp.name ASC
+  LIMIT k;
+
+  RETURN Result;
+}
+`
+
+func linkedInFixture(t *testing.T) (*Engine, *graph.Graph, *RelTable) {
+	t.Helper()
+	g := graph.BuildLinkedInGraph(graph.LinkedInConfig{
+		Persons: 120, Connections: 800, Companies: 6, Seed: 13,
+	})
+	e := New(g, Options{})
+	// HR table: ACME employees are a subset of the graph's persons.
+	var rows [][]value.Value
+	for i := 0; i < 120; i += 3 {
+		rows = append(rows, []value.Value{
+			value.NewString(fmt.Sprintf("Employee %d", i)),
+			value.NewString(fmt.Sprintf("person%d@mail.example", i)),
+		})
+	}
+	tbl, err := NewRelTable("Employee", []string{"name", "email"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	return e, g, tbl
+}
+
+func TestExample1RelationalGraphJoin(t *testing.T) {
+	e, g, tbl := linkedInFixture(t)
+	if err := e.Install(example1Src); err != nil {
+		t.Fatal(err)
+	}
+	since := graph.MustDatetime("2016-01-01")
+	res, err := e.Run("TopConnectors", map[string]value.Value{
+		"since": since, "k": value.NewInt(1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: per employee email, count Connected edges since the date
+	// to persons outside ACME.
+	oracle := map[string]int64{}
+	for _, row := range tbl.Rows {
+		email := row[1].Str()
+		var person graph.VID = -1
+		for _, v := range g.VerticesOfType("Person") {
+			if em, _ := g.VertexAttr(v, "email"); em.Str() == email {
+				person = v
+				break
+			}
+		}
+		if person < 0 {
+			continue
+		}
+		for _, h := range g.Neighbors(person) {
+			if g.EdgeTypeOf(h.Edge).Name != "Connected" {
+				continue
+			}
+			sv, _ := g.EdgeAttr(h.Edge, "since")
+			if sv.Datetime() < since.Datetime() {
+				continue
+			}
+			wf, _ := g.VertexAttr(h.To, "worksFor")
+			if wf.Str() != "ACME" {
+				oracle[email]++
+			}
+		}
+	}
+	want := 0
+	for _, n := range oracle {
+		if n > 0 {
+			want++
+		}
+	}
+	tab := res.Returned
+	if len(tab.Rows) != want {
+		t.Fatalf("result rows = %d, oracle %d", len(tab.Rows), want)
+	}
+	if want == 0 {
+		t.Fatal("oracle found nothing; adjust the fixture")
+	}
+	prev := int64(1 << 62)
+	for _, row := range tab.Rows {
+		email, n := row[1].Str(), row[2].Int()
+		if n != oracle[email] {
+			t.Errorf("connections[%s] = %d, oracle %d", email, n, oracle[email])
+		}
+		if n > prev {
+			t.Error("ORDER BY connections DESC violated")
+		}
+		prev = n
+	}
+}
+
+func TestRelTableErrors(t *testing.T) {
+	e, _, tbl := linkedInFixture(t)
+	if err := e.RegisterTable(tbl); err == nil {
+		t.Error("duplicate table registration must error")
+	}
+	if err := e.RegisterTable(nil); err == nil {
+		t.Error("nil table must error")
+	}
+	if _, err := NewRelTable("", nil, nil); err == nil {
+		t.Error("table without columns must error")
+	}
+	if _, err := NewRelTable("T", []string{"a", "a"}, nil); err == nil {
+		t.Error("duplicate column must error")
+	}
+	if _, err := NewRelTable("T", []string{"a"}, [][]value.Value{{value.NewInt(1), value.NewInt(2)}}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+	// Graph hops cannot start from a relational alias.
+	if err := e.Install(`
+CREATE QUERY BadHop() {
+  S = SELECT p FROM Employee:emp -(Connected)- Person:p;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run("BadHop", nil); err == nil || !strings.Contains(err.Error(), "relational table") {
+		t.Errorf("hop from table: %v", err)
+	}
+	// Unknown column diagnoses.
+	if err := e.Install(`
+CREATE QUERY BadCol() {
+  SELECT emp.salary INTO T FROM Employee:emp;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run("BadCol", nil); err == nil || !strings.Contains(err.Error(), "no column") {
+		t.Errorf("unknown column: %v", err)
+	}
+	// Duplicate table alias across conjuncts.
+	if err := e.Install(`
+CREATE QUERY DupAlias() {
+  SELECT emp.name INTO T FROM Employee:emp, Employee:emp2, Employee:emp;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run("DupAlias", nil); err == nil || !strings.Contains(err.Error(), "table alias") {
+		t.Errorf("duplicate table alias: %v", err)
+	}
+}
+
+func TestLoadTableCSV(t *testing.T) {
+	tbl, err := LoadTableCSV("People", strings.NewReader(
+		"name,age:int,score:float,active:bool,joined:datetime\nAnn,30,1.5,true,2020-01-02\nBen,40,2.5,false,1234\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || len(tbl.Cols) != 5 {
+		t.Fatalf("table shape: %dx%d", len(tbl.Rows), len(tbl.Cols))
+	}
+	if tbl.Rows[0][1].Int() != 30 || tbl.Rows[0][2].Float() != 1.5 || !tbl.Rows[0][3].Bool() {
+		t.Errorf("typed columns wrong: %v", tbl.Rows[0])
+	}
+	if tbl.Rows[1][4].Kind() != value.KindDatetime || tbl.Rows[1][4].Datetime() != 1234 {
+		t.Errorf("datetime column wrong: %v", tbl.Rows[1][4])
+	}
+	for _, bad := range []string{
+		"a:int\nnotanint\n",
+		"a:float\nx\n",
+		"a:bool\nx\n",
+		"a:datetime\njunk here\n",
+		"a:alien\n1\n",
+	} {
+		if _, err := LoadTableCSV("T", strings.NewReader(bad)); err == nil {
+			t.Errorf("LoadTableCSV(%q) must error", bad)
+		}
+	}
+}
+
+// TestRelTableCartesianMultiplicity checks that relational conjuncts
+// participate in the bag semantics of grouped outputs.
+func TestRelTableCartesianMultiplicity(t *testing.T) {
+	g := graph.BuildDiamondChain(2)
+	e := New(g, Options{})
+	tbl, err := NewRelTable("Factors", []string{"f"}, [][]value.Value{
+		{value.NewInt(10)}, {value.NewInt(20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	// Each of the 8 edge bindings pairs with both factor rows.
+	res, err := e.InstallAndRun(`
+CREATE QUERY Cross() {
+  SELECT count(*) AS n, sum(r.f) AS s INTO T
+  FROM V:a -(E>)- V:b, Factors:r;
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Tables["T"].Rows[0]
+	if row[0].Int() != 16 {
+		t.Errorf("cartesian count = %v, want 16", row[0])
+	}
+	if row[1].Float() != 8*(10+20) {
+		t.Errorf("sum over cartesian = %v, want 240", row[1])
+	}
+}

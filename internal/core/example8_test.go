@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/value"
+)
+
+// TestExample8CyclesTerminate addresses Example 8: the pattern
+// Person -(Knows*)- Person matches infinitely many unrestricted paths
+// on a cyclic social graph (Gremlin's default semantics may not
+// terminate), while all-shortest-paths evaluation terminates with
+// finite multiplicities — the well-definedness motivation of Section
+// 6. The KNOWS graph here is full of cycles by construction.
+func TestExample8CyclesTerminate(t *testing.T) {
+	g := ldbc.Generate(ldbc.Config{SF: 0.1, Seed: 4})
+	e := New(g, Options{})
+	res, err := e.InstallAndRun(`
+CREATE QUERY Influence(vertex<Person> p) {
+  SumAccum<int> @paths;
+  SumAccum<int> @@reached;
+  R = SELECT t
+      FROM Person:p -(Knows*)- Person:t
+      ACCUM t.@paths += 1, @@reached += 1;
+  RETURN @@reached;
+}`, map[string]value.Value{"p": seedVertex(t, g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reached := res.Returned.Rows[0][0].Int()
+	if reached <= 1 {
+		t.Errorf("reached %d persons; the KNOWS graph should be well connected", reached)
+	}
+	// The non-repeating enumerators terminate too (finite by
+	// definition), but already cost noticeably more on this toy size —
+	// checked with a generous budget so the test stays fast.
+	eNre := New(g, Options{Semantics: match.NonRepeatedEdge, EnumLimits: match.EnumLimits{MaxSteps: 100_000}})
+	if err := eNre.Install(`
+CREATE QUERY InfluenceNre(vertex<Person> p) {
+  SumAccum<int> @@reached;
+  R = SELECT t FROM Person:p -(Knows*1..2)- Person:t ACCUM @@reached += 1;
+  RETURN @@reached;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eNre.Run("InfluenceNre", map[string]value.Value{"p": seedVertex(t, g)}); err != nil {
+		t.Fatalf("bounded NRE on cyclic graph: %v", err)
+	}
+}
+
+func seedVertex(t *testing.T, g *graph.Graph) value.Value {
+	t.Helper()
+	v, ok := g.VertexByKey("Person", "person0")
+	if !ok {
+		t.Fatal("person0 missing")
+	}
+	return value.NewVertex(int64(v))
+}
+
+// TestLargeScaleSmoke runs the full IC sweep on a bigger graph —
+// skipped under -short — as an end-to-end stability check.
+func TestLargeScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale smoke test skipped in -short mode")
+	}
+	g := ldbc.Generate(ldbc.Config{SF: 1, Seed: 7})
+	p, _ := g.VertexByKey("Person", "person0")
+	pv := value.NewVertex(int64(p))
+	k := value.NewInt(20)
+	e := New(g, Options{})
+	for _, h := range []int{2, 3, 4} {
+		for short, src := range ldbc.ICQueries(h) {
+			if err := e.Install(src); err != nil {
+				t.Fatalf("%s h=%d install: %v", short, h, err)
+			}
+			var args map[string]value.Value
+			switch short {
+			case "ic3":
+				args = map[string]value.Value{"p": pv, "countryX": value.NewString("Country-1"), "countryY": value.NewString("Country-2"), "k": k}
+			case "ic5":
+				args = map[string]value.Value{"p": pv, "minDate": graph.MustDatetime("2010-06-01"), "k": k}
+			case "ic6":
+				args = map[string]value.Value{"p": pv, "tagName": value.NewString("Tag-3"), "k": k}
+			case "ic9":
+				args = map[string]value.Value{"p": pv, "maxDate": graph.MustDatetime("2012-06-01"), "k": k}
+			case "ic11":
+				args = map[string]value.Value{"p": pv, "countryName": value.NewString("Country-0"), "maxYear": value.NewInt(2010), "k": k}
+			}
+			if _, err := e.Run(ldbc.ICName(short, h), args); err != nil {
+				t.Fatalf("%s h=%d: %v", short, h, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/match"
+)
+
+// Explain renders a human-readable evaluation plan for an installed
+// query: per SELECT block, the seed resolution, each hop's strategy
+// (adjacency expansion for single-edge patterns vs path counting /
+// enumeration for repetition patterns, with the compiled DFA size),
+// the clauses present, and the effective path semantics.
+func (e *Engine) Explain(name string) (string, error) {
+	e.mu.Lock()
+	q, ok := e.queries[name]
+	e.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("core: query %q is not installed", name)
+	}
+	var sb strings.Builder
+	sem := e.opts.Semantics
+	switch q.Semantics {
+	case "asp", "shortest":
+		sem = match.AllShortestPaths
+	case "nre", "non_repeated_edge":
+		sem = match.NonRepeatedEdge
+	case "nrv", "non_repeated_vertex":
+		sem = match.NonRepeatedVertex
+	case "exists":
+		sem = match.ShortestExists
+	}
+	fmt.Fprintf(&sb, "QUERY %s", q.Name)
+	if len(q.Params) > 0 {
+		parts := make([]string, len(q.Params))
+		for i, p := range q.Params {
+			parts[i] = p.Name
+		}
+		fmt.Fprintf(&sb, "(%s)", strings.Join(parts, ", "))
+	}
+	fmt.Fprintf(&sb, "  [path semantics: %v", sem)
+	if q.Semantics != "" {
+		sb.WriteString(", per-query override")
+	}
+	sb.WriteString("]\n")
+	for _, d := range q.Decls {
+		scope := "vertex"
+		if d.Global {
+			scope = "global"
+		}
+		fmt.Fprintf(&sb, "  DECL %s %s (%s", declName(d), d.Spec, scope)
+		if !d.Spec.OrderInvariant() {
+			sb.WriteString(", ORDER-SENSITIVE")
+		}
+		sb.WriteString(")\n")
+	}
+	e.explainStmts(&sb, q.Stmts, sem, "  ")
+	return sb.String(), nil
+}
+
+func (e *Engine) explainStmts(sb *strings.Builder, stmts []gsql.Stmt, sem match.Semantics, indent string) {
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *gsql.AssignStmt:
+			switch rhs := n.Rhs.(type) {
+			case *gsql.SelectExpr:
+				fmt.Fprintf(sb, "%s%s = SELECT\n", indent, n.Name)
+				e.explainSelect(sb, rhs, sem, indent+"  ")
+			case *gsql.VSetLit:
+				fmt.Fprintf(sb, "%s%s = vertex set {%s}\n", indent, n.Name, strings.Join(rhs.Types, ", "))
+			case *gsql.SetOpExpr:
+				fmt.Fprintf(sb, "%s%s = vertex-set algebra (%s)\n", indent, n.Name, rhs.Op)
+			default:
+				fmt.Fprintf(sb, "%s%s = <scalar expression>\n", indent, n.Name)
+			}
+		case *gsql.SelectStmt:
+			fmt.Fprintf(sb, "%sSELECT\n", indent)
+			e.explainSelect(sb, n.Sel, sem, indent+"  ")
+		case *gsql.AccAssignStmt:
+			fmt.Fprintf(sb, "%sglobal accumulator update (%s)\n", indent, n.Op)
+		case *gsql.WhileStmt:
+			limit := ""
+			if n.Limit != nil {
+				limit = " with iteration cap"
+			}
+			fmt.Fprintf(sb, "%sWHILE loop%s\n", indent, limit)
+			e.explainStmts(sb, n.Body, sem, indent+"  ")
+		case *gsql.IfStmt:
+			fmt.Fprintf(sb, "%sIF/THEN", indent)
+			if len(n.Else) > 0 {
+				sb.WriteString("/ELSE")
+			}
+			sb.WriteString("\n")
+			e.explainStmts(sb, n.Then, sem, indent+"  ")
+			e.explainStmts(sb, n.Else, sem, indent+"  ")
+		case *gsql.ForeachStmt:
+			fmt.Fprintf(sb, "%sFOREACH %s\n", indent, n.Var)
+			e.explainStmts(sb, n.Body, sem, indent+"  ")
+		case *gsql.PrintStmt:
+			fmt.Fprintf(sb, "%sPRINT (%d item(s))\n", indent, len(n.Items))
+		case *gsql.ReturnStmt:
+			fmt.Fprintf(sb, "%sRETURN\n", indent)
+		}
+	}
+}
+
+func (e *Engine) explainSelect(sb *strings.Builder, sel *gsql.SelectExpr, sem match.Semantics, indent string) {
+	for pi := range sel.From {
+		pat := &sel.From[pi]
+		fmt.Fprintf(sb, "%sseed %s as %q\n", indent, pat.Src.Name, pat.Src.Alias)
+		for hi := range pat.Hops {
+			hop := &pat.Hops[hi]
+			if _, single := hop.Darpe.(*darpe.Symbol); single {
+				fmt.Fprintf(sb, "%shop -(%s)- %s:%s  [adjacency expansion", indent, hop.DarpeText, hop.Target.Name, hop.Target.Alias)
+				if hop.EdgeAlias != "" {
+					fmt.Fprintf(sb, ", edge var %q", hop.EdgeAlias)
+				}
+				sb.WriteString("]\n")
+				continue
+			}
+			strategy := ""
+			switch sem {
+			case match.AllShortestPaths:
+				strategy = "polynomial path counting (Theorem 6.1), no materialization"
+			case match.NonRepeatedEdge, match.NonRepeatedVertex:
+				strategy = "explicit path enumeration (worst-case exponential)"
+			case match.ShortestExists:
+				strategy = "reachability only (multiplicity 1)"
+			default:
+				strategy = sem.String()
+			}
+			states := "?"
+			if d, err := e.dfa(hop.DarpeText, hop.Darpe); err == nil {
+				states = fmt.Sprintf("%d", d.NumStates())
+			}
+			fmt.Fprintf(sb, "%shop -(%s)- %s:%s  [%s; DFA %s states]\n",
+				indent, hop.DarpeText, hop.Target.Name, hop.Target.Alias, strategy, states)
+		}
+	}
+	if sel.Where != nil {
+		fmt.Fprintf(sb, "%sWHERE filter\n", indent)
+	}
+	if len(sel.Accum) > 0 {
+		fmt.Fprintf(sb, "%sACCUM %d statement(s)  [snapshot map/reduce, parallel, multiplicity shortcut %s]\n",
+			indent, len(sel.Accum), onOff(!e.opts.NoMultiplicityShortcut))
+	}
+	if len(sel.PostAccum) > 0 {
+		fmt.Fprintf(sb, "%sPOST-ACCUM %d statement(s)  [once per distinct vertex]\n", indent, len(sel.PostAccum))
+	}
+	if len(sel.GroupBy) > 0 {
+		if sel.GroupingSets != nil {
+			fmt.Fprintf(sb, "%sGROUP BY %d key(s) over %d grouping set(s) [outer union]\n",
+				indent, len(sel.GroupBy), len(sel.GroupingSets))
+		} else {
+			fmt.Fprintf(sb, "%sGROUP BY %d key(s)\n", indent, len(sel.GroupBy))
+		}
+	}
+	for _, out := range sel.Outputs {
+		if out.Into != "" {
+			fmt.Fprintf(sb, "%soutput INTO %s (%d column(s))\n", indent, out.Into, len(out.Items))
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		fmt.Fprintf(sb, "%sORDER BY %d key(s)\n", indent, len(sel.OrderBy))
+	}
+	if sel.Limit != nil {
+		fmt.Fprintf(sb, "%sLIMIT\n", indent)
+	}
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

@@ -1,0 +1,514 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/value"
+)
+
+// bindingTable is the compressed binding table of Section 4.1 /
+// Appendix A: one row per distinct variable binding, with the number
+// of witnessing path choices carried as a multiplicity instead of
+// materialized duplicate rows.
+type bindingTable struct {
+	vertAliases []string
+	vertIdx     map[string]int
+	edgeAliases []string
+	edgeIdx     map[string]int
+	// relational-table conjunct columns (Example 1): each binds a row
+	// value (column → value map).
+	relAliases []string
+	relIdx     map[string]int
+	rows       []bindingRow
+}
+
+type bindingRow struct {
+	verts []graph.VID
+	edges []graph.EID
+	rels  []value.Value
+	mult  uint64
+}
+
+func newBindingTable() *bindingTable {
+	return &bindingTable{vertIdx: map[string]int{}, edgeIdx: map[string]int{}, relIdx: map[string]int{}}
+}
+
+func (bt *bindingTable) addVertAlias(name string) int {
+	if i, ok := bt.vertIdx[name]; ok {
+		return i
+	}
+	bt.vertIdx[name] = len(bt.vertAliases)
+	bt.vertAliases = append(bt.vertAliases, name)
+	return len(bt.vertAliases) - 1
+}
+
+func (bt *bindingTable) addEdgeAlias(name string) int {
+	if i, ok := bt.edgeIdx[name]; ok {
+		return i
+	}
+	bt.edgeIdx[name] = len(bt.edgeAliases)
+	bt.edgeAliases = append(bt.edgeAliases, name)
+	return len(bt.edgeAliases) - 1
+}
+
+func (bt *bindingTable) addRelAlias(name string) int {
+	if i, ok := bt.relIdx[name]; ok {
+		return i
+	}
+	bt.relIdx[name] = len(bt.relAliases)
+	bt.relAliases = append(bt.relAliases, name)
+	return len(bt.relAliases) - 1
+}
+
+// rowKey encodes a row's bindings for deduplication.
+func (bt *bindingTable) rowKey(r bindingRow) string {
+	var sb strings.Builder
+	for _, v := range r.verts {
+		sb.WriteString(strconv.Itoa(int(v)))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, e := range r.edges {
+		sb.WriteString(strconv.Itoa(int(e)))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, rel := range r.rels {
+		sb.WriteString(rel.Key())
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// compress merges rows with identical bindings, summing multiplicities
+// (saturating).
+func (bt *bindingTable) compress() {
+	if len(bt.rows) < 2 {
+		return
+	}
+	seen := make(map[string]int, len(bt.rows))
+	out := bt.rows[:0]
+	for _, r := range bt.rows {
+		k := bt.rowKey(r)
+		if i, ok := seen[k]; ok {
+			out[i].mult = satAdd(out[i].mult, r.mult)
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, r)
+	}
+	bt.rows = out
+}
+
+func satAdd(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		return math.MaxUint64
+	}
+	return s
+}
+
+func satMul(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/a != b {
+		return math.MaxUint64
+	}
+	return p
+}
+
+// rowEnv builds the expression environment for one binding row.
+func (bt *bindingTable) rowEnv(r bindingRow) *env {
+	en := &env{vars: make(map[string]value.Value, len(bt.vertAliases)+len(bt.edgeAliases)+len(bt.relAliases))}
+	bt.bindRow(en, r)
+	return en
+}
+
+// bindRow (re)binds a row's aliases into an existing environment,
+// letting hot loops (WHERE filtering, ACCUM shards) reuse one
+// environment instead of allocating a map per row. ACCUM-clause locals
+// live in env.locals and are reset between rows by the caller.
+func (bt *bindingTable) bindRow(en *env, r bindingRow) {
+	for i, a := range bt.vertAliases {
+		en.vars[a] = value.NewVertex(int64(r.verts[i]))
+	}
+	for i, a := range bt.edgeAliases {
+		en.vars[a] = value.NewEdge(int64(r.edges[i]))
+	}
+	for i, a := range bt.relAliases {
+		en.vars[a] = r.rels[i]
+	}
+}
+
+// buildBindings evaluates the FROM clause into a binding table,
+// joining comma-separated path conjuncts on shared vertex aliases.
+func (rs *runState) buildBindings(from []gsql.PathPattern) (*bindingTable, error) {
+	var result *bindingTable
+	for i := range from {
+		bt, err := rs.evalPath(&from[i])
+		if err != nil {
+			return nil, err
+		}
+		if result == nil {
+			result = bt
+			continue
+		}
+		joined, err := joinTables(result, bt)
+		if err != nil {
+			return nil, err
+		}
+		result = joined
+	}
+	return result, nil
+}
+
+// targetFilter decides which vertices a hop target accepts.
+type targetFilter func(graph.VID) bool
+
+func (rs *runState) makeTargetFilter(ref gsql.StepRef) (targetFilter, error) {
+	// Alias naming a vertex parameter pins the binding (Fig. 3's
+	// "Customer:c" with parameter c).
+	if pv, ok := rs.params[ref.Alias]; ok && pv.Kind() == value.KindVertex {
+		want := graph.VID(pv.VertexID())
+		base, err := rs.makeNameFilter(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		return func(v graph.VID) bool { return v == want && base(v) }, nil
+	}
+	return rs.makeNameFilter(ref.Name)
+}
+
+func (rs *runState) makeNameFilter(name string) (targetFilter, error) {
+	g := rs.e.g
+	if vt := g.Schema.VertexType(name); vt != nil {
+		want := vt.ID
+		return func(v graph.VID) bool { return g.VertexTypeOf(v).ID == want }, nil
+	}
+	if ids, ok := rs.vsets[name]; ok {
+		set := make(map[graph.VID]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		return func(v graph.VID) bool { return set[v] }, nil
+	}
+	if pv, ok := rs.params[name]; ok && pv.Kind() == value.KindVertex {
+		want := graph.VID(pv.VertexID())
+		return func(v graph.VID) bool { return v == want }, nil
+	}
+	return nil, fmt.Errorf("FROM: %q is not a vertex type, vertex set or vertex parameter", name)
+}
+
+// seedIDs resolves a pattern source endpoint.
+func (rs *runState) seedIDs(ref gsql.StepRef) ([]graph.VID, error) {
+	if pv, ok := rs.params[ref.Alias]; ok && pv.Kind() == value.KindVertex {
+		vid := graph.VID(pv.VertexID())
+		base, err := rs.makeNameFilter(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !base(vid) {
+			return nil, nil // parameter vertex not in the seed set
+		}
+		return []graph.VID{vid}, nil
+	}
+	if ids, ok := rs.vsetOrType(ref.Name); ok {
+		return ids, nil
+	}
+	if pv, ok := rs.params[ref.Name]; ok && pv.Kind() == value.KindVertex {
+		return []graph.VID{graph.VID(pv.VertexID())}, nil
+	}
+	return nil, fmt.Errorf("FROM: %q is not a vertex type, vertex set or vertex parameter", ref.Name)
+}
+
+func (rs *runState) evalPath(pat *gsql.PathPattern) (*bindingTable, error) {
+	bt := newBindingTable()
+	// Relational-table conjunct (Example 1): binds one row per table
+	// row; graph hops cannot start from a relational alias.
+	if _, isVSet := rs.vsetOrType(pat.Src.Name); !isVSet {
+		if _, isParam := rs.params[pat.Src.Name]; !isParam {
+			if tbl, ok := rs.e.relTable(pat.Src.Name); ok {
+				if len(pat.Hops) > 0 {
+					return nil, fmt.Errorf("FROM: relational table %q cannot be the source of a graph hop", pat.Src.Name)
+				}
+				bt.addRelAlias(pat.Src.Alias)
+				bt.rows = make([]bindingRow, len(tbl.Rows))
+				for i := range tbl.Rows {
+					bt.rows[i] = bindingRow{rels: []value.Value{tbl.rowValue(i)}, mult: 1}
+				}
+				return bt, nil
+			}
+		}
+	}
+	seeds, err := rs.seedIDs(pat.Src)
+	if err != nil {
+		return nil, err
+	}
+	curCol := bt.addVertAlias(pat.Src.Alias)
+	bt.rows = make([]bindingRow, 0, len(seeds))
+	for _, s := range seeds {
+		bt.rows = append(bt.rows, bindingRow{verts: []graph.VID{s}, mult: 1})
+	}
+	for hi := range pat.Hops {
+		hop := &pat.Hops[hi]
+		filter, err := rs.makeTargetFilter(hop.Target)
+		if err != nil {
+			return nil, err
+		}
+		// A repeated alias closes a cycle: filter for equality instead
+		// of binding a new column.
+		boundCol, rebind := bt.vertIdx[hop.Target.Alias]
+		var newCol int
+		if !rebind {
+			newCol = bt.addVertAlias(hop.Target.Alias)
+		}
+		sym, isSingle := hop.Darpe.(*darpe.Symbol)
+		var next []bindingRow
+		if isSingle {
+			next, err = rs.expandSingleHop(bt, hop, sym, curCol, boundCol, rebind, filter)
+		} else {
+			next, err = rs.expandCountedHop(bt, hop, curCol, boundCol, rebind, filter)
+		}
+		if err != nil {
+			return nil, err
+		}
+		bt.rows = next
+		if rebind {
+			curCol = boundCol
+		} else {
+			curCol = newCol
+		}
+		if !isSingle {
+			bt.compress()
+		}
+	}
+	return bt, nil
+}
+
+// expandSingleHop binds one edge traversal by adjacency expansion.
+func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.Symbol, curCol, boundCol int, rebind bool, filter targetFilter) ([]bindingRow, error) {
+	g := rs.e.g
+	var edgeCol = -1
+	if hop.EdgeAlias != "" {
+		edgeCol = bt.addEdgeAlias(hop.EdgeAlias)
+	}
+	var typeID = -1
+	if sym.EdgeType != "" {
+		et := g.Schema.EdgeType(sym.EdgeType)
+		if et == nil {
+			return nil, fmt.Errorf("FROM: unknown edge type %q", sym.EdgeType)
+		}
+		typeID = et.ID
+	}
+	var next []bindingRow
+	for _, row := range bt.rows {
+		v := row.verts[curCol]
+		for _, h := range g.Neighbors(v) {
+			if typeID >= 0 && int(h.Type) != typeID {
+				continue
+			}
+			if !adornMatches(sym.Dir, h.Dir) {
+				continue
+			}
+			if !filter(h.To) {
+				continue
+			}
+			if rebind && row.verts[boundCol] != h.To {
+				continue
+			}
+			nr := bindingRow{mult: row.mult}
+			if rebind {
+				nr.verts = row.verts
+			} else {
+				nr.verts = append(append(make([]graph.VID, 0, len(row.verts)+1), row.verts...), h.To)
+			}
+			if edgeCol >= 0 {
+				nr.edges = append(append(make([]graph.EID, 0, len(row.edges)+1), row.edges...), h.Edge)
+			} else {
+				nr.edges = row.edges
+			}
+			next = append(next, nr)
+		}
+	}
+	return next, nil
+}
+
+func adornMatches(a darpe.Adorn, d graph.Dir) bool {
+	switch a {
+	case darpe.AdornAny:
+		return true
+	case darpe.AdornFwd:
+		return d == graph.DirOut
+	case darpe.AdornRev:
+		return d == graph.DirIn
+	default:
+		return d == graph.DirUndir
+	}
+}
+
+// expandCountedHop evaluates a multi-edge DARPE hop. Under
+// all-shortest-paths semantics it never materializes paths: it
+// multiplies binding multiplicities by the SDMC counts of Theorem 6.1.
+// Under the enumeration semantics it counts legal paths explicitly
+// (exponential — the baselines of Section 7.1).
+func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, boundCol int, rebind bool, filter targetFilter) ([]bindingRow, error) {
+	g := rs.e.g
+	d, err := rs.e.dfa(hop.DarpeText, hop.Darpe)
+	if err != nil {
+		return nil, err
+	}
+	// One count run per distinct source vertex, cached.
+	type reach struct {
+		targets []graph.VID
+		mults   []uint64
+	}
+	cache := map[graph.VID]*reach{}
+	countFrom := func(src graph.VID) (*reach, error) {
+		if r, ok := cache[src]; ok {
+			return r, nil
+		}
+		var c *match.Counts
+		switch rs.semantics {
+		case match.AllShortestPaths:
+			c = match.CountASP(g, d, src)
+		case match.ShortestExists:
+			c = match.CountExists(g, d, src)
+		case match.NonRepeatedEdge, match.NonRepeatedVertex:
+			var err error
+			c, err = match.CountEnum(g, d, src, rs.semantics, rs.e.opts.EnumLimits)
+			if err != nil {
+				return nil, fmt.Errorf("pattern -(%s)- under %v: %w", hop.DarpeText, rs.e.opts.Semantics, err)
+			}
+		case match.UnrestrictedBounded:
+			fl, fixed := darpe.FixedLength(hop.Darpe)
+			if !fixed {
+				return nil, fmt.Errorf("unrestricted semantics requires a fixed-unique-length pattern, -(%s)- is not", hop.DarpeText)
+			}
+			var err error
+			c, err = match.CountEnum(g, d, src, match.UnrestrictedBounded, match.EnumLimits{
+				MaxSteps: rs.e.opts.EnumLimits.MaxSteps, MaxLen: fl,
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unsupported semantics %v", rs.semantics)
+		}
+		r := &reach{}
+		for t := 0; t < g.NumVertices(); t++ {
+			if c.Dist[t] >= 0 && c.Mult[t] > 0 && filter(graph.VID(t)) {
+				r.targets = append(r.targets, graph.VID(t))
+				r.mults = append(r.mults, c.Mult[t])
+			}
+		}
+		cache[src] = r
+		return r, nil
+	}
+	var next []bindingRow
+	for _, row := range bt.rows {
+		r, err := countFrom(row.verts[curCol])
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range r.targets {
+			if rebind {
+				if row.verts[boundCol] != t {
+					continue
+				}
+				next = append(next, bindingRow{verts: row.verts, edges: row.edges, mult: satMul(row.mult, r.mults[i])})
+				continue
+			}
+			nr := bindingRow{
+				verts: append(append(make([]graph.VID, 0, len(row.verts)+1), row.verts...), t),
+				edges: row.edges,
+				mult:  satMul(row.mult, r.mults[i]),
+			}
+			next = append(next, nr)
+		}
+	}
+	return next, nil
+}
+
+// joinTables hash-joins two binding tables on their shared vertex
+// aliases (natural join); multiplicities multiply.
+func joinTables(a, b *bindingTable) (*bindingTable, error) {
+	for _, ea := range b.edgeAliases {
+		if _, dup := a.edgeIdx[ea]; dup {
+			return nil, fmt.Errorf("FROM: edge alias %q bound in two conjuncts", ea)
+		}
+	}
+	for _, ra := range b.relAliases {
+		if _, dup := a.relIdx[ra]; dup {
+			return nil, fmt.Errorf("FROM: table alias %q bound in two conjuncts", ra)
+		}
+	}
+	var sharedA, sharedB []int
+	var newB []int // columns of b not in a
+	for bi, alias := range b.vertAliases {
+		if ai, ok := a.vertIdx[alias]; ok {
+			sharedA = append(sharedA, ai)
+			sharedB = append(sharedB, bi)
+		} else {
+			newB = append(newB, bi)
+		}
+	}
+	out := newBindingTable()
+	for _, alias := range a.vertAliases {
+		out.addVertAlias(alias)
+	}
+	for _, bi := range newB {
+		out.addVertAlias(b.vertAliases[bi])
+	}
+	for _, alias := range a.edgeAliases {
+		out.addEdgeAlias(alias)
+	}
+	for _, alias := range b.edgeAliases {
+		out.addEdgeAlias(alias)
+	}
+	for _, alias := range a.relAliases {
+		out.addRelAlias(alias)
+	}
+	for _, alias := range b.relAliases {
+		out.addRelAlias(alias)
+	}
+	// Hash b on the shared key.
+	key := func(verts []graph.VID, cols []int) string {
+		var sb strings.Builder
+		for _, c := range cols {
+			sb.WriteString(strconv.Itoa(int(verts[c])))
+			sb.WriteByte(',')
+		}
+		return sb.String()
+	}
+	index := make(map[string][]int, len(b.rows))
+	for i, rb := range b.rows {
+		k := key(rb.verts, sharedB)
+		index[k] = append(index[k], i)
+	}
+	for _, ra := range a.rows {
+		k := key(ra.verts, sharedA)
+		for _, bi := range index[k] {
+			rb := b.rows[bi]
+			nr := bindingRow{
+				verts: append(make([]graph.VID, 0, len(out.vertAliases)), ra.verts...),
+				edges: append(append(make([]graph.EID, 0, len(out.edgeAliases)), ra.edges...), rb.edges...),
+				rels:  append(append(make([]value.Value, 0, len(out.relAliases)), ra.rels...), rb.rels...),
+				mult:  satMul(ra.mult, rb.mult),
+			}
+			for _, c := range newB {
+				nr.verts = append(nr.verts, rb.verts[c])
+			}
+			out.rows = append(out.rows, nr)
+		}
+	}
+	return out, nil
+}

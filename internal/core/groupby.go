@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/value"
+)
+
+// This file implements the conventional SQL-style aggregation path
+// (Section 8's point of comparison): SELECT with GROUP BY and the
+// aggregate functions count/sum/avg/min/max, evaluated over the
+// binding table under bag semantics — multiplicities of the compressed
+// binding table feed the aggregates exactly as μ duplicate rows would.
+
+// outputsHaveAggregates reports whether any output item, HAVING or
+// ORDER BY expression contains an aggregate call.
+func (rs *runState) outputsHaveAggregates(sel *gsql.SelectExpr) bool {
+	found := false
+	var walk func(e gsql.Expr)
+	walk = func(e gsql.Expr) {
+		switch n := e.(type) {
+		case *gsql.Call:
+			if isAggregateCall(n) {
+				found = true
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *gsql.Binary:
+			walk(n.L)
+			walk(n.R)
+		case *gsql.Unary:
+			walk(n.X)
+		case *gsql.AttrRef:
+			walk(n.Obj)
+		case *gsql.VertexAccRef:
+			walk(n.Vertex)
+		case *gsql.CaseExpr:
+			for _, arm := range n.Whens {
+				walk(arm.Cond)
+				walk(arm.Then)
+			}
+			if n.Else != nil {
+				walk(n.Else)
+			}
+		}
+	}
+	for _, out := range sel.Outputs {
+		for _, item := range out.Items {
+			walk(item.Expr)
+		}
+	}
+	if sel.Having != nil {
+		walk(sel.Having)
+	}
+	for _, ok := range sel.OrderBy {
+		walk(ok.Expr)
+	}
+	return found
+}
+
+// collectAggCalls gathers every aggregate Call node reachable from the
+// given expressions.
+func collectAggCalls(exprs []gsql.Expr) []*gsql.Call {
+	var out []*gsql.Call
+	var walk func(e gsql.Expr)
+	walk = func(e gsql.Expr) {
+		switch n := e.(type) {
+		case *gsql.Call:
+			if isAggregateCall(n) {
+				out = append(out, n)
+				return
+			}
+			for _, a := range n.Args {
+				walk(a)
+			}
+		case *gsql.Binary:
+			walk(n.L)
+			walk(n.R)
+		case *gsql.Unary:
+			walk(n.X)
+		case *gsql.AttrRef:
+			walk(n.Obj)
+		case *gsql.VertexAccRef:
+			walk(n.Vertex)
+		case *gsql.CaseExpr:
+			for _, arm := range n.Whens {
+				walk(arm.Cond)
+				walk(arm.Then)
+			}
+			if n.Else != nil {
+				walk(n.Else)
+			}
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return out
+}
+
+// aggState aggregates one Call for one group, reusing the accumulator
+// library as the fold implementation.
+type aggState struct {
+	call *gsql.Call
+	acc  accum.Accumulator
+}
+
+func newAggState(call *gsql.Call) (*aggState, error) {
+	var spec *accum.Spec
+	switch lower(call.Name) {
+	case "count":
+		spec = accum.SumSpec(value.KindInt)
+	case "sum":
+		spec = accum.SumSpec(value.KindFloat)
+	case "avg":
+		spec = accum.AvgSpec(value.KindFloat)
+	case "min":
+		spec = accum.MinSpec(value.KindFloat)
+	case "max":
+		spec = accum.MaxSpec(value.KindFloat)
+	default:
+		return nil, fmt.Errorf("unknown aggregate %q", call.Name)
+	}
+	a, err := accum.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &aggState{call: call, acc: a}, nil
+}
+
+// feed aggregates one binding row (with its bag multiplicity).
+func (as *aggState) feed(rs *runState, en *env, mult uint64) error {
+	arg := as.call.Args[0]
+	if id, ok := arg.(*gsql.Ident); ok && id.Name == "*" {
+		if lower(as.call.Name) != "count" {
+			return fmt.Errorf("%s(*) is not valid; only count(*)", as.call.Name)
+		}
+		return as.acc.Input(value.NewInt(1), mult)
+	}
+	v, err := rs.eval(arg, en)
+	if err != nil {
+		return err
+	}
+	if lower(as.call.Name) == "count" {
+		if v.IsNull() {
+			return nil
+		}
+		return as.acc.Input(value.NewInt(1), mult)
+	}
+	if v.IsNull() {
+		return nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return fmt.Errorf("%s(...) requires numeric input, got %s", as.call.Name, v.Kind())
+	}
+	return as.acc.Input(value.NewFloat(f), mult)
+}
+
+// group is one grouping key's aggregation state.
+type sqlGroup struct {
+	keyVals []value.Value
+	env     *env // representative row's environment
+	aggs    []*aggState
+}
+
+// emitGrouped evaluates the SQL-style grouped output for one fragment.
+// With GroupingSets set (GROUPING SETS / CUBE / ROLLUP, Example 12),
+// each grouping set aggregates independently and the result is the
+// outer union: grouping keys excluded from a set read as null — the
+// very materialized union table whose post-processing cost Section 8
+// contrasts with dedicated accumulators.
+func (rs *runState) emitGrouped(sel *gsql.SelectExpr, out *gsql.SelectOutput, bt *bindingTable) (*Table, error) {
+	// Aggregates needed across items, HAVING and ORDER BY.
+	var exprs []gsql.Expr
+	for _, item := range out.Items {
+		exprs = append(exprs, item.Expr)
+	}
+	if sel.Having != nil {
+		exprs = append(exprs, sel.Having)
+	}
+	for _, ok := range sel.OrderBy {
+		exprs = append(exprs, ok.Expr)
+	}
+	aggCalls := collectAggCalls(exprs)
+
+	groupingSets := sel.GroupingSets
+	if groupingSets == nil {
+		all := make([]int, len(sel.GroupBy))
+		for i := range all {
+			all[i] = i
+		}
+		groupingSets = [][]int{all}
+	}
+	inSet := make([][]bool, len(groupingSets))
+	for si, set := range groupingSets {
+		inSet[si] = make([]bool, len(sel.GroupBy))
+		for _, ki := range set {
+			inSet[si][ki] = true
+		}
+	}
+
+	groups := map[string]*sqlGroup{}
+	var order []string
+	for _, row := range bt.rows {
+		en := bt.rowEnv(row)
+		rowKeys := make([]value.Value, len(sel.GroupBy))
+		for i, ke := range sel.GroupBy {
+			kv, err := rs.eval(ke, en)
+			if err != nil {
+				return nil, fmt.Errorf("GROUP BY: %w", err)
+			}
+			rowKeys[i] = kv
+		}
+		for si := range groupingSets {
+			keyVals := make([]value.Value, len(sel.GroupBy))
+			for i := range keyVals {
+				if inSet[si][i] {
+					keyVals[i] = rowKeys[i]
+				} else {
+					keyVals[i] = value.Null
+				}
+			}
+			k := fmt.Sprintf("%d|%s", si, value.NewTuple(keyVals).Key())
+			g, ok := groups[k]
+			if !ok {
+				g = &sqlGroup{keyVals: keyVals, env: en}
+				for _, c := range aggCalls {
+					as, err := newAggState(c)
+					if err != nil {
+						return nil, err
+					}
+					g.aggs = append(g.aggs, as)
+				}
+				groups[k] = g
+				order = append(order, k)
+			}
+			for _, as := range g.aggs {
+				if err := as.feed(rs, en, row.mult); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	t := &Table{}
+	for _, item := range out.Items {
+		t.Cols = append(t.Cols, itemLabel(item))
+	}
+	type orderedRow struct {
+		vals []value.Value
+		keys []value.Value
+	}
+	var rows []orderedRow
+	for _, k := range order {
+		g := groups[k]
+		// Substitute computed aggregates and the group's key values
+		// (null for grouping-set-excluded keys) into the environment.
+		g.env.aggValues = map[*gsql.Call]value.Value{}
+		for _, as := range g.aggs {
+			g.env.aggValues[as.call] = as.acc.Value()
+		}
+		g.env.groupKeys = sel.GroupBy
+		g.env.groupVals = g.keyVals
+		if sel.Having != nil {
+			hv, err := rs.eval(sel.Having, g.env)
+			if err != nil {
+				return nil, fmt.Errorf("HAVING: %w", err)
+			}
+			if !hv.Truthy() {
+				continue
+			}
+		}
+		vals := make([]value.Value, len(out.Items))
+		for i, item := range out.Items {
+			v, err := rs.eval(item.Expr, g.env)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		var keys []value.Value
+		for _, ok := range sel.OrderBy {
+			if idx := itemAliasIndex(out.Items, ok.Expr); idx >= 0 {
+				keys = append(keys, vals[idx])
+				continue
+			}
+			kv, err := rs.eval(ok.Expr, g.env)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, kv)
+		}
+		rows = append(rows, orderedRow{vals: vals, keys: keys})
+	}
+	if len(sel.OrderBy) > 0 {
+		keys := make([][]value.Value, len(rows))
+		for i, r := range rows {
+			keys[i] = r.keys
+		}
+		idx := sortIndexByKeys(keys, sel.OrderBy)
+		sorted := make([]orderedRow, len(rows))
+		for i, j := range idx {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+	if sel.Limit != nil {
+		n, err := rs.evalLimit(sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(rows)) > n {
+			rows = rows[:n]
+		}
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r.vals)
+	}
+	return t, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// RelTable is a relational table registered with the engine so that
+// FROM clauses can join graph patterns against relational data —
+// Example 1 / Figure 1 of the paper (the HR "Employee" table joined
+// with the LinkedIn graph). A FROM conjunct naming a relational table
+// binds its alias to one row per table row; rows evaluate attribute
+// access (alias.column) by column name, and join with graph conjuncts
+// through WHERE predicates.
+type RelTable struct {
+	Name   string
+	Cols   []string
+	Rows   [][]value.Value
+	colIdx map[string]int
+}
+
+// NewRelTable builds a relational table; every row must match the
+// column arity.
+func NewRelTable(name string, cols []string, rows [][]value.Value) (*RelTable, error) {
+	if name == "" || len(cols) == 0 {
+		return nil, fmt.Errorf("core: relational table needs a name and columns")
+	}
+	t := &RelTable{Name: name, Cols: cols, Rows: rows, colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := t.colIdx[c]; dup {
+			return nil, fmt.Errorf("core: table %s: duplicate column %q", name, c)
+		}
+		t.colIdx[c] = i
+	}
+	for i, r := range rows {
+		if len(r) != len(cols) {
+			return nil, fmt.Errorf("core: table %s row %d has %d values, want %d", name, i, len(r), len(cols))
+		}
+	}
+	return t, nil
+}
+
+// rowValue renders one row as a map value (column → value), the
+// binding representation relational aliases carry.
+func (t *RelTable) rowValue(i int) value.Value {
+	pairs := make([]value.Pair, len(t.Cols))
+	for c, name := range t.Cols {
+		pairs[c] = value.Pair{Key: value.NewString(name), Val: t.Rows[i][c]}
+	}
+	return value.NewMap(pairs)
+}
+
+// RegisterTable registers a relational table for use in FROM clauses.
+// Table names share the namespace with vertex types; vertex types win
+// at seed resolution, so pick distinct names.
+func (e *Engine) RegisterTable(t *RelTable) error {
+	if t == nil {
+		return fmt.Errorf("core: nil table")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.relTables == nil {
+		e.relTables = map[string]*RelTable{}
+	}
+	if _, dup := e.relTables[t.Name]; dup {
+		return fmt.Errorf("core: table %q already registered", t.Name)
+	}
+	e.relTables[t.Name] = t
+	return nil
+}
+
+// relTable looks up a registered relational table.
+func (e *Engine) relTable(name string) (*RelTable, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.relTables[name]
+	return t, ok
+}
+
+// LoadTableCSV reads a relational table from CSV: the header names the
+// columns, with an optional ":type" suffix per column (int, float,
+// string, bool, datetime; default string) — e.g.
+// "email,name,salary:int,hired:datetime".
+func LoadTableCSV(name string, r io.Reader) (*RelTable, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading table CSV header: %w", err)
+	}
+	cols := make([]string, len(header))
+	kinds := make([]string, len(header))
+	for i, h := range header {
+		col, kind, ok := strings.Cut(strings.TrimSpace(h), ":")
+		if !ok {
+			kind = "string"
+		}
+		cols[i], kinds[i] = col, kind
+	}
+	var rows [][]value.Value
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: table CSV line %d: %w", line, err)
+		}
+		row := make([]value.Value, len(cols))
+		for i := range cols {
+			v, err := parseTableField(kinds[i], rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: table CSV line %d column %q: %w", line, cols[i], err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return NewRelTable(name, cols, rows)
+}
+
+func parseTableField(kind, s string) (value.Value, error) {
+	s = strings.TrimSpace(s)
+	switch kind {
+	case "int":
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case "bool":
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(b), nil
+	case "datetime":
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return value.NewDatetime(i), nil
+		}
+		return graph.ParseDatetime(s)
+	case "string":
+		return value.NewString(s), nil
+	default:
+		return value.Null, fmt.Errorf("unknown column type %q", kind)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// TestSnapshotSemanticsVertexAccum verifies the Section 4.3 guarantee
+// directly: every acc-execution reads the accumulator values as of
+// clause start; inputs staged by other acc-executions are invisible.
+// On the chain a->b->c with @a starting at 10 everywhere and
+// ACCUM t.@a += s.@a, both b and c must end at 20 — under sequential
+// (non-snapshot) evaluation c could see b's updated 20 and end at 30.
+func TestSnapshotSemanticsVertexAccum(t *testing.T) {
+	s := graph.NewSchema()
+	if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(s)
+	a, _ := g.AddVertex("V", "a", map[string]value.Value{"name": value.NewString("a")})
+	b, _ := g.AddVertex("V", "b", map[string]value.Value{"name": value.NewString("b")})
+	c, _ := g.AddVertex("V", "c", map[string]value.Value{"name": value.NewString("c")})
+	if _, err := g.AddEdge("E", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("E", b, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		e := New(g, Options{Workers: workers})
+		res, err := e.InstallAndRun(`
+CREATE QUERY Snapshot`+itoa(workers)+`() {
+  SumAccum<int> @a = 10;
+  S = SELECT t
+      FROM V:s -(E>)- V:t
+      ACCUM t.@a += s.@a;
+  All = {V.*};
+  PRINT All[All.name, All.@a];
+}`, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]int64{}
+		for _, row := range res.Printed[0].Rows {
+			got[row[0].Str()] = row[1].Int()
+		}
+		if got["a"] != 10 || got["b"] != 20 || got["c"] != 20 {
+			t.Errorf("workers=%d: snapshot semantics violated: %v (want a=10 b=20 c=20)", workers, got)
+		}
+	}
+}
+
+// TestSnapshotSemanticsGlobalAccum checks global accumulators too:
+// with @@x starting at 5 and ACCUM @@x += @@x over two binding rows,
+// each execution reads the snapshot 5, so the result is 5+5+5 = 15 —
+// compounding reads would give 20.
+func TestSnapshotSemanticsGlobalAccum(t *testing.T) {
+	g := graph.BuildDiamondChain(1) // v0 has exactly two outgoing edges
+	e := New(g, Options{})
+	res, err := e.InstallAndRun(`
+CREATE QUERY GlobalSnapshot() {
+  SumAccum<int> @@x = 5;
+  S = SELECT t FROM V:s -(E>)- V:t
+      WHERE s.name == "v0"
+      ACCUM @@x += @@x;
+  RETURN @@x;
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Returned.Rows[0][0].Int(); got != 15 {
+		t.Errorf("@@x = %d, want 15 (snapshot semantics)", got)
+	}
+}
+
+// TestPostAccumPrevAcrossIterations pins down the @acc' contract in a
+// WHILE loop: each iteration's POST-ACCUM sees the value the
+// accumulator had at that clause's start (the previous iteration's
+// result), exactly Figure 4's convergence test.
+func TestPostAccumPrevAcrossIterations(t *testing.T) {
+	g := graph.BuildDiamondChain(1)
+	e := New(g, Options{})
+	res, err := e.InstallAndRun(`
+CREATE QUERY PrevChain() {
+  SumAccum<int> @x = 1;
+  ListAccum<int> @@trace;
+  Seed = {V.*};
+  WHILE true LIMIT 3 DO
+    S = SELECT v FROM Seed:v -(E>)- V:n
+        WHERE v.name == "v0"
+        POST_ACCUM v.@x = v.@x * 2,
+                   @@trace += v.@x - v.@x';
+  END;
+  PRINT @@trace;
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v.@x: 1 -> 2 -> 4 -> 8; deltas vs clause-start: 1, 2, 4.
+	trace := res.Printed[0].Rows[0][0]
+	want := []int64{1, 2, 4}
+	if len(trace.Elems()) != 3 {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i, w := range want {
+		if trace.Elems()[i].Int() != w {
+			t.Errorf("trace[%d] = %v, want %d", i, trace.Elems()[i], w)
+		}
+	}
+}
+
+// TestPerHopShortestSemantics pins a subtle point of Section 4.1's
+// semantics: the all-shortest-paths legality criterion applies to each
+// DARPE hop independently (the intermediate variable m is part of the
+// binding), NOT to the concatenation of hops. On
+//
+//	s -E-> a -E-> t   plus the shortcut   s -E-> t
+//
+// the two-hop pattern s -(E>*)- m -(E>)- t yields two bindings for t
+// (m=s via the empty star match, m=a via the length-1 star match),
+// while the single-hop composite pattern s -(E>*.E>)- t yields only
+// the overall-shortest path (the direct edge, multiplicity 1).
+func TestPerHopShortestSemantics(t *testing.T) {
+	s := graph.NewSchema()
+	if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(s)
+	sv, _ := g.AddVertex("V", "s", map[string]value.Value{"name": value.NewString("s")})
+	av, _ := g.AddVertex("V", "a", map[string]value.Value{"name": value.NewString("a")})
+	tv, _ := g.AddVertex("V", "t", map[string]value.Value{"name": value.NewString("t")})
+	for _, e := range [][2]graph.VID{{sv, av}, {av, tv}, {sv, tv}} {
+		if _, err := g.AddEdge("E", e[0], e[1], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := New(g, Options{})
+	run := func(name, from string) int64 {
+		t.Helper()
+		src := `
+CREATE QUERY ` + name + `() {
+  SumAccum<int> @@n;
+  S = SELECT t2
+      FROM ` + from + `
+      WHERE s2.name == "s" AND t2.name == "t"
+      ACCUM @@n += 1;
+  RETURN @@n;
+}`
+		res, err := e.InstallAndRun(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Returned.Rows[0][0].Int()
+	}
+	if got := run("TwoHops", `V:s2 -(E>*)- V:m -(E>)- V:t2`); got != 2 {
+		t.Errorf("per-hop pattern = %d, want 2 (legality per hop)", got)
+	}
+	if got := run("OneHop", `V:s2 -(E>*.E>)- V:t2`); got != 1 {
+		t.Errorf("composite pattern = %d, want 1 (overall shortest only)", got)
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/value"
+)
+
+// runState is the per-run interpreter state: parameter bindings,
+// scalar locals, named vertex sets, accumulator instances and the
+// accumulating result.
+type runState struct {
+	e *Engine
+	q *gsql.Query
+	// semantics is the effective path-legality flavor: the query's
+	// SEMANTICS annotation when present, else the engine default.
+	semantics match.Semantics
+	params    map[string]value.Value
+	locals    map[string]value.Value
+	vsets     map[string][]graph.VID
+
+	globals map[string]accum.Accumulator
+	vaccs   map[string]*vaccStore
+
+	res *Result
+}
+
+// vaccStore holds one family of vertex accumulators (one lazy instance
+// per vertex, as the paper's "@" declarations demand). Reads of
+// untouched vertices return the cached initial value WITHOUT
+// materializing a slot — parallel ACCUM workers read concurrently, so
+// reads must not mutate the store; slots are created only by the
+// (single-threaded) reduce and POST-ACCUM phases via get.
+type vaccStore struct {
+	spec    *accum.Spec
+	init    value.Value // initializer; Null = type default
+	initVal value.Value // Value() of a fresh (initialized) instance
+	slots   []accum.Accumulator
+}
+
+func newVaccStore(spec *accum.Spec, init value.Value, n int) (*vaccStore, error) {
+	proto, err := accum.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !init.IsNull() {
+		if err := proto.Assign(init); err != nil {
+			return nil, err
+		}
+	}
+	return &vaccStore{
+		spec:    spec,
+		init:    init,
+		initVal: proto.Value(),
+		slots:   make([]accum.Accumulator, n),
+	}, nil
+}
+
+// get returns the vertex's live accumulator, creating it at its
+// initial value on first use. NOT safe for concurrent callers; the
+// parallel map phase must use peekValue instead.
+func (s *vaccStore) get(v graph.VID) (accum.Accumulator, error) {
+	if a := s.slots[v]; a != nil {
+		return a, nil
+	}
+	a, err := accum.New(s.spec)
+	if err != nil {
+		return nil, err
+	}
+	if !s.init.IsNull() {
+		if err := a.Assign(s.init); err != nil {
+			return nil, err
+		}
+	}
+	s.slots[v] = a
+	return a, nil
+}
+
+// peekValue reads the accumulator value without mutating the store —
+// safe for the concurrent acc-executions of the Map phase.
+func (s *vaccStore) peekValue(v graph.VID) (value.Value, error) {
+	if a := s.slots[v]; a != nil {
+		return a.Value(), nil
+	}
+	return s.initVal, nil
+}
+
+func newRunState(e *Engine, q *gsql.Query, args map[string]value.Value) (*runState, error) {
+	rs := &runState{
+		e:         e,
+		q:         q,
+		semantics: e.opts.Semantics,
+		params:    make(map[string]value.Value, len(q.Params)),
+		locals:    map[string]value.Value{},
+		vsets:     map[string][]graph.VID{},
+		globals:   map[string]accum.Accumulator{},
+		vaccs:     map[string]*vaccStore{},
+		res: &Result{
+			Tables:  map[string]*Table{},
+			Globals: map[string]value.Value{},
+		},
+	}
+	switch q.Semantics {
+	case "":
+	case "asp", "shortest":
+		rs.semantics = match.AllShortestPaths
+	case "nre", "non_repeated_edge":
+		rs.semantics = match.NonRepeatedEdge
+	case "nrv", "non_repeated_vertex":
+		rs.semantics = match.NonRepeatedVertex
+	case "exists":
+		rs.semantics = match.ShortestExists
+	default:
+		return nil, fmt.Errorf("unknown SEMANTICS %q", q.Semantics)
+	}
+	// Bind parameters.
+	for _, p := range q.Params {
+		v, ok := args[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("missing argument %q", p.Name)
+		}
+		cv, err := coerceParam(p, v)
+		if err != nil {
+			return nil, err
+		}
+		rs.params[p.Name] = cv
+	}
+	for name := range args {
+		if _, ok := rs.params[name]; !ok {
+			return nil, fmt.Errorf("unknown argument %q", name)
+		}
+	}
+	// Create accumulators; initializers may reference parameters.
+	for _, d := range q.Decls {
+		var init value.Value
+		if d.Init != nil {
+			v, err := rs.eval(d.Init, rs.baseEnv())
+			if err != nil {
+				return nil, fmt.Errorf("initializing %s: %w", declName(d), err)
+			}
+			init = v
+		}
+		if d.Global {
+			if _, dup := rs.globals[d.Name]; dup {
+				return nil, fmt.Errorf("duplicate accumulator @@%s", d.Name)
+			}
+			a, err := accum.New(d.Spec)
+			if err != nil {
+				return nil, err
+			}
+			if !init.IsNull() {
+				if err := a.Assign(init); err != nil {
+					return nil, fmt.Errorf("initializing @@%s: %w", d.Name, err)
+				}
+			}
+			rs.globals[d.Name] = a
+		} else {
+			if _, dup := rs.vaccs[d.Name]; dup {
+				return nil, fmt.Errorf("duplicate accumulator @%s", d.Name)
+			}
+			store, err := newVaccStore(d.Spec, init, e.g.NumVertices())
+			if err != nil {
+				return nil, fmt.Errorf("declaring @%s: %w", d.Name, err)
+			}
+			rs.vaccs[d.Name] = store
+		}
+	}
+	return rs, nil
+}
+
+func declName(d *gsql.AccumDecl) string {
+	if d.Global {
+		return "@@" + d.Name
+	}
+	return "@" + d.Name
+}
+
+func coerceParam(p gsql.Param, v value.Value) (value.Value, error) {
+	want := p.Type.Kind
+	switch {
+	case v.Kind() == want:
+		return v, nil
+	case want == value.KindFloat && v.Kind() == value.KindInt:
+		return value.NewFloat(float64(v.Int())), nil
+	case want == value.KindDatetime && v.Kind() == value.KindInt:
+		return value.NewDatetime(v.Int()), nil
+	}
+	return value.Null, fmt.Errorf("argument %q: expected %s, got %s", p.Name, want, v.Kind())
+}
+
+// vsetOrType resolves a FROM seed name to vertex ids.
+func (rs *runState) vsetOrType(name string) ([]graph.VID, bool) {
+	if ids, ok := rs.vsets[name]; ok {
+		return ids, true
+	}
+	if rs.e.g.Schema.VertexType(name) != nil {
+		return rs.e.g.VerticesOfType(name), true
+	}
+	return nil, false
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"fmt"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/gsql"
+)
+
+// validate statically checks a query at install time: every vertex/
+// global accumulator reference must be declared, every identifier must
+// be resolvable (parameter, pattern alias, assigned variable, table or
+// clause local), pattern endpoints must name a vertex type, registered
+// relational table, vertex parameter or assigned vertex set, every
+// edge type a DARPE mentions must exist in the schema, and function
+// names must be known. Catching these before execution is the
+// compile-vs-run distinction users expect from an installed-query
+// system.
+func (e *Engine) validate(q *gsql.Query) error {
+	v := &validator{e: e, q: q,
+		vaccs:  map[string]bool{},
+		gaccs:  map[string]bool{},
+		names:  map[string]bool{"null": true, "NULL": true, "*": true},
+		tables: map[string]bool{},
+	}
+	for _, d := range q.Decls {
+		if d.Global {
+			v.gaccs[d.Name] = true
+		} else {
+			v.vaccs[d.Name] = true
+		}
+	}
+	for _, p := range q.Params {
+		v.names[p.Name] = true
+	}
+	// Flow-insensitive pre-pass: names assigned anywhere in the query
+	// (vertex sets, scalars, INTO tables, FOREACH variables) are in
+	// scope everywhere; execution order mistakes surface at run time.
+	v.collectAssigned(q.Stmts)
+	// Accumulator initializers.
+	for _, d := range q.Decls {
+		if d.Init != nil {
+			if err := v.expr(d.Init, nil); err != nil {
+				return fmt.Errorf("%s initializer: %w", declName(d), err)
+			}
+		}
+	}
+	return v.stmts(q.Stmts)
+}
+
+type validator struct {
+	e      *Engine
+	q      *gsql.Query
+	vaccs  map[string]bool
+	gaccs  map[string]bool
+	names  map[string]bool // params + assigned variables/tables/sets
+	tables map[string]bool
+}
+
+func (v *validator) collectAssigned(stmts []gsql.Stmt) {
+	for _, s := range stmts {
+		switch n := s.(type) {
+		case *gsql.AssignStmt:
+			v.names[n.Name] = true
+		case *gsql.SelectStmt:
+			for _, out := range n.Sel.Outputs {
+				if out.Into != "" {
+					v.names[out.Into] = true
+					v.tables[out.Into] = true
+				}
+			}
+		case *gsql.WhileStmt:
+			v.collectAssigned(n.Body)
+		case *gsql.IfStmt:
+			v.collectAssigned(n.Then)
+			v.collectAssigned(n.Else)
+		case *gsql.ForeachStmt:
+			v.names[n.Var] = true
+			v.collectAssigned(n.Body)
+		}
+	}
+	// INTO tables inside assignment-form selects.
+	for _, s := range stmts {
+		if a, ok := s.(*gsql.AssignStmt); ok {
+			if sel, ok := a.Rhs.(*gsql.SelectExpr); ok {
+				for _, out := range sel.Outputs {
+					if out.Into != "" {
+						v.names[out.Into] = true
+						v.tables[out.Into] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+func (v *validator) stmts(stmts []gsql.Stmt) error {
+	for _, s := range stmts {
+		if err := v.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmt(s gsql.Stmt) error {
+	switch n := s.(type) {
+	case *gsql.AssignStmt:
+		switch rhs := n.Rhs.(type) {
+		case *gsql.SelectExpr:
+			return v.selectExpr(rhs)
+		case *gsql.VSetLit:
+			for _, tn := range rhs.Types {
+				if v.e.g.Schema.VertexType(tn) == nil {
+					return fmt.Errorf("vertex-set literal: unknown vertex type %q", tn)
+				}
+			}
+			return nil
+		case *gsql.SetOpExpr:
+			return nil // operands resolve dynamically (sets or types)
+		default:
+			return v.expr(rhs, nil)
+		}
+	case *gsql.AccAssignStmt:
+		if ref, ok := n.Target.(*gsql.GlobalAccRef); ok && !v.gaccs[ref.Name] {
+			return fmt.Errorf("undeclared global accumulator @@%s", ref.Name)
+		}
+		return v.expr(n.Rhs, nil)
+	case *gsql.SelectStmt:
+		return v.selectExpr(n.Sel)
+	case *gsql.WhileStmt:
+		if err := v.expr(n.Cond, nil); err != nil {
+			return err
+		}
+		if n.Limit != nil {
+			if err := v.expr(n.Limit, nil); err != nil {
+				return err
+			}
+		}
+		return v.stmts(n.Body)
+	case *gsql.IfStmt:
+		if err := v.expr(n.Cond, nil); err != nil {
+			return err
+		}
+		if err := v.stmts(n.Then); err != nil {
+			return err
+		}
+		return v.stmts(n.Else)
+	case *gsql.ForeachStmt:
+		if err := v.expr(n.Coll, nil); err != nil {
+			return err
+		}
+		return v.stmts(n.Body)
+	case *gsql.PrintStmt:
+		for _, item := range n.Items {
+			if item.Projections != nil {
+				alias := item.Expr.(*gsql.Ident).Name
+				scope := map[string]bool{alias: true}
+				for _, p := range item.Projections {
+					if err := v.expr(p.Expr, scope); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			if err := v.expr(item.Expr, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *gsql.ReturnStmt:
+		return v.expr(n.Expr, nil)
+	default:
+		return nil
+	}
+}
+
+func (v *validator) selectExpr(sel *gsql.SelectExpr) error {
+	scope := map[string]bool{}
+	for pi := range sel.From {
+		pat := &sel.From[pi]
+		if err := v.endpoint(pat.Src.Name); err != nil {
+			return err
+		}
+		scope[pat.Src.Alias] = true
+		for hi := range pat.Hops {
+			hop := &pat.Hops[hi]
+			for et := range darpe.EdgeTypes(hop.Darpe) {
+				if v.e.g.Schema.EdgeType(et) == nil {
+					return fmt.Errorf("pattern -(%s)-: unknown edge type %q", hop.DarpeText, et)
+				}
+			}
+			if err := v.endpoint(hop.Target.Name); err != nil {
+				return err
+			}
+			scope[hop.Target.Alias] = true
+			if hop.EdgeAlias != "" {
+				scope[hop.EdgeAlias] = true
+			}
+		}
+	}
+	if sel.Where != nil {
+		if err := v.expr(sel.Where, scope); err != nil {
+			return fmt.Errorf("WHERE: %w", err)
+		}
+	}
+	if err := v.accStmts(sel.Accum, scope); err != nil {
+		return fmt.Errorf("ACCUM: %w", err)
+	}
+	if err := v.accStmts(sel.PostAccum, scope); err != nil {
+		return fmt.Errorf("POST-ACCUM: %w", err)
+	}
+	for _, out := range sel.Outputs {
+		for _, item := range out.Items {
+			if err := v.expr(item.Expr, scope); err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range sel.GroupBy {
+		if err := v.expr(k, scope); err != nil {
+			return fmt.Errorf("GROUP BY: %w", err)
+		}
+	}
+	if sel.Having != nil {
+		if err := v.expr(sel.Having, scope); err != nil {
+			return fmt.Errorf("HAVING: %w", err)
+		}
+	}
+	for _, k := range sel.OrderBy {
+		// ORDER BY may name an output-item alias.
+		if id, ok := k.Expr.(*gsql.Ident); ok {
+			named := false
+			for _, out := range sel.Outputs {
+				for _, item := range out.Items {
+					if item.Alias == id.Name {
+						named = true
+					}
+				}
+			}
+			if named {
+				continue
+			}
+		}
+		if err := v.expr(k.Expr, scope); err != nil {
+			return fmt.Errorf("ORDER BY: %w", err)
+		}
+	}
+	if sel.Limit != nil {
+		if err := v.expr(sel.Limit, scope); err != nil {
+			return fmt.Errorf("LIMIT: %w", err)
+		}
+	}
+	return nil
+}
+
+// endpoint checks a pattern endpoint name is plausibly resolvable.
+func (v *validator) endpoint(name string) error {
+	if v.e.g.Schema.VertexType(name) != nil || v.names[name] {
+		return nil
+	}
+	if _, ok := v.e.relTable(name); ok {
+		return nil
+	}
+	return fmt.Errorf("FROM: %q is not a vertex type, relational table, parameter or assigned vertex set", name)
+}
+
+func (v *validator) accStmts(stmts []gsql.AccStmt, scope map[string]bool) error {
+	// Clause locals come into scope for the whole clause
+	// (flow-insensitive, matching collectAssigned's philosophy).
+	local := map[string]bool{}
+	for k := range scope {
+		local[k] = true
+	}
+	var collect func(list []gsql.AccStmt)
+	collect = func(list []gsql.AccStmt) {
+		for i := range list {
+			st := &list[i]
+			if st.Cond != nil {
+				collect(st.Then)
+				collect(st.Else)
+				continue
+			}
+			if id, ok := st.Lhs.(*gsql.Ident); ok {
+				local[id.Name] = true
+			}
+		}
+	}
+	collect(stmts)
+	var check func(list []gsql.AccStmt) error
+	check = func(list []gsql.AccStmt) error {
+		for i := range list {
+			st := &list[i]
+			if st.Cond != nil {
+				if err := v.expr(st.Cond, local); err != nil {
+					return err
+				}
+				if err := check(st.Then); err != nil {
+					return err
+				}
+				if err := check(st.Else); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := v.expr(st.Lhs, local); err != nil {
+				return err
+			}
+			if err := v.expr(st.Rhs, local); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(stmts)
+}
+
+// knownFunctions are the builtin scalar functions plus the SQL-style
+// aggregates.
+var knownFunctions = map[string]bool{
+	"log": true, "log2": true, "log10": true, "exp": true, "sqrt": true,
+	"pow": true, "abs": true, "ceil": true, "floor": true, "round": true,
+	"sign": true, "float": true, "to_float": true, "int": true, "to_int": true,
+	"to_string": true, "str": true, "length": true, "str_length": true,
+	"size": true, "to_datetime": true, "epoch_to_datetime": true,
+	"datetime_to_epoch": true, "year": true, "month": true, "day": true,
+	"hour": true, "day_of_week": true, "coalesce": true, "min": true,
+	"max": true, "upper": true, "lower": true, "trim": true, "contains": true,
+	"starts_with": true, "ends_with": true, "substr": true,
+	"count": true, "sum": true, "avg": true,
+}
+
+var knownMethods = map[string]bool{
+	"outdegree": true, "degree": true, "type": true, "id": true, "vid": true,
+	"size": true,
+}
+
+func (v *validator) expr(e gsql.Expr, scope map[string]bool) error {
+	switch n := e.(type) {
+	case *gsql.Lit:
+		return nil
+	case *gsql.Ident:
+		if v.names[n.Name] || (scope != nil && scope[n.Name]) {
+			return nil
+		}
+		// Vertex types double as seeds occasionally referenced by name.
+		if v.e.g.Schema.VertexType(n.Name) != nil {
+			return nil
+		}
+		return fmt.Errorf("unknown identifier %q", n.Name)
+	case *gsql.GlobalAccRef:
+		if !v.gaccs[n.Name] {
+			return fmt.Errorf("undeclared global accumulator @@%s", n.Name)
+		}
+		return nil
+	case *gsql.VertexAccRef:
+		if !v.vaccs[n.Name] {
+			return fmt.Errorf("undeclared vertex accumulator @%s", n.Name)
+		}
+		return v.expr(n.Vertex, scope)
+	case *gsql.AttrRef:
+		return v.expr(n.Obj, scope)
+	case *gsql.Call:
+		if n.Recv != nil {
+			if !knownMethods[lower(n.Name)] {
+				return fmt.Errorf("unknown method %q", n.Name)
+			}
+			if err := v.expr(n.Recv, scope); err != nil {
+				return err
+			}
+		} else if !knownFunctions[lower(n.Name)] {
+			return fmt.Errorf("unknown function %q", n.Name)
+		}
+		for _, a := range n.Args {
+			if err := v.expr(a, scope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *gsql.Binary:
+		if err := v.expr(n.L, scope); err != nil {
+			return err
+		}
+		return v.expr(n.R, scope)
+	case *gsql.Unary:
+		return v.expr(n.X, scope)
+	case *gsql.TupleExpr:
+		for _, sub := range n.Elems {
+			if err := v.expr(sub, scope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *gsql.ArrowTuple:
+		for _, sub := range n.Keys {
+			if err := v.expr(sub, scope); err != nil {
+				return err
+			}
+		}
+		for _, sub := range n.Vals {
+			if err := v.expr(sub, scope); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *gsql.CaseExpr:
+		for _, arm := range n.Whens {
+			if err := v.expr(arm.Cond, scope); err != nil {
+				return err
+			}
+			if err := v.expr(arm.Then, scope); err != nil {
+				return err
+			}
+		}
+		if n.Else != nil {
+			return v.expr(n.Else, scope)
+		}
+		return nil
+	default:
+		return nil
+	}
+}

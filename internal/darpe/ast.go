@@ -1,0 +1,255 @@
+// Package darpe implements Direction-Aware Regular Path Expressions
+// (Section 2 of the paper): regular expressions over an alphabet of
+// direction-adorned edge types. For each edge type E the alphabet
+// contains E> (directed edge traversed forward), <E (directed edge
+// traversed backward) and E (undirected edge); the wildcard "_"
+// denotes any edge type. Expressions compose by concatenation ".",
+// alternation "|" and Kleene repetition "*" with optional bounds
+// "m..n".
+//
+// The package provides a parser, an ε-free NFA, and a DFA obtained by
+// subset construction. The DFA is what the path-counting machinery in
+// package match requires: with a deterministic automaton, runs of the
+// product construction correspond one-to-one to graph paths, so
+// counting product paths counts graph paths without double-counting
+// (Theorem 6.1's proof device).
+package darpe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Adorn is the direction adornment of an edge-type symbol.
+type Adorn uint8
+
+// Adornments. AdornAny appears only on the wildcard "_" and matches
+// any traversal of any edge kind.
+const (
+	AdornFwd Adorn = iota // E>  : directed edge, traversed source→target
+	AdornRev              // <E  : directed edge, traversed target→source
+	AdornUnd              // E   : undirected edge
+	AdornAny              // _   : any edge, any traversal
+)
+
+// String renders the adornment applied to an edge-type name.
+func (a Adorn) decorate(name string) string {
+	switch a {
+	case AdornFwd:
+		return name + ">"
+	case AdornRev:
+		return "<" + name
+	case AdornUnd, AdornAny:
+		return name
+	default:
+		return name + "?"
+	}
+}
+
+// Expr is a DARPE abstract syntax tree node.
+type Expr interface {
+	fmt.Stringer
+	// lengths returns the (min, max) path length matched; max < 0
+	// means unbounded.
+	lengths() (int, int)
+	isExpr()
+}
+
+// Symbol matches the traversal of a single edge. An empty EdgeType is
+// the wildcard "_".
+type Symbol struct {
+	EdgeType string
+	Dir      Adorn
+}
+
+func (s *Symbol) isExpr() {}
+
+// String renders the symbol in DARPE syntax.
+func (s *Symbol) String() string {
+	name := s.EdgeType
+	if name == "" {
+		name = "_"
+	}
+	return s.Dir.decorate(name)
+}
+
+func (s *Symbol) lengths() (int, int) { return 1, 1 }
+
+// Concat matches the concatenation of its parts.
+type Concat struct {
+	Parts []Expr
+}
+
+func (c *Concat) isExpr() {}
+
+// String renders the concatenation with "." separators.
+func (c *Concat) String() string {
+	parts := make([]string, len(c.Parts))
+	for i, p := range c.Parts {
+		if alt, ok := p.(*Alt); ok {
+			parts[i] = "(" + alt.String() + ")"
+		} else {
+			parts[i] = p.String()
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+func (c *Concat) lengths() (int, int) {
+	minL, maxL := 0, 0
+	for _, p := range c.Parts {
+		lo, hi := p.lengths()
+		minL += lo
+		if maxL < 0 || hi < 0 {
+			maxL = -1
+		} else {
+			maxL += hi
+		}
+	}
+	return minL, maxL
+}
+
+// Alt matches any one of its alternatives.
+type Alt struct {
+	Alts []Expr
+}
+
+func (a *Alt) isExpr() {}
+
+// String renders the alternation with "|" separators.
+func (a *Alt) String() string {
+	parts := make([]string, len(a.Alts))
+	for i, p := range a.Alts {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func (a *Alt) lengths() (int, int) {
+	minL, maxL := -1, 0
+	for _, p := range a.Alts {
+		lo, hi := p.lengths()
+		if minL < 0 || lo < minL {
+			minL = lo
+		}
+		if maxL < 0 || hi < 0 {
+			maxL = -1
+		} else if hi > maxL {
+			maxL = hi
+		}
+	}
+	if minL < 0 {
+		minL = 0
+	}
+	return minL, maxL
+}
+
+// Repeat matches Min..Max repetitions of its operand; Max < 0 means
+// unbounded. A bare Kleene star is Repeat{Min: 0, Max: -1}.
+type Repeat struct {
+	Sub Expr
+	Min int
+	Max int
+}
+
+func (r *Repeat) isExpr() {}
+
+// String renders the repetition in DARPE syntax.
+func (r *Repeat) String() string {
+	sub := r.Sub.String()
+	switch r.Sub.(type) {
+	case *Alt, *Concat, *Repeat:
+		sub = "(" + sub + ")"
+	}
+	if r.Min == 0 && r.Max < 0 {
+		return sub + "*"
+	}
+	if r.Max < 0 {
+		return sub + "*" + strconv.Itoa(r.Min) + ".."
+	}
+	return sub + "*" + strconv.Itoa(r.Min) + ".." + strconv.Itoa(r.Max)
+}
+
+func (r *Repeat) lengths() (int, int) {
+	lo, hi := r.Sub.lengths()
+	minL := lo * r.Min
+	if r.Max < 0 || hi < 0 {
+		if hi == 0 && r.Max >= 0 { // repeating an empty expr stays empty
+			return minL, 0
+		}
+		return minL, -1
+	}
+	return minL, hi * r.Max
+}
+
+// Lengths returns the minimum and maximum path length the expression
+// can match; max < 0 means unbounded.
+func Lengths(e Expr) (min, max int) { return e.lengths() }
+
+// FixedLength reports whether the expression belongs to the paper's
+// fixed-unique-length class (Section 6.1): Kleene-free expressions all
+// of whose matches have one single length, readable from the pattern.
+// For such patterns all-shortest-paths semantics coincides with
+// unrestricted semantics. The length is returned when fixed.
+func FixedLength(e Expr) (int, bool) {
+	lo, hi := e.lengths()
+	if hi >= 0 && lo == hi {
+		return lo, true
+	}
+	return 0, false
+}
+
+// HasKleene reports whether the expression contains an unbounded
+// repetition.
+func HasKleene(e Expr) bool {
+	switch n := e.(type) {
+	case *Symbol:
+		return false
+	case *Concat:
+		for _, p := range n.Parts {
+			if HasKleene(p) {
+				return true
+			}
+		}
+		return false
+	case *Alt:
+		for _, p := range n.Alts {
+			if HasKleene(p) {
+				return true
+			}
+		}
+		return false
+	case *Repeat:
+		return n.Max < 0 || HasKleene(n.Sub)
+	default:
+		return false
+	}
+}
+
+// EdgeTypes returns the set of edge-type names mentioned by the
+// expression (the wildcard contributes nothing).
+func EdgeTypes(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch n := e.(type) {
+		case *Symbol:
+			if n.EdgeType != "" {
+				out[n.EdgeType] = true
+			}
+		case *Concat:
+			for _, p := range n.Parts {
+				walk(p)
+			}
+		case *Alt:
+			for _, p := range n.Alts {
+				walk(p)
+			}
+		case *Repeat:
+			walk(n.Sub)
+		}
+	}
+	walk(e)
+	return out
+}

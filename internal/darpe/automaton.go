@@ -1,0 +1,319 @@
+package darpe
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// maxDFAStates caps subset construction; DARPEs are tiny compared to
+// graphs, so hitting this indicates a pathological expression.
+const maxDFAStates = 1 << 16
+
+// DFA is a deterministic finite automaton over the direction-adorned
+// edge alphabet. Determinism is essential for path counting: with a
+// DFA, accepting runs of the (graph × automaton) product correspond
+// one-to-one to graph paths, so shortest-path counts in the product
+// equal shortest-path counts in the graph (Theorem 6.1).
+//
+// The concrete alphabet is {mentioned edge types + OTHER} × {Fwd, Rev,
+// Und}, where OTHER stands for any edge type the expression does not
+// mention (reachable only through wildcard transitions).
+type DFA struct {
+	typeIdx   map[string]int // edge type name -> index; OTHER is len(typeIdx)
+	numTypes  int            // including OTHER
+	start     int
+	accept    []bool
+	trans     [][]int32 // [state][typeIdx*3+adorn] -> next state, -1 = dead
+	usedKinds [3]bool   // whether any transition consumes Fwd/Rev/Und
+	exprImage string
+}
+
+// UsesAdorn reports whether any transition consumes the given
+// traversal kind — a sound overapproximation used for reachability
+// pruning in enumeration.
+func (d *DFA) UsesAdorn(a Adorn) bool { return d.usedKinds[a] }
+
+// thompson is the intermediate ε-NFA.
+type thompson struct {
+	trans []map[int]Symbol // state -> target -> symbol (one per pair suffices)
+	eps   [][]int
+}
+
+func (t *thompson) newState() int {
+	t.trans = append(t.trans, nil)
+	t.eps = append(t.eps, nil)
+	return len(t.trans) - 1
+}
+
+func (t *thompson) addEps(from, to int) { t.eps[from] = append(t.eps[from], to) }
+
+func (t *thompson) addSym(from, to int, s Symbol) {
+	if t.trans[from] == nil {
+		t.trans[from] = make(map[int]Symbol)
+	}
+	t.trans[from][to] = s
+}
+
+type frag struct{ start, accept int }
+
+func (t *thompson) build(e Expr) frag {
+	switch n := e.(type) {
+	case *Symbol:
+		s, a := t.newState(), t.newState()
+		t.addSym(s, a, *n)
+		return frag{s, a}
+	case *Concat:
+		if len(n.Parts) == 0 {
+			return t.emptyFrag()
+		}
+		f := t.build(n.Parts[0])
+		for _, p := range n.Parts[1:] {
+			g := t.build(p)
+			t.addEps(f.accept, g.start)
+			f.accept = g.accept
+		}
+		return f
+	case *Alt:
+		s, a := t.newState(), t.newState()
+		for _, p := range n.Alts {
+			g := t.build(p)
+			t.addEps(s, g.start)
+			t.addEps(g.accept, a)
+		}
+		return frag{s, a}
+	case *Repeat:
+		f := t.emptyFrag()
+		for i := 0; i < n.Min; i++ {
+			g := t.build(n.Sub)
+			t.addEps(f.accept, g.start)
+			f.accept = g.accept
+		}
+		if n.Max < 0 {
+			g := t.build(n.Sub)
+			s, a := t.newState(), t.newState()
+			t.addEps(s, g.start)
+			t.addEps(s, a)
+			t.addEps(g.accept, g.start)
+			t.addEps(g.accept, a)
+			t.addEps(f.accept, s)
+			f.accept = a
+		} else {
+			for i := n.Min; i < n.Max; i++ {
+				g := t.build(n.Sub)
+				s, a := t.newState(), t.newState()
+				t.addEps(s, g.start)
+				t.addEps(s, a)
+				t.addEps(g.accept, a)
+				t.addEps(f.accept, s)
+				f.accept = a
+			}
+		}
+		return f
+	default:
+		panic(fmt.Sprintf("darpe: unknown AST node %T", e))
+	}
+}
+
+func (t *thompson) emptyFrag() frag {
+	s := t.newState()
+	return frag{s, s}
+}
+
+// closure expands a sorted state set with ε-reachability, returning a
+// sorted deduplicated set.
+func (t *thompson) closure(set []int) []int {
+	seen := make(map[int]bool, len(set))
+	stack := append([]int(nil), set...)
+	for _, s := range set {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nxt := range t.eps[s] {
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func setKey(set []int) string {
+	var sb strings.Builder
+	for _, s := range set {
+		sb.WriteString(strconv.Itoa(s))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// CompileDFA compiles the expression into a DFA via Thompson
+// construction and subset construction.
+func CompileDFA(e Expr) (*DFA, error) {
+	t := &thompson{}
+	f := t.build(e)
+
+	// Alphabet.
+	names := make([]string, 0)
+	for name := range EdgeTypes(e) {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	typeIdx := make(map[string]int, len(names))
+	for i, n := range names {
+		typeIdx[n] = i
+	}
+	numTypes := len(names) + 1 // plus OTHER
+	otherIdx := len(names)
+
+	d := &DFA{typeIdx: typeIdx, numTypes: numTypes, exprImage: e.String()}
+
+	// symbol matcher: does pred match concrete (typeIdx ti, adorn a)?
+	matches := func(pred Symbol, ti int, a Adorn) bool {
+		if pred.EdgeType != "" {
+			pi, ok := typeIdx[pred.EdgeType]
+			if !ok || pi != ti {
+				return false
+			}
+		} else if ti == otherIdx {
+			// wildcard is the only way to reach OTHER — fallthrough
+		}
+		switch pred.Dir {
+		case AdornAny:
+			return true
+		default:
+			return pred.Dir == a
+		}
+	}
+
+	startSet := t.closure([]int{f.start})
+	states := map[string]int{setKey(startSet): 0}
+	sets := [][]int{startSet}
+	d.start = 0
+	numSyms := numTypes * 3
+	for si := 0; si < len(sets); si++ {
+		set := sets[si]
+		row := make([]int32, numSyms)
+		for i := range row {
+			row[i] = -1
+		}
+		acc := false
+		for _, s := range set {
+			if s == f.accept {
+				acc = true
+			}
+		}
+		for ti := 0; ti < numTypes; ti++ {
+			for a := AdornFwd; a <= AdornUnd; a++ {
+				var next []int
+				for _, s := range set {
+					for to, pred := range t.trans[s] {
+						if matches(pred, ti, a) {
+							next = append(next, to)
+						}
+					}
+				}
+				if len(next) == 0 {
+					continue
+				}
+				sort.Ints(next)
+				next = dedupSorted(next)
+				next = t.closure(next)
+				key := setKey(next)
+				id, ok := states[key]
+				if !ok {
+					id = len(sets)
+					if id >= maxDFAStates {
+						return nil, fmt.Errorf("darpe: DFA exceeds %d states for %q", maxDFAStates, e)
+					}
+					states[key] = id
+					sets = append(sets, next)
+				}
+				row[ti*3+int(a)] = int32(id)
+				d.usedKinds[a] = true
+			}
+		}
+		d.trans = append(d.trans, row)
+		d.accept = append(d.accept, acc)
+	}
+	return d, nil
+}
+
+func dedupSorted(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Compile parses and compiles in one step.
+func Compile(src string) (*DFA, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileDFA(e)
+}
+
+// MustCompile is Compile for trusted literals.
+func MustCompile(src string) *DFA {
+	d, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.trans) }
+
+// Start returns the start state.
+func (d *DFA) Start() int { return d.start }
+
+// Accepting reports whether the state is accepting; Accepting(Start())
+// means the expression matches the empty path.
+func (d *DFA) Accepting(state int) bool { return d.accept[state] }
+
+// Step advances the automaton over the traversal of one edge of the
+// given type, adorned Fwd, Rev or Und. It returns the next state or -1
+// if the run dies.
+func (d *DFA) Step(state int, edgeType string, a Adorn) int {
+	ti, ok := d.typeIdx[edgeType]
+	if !ok {
+		ti = d.numTypes - 1 // OTHER
+	}
+	return int(d.trans[state][ti*3+int(a)])
+}
+
+// TypeIndexFor resolves an edge-type name to the DFA's internal symbol
+// type index (the OTHER index for unmentioned types). Resolving once
+// per edge type and stepping with StepIdx avoids per-edge map lookups
+// on hot paths.
+func (d *DFA) TypeIndexFor(name string) int {
+	if i, ok := d.typeIdx[name]; ok {
+		return i
+	}
+	return d.numTypes - 1
+}
+
+// StepIdx is Step with a pre-resolved type index.
+func (d *DFA) StepIdx(state, typeIdx int, a Adorn) int {
+	return int(d.trans[state][typeIdx*3+int(a)])
+}
+
+// String identifies the DFA by its source expression.
+func (d *DFA) String() string {
+	return fmt.Sprintf("DFA(%s, %d states)", d.exprImage, len(d.trans))
+}

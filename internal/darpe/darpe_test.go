@@ -1,0 +1,391 @@
+package darpe
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sym is a concrete direction-adorned word symbol for tests.
+type sym struct {
+	t string
+	a Adorn
+}
+
+// run simulates the DFA over a word of concrete symbols.
+func run(d *DFA, word []sym) bool {
+	st := d.Start()
+	for _, s := range word {
+		st = d.Step(st, s.t, s.a)
+		if st < 0 {
+			return false
+		}
+	}
+	return d.Accepting(st)
+}
+
+// accepts is a reference matcher implemented directly on the AST by
+// recursive descent over word splits. Deliberately naive: it serves as
+// an independent oracle for the DFA.
+func accepts(e Expr, word []sym) bool {
+	switch n := e.(type) {
+	case *Symbol:
+		if len(word) != 1 {
+			return false
+		}
+		w := word[0]
+		if n.EdgeType != "" && n.EdgeType != w.t {
+			return false
+		}
+		return n.Dir == AdornAny || n.Dir == w.a
+	case *Concat:
+		return acceptsSeq(n.Parts, word)
+	case *Alt:
+		for _, alt := range n.Alts {
+			if accepts(alt, word) {
+				return true
+			}
+		}
+		return false
+	case *Repeat:
+		return acceptsRepeat(n, word, 0)
+	}
+	return false
+}
+
+func acceptsSeq(parts []Expr, word []sym) bool {
+	if len(parts) == 0 {
+		return len(word) == 0
+	}
+	for cut := 0; cut <= len(word); cut++ {
+		if accepts(parts[0], word[:cut]) && acceptsSeq(parts[1:], word[cut:]) {
+			return true
+		}
+	}
+	return false
+}
+
+func acceptsRepeat(r *Repeat, word []sym, done int) bool {
+	if len(word) == 0 {
+		// Accept if enough repetitions were consumed, or if the
+		// operand itself matches the empty word (remaining mandatory
+		// repetitions can then consume nothing).
+		return done >= r.Min || accepts(r.Sub, nil)
+	}
+	if r.Max >= 0 && done == r.Max {
+		return false
+	}
+	// Try consuming one more occurrence (non-empty split to guarantee
+	// termination; empty matches of Sub only matter for len(word)==0,
+	// handled above).
+	for cut := 1; cut <= len(word); cut++ {
+		if accepts(r.Sub, word[:cut]) && acceptsRepeat(r, word[cut:], done+1) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"E>", "E>"},
+		{"<E", "<E"},
+		{"E", "E"},
+		{"_", "_"},
+		{"_>", "_>"},
+		{"<_", "<_"},
+		{"E>*", "E>*"},
+		{"E>.F>", "E>.F>"},
+		{"E>|F>", "E>|F>"},
+		{"E>.(F>|<G)*.H.<J", "E>.(F>|<G)*.H.<J"},
+		{"Knows*1..3", "Knows*1..3"},
+		{"Knows*2", "Knows*2..2"},
+		{"Knows*2..", "Knows*2.."},
+		{"Knows*..3", "Knows*0..3"},
+		{"(A>.B>)*", "(A>.B>)*"},
+		{" E> . F> ", "E>.F>"},
+		{"A>.(B>|D>)._>.A>", "A>.(B>|D>)._>.A>"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+		// Round-trip: re-parsing the rendering is stable.
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", e.String(), err)
+			continue
+		}
+		if e2.String() != e.String() {
+			t.Errorf("round trip unstable: %q -> %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "(", "(E>", "E> F>", "|E", "E>|", "E>.", ".E>", "E>*3..1",
+		"E>*99999", ">E", "E>)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) must fail", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("(")
+}
+
+func TestLengthsAndFixedLength(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+		fixed    bool
+	}{
+		{"E>", 1, 1, true},
+		{"E>.F>", 2, 2, true},
+		{"E>|F>.G>", 1, 2, false},
+		{"E>*", 0, -1, false},
+		{"E>*2..5", 2, 5, false},
+		{"A>.(B>|D>)._>.A>", 4, 4, true},
+		{"(A>.B>)*3", 6, 6, true},
+		{"E>*1..", 1, -1, false},
+	}
+	for _, c := range cases {
+		e := MustParse(c.src)
+		min, max := Lengths(e)
+		if min != c.min || max != c.max {
+			t.Errorf("Lengths(%q) = (%d,%d), want (%d,%d)", c.src, min, max, c.min, c.max)
+		}
+		n, fixed := FixedLength(e)
+		if fixed != c.fixed {
+			t.Errorf("FixedLength(%q) fixed = %v, want %v", c.src, fixed, c.fixed)
+		}
+		if fixed && n != c.min {
+			t.Errorf("FixedLength(%q) = %d, want %d", c.src, n, c.min)
+		}
+	}
+}
+
+func TestHasKleeneAndEdgeTypes(t *testing.T) {
+	e := MustParse("E>.(F>|<G)*.H.<J")
+	if !HasKleene(e) {
+		t.Error("HasKleene must be true")
+	}
+	if HasKleene(MustParse("E>.F>*1..3")) {
+		t.Error("bounded repeat is not Kleene")
+	}
+	got := EdgeTypes(e)
+	for _, want := range []string{"E", "F", "G", "H", "J"} {
+		if !got[want] {
+			t.Errorf("EdgeTypes missing %s", want)
+		}
+	}
+	if got["_"] || got[""] {
+		t.Error("wildcard must not appear in EdgeTypes")
+	}
+}
+
+func TestDFAExamples(t *testing.T) {
+	// Example 2 of the paper: E>.(F>|<G)*.H.<J
+	d := MustCompile("E>.(F>|<G)*.H.<J")
+	yes := [][]sym{
+		{{"E", AdornFwd}, {"H", AdornUnd}, {"J", AdornRev}},
+		{{"E", AdornFwd}, {"F", AdornFwd}, {"H", AdornUnd}, {"J", AdornRev}},
+		{{"E", AdornFwd}, {"G", AdornRev}, {"F", AdornFwd}, {"H", AdornUnd}, {"J", AdornRev}},
+	}
+	no := [][]sym{
+		{},
+		{{"E", AdornFwd}},
+		{{"E", AdornRev}, {"H", AdornUnd}, {"J", AdornRev}},                  // wrong direction
+		{{"E", AdornFwd}, {"H", AdornFwd}, {"J", AdornRev}},                  // H must be undirected
+		{{"E", AdornFwd}, {"G", AdornFwd}, {"H", AdornUnd}, {"J", AdornRev}}, // G must be reverse
+		{{"E", AdornFwd}, {"H", AdornUnd}, {"J", AdornRev}, {"J", AdornRev}},
+	}
+	for i, w := range yes {
+		if !run(d, w) {
+			t.Errorf("accept case %d rejected", i)
+		}
+	}
+	for i, w := range no {
+		if run(d, w) {
+			t.Errorf("reject case %d accepted", i)
+		}
+	}
+
+	// Kleene star accepts the empty path.
+	star := MustCompile("E>*")
+	if !star.Accepting(star.Start()) {
+		t.Error("E>* must accept the empty path")
+	}
+	if !run(star, []sym{{"E", AdornFwd}, {"E", AdornFwd}}) {
+		t.Error("E>* must accept EE")
+	}
+	if run(star, []sym{{"F", AdornFwd}}) {
+		t.Error("E>* must reject F")
+	}
+
+	// Wildcard matches unmentioned types in any direction.
+	wild := MustCompile("_")
+	for _, a := range []Adorn{AdornFwd, AdornRev, AdornUnd} {
+		if !run(wild, []sym{{"Zzz", a}}) {
+			t.Errorf("wildcard must match unmentioned type with adorn %d", a)
+		}
+	}
+	// Directed wildcard restricts the traversal kind.
+	fwdWild := MustCompile("_>")
+	if !run(fwdWild, []sym{{"Zzz", AdornFwd}}) || run(fwdWild, []sym{{"Zzz", AdornRev}}) {
+		t.Error("_> must match forward traversals only")
+	}
+
+	// Bounds.
+	b := MustCompile("K*2..3")
+	if run(b, []sym{{"K", AdornUnd}}) {
+		t.Error("K*2..3 must reject length 1")
+	}
+	if !run(b, []sym{{"K", AdornUnd}, {"K", AdornUnd}}) {
+		t.Error("K*2..3 must accept length 2")
+	}
+	if !run(b, []sym{{"K", AdornUnd}, {"K", AdornUnd}, {"K", AdornUnd}}) {
+		t.Error("K*2..3 must accept length 3")
+	}
+	if run(b, []sym{{"K", AdornUnd}, {"K", AdornUnd}, {"K", AdornUnd}, {"K", AdornUnd}}) {
+		t.Error("K*2..3 must reject length 4")
+	}
+}
+
+// randomExpr builds a random DARPE over types {A, B} (plus wildcard)
+// of bounded depth.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return randomSymbol(r)
+	}
+	switch r.Intn(5) {
+	case 0, 1:
+		return randomSymbol(r)
+	case 2:
+		n := 2 + r.Intn(2)
+		parts := make([]Expr, n)
+		for i := range parts {
+			parts[i] = randomExpr(r, depth-1)
+		}
+		return &Concat{Parts: parts}
+	case 3:
+		n := 2 + r.Intn(2)
+		alts := make([]Expr, n)
+		for i := range alts {
+			alts[i] = randomExpr(r, depth-1)
+		}
+		return &Alt{Alts: alts}
+	default:
+		min := r.Intn(2)
+		max := -1
+		if r.Intn(2) == 0 {
+			max = min + r.Intn(3)
+		}
+		return &Repeat{Sub: randomExpr(r, depth-1), Min: min, Max: max}
+	}
+}
+
+func randomSymbol(r *rand.Rand) Expr {
+	types := []string{"A", "B", ""}
+	tname := types[r.Intn(len(types))]
+	var a Adorn
+	if tname == "" {
+		a = []Adorn{AdornFwd, AdornRev, AdornUnd, AdornAny}[r.Intn(4)]
+	} else {
+		a = []Adorn{AdornFwd, AdornRev, AdornUnd}[r.Intn(3)]
+	}
+	return &Symbol{EdgeType: tname, Dir: a}
+}
+
+// TestDFAAgainstASTOracle cross-checks the compiled DFA against the
+// naive AST matcher on every word up to length 3 over a 3-type
+// alphabet (one type the expression never mentions).
+func TestDFAAgainstASTOracle(t *testing.T) {
+	alphabet := []sym{}
+	for _, tn := range []string{"A", "B", "X"} {
+		for _, a := range []Adorn{AdornFwd, AdornRev, AdornUnd} {
+			alphabet = append(alphabet, sym{tn, a})
+		}
+	}
+	var words [][]sym
+	words = append(words, []sym{})
+	frontier := [][]sym{{}}
+	for l := 0; l < 3; l++ {
+		var next [][]sym
+		for _, w := range frontier {
+			for _, s := range alphabet {
+				nw := append(append([]sym{}, w...), s)
+				next = append(next, nw)
+				words = append(words, nw)
+			}
+		}
+		frontier = next
+	}
+
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 2)
+		d, err := CompileDFA(e)
+		if err != nil {
+			t.Logf("compile error for %s: %v", e, err)
+			return false
+		}
+		for _, w := range words {
+			if run(d, w) != accepts(e, w) {
+				t.Logf("mismatch for %s on %v: dfa=%v oracle=%v", e, w, run(d, w), accepts(e, w))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseStringRoundTripProperty checks Parse∘String is the identity
+// on rendered random expressions.
+func TestParseStringRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r, 3)
+		s := e.String()
+		e2, err := Parse(s)
+		if err != nil {
+			t.Logf("Parse(%q): %v", s, err)
+			return false
+		}
+		return e2.String() == s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFAStringAndStateCount(t *testing.T) {
+	d := MustCompile("E>*")
+	if d.NumStates() == 0 {
+		t.Error("DFA must have states")
+	}
+	if !strings.Contains(d.String(), "E>*") {
+		t.Errorf("DFA.String() = %q", d.String())
+	}
+}

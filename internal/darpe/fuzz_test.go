@@ -1,0 +1,45 @@
+package darpe
+
+import "testing"
+
+// FuzzParse checks the DARPE parser and compiler terminate without
+// panicking on arbitrary input, and that accepted expressions
+// round-trip through their rendering and compile to a DFA. Run with:
+// go test -fuzz FuzzParse ./internal/darpe
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"E>", "<E", "E", "_", "_>", "<_",
+		"E>.(F>|<G)*.H.<J", "Knows*1..3", "(A>.B>)*", "A>.(B>|D>)._>.A>",
+		"E>*0..0", "((((E))))", "E>**", "E>|F>|G>",
+		"", "(", "*", "..", "E>*9..1",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Rendering must re-parse to the same rendering.
+		s := e.String()
+		e2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("accepted %q rendered as unparseable %q: %v", src, s, err)
+		}
+		if e2.String() != s {
+			t.Fatalf("unstable round trip: %q -> %q -> %q", src, s, e2.String())
+		}
+		// Accepted expressions compile (the state cap may reject
+		// pathological ones, which is fine).
+		if d, err := CompileDFA(e); err == nil {
+			if d.NumStates() == 0 {
+				t.Fatalf("compiled DFA with zero states for %q", s)
+			}
+			// Length metadata is consistent.
+			lo, hi := Lengths(e)
+			if hi >= 0 && lo > hi {
+				t.Fatalf("Lengths(%q) inverted: %d..%d", s, lo, hi)
+			}
+		}
+	})
+}

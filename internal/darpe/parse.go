@@ -1,0 +1,251 @@
+package darpe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// maxBoundedRepeat caps explicit repetition bounds; larger bounds would
+// blow up the Thompson construction.
+const maxBoundedRepeat = 1024
+
+// Parse parses a DARPE from its textual form, e.g.
+// "E>.(F>|<G)*.H.<J" (Example 2) or "Knows*1..3".
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	e, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("darpe: trailing input at offset %d in %q", p.pos, src)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for trusted literals; it panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("darpe: %s (offset %d in %q)", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// alt := concat ('|' concat)*
+func (p *parser) parseAlt() (Expr, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, next)
+	}
+	if len(alts) == 1 {
+		return alts[0], nil
+	}
+	return &Alt{Alts: alts}, nil
+}
+
+// concat := postfix ('.' postfix)*
+func (p *parser) parseConcat() (Expr, error) {
+	first, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Expr{first}
+	for {
+		p.skipSpace()
+		// A '.' starts a concatenation unless it is the ".." of a
+		// bounds spec, which parsePostfix already consumed.
+		if p.peek() != '.' {
+			break
+		}
+		p.pos++
+		next, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Concat{Parts: parts}, nil
+}
+
+// postfix := primary ('*' bounds?)*
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.peek() != '*' {
+			return e, nil
+		}
+		p.pos++
+		min, max, err := p.parseBounds()
+		if err != nil {
+			return nil, err
+		}
+		e = &Repeat{Sub: e, Min: min, Max: max}
+	}
+}
+
+// bounds := (N? '..' N?)?   attached directly after '*'.
+// Absent bounds mean 0..unbounded. "N.." means N..unbounded; "..N"
+// means 0..N.
+func (p *parser) parseBounds() (int, int, error) {
+	min, max := 0, -1
+	p.skipSpace()
+	hasLow := false
+	if isDigit(p.peek()) {
+		n, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		min, hasLow = n, true
+	}
+	if strings.HasPrefix(p.src[p.pos:], "..") {
+		p.pos += 2
+		p.skipSpace()
+		if isDigit(p.peek()) {
+			n, err := p.parseNumber()
+			if err != nil {
+				return 0, 0, err
+			}
+			max = n
+		}
+	} else if hasLow {
+		// "*N" without "..": exactly N repetitions.
+		max = min
+	}
+	if max >= 0 && max < min {
+		return 0, 0, p.errf("repetition bounds %d..%d are inverted", min, max)
+	}
+	if min > maxBoundedRepeat || max > maxBoundedRepeat {
+		return 0, 0, p.errf("repetition bound exceeds %d", maxBoundedRepeat)
+	}
+	return min, max, nil
+}
+
+func (p *parser) parseNumber() (int, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isDigit(p.src[p.pos]) {
+		p.pos++
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	return n, nil
+}
+
+// primary := '(' alt ')' | '<' name | name '>'? | '_' '>'?
+func (p *parser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '(':
+		p.pos++
+		e, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.errf("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case p.peek() == '<':
+		p.pos++
+		name, wild, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		if wild {
+			return &Symbol{EdgeType: "", Dir: AdornRev}, nil
+		}
+		return &Symbol{EdgeType: name, Dir: AdornRev}, nil
+	default:
+		name, wild, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() == '>' {
+			p.pos++
+			if wild {
+				return &Symbol{EdgeType: "", Dir: AdornFwd}, nil
+			}
+			return &Symbol{EdgeType: name, Dir: AdornFwd}, nil
+		}
+		if wild {
+			// Bare wildcard: any edge type, any traversal kind.
+			return &Symbol{EdgeType: "", Dir: AdornAny}, nil
+		}
+		// Bare edge type: undirected edge (paper Section 2).
+		return &Symbol{EdgeType: name, Dir: AdornUnd}, nil
+	}
+}
+
+// parseName consumes an edge-type name or the "_" wildcard.
+func (p *parser) parseName() (name string, wildcard bool, err error) {
+	p.skipSpace()
+	if p.peek() == '_' && (p.pos+1 >= len(p.src) || !isIdentByte(p.src[p.pos+1])) {
+		p.pos++
+		return "", true, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", false, p.errf("expected edge type, '(' or '_'")
+	}
+	return p.src[start:p.pos], false, nil
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || unicode.IsLetter(rune(b))
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+func TestBuildLinkedInGraph(t *testing.T) {
+	g := BuildLinkedInGraph(LinkedInConfig{Persons: 50, Connections: 200, Companies: 4, Seed: 2})
+	if len(g.VerticesOfType("Person")) != 50 {
+		t.Fatalf("persons = %d", len(g.VerticesOfType("Person")))
+	}
+	if g.Schema.EdgeType("Connected").Directed {
+		t.Error("Connected must be undirected")
+	}
+	// Attributes populated; at least one ACME employee exists.
+	acme := 0
+	for _, v := range g.VerticesOfType("Person") {
+		email, _ := g.VertexAttr(v, "email")
+		if !strings.Contains(email.Str(), "@mail.example") {
+			t.Fatalf("bad email %q", email.Str())
+		}
+		wf, _ := g.VertexAttr(v, "worksFor")
+		if wf.Str() == "ACME" {
+			acme++
+		}
+	}
+	if acme == 0 {
+		t.Error("no ACME employees generated")
+	}
+	// Edge dates in range and no self/duplicate connections.
+	seen := map[[2]VID]bool{}
+	for e := EID(0); int(e) < g.NumEdges(); e++ {
+		s, d := g.EdgeEndpoints(e)
+		if s == d {
+			t.Fatal("self connection")
+		}
+		if s > d {
+			s, d = d, s
+		}
+		if seen[[2]VID{s, d}] {
+			t.Fatal("duplicate connection")
+		}
+		seen[[2]VID{s, d}] = true
+		since, _ := g.EdgeAttr(e, "since")
+		if since.Datetime() < 1388534400 {
+			t.Fatal("connection date out of range")
+		}
+	}
+	// Companies default kicks in below 2.
+	g2 := BuildLinkedInGraph(LinkedInConfig{Persons: 10, Connections: 5, Seed: 2})
+	if g2.NumVertices() != 10 {
+		t.Error("default-company build failed")
+	}
+}
+
+func TestBuildRandomMixedGraphShape(t *testing.T) {
+	g := BuildRandomMixedGraph(6, 20, 3)
+	if g.NumVertices() != 6 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Mixed edge kinds exist in the schema.
+	if g.Schema.EdgeType("U").Directed || !g.Schema.EdgeType("D1").Directed {
+		t.Error("edge kinds wrong")
+	}
+	// No self loops by construction.
+	for e := EID(0); int(e) < g.NumEdges(); e++ {
+		s, d := g.EdgeEndpoints(e)
+		if s == d {
+			t.Fatal("self loop generated")
+		}
+	}
+	// Determinism.
+	g2 := BuildRandomMixedGraph(6, 20, 3)
+	if g.NumEdges() != g2.NumEdges() {
+		t.Error("random mixed graph must be deterministic per seed")
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if DirOut.String() != "out" || DirIn.String() != "in" || DirUndir.String() != "undir" {
+		t.Error("Dir names wrong")
+	}
+	if Dir(9).String() != "dir?" {
+		t.Error("unknown Dir rendering wrong")
+	}
+}
+
+func TestAttrTypeStringAndSchemaCounts(t *testing.T) {
+	names := map[AttrType]string{
+		AttrInt: "int", AttrFloat: "float", AttrString: "string",
+		AttrBool: "bool", AttrDatetime: "datetime",
+	}
+	for at, want := range names {
+		if at.String() != want {
+			t.Errorf("AttrType(%d) = %q, want %q", at, at.String(), want)
+		}
+	}
+	if !strings.Contains(AttrType(77).String(), "attrtype(") {
+		t.Error("unknown AttrType rendering wrong")
+	}
+	s := testSchema(t)
+	if s.NumEdgeTypes() != 2 {
+		t.Errorf("NumEdgeTypes = %d", s.NumEdgeTypes())
+	}
+	if len(s.VertexTypes()) != 2 || len(s.EdgeTypes()) != 2 {
+		t.Error("type listings wrong")
+	}
+}
+
+func TestParseAttrKinds(t *testing.T) {
+	// Exercised through CSV loading of every attribute type.
+	s := NewSchema()
+	if _, err := s.AddVertexType("T",
+		AttrDef{"i", AttrInt}, AttrDef{"f", AttrFloat}, AttrDef{"s", AttrString},
+		AttrDef{"b", AttrBool}, AttrDef{"d", AttrDatetime}); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+	n, err := g.LoadVerticesCSV("T", strings.NewReader(
+		"key,i,f,s,b,d\nk1,7,2.5,hello,true,2020-06-14\nk2,-3,0,world,false,1234\n"))
+	if err != nil || n != 2 {
+		t.Fatalf("load: %d %v", n, err)
+	}
+	v, _ := g.VertexByKey("T", "k1")
+	checks := map[string]value.Value{
+		"i": value.NewInt(7), "f": value.NewFloat(2.5), "s": value.NewString("hello"),
+		"b": value.NewBool(true),
+	}
+	for name, want := range checks {
+		if got, _ := g.VertexAttr(v, name); !value.Equal(got, want) {
+			t.Errorf("attr %s = %v, want %v", name, got, want)
+		}
+	}
+	v2, _ := g.VertexByKey("T", "k2")
+	if d, _ := g.VertexAttr(v2, "d"); d.Datetime() != 1234 {
+		t.Error("epoch datetime attr wrong")
+	}
+	// Parse failures per type.
+	bad := []string{
+		"key,i\nx,notint\n",
+		"key,f\nx,notfloat\n",
+		"key,b\nx,notbool\n",
+		"key,d\nx,junk stamp\n",
+	}
+	for _, csv := range bad {
+		g := New(s)
+		if _, err := g.LoadVerticesCSV("T", strings.NewReader(csv)); err == nil {
+			t.Errorf("LoadVerticesCSV(%q) must error", csv)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"fmt"
+	"time"
+
+	"gsqlgo/internal/value"
+)
+
+// datetime layouts accepted by ParseDatetime, most specific first.
+var datetimeLayouts = []string{
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05",
+	"2006-01-02",
+}
+
+// ParseDatetime parses a datetime literal in one of the accepted
+// layouts (UTC) into a datetime value.
+func ParseDatetime(s string) (value.Value, error) {
+	for _, layout := range datetimeLayouts {
+		if t, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return value.NewDatetime(t.Unix()), nil
+		}
+	}
+	return value.Null, fmt.Errorf("graph: cannot parse datetime %q", s)
+}
+
+// MustDatetime is ParseDatetime for trusted literals; it panics on
+// malformed input.
+func MustDatetime(s string) value.Value {
+	v, err := ParseDatetime(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"gsqlgo/internal/value"
+)
+
+// JSON schema interchange, used by cmd/snbgen and cmd/gsql.
+
+type attrJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type vertexTypeJSON struct {
+	Name  string     `json:"name"`
+	Attrs []attrJSON `json:"attrs,omitempty"`
+}
+
+type edgeTypeJSON struct {
+	Name     string     `json:"name"`
+	Directed bool       `json:"directed"`
+	Attrs    []attrJSON `json:"attrs,omitempty"`
+}
+
+type schemaJSON struct {
+	VertexTypes []vertexTypeJSON `json:"vertexTypes"`
+	EdgeTypes   []edgeTypeJSON   `json:"edgeTypes"`
+}
+
+func attrTypeName(t AttrType) string { return t.String() }
+
+func attrTypeByName(name string) (AttrType, error) {
+	switch name {
+	case "int":
+		return AttrInt, nil
+	case "float":
+		return AttrFloat, nil
+	case "string":
+		return AttrString, nil
+	case "bool":
+		return AttrBool, nil
+	case "datetime":
+		return AttrDatetime, nil
+	default:
+		return 0, fmt.Errorf("graph: unknown attribute type %q", name)
+	}
+}
+
+// MarshalSchemaJSON serializes a schema for interchange.
+func MarshalSchemaJSON(s *Schema) ([]byte, error) {
+	var out schemaJSON
+	for _, vt := range s.VertexTypes() {
+		j := vertexTypeJSON{Name: vt.Name}
+		for _, a := range vt.Attrs {
+			j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Type: attrTypeName(a.Type)})
+		}
+		out.VertexTypes = append(out.VertexTypes, j)
+	}
+	for _, et := range s.EdgeTypes() {
+		j := edgeTypeJSON{Name: et.Name, Directed: et.Directed}
+		for _, a := range et.Attrs {
+			j.Attrs = append(j.Attrs, attrJSON{Name: a.Name, Type: attrTypeName(a.Type)})
+		}
+		out.EdgeTypes = append(out.EdgeTypes, j)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalSchemaJSON parses a schema interchange document.
+func UnmarshalSchemaJSON(data []byte) (*Schema, error) {
+	var in schemaJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("graph: parsing schema JSON: %w", err)
+	}
+	s := NewSchema()
+	for _, vt := range in.VertexTypes {
+		attrs, err := attrsFromJSON(vt.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.AddVertexType(vt.Name, attrs...); err != nil {
+			return nil, err
+		}
+	}
+	for _, et := range in.EdgeTypes {
+		attrs, err := attrsFromJSON(et.Attrs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.AddEdgeType(et.Name, et.Directed, attrs...); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func attrsFromJSON(in []attrJSON) ([]AttrDef, error) {
+	var out []AttrDef
+	for _, a := range in {
+		t, err := attrTypeByName(a.Type)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AttrDef{Name: a.Name, Type: t})
+	}
+	return out, nil
+}
+
+// DumpCSV writes the graph to a directory: schema.json plus one
+// <Type>.vertices.csv per vertex type and <Type>.edges.csv per edge
+// type, in the exact layout LoadVerticesCSV/LoadEdgesCSV accept.
+func (g *Graph) DumpCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	schemaBytes, err := MarshalSchemaJSON(g.Schema)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schema.json"), schemaBytes, 0o644); err != nil {
+		return err
+	}
+	for _, vt := range g.Schema.VertexTypes() {
+		if err := g.dumpVertices(dir, vt); err != nil {
+			return err
+		}
+	}
+	for _, et := range g.Schema.EdgeTypes() {
+		if err := g.dumpEdges(dir, et); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvField(v value.Value) string {
+	switch v.Kind() {
+	case value.KindDatetime:
+		return strconv.FormatInt(v.Datetime(), 10)
+	default:
+		return v.String()
+	}
+}
+
+func (g *Graph) dumpVertices(dir string, vt *VertexType) error {
+	f, err := os.Create(filepath.Join(dir, vt.Name+".vertices.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := []string{"key"}
+	for _, a := range vt.Attrs {
+		header = append(header, a.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, v := range g.byType[vt.ID] {
+		row[0] = g.vkeys[v]
+		for i := range vt.Attrs {
+			row[i+1] = csvField(g.vattrs[v][i])
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func (g *Graph) dumpEdges(dir string, et *EdgeType) error {
+	f, err := os.Create(filepath.Join(dir, et.Name+".edges.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	// The loader needs endpoint vertex types in the header; find the
+	// first edge of this type to derive them (mixed endpoint types per
+	// edge type are not dumpable to a single file).
+	var srcType, dstType string
+	for e := EID(0); int(e) < len(g.etype); e++ {
+		if int(g.etype[e]) != et.ID {
+			continue
+		}
+		sT := g.VertexTypeOf(g.esrc[e]).Name
+		dT := g.VertexTypeOf(g.edst[e]).Name
+		if srcType == "" {
+			srcType, dstType = sT, dT
+		} else if srcType != sT || dstType != dT {
+			return fmt.Errorf("graph: edge type %s connects multiple vertex-type pairs; cannot dump to CSV", et.Name)
+		}
+	}
+	if srcType == "" {
+		// No edges of this type; write an empty placeholder that the
+		// loader would reject — skip the file instead.
+		w.Flush()
+		return os.Remove(f.Name())
+	}
+	header := []string{"src:" + srcType, "dst:" + dstType}
+	for _, a := range et.Attrs {
+		header = append(header, a.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for e := EID(0); int(e) < len(g.etype); e++ {
+		if int(g.etype[e]) != et.ID {
+			continue
+		}
+		row[0] = g.vkeys[g.esrc[e]]
+		row[1] = g.vkeys[g.edst[e]]
+		for i := range et.Attrs {
+			row[i+2] = csvField(g.eattrs[e][i])
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// LoadCSVDir loads a directory produced by DumpCSV: schema.json plus
+// per-type CSV files. It returns the loaded graph.
+func LoadCSVDir(dir string) (*Graph, error) {
+	schemaBytes, err := os.ReadFile(filepath.Join(dir, "schema.json"))
+	if err != nil {
+		return nil, err
+	}
+	s, err := UnmarshalSchemaJSON(schemaBytes)
+	if err != nil {
+		return nil, err
+	}
+	g := New(s)
+	for _, vt := range s.VertexTypes() {
+		path := filepath.Join(dir, vt.Name+".vertices.csv")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		_, err = g.LoadVerticesCSV(vt.Name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, et := range s.EdgeTypes() {
+		path := filepath.Join(dir, et.Name+".edges.csv")
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		_, err = g.LoadEdgesCSV(et.Name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

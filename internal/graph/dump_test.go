@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	data, err := MarshalSchemaJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UnmarshalSchemaJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.VertexTypes()) != len(s.VertexTypes()) || len(s2.EdgeTypes()) != len(s.EdgeTypes()) {
+		t.Fatal("type counts differ after round trip")
+	}
+	if s2.EdgeType("Knows").Directed != s.EdgeType("Knows").Directed {
+		t.Error("directedness lost")
+	}
+	p := s2.VertexType("Person")
+	if p.AttrIndex("age") != 1 || p.Attrs[1].Type != AttrInt {
+		t.Error("attributes lost")
+	}
+	if _, err := UnmarshalSchemaJSON([]byte(`{"vertexTypes":[{"name":"X","attrs":[{"name":"a","type":"blob"}]}]}`)); err == nil {
+		t.Error("unknown attr type must error")
+	}
+	if _, err := UnmarshalSchemaJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}
+
+func TestDumpAndLoadCSVDir(t *testing.T) {
+	g := New(testSchema(t))
+	a, _ := g.AddVertex("Person", "a", map[string]value.Value{"name": value.NewString("Ann"), "age": value.NewInt(3)})
+	b, _ := g.AddVertex("Person", "b", map[string]value.Value{"name": value.NewString("Ben")})
+	nyc, _ := g.AddVertex("City", "nyc", map[string]value.Value{"name": value.NewString("NYC")})
+	if _, err := g.AddEdge("Knows", a, b, map[string]value.Value{"since": value.NewDatetime(1234)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("LivesIn", a, nyc, nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := g.DumpCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: %dV %dE vs %dV %dE", g2.NumVertices(), g2.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	a2, ok := g2.VertexByKey("Person", "a")
+	if !ok {
+		t.Fatal("vertex a lost")
+	}
+	if v, _ := g2.VertexAttr(a2, "age"); v.Int() != 3 {
+		t.Error("attribute lost")
+	}
+	found := false
+	for _, h := range g2.Neighbors(a2) {
+		if g2.EdgeTypeOf(h.Edge).Name == "Knows" {
+			if v, _ := g2.EdgeAttr(h.Edge, "since"); v.Datetime() == 1234 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("edge attribute lost")
+	}
+}

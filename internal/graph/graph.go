@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"fmt"
+
+	"gsqlgo/internal/value"
+)
+
+// VID identifies a vertex within a Graph.
+type VID int32
+
+// EID identifies an edge within a Graph.
+type EID int32
+
+// Dir is the traversal direction of a half-edge relative to the vertex
+// whose adjacency list contains it. It corresponds one-to-one to the
+// paper's direction-adorned alphabet: an E-edge traversed via DirOut
+// spells the symbol "E>", via DirIn the symbol "<E", and via DirUndir
+// the symbol "E".
+type Dir uint8
+
+// Half-edge traversal directions.
+const (
+	DirOut   Dir = iota // directed edge leaving this vertex
+	DirIn               // directed edge arriving at this vertex
+	DirUndir            // undirected edge
+)
+
+// String returns a short name for the direction.
+func (d Dir) String() string {
+	switch d {
+	case DirOut:
+		return "out"
+	case DirIn:
+		return "in"
+	case DirUndir:
+		return "undir"
+	default:
+		return "dir?"
+	}
+}
+
+// HalfEdge is one entry of a vertex's adjacency list.
+type HalfEdge struct {
+	To   VID   // the other endpoint
+	Edge EID   // the underlying edge
+	Type int16 // edge type id
+	Dir  Dir   // traversal direction from the owning vertex
+}
+
+// Graph is an in-memory property graph. It is safe for concurrent
+// reads once loading has finished; mutation is not synchronized.
+type Graph struct {
+	Schema *Schema
+
+	vtype    []int16         // vertex type id per vertex
+	vattrs   [][]value.Value // attribute values per vertex
+	vkeys    []string        // primary key per vertex
+	keyIndex []map[string]VID
+	byType   [][]VID // vertices per vertex type
+
+	adj [][]HalfEdge
+
+	etype  []int16
+	esrc   []VID
+	edst   []VID
+	eattrs [][]value.Value
+}
+
+// New returns an empty graph over the given schema.
+func New(s *Schema) *Graph {
+	g := &Graph{Schema: s}
+	g.keyIndex = make([]map[string]VID, len(s.vertexTypes))
+	g.byType = make([][]VID, len(s.vertexTypes))
+	for i := range g.keyIndex {
+		g.keyIndex[i] = make(map[string]VID)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vtype) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.etype) }
+
+// AddVertex inserts a vertex of the named type with the given primary
+// key and attributes. Missing attributes default to their type's zero
+// value; unknown attribute names or mistyped values are errors.
+func (g *Graph) AddVertex(typeName, key string, attrs map[string]value.Value) (VID, error) {
+	vt := g.Schema.VertexType(typeName)
+	if vt == nil {
+		return 0, fmt.Errorf("graph: unknown vertex type %q", typeName)
+	}
+	if _, dup := g.keyIndex[vt.ID][key]; dup {
+		return 0, fmt.Errorf("graph: duplicate vertex %s %q", typeName, key)
+	}
+	row, err := buildAttrRow(vt.Attrs, vt.attrIdx, attrs, "vertex "+typeName)
+	if err != nil {
+		return 0, err
+	}
+	id := VID(len(g.vtype))
+	g.vtype = append(g.vtype, int16(vt.ID))
+	g.vattrs = append(g.vattrs, row)
+	g.vkeys = append(g.vkeys, key)
+	g.adj = append(g.adj, nil)
+	g.keyIndex[vt.ID][key] = id
+	g.byType[vt.ID] = append(g.byType[vt.ID], id)
+	return id, nil
+}
+
+// AddEdge inserts an edge of the named type between two vertices. For
+// an undirected edge type the (src, dst) order is immaterial.
+func (g *Graph) AddEdge(typeName string, src, dst VID, attrs map[string]value.Value) (EID, error) {
+	et := g.Schema.EdgeType(typeName)
+	if et == nil {
+		return 0, fmt.Errorf("graph: unknown edge type %q", typeName)
+	}
+	if int(src) >= len(g.vtype) || int(dst) >= len(g.vtype) || src < 0 || dst < 0 {
+		return 0, fmt.Errorf("graph: edge %s endpoints out of range (%d, %d)", typeName, src, dst)
+	}
+	row, err := buildAttrRow(et.Attrs, et.attrIdx, attrs, "edge "+typeName)
+	if err != nil {
+		return 0, err
+	}
+	id := EID(len(g.etype))
+	g.etype = append(g.etype, int16(et.ID))
+	g.esrc = append(g.esrc, src)
+	g.edst = append(g.edst, dst)
+	g.eattrs = append(g.eattrs, row)
+	if et.Directed {
+		g.adj[src] = append(g.adj[src], HalfEdge{To: dst, Edge: id, Type: int16(et.ID), Dir: DirOut})
+		g.adj[dst] = append(g.adj[dst], HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirIn})
+	} else {
+		g.adj[src] = append(g.adj[src], HalfEdge{To: dst, Edge: id, Type: int16(et.ID), Dir: DirUndir})
+		if src != dst {
+			g.adj[dst] = append(g.adj[dst], HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirUndir})
+		}
+	}
+	return id, nil
+}
+
+func buildAttrRow(defs []AttrDef, idx map[string]int, attrs map[string]value.Value, what string) ([]value.Value, error) {
+	row := make([]value.Value, len(defs))
+	for i, d := range defs {
+		row[i] = d.Type.Zero()
+	}
+	for name, v := range attrs {
+		i, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("graph: %s has no attribute %q", what, name)
+		}
+		if !defs[i].Type.Accepts(v) {
+			return nil, fmt.Errorf("graph: %s attribute %q: cannot store %s into %s", what, name, v.Kind(), defs[i].Type)
+		}
+		row[i] = defs[i].Type.coerce(v)
+	}
+	return row, nil
+}
+
+// VertexByKey resolves a vertex by type name and primary key.
+func (g *Graph) VertexByKey(typeName, key string) (VID, bool) {
+	vt := g.Schema.VertexType(typeName)
+	if vt == nil {
+		return 0, false
+	}
+	id, ok := g.keyIndex[vt.ID][key]
+	return id, ok
+}
+
+// VertexKey returns the primary key of a vertex.
+func (g *Graph) VertexKey(v VID) string { return g.vkeys[v] }
+
+// VertexTypeOf returns the type of a vertex.
+func (g *Graph) VertexTypeOf(v VID) *VertexType { return g.Schema.vertexTypes[g.vtype[v]] }
+
+// VerticesOfType returns all vertices of the named type (nil if the
+// type is unknown). The returned slice must not be mutated.
+func (g *Graph) VerticesOfType(typeName string) []VID {
+	vt := g.Schema.VertexType(typeName)
+	if vt == nil {
+		return nil
+	}
+	return g.byType[vt.ID]
+}
+
+// VertexAttr returns the named attribute of a vertex.
+func (g *Graph) VertexAttr(v VID, name string) (value.Value, bool) {
+	vt := g.VertexTypeOf(v)
+	i := vt.AttrIndex(name)
+	if i < 0 {
+		return value.Null, false
+	}
+	return g.vattrs[v][i], true
+}
+
+// SetVertexAttr updates the named attribute of a vertex.
+func (g *Graph) SetVertexAttr(v VID, name string, val value.Value) error {
+	vt := g.VertexTypeOf(v)
+	i := vt.AttrIndex(name)
+	if i < 0 {
+		return fmt.Errorf("graph: vertex type %s has no attribute %q", vt.Name, name)
+	}
+	if !vt.Attrs[i].Type.Accepts(val) {
+		return fmt.Errorf("graph: attribute %q: cannot store %s into %s", name, val.Kind(), vt.Attrs[i].Type)
+	}
+	g.vattrs[v][i] = vt.Attrs[i].Type.coerce(val)
+	return nil
+}
+
+// EdgeTypeOf returns the type of an edge.
+func (g *Graph) EdgeTypeOf(e EID) *EdgeType { return g.Schema.edgeTypes[g.etype[e]] }
+
+// EdgeEndpoints returns the (source, destination) pair of an edge as
+// stored; for undirected edges the order is insertion order.
+func (g *Graph) EdgeEndpoints(e EID) (VID, VID) { return g.esrc[e], g.edst[e] }
+
+// EdgeAttr returns the named attribute of an edge.
+func (g *Graph) EdgeAttr(e EID, name string) (value.Value, bool) {
+	et := g.EdgeTypeOf(e)
+	i := et.AttrIndex(name)
+	if i < 0 {
+		return value.Null, false
+	}
+	return g.eattrs[e][i], true
+}
+
+// Neighbors returns the adjacency list of a vertex: one HalfEdge per
+// incident edge, with the traversal direction seen from v. The slice
+// must not be mutated.
+func (g *Graph) Neighbors(v VID) []HalfEdge { return g.adj[v] }
+
+// OutDegree returns the number of edges leaving v: outgoing directed
+// edges plus incident undirected edges (TigerGraph's outdegree()).
+func (g *Graph) OutDegree(v VID) int {
+	n := 0
+	for _, h := range g.adj[v] {
+		if h.Dir == DirOut || h.Dir == DirUndir {
+			n++
+		}
+	}
+	return n
+}
+
+// OutDegreeByType is OutDegree restricted to one edge type.
+func (g *Graph) OutDegreeByType(v VID, edgeType string) int {
+	et := g.Schema.EdgeType(edgeType)
+	if et == nil {
+		return 0
+	}
+	n := 0
+	for _, h := range g.adj[v] {
+		if int(h.Type) == et.ID && (h.Dir == DirOut || h.Dir == DirUndir) {
+			n++
+		}
+	}
+	return n
+}
+
+// Degree returns the total number of incident half-edges of v.
+func (g *Graph) Degree(v VID) int { return len(g.adj[v]) }

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gsqlgo/internal/value"
+)
+
+// LoadVerticesCSV bulk-loads vertices of one type from CSV. The first
+// header column must be "key"; the remaining header columns name
+// attributes of the vertex type. Returns the number of vertices added.
+func (g *Graph) LoadVerticesCSV(typeName string, r io.Reader) (int, error) {
+	vt := g.Schema.VertexType(typeName)
+	if vt == nil {
+		return 0, fmt.Errorf("graph: unknown vertex type %q", typeName)
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("graph: reading CSV header: %w", err)
+	}
+	if len(header) == 0 || strings.TrimSpace(header[0]) != "key" {
+		return 0, fmt.Errorf("graph: vertex CSV for %s must start with a 'key' column", typeName)
+	}
+	cols := make([]int, len(header)) // header position -> attr index
+	types := make([]AttrType, len(header))
+	for i := 1; i < len(header); i++ {
+		name := strings.TrimSpace(header[i])
+		ai := vt.AttrIndex(name)
+		if ai < 0 {
+			return 0, fmt.Errorf("graph: vertex type %s has no attribute %q", typeName, name)
+		}
+		cols[i] = ai
+		types[i] = vt.Attrs[ai].Type
+	}
+	n := 0
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("graph: CSV line %d: %w", line, err)
+		}
+		attrs := make(map[string]value.Value, len(rec)-1)
+		for i := 1; i < len(rec) && i < len(header); i++ {
+			v, err := parseAttr(types[i], rec[i])
+			if err != nil {
+				return n, fmt.Errorf("graph: CSV line %d column %q: %w", line, header[i], err)
+			}
+			attrs[vt.Attrs[cols[i]].Name] = v
+		}
+		if _, err := g.AddVertex(typeName, rec[0], attrs); err != nil {
+			return n, fmt.Errorf("graph: CSV line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// LoadEdgesCSV bulk-loads edges of one type from CSV. The header must
+// start with "src:<VertexType>,dst:<VertexType>"; remaining columns
+// name edge attributes. Endpoint columns hold vertex primary keys.
+func (g *Graph) LoadEdgesCSV(typeName string, r io.Reader) (int, error) {
+	et := g.Schema.EdgeType(typeName)
+	if et == nil {
+		return 0, fmt.Errorf("graph: unknown edge type %q", typeName)
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("graph: reading CSV header: %w", err)
+	}
+	if len(header) < 2 || !strings.HasPrefix(header[0], "src:") || !strings.HasPrefix(header[1], "dst:") {
+		return 0, fmt.Errorf("graph: edge CSV for %s must start with src:<Type>,dst:<Type> columns", typeName)
+	}
+	srcType := strings.TrimPrefix(strings.TrimSpace(header[0]), "src:")
+	dstType := strings.TrimPrefix(strings.TrimSpace(header[1]), "dst:")
+	cols := make([]int, len(header))
+	types := make([]AttrType, len(header))
+	for i := 2; i < len(header); i++ {
+		name := strings.TrimSpace(header[i])
+		ai := et.AttrIndex(name)
+		if ai < 0 {
+			return 0, fmt.Errorf("graph: edge type %s has no attribute %q", typeName, name)
+		}
+		cols[i] = ai
+		types[i] = et.Attrs[ai].Type
+	}
+	n := 0
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("graph: CSV line %d: %w", line, err)
+		}
+		src, ok := g.VertexByKey(srcType, rec[0])
+		if !ok {
+			return n, fmt.Errorf("graph: CSV line %d: unknown %s vertex %q", line, srcType, rec[0])
+		}
+		dst, ok := g.VertexByKey(dstType, rec[1])
+		if !ok {
+			return n, fmt.Errorf("graph: CSV line %d: unknown %s vertex %q", line, dstType, rec[1])
+		}
+		attrs := make(map[string]value.Value, len(rec)-2)
+		for i := 2; i < len(rec) && i < len(header); i++ {
+			v, err := parseAttr(types[i], rec[i])
+			if err != nil {
+				return n, fmt.Errorf("graph: CSV line %d column %q: %w", line, header[i], err)
+			}
+			attrs[et.Attrs[cols[i]].Name] = v
+		}
+		if _, err := g.AddEdge(typeName, src, dst, attrs); err != nil {
+			return n, fmt.Errorf("graph: CSV line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func parseAttr(t AttrType, s string) (value.Value, error) {
+	s = strings.TrimSpace(s)
+	switch t {
+	case AttrInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case AttrFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(f), nil
+	case AttrString:
+		return value.NewString(s), nil
+	case AttrBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(b), nil
+	case AttrDatetime:
+		// Accept Unix seconds or "YYYY-MM-DD[ HH:MM:SS]".
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return value.NewDatetime(i), nil
+		}
+		return ParseDatetime(s)
+	default:
+		return value.Null, fmt.Errorf("unsupported attribute type %v", t)
+	}
+}

@@ -1,0 +1,196 @@
+// Package graph implements the in-memory property graph substrate the
+// GSQL engine runs on: a schema of vertex and edge types (edge types
+// may be directed or undirected, and both kinds coexist in one graph,
+// as required by the paper's DARPE formalism), vertex/edge attribute
+// storage, and adjacency lists that expose each incident edge together
+// with its traversal direction.
+package graph
+
+import (
+	"fmt"
+
+	"gsqlgo/internal/value"
+)
+
+// AttrType is the declared type of a vertex or edge attribute.
+type AttrType uint8
+
+// Attribute types supported by the schema.
+const (
+	AttrInt AttrType = iota
+	AttrFloat
+	AttrString
+	AttrBool
+	AttrDatetime
+)
+
+// String returns the GSQL name of the attribute type.
+func (t AttrType) String() string {
+	switch t {
+	case AttrInt:
+		return "int"
+	case AttrFloat:
+		return "float"
+	case AttrString:
+		return "string"
+	case AttrBool:
+		return "bool"
+	case AttrDatetime:
+		return "datetime"
+	default:
+		return fmt.Sprintf("attrtype(%d)", uint8(t))
+	}
+}
+
+// Zero returns the zero value of the attribute type.
+func (t AttrType) Zero() value.Value {
+	switch t {
+	case AttrInt:
+		return value.NewInt(0)
+	case AttrFloat:
+		return value.NewFloat(0)
+	case AttrString:
+		return value.NewString("")
+	case AttrBool:
+		return value.NewBool(false)
+	case AttrDatetime:
+		return value.NewDatetime(0)
+	default:
+		return value.Null
+	}
+}
+
+// Accepts reports whether a runtime value is storable in an attribute
+// of this type. Ints are accepted into float attributes (widening).
+func (t AttrType) Accepts(v value.Value) bool {
+	switch t {
+	case AttrInt:
+		return v.Kind() == value.KindInt
+	case AttrFloat:
+		return v.Kind() == value.KindFloat || v.Kind() == value.KindInt
+	case AttrString:
+		return v.Kind() == value.KindString
+	case AttrBool:
+		return v.Kind() == value.KindBool
+	case AttrDatetime:
+		return v.Kind() == value.KindDatetime || v.Kind() == value.KindInt
+	default:
+		return false
+	}
+}
+
+// coerce converts v to the canonical representation for the type.
+func (t AttrType) coerce(v value.Value) value.Value {
+	switch t {
+	case AttrFloat:
+		if v.Kind() == value.KindInt {
+			return value.NewFloat(float64(v.Int()))
+		}
+	case AttrDatetime:
+		if v.Kind() == value.KindInt {
+			return value.NewDatetime(v.Int())
+		}
+	}
+	return v
+}
+
+// AttrDef declares one attribute of a vertex or edge type.
+type AttrDef struct {
+	Name string
+	Type AttrType
+}
+
+// VertexType describes one vertex type of the schema.
+type VertexType struct {
+	ID      int
+	Name    string
+	Attrs   []AttrDef
+	attrIdx map[string]int
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (vt *VertexType) AttrIndex(name string) int {
+	if i, ok := vt.attrIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgeType describes one edge type of the schema. Directed reports the
+// edge kind; a graph freely mixes directed and undirected edge types.
+type EdgeType struct {
+	ID       int
+	Name     string
+	Directed bool
+	Attrs    []AttrDef
+	attrIdx  map[string]int
+}
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (et *EdgeType) AttrIndex(name string) int {
+	if i, ok := et.attrIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Schema is the catalog of vertex and edge types of a graph.
+type Schema struct {
+	vertexTypes []*VertexType
+	edgeTypes   []*EdgeType
+	vtByName    map[string]*VertexType
+	etByName    map[string]*EdgeType
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		vtByName: make(map[string]*VertexType),
+		etByName: make(map[string]*EdgeType),
+	}
+}
+
+// AddVertexType declares a vertex type with the given attributes.
+func (s *Schema) AddVertexType(name string, attrs ...AttrDef) (*VertexType, error) {
+	if _, dup := s.vtByName[name]; dup {
+		return nil, fmt.Errorf("graph: duplicate vertex type %q", name)
+	}
+	vt := &VertexType{ID: len(s.vertexTypes), Name: name, Attrs: attrs, attrIdx: attrIndex(attrs)}
+	s.vertexTypes = append(s.vertexTypes, vt)
+	s.vtByName[name] = vt
+	return vt, nil
+}
+
+// AddEdgeType declares an edge type. directed selects the edge kind.
+func (s *Schema) AddEdgeType(name string, directed bool, attrs ...AttrDef) (*EdgeType, error) {
+	if _, dup := s.etByName[name]; dup {
+		return nil, fmt.Errorf("graph: duplicate edge type %q", name)
+	}
+	et := &EdgeType{ID: len(s.edgeTypes), Name: name, Directed: directed, Attrs: attrs, attrIdx: attrIndex(attrs)}
+	s.edgeTypes = append(s.edgeTypes, et)
+	s.etByName[name] = et
+	return et, nil
+}
+
+func attrIndex(attrs []AttrDef) map[string]int {
+	m := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		m[a.Name] = i
+	}
+	return m
+}
+
+// VertexType returns the named vertex type, or nil.
+func (s *Schema) VertexType(name string) *VertexType { return s.vtByName[name] }
+
+// EdgeType returns the named edge type, or nil.
+func (s *Schema) EdgeType(name string) *EdgeType { return s.etByName[name] }
+
+// VertexTypes returns all vertex types in declaration order.
+func (s *Schema) VertexTypes() []*VertexType { return s.vertexTypes }
+
+// EdgeTypes returns all edge types in declaration order.
+func (s *Schema) EdgeTypes() []*EdgeType { return s.edgeTypes }
+
+// NumEdgeTypes returns the count of declared edge types.
+func (s *Schema) NumEdgeTypes() int { return len(s.edgeTypes) }

@@ -1,0 +1,331 @@
+package gsql
+
+import (
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/value"
+)
+
+// File is a parsed GSQL source: tuple typedefs and queries.
+type File struct {
+	Typedefs []*accum.TupleType
+	Queries  []*Query
+}
+
+// Query is one CREATE QUERY definition.
+type Query struct {
+	Name      string
+	Params    []Param
+	GraphName string // FOR GRAPH name; informational
+	// Semantics optionally overrides the engine's path-legality flavor
+	// for this query ("asp", "nre", "nrv", "exists") — the per-query
+	// semantics selection Section 6.1 calls for.
+	Semantics string
+	Decls     []*AccumDecl
+	Stmts     []Stmt
+}
+
+// Param is a query parameter.
+type Param struct {
+	Name string
+	Type TypeRef
+}
+
+// TypeRef is a scalar or vertex parameter/local type.
+type TypeRef struct {
+	Kind       value.Kind // scalar kind; KindVertex for vertex params
+	VertexType string     // constraint for vertex<T>; empty = any
+}
+
+// AccumDecl declares one accumulator name (the paper's "@" vertex
+// accumulators — one instance per vertex — and "@@" globals).
+type AccumDecl struct {
+	Name   string
+	Global bool
+	Spec   *accum.Spec
+	Init   Expr // optional initializer (e.g. SumAccum<float> @score = 1)
+}
+
+// ---- statements -------------------------------------------------------------
+
+// Stmt is a query-body statement.
+type Stmt interface{ stmtNode() }
+
+// AssignStmt assigns a vertex set, table or scalar local: S = {T.*},
+// S = SELECT ..., x = expr.
+type AssignStmt struct {
+	Name string
+	Rhs  Expr // VSetLit, SelectExpr or scalar expression
+}
+
+func (*AssignStmt) stmtNode() {}
+
+// AccAssignStmt updates an accumulator at statement level:
+// @@acc = expr; or @@acc += expr;.
+type AccAssignStmt struct {
+	Target Expr // GlobalAccRef or VertexAccRef
+	Op     string
+	Rhs    Expr
+}
+
+func (*AccAssignStmt) stmtNode() {}
+
+// SelectStmt is a standalone SELECT block (with INTO outputs).
+type SelectStmt struct {
+	Sel *SelectExpr
+}
+
+func (*SelectStmt) stmtNode() {}
+
+// WhileStmt is WHILE cond [LIMIT n] DO body END.
+type WhileStmt struct {
+	Cond  Expr
+	Limit Expr // optional iteration cap
+	Body  []Stmt
+}
+
+func (*WhileStmt) stmtNode() {}
+
+// IfStmt is IF cond THEN body [ELSE body] END.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (*IfStmt) stmtNode() {}
+
+// PrintStmt emits values or projected vertex-set tables.
+type PrintStmt struct {
+	Items []PrintItem
+}
+
+func (*PrintStmt) stmtNode() {}
+
+// PrintItem is one PRINT operand: an expression, or the projection
+// form R[e1, e2, ...] over a vertex set R.
+type PrintItem struct {
+	Expr        Expr
+	Projections []SelectItem // non-nil for the R[...] form
+}
+
+// ReturnStmt returns a value or named table from the query.
+type ReturnStmt struct {
+	Expr Expr
+}
+
+func (*ReturnStmt) stmtNode() {}
+
+// ForeachStmt is FOREACH x IN expr DO body END: iterate over a list,
+// set or map value (map entries bind as (key, value) tuples), binding
+// the element to a local variable.
+type ForeachStmt struct {
+	Var  string
+	Coll Expr
+	Body []Stmt
+}
+
+func (*ForeachStmt) stmtNode() {}
+
+// ---- SELECT structure --------------------------------------------------------
+
+// SelectExpr is the full SELECT block. When used as the right-hand
+// side of an assignment its first output must be a single bare vertex
+// alias (the resulting vertex set).
+type SelectExpr struct {
+	Distinct  bool
+	Outputs   []SelectOutput
+	From      []PathPattern
+	Where     Expr
+	Accum     []AccStmt
+	PostAccum []AccStmt
+	GroupBy   []Expr
+	// GroupingSets holds the grouping-attribute subsets of GROUP BY
+	// GROUPING SETS / CUBE / ROLLUP (Example 12's SQL extensions,
+	// expressible as accumulator sugar). Each inner slice indexes into
+	// GroupBy; nil means a plain GROUP BY.
+	GroupingSets [][]int
+	Having       Expr
+	OrderBy      []OrderKey
+	Limit        Expr
+}
+
+// SelectOutput is one semicolon-separated output fragment of a
+// multi-output SELECT (Example 5): items INTO table.
+type SelectOutput struct {
+	Items []SelectItem
+	Into  string // empty for the assignment form
+}
+
+// SelectItem is one projected expression with optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderKey is one ORDER BY component.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// PathPattern is one FROM-clause conjunct: Seed:alias followed by
+// hops -(DARPE[:edgeAlias])- Target:alias.
+type PathPattern struct {
+	Src  StepRef
+	Hops []Hop
+}
+
+// StepRef names a pattern endpoint: a vertex type, a vertex-set
+// variable, a vertex parameter — resolved at run time — plus its
+// binding alias.
+type StepRef struct {
+	Name  string
+	Alias string
+}
+
+// Hop is one -(DARPE[:alias])- Target step.
+type Hop struct {
+	Darpe     darpe.Expr
+	DarpeText string // original text (diagnostics, plan display)
+	EdgeAlias string // only valid for single-symbol DARPEs
+	Target    StepRef
+}
+
+// AccStmt is one comma-separated statement of an ACCUM or POST-ACCUM
+// clause: an assignment/input statement, or a conditional block
+// (IF ... THEN stmts [ELSE stmts] END) when Cond is non-nil.
+type AccStmt struct {
+	// LocalType is set for typed local declarations
+	// (FLOAT salesPrice = ...); Lhs is then an Ident.
+	LocalType *TypeRef
+	Lhs       Expr // Ident, VertexAccRef or GlobalAccRef
+	Op        string
+	Rhs       Expr
+
+	// Conditional form.
+	Cond Expr
+	Then []AccStmt
+	Else []AccStmt
+}
+
+// ---- expressions --------------------------------------------------------------
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Lit is a literal value.
+type Lit struct {
+	Val value.Value
+}
+
+func (*Lit) exprNode() {}
+
+// Ident references a parameter, local variable, pattern alias or
+// vertex-set / table name.
+type Ident struct {
+	Name string
+}
+
+func (*Ident) exprNode() {}
+
+// GlobalAccRef references a global accumulator @@name.
+type GlobalAccRef struct {
+	Name string
+}
+
+func (*GlobalAccRef) exprNode() {}
+
+// VertexAccRef references a vertex accumulator v.@name; Prev marks the
+// primed form v.@name' (value at clause start / previous iteration).
+type VertexAccRef struct {
+	Vertex Expr
+	Name   string
+	Prev   bool
+}
+
+func (*VertexAccRef) exprNode() {}
+
+// AttrRef is v.attr (vertex or edge attribute, or projection column).
+type AttrRef struct {
+	Obj  Expr
+	Name string
+}
+
+func (*AttrRef) exprNode() {}
+
+// Call is a function call name(args...) or method call recv.name(args).
+type Call struct {
+	Recv Expr // nil for plain functions
+	Name string
+	Args []Expr
+}
+
+func (*Call) exprNode() {}
+
+// Binary is a binary operation; Op is one of + - * / % and the
+// comparison and logical operators (==, !=, <, <=, >, >=, and, or).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+// Unary is -x or not x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+func (*Unary) exprNode() {}
+
+// TupleExpr is (e1, e2, ...) — heap inputs and composite values.
+type TupleExpr struct {
+	Elems []Expr
+}
+
+func (*TupleExpr) exprNode() {}
+
+// ArrowTuple is the paper's grouped-input syntax
+// (k1, k2 -> a1, a2) feeding MapAccum and GroupByAccum.
+type ArrowTuple struct {
+	Keys []Expr
+	Vals []Expr
+}
+
+func (*ArrowTuple) exprNode() {}
+
+// VSetLit is a vertex-set literal {T1.*, T2.*}.
+type VSetLit struct {
+	Types []string
+}
+
+func (*VSetLit) exprNode() {}
+
+// SetOpExpr combines vertex sets: S = A UNION B, A INTERSECT B,
+// A MINUS B. Valid only as an assignment right-hand side; operands are
+// vertex-set names or nested set operations.
+type SetOpExpr struct {
+	Op   string // "union" | "intersect" | "minus"
+	L, R Expr
+}
+
+func (*SetOpExpr) exprNode() {}
+
+// CaseExpr is CASE WHEN c1 THEN e1 [WHEN c2 THEN e2]... [ELSE e] END.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr // nil yields null when no branch matches
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct {
+	Cond Expr
+	Then Expr
+}
+
+func (*CaseExpr) exprNode() {}
+
+// SelectExpr participates as the RHS of assignments.
+func (*SelectExpr) exprNode() {}

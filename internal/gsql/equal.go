@@ -1,0 +1,90 @@
+package gsql
+
+import "gsqlgo/internal/value"
+
+// ExprEqual reports structural equality of two expressions. The
+// grouped-output evaluator uses it to match SELECT items against
+// GROUP BY keys (needed for GROUPING SETS, where excluded keys read
+// as null).
+func ExprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Lit:
+		y, ok := b.(*Lit)
+		return ok && value.Equal(x.Val, y.Val)
+	case *Ident:
+		y, ok := b.(*Ident)
+		return ok && x.Name == y.Name
+	case *GlobalAccRef:
+		y, ok := b.(*GlobalAccRef)
+		return ok && x.Name == y.Name
+	case *VertexAccRef:
+		y, ok := b.(*VertexAccRef)
+		return ok && x.Name == y.Name && x.Prev == y.Prev && ExprEqual(x.Vertex, y.Vertex)
+	case *AttrRef:
+		y, ok := b.(*AttrRef)
+		return ok && x.Name == y.Name && ExprEqual(x.Obj, y.Obj)
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Name != y.Name || len(x.Args) != len(y.Args) {
+			return false
+		}
+		if (x.Recv == nil) != (y.Recv == nil) {
+			return false
+		}
+		if x.Recv != nil && !ExprEqual(x.Recv, y.Recv) {
+			return false
+		}
+		return exprsEqual(x.Args, y.Args)
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && ExprEqual(x.L, y.L) && ExprEqual(x.R, y.R)
+	case *Unary:
+		y, ok := b.(*Unary)
+		return ok && x.Op == y.Op && ExprEqual(x.X, y.X)
+	case *TupleExpr:
+		y, ok := b.(*TupleExpr)
+		return ok && exprsEqual(x.Elems, y.Elems)
+	case *ArrowTuple:
+		y, ok := b.(*ArrowTuple)
+		return ok && exprsEqual(x.Keys, y.Keys) && exprsEqual(x.Vals, y.Vals)
+	case *VSetLit:
+		y, ok := b.(*VSetLit)
+		if !ok || len(x.Types) != len(y.Types) {
+			return false
+		}
+		for i := range x.Types {
+			if x.Types[i] != y.Types[i] {
+				return false
+			}
+		}
+		return true
+	case *CaseExpr:
+		y, ok := b.(*CaseExpr)
+		if !ok || len(x.Whens) != len(y.Whens) {
+			return false
+		}
+		for i := range x.Whens {
+			if !ExprEqual(x.Whens[i].Cond, y.Whens[i].Cond) || !ExprEqual(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		if (x.Else == nil) != (y.Else == nil) {
+			return false
+		}
+		return x.Else == nil || ExprEqual(x.Else, y.Else)
+	default:
+		return false
+	}
+}
+
+func exprsEqual(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ExprEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,250 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/value"
+)
+
+func TestParseSemanticsAnnotation(t *testing.T) {
+	for src, want := range map[string]string{
+		`CREATE QUERY q() SEMANTICS nre {}`:                      "nre",
+		`CREATE QUERY q() FOR GRAPH g SEMANTICS asp {}`:          "asp",
+		`CREATE QUERY q(int x) SEMANTICS non_repeated_vertex {}`: "non_repeated_vertex",
+		`CREATE QUERY q() {}`:                                    "",
+	} {
+		f := mustParse(t, src)
+		if got := f.Queries[0].Semantics; got != want {
+			t.Errorf("%q: semantics %q, want %q", src, got, want)
+		}
+	}
+	if _, err := Parse(`CREATE QUERY q() SEMANTICS martian {}`); err == nil || !strings.Contains(err.Error(), "unknown semantics") {
+		t.Errorf("bad semantics error: %v", err)
+	}
+}
+
+func TestParseConditionalAccum(t *testing.T) {
+	src := `
+CREATE QUERY q() {
+  SumAccum<int> @@a, @@b;
+  S = SELECT v FROM V:v -(E>)- V:w
+      ACCUM IF v.x > 1 THEN
+              @@a += 1, @@b += 2
+            ELSE
+              IF v.x == 0 THEN @@b += 3 END
+            END,
+            @@a += 10;
+}
+`
+	f := mustParse(t, src)
+	sel := f.Queries[0].Stmts[0].(*AssignStmt).Rhs.(*SelectExpr)
+	if len(sel.Accum) != 2 {
+		t.Fatalf("accum stmts = %d", len(sel.Accum))
+	}
+	cond := sel.Accum[0]
+	if cond.Cond == nil || len(cond.Then) != 2 || len(cond.Else) != 1 {
+		t.Fatalf("conditional shape: %+v", cond)
+	}
+	if cond.Else[0].Cond == nil {
+		t.Error("nested conditional lost")
+	}
+	if sel.Accum[1].Cond != nil {
+		t.Error("trailing plain statement misparsed")
+	}
+}
+
+func TestParseCaseAndIn(t *testing.T) {
+	src := `
+CREATE QUERY q() {
+  x = CASE WHEN 1 > 2 THEN "a" WHEN 2 > 1 THEN "b" ELSE "c" END;
+  y = CASE WHEN true THEN 1 END;
+  S = SELECT v FROM V:v WHERE v.name IN ("a", "b") AND NOT v.name IN ("z");
+}
+`
+	f := mustParse(t, src)
+	ce := f.Queries[0].Stmts[0].(*AssignStmt).Rhs.(*CaseExpr)
+	if len(ce.Whens) != 2 || ce.Else == nil {
+		t.Errorf("case shape: %+v", ce)
+	}
+	ce2 := f.Queries[0].Stmts[1].(*AssignStmt).Rhs.(*CaseExpr)
+	if ce2.Else != nil {
+		t.Error("ELSE-less case must have nil Else")
+	}
+	if _, err := Parse(`CREATE QUERY q() { x = CASE ELSE 1 END; }`); err == nil {
+		t.Error("CASE without WHEN must fail")
+	}
+	where := f.Queries[0].Stmts[2].(*AssignStmt).Rhs.(*SelectExpr).Where
+	and, ok := where.(*Binary)
+	if !ok || and.Op != "and" {
+		t.Fatalf("where shape: %T", where)
+	}
+	if in, ok := and.L.(*Binary); !ok || in.Op != "in" {
+		t.Errorf("IN shape: %+v", and.L)
+	}
+	if not, ok := and.R.(*Unary); !ok || not.Op != "not" {
+		t.Errorf("NOT IN shape: %+v", and.R)
+	}
+}
+
+func TestParseForeach(t *testing.T) {
+	src := `
+CREATE QUERY q() {
+  SetAccum<int> @@s;
+  SumAccum<int> @@t;
+  FOREACH x IN @@s DO
+    @@t += x;
+    FOREACH y IN @@s DO
+      @@t += y;
+    END;
+  END;
+}
+`
+	f := mustParse(t, src)
+	fe := f.Queries[0].Stmts[0].(*ForeachStmt)
+	if fe.Var != "x" || len(fe.Body) != 2 {
+		t.Fatalf("foreach shape: %+v", fe)
+	}
+	if _, ok := fe.Body[1].(*ForeachStmt); !ok {
+		t.Error("nested foreach lost")
+	}
+}
+
+func TestParseGroupingSetsCubeRollup(t *testing.T) {
+	parseSel := func(clause string) *SelectExpr {
+		t.Helper()
+		f := mustParse(t, `
+CREATE QUERY q() {
+  SELECT a.x, count(*) INTO T FROM V:a GROUP BY `+clause+`;
+}`)
+		return f.Queries[0].Stmts[0].(*SelectStmt).Sel
+	}
+	gs := parseSel("GROUPING SETS ((a.x, a.y), (a.z), ())")
+	if len(gs.GroupBy) != 3 {
+		t.Errorf("canonical keys = %d, want 3", len(gs.GroupBy))
+	}
+	if len(gs.GroupingSets) != 3 || len(gs.GroupingSets[0]) != 2 || len(gs.GroupingSets[1]) != 1 || len(gs.GroupingSets[2]) != 0 {
+		t.Errorf("grouping sets = %v", gs.GroupingSets)
+	}
+	cube := parseSel("CUBE (a.x, a.y)")
+	if len(cube.GroupingSets) != 4 {
+		t.Errorf("cube sets = %d, want 4", len(cube.GroupingSets))
+	}
+	rollup := parseSel("ROLLUP (a.x, a.y, a.z)")
+	if len(rollup.GroupingSets) != 4 {
+		t.Errorf("rollup sets = %d, want 4", len(rollup.GroupingSets))
+	}
+	for i, set := range rollup.GroupingSets {
+		if len(set) != 3-i {
+			t.Errorf("rollup set %d size %d", i, len(set))
+		}
+	}
+	plain := parseSel("a.x, a.y")
+	if plain.GroupingSets != nil || len(plain.GroupBy) != 2 {
+		t.Errorf("plain group by: %v / %v", plain.GroupBy, plain.GroupingSets)
+	}
+	// Shared keys dedupe in the canonical list.
+	shared := parseSel("GROUPING SETS ((a.x, a.y), (a.x))")
+	if len(shared.GroupBy) != 2 {
+		t.Errorf("shared keys = %d, want 2", len(shared.GroupBy))
+	}
+	if _, err := Parse(`CREATE QUERY q() { SELECT count(*) INTO T FROM V:a GROUP BY CUBE (a.a1, a.a2, a.a3, a.a4, a.a5, a.a6, a.a7, a.a8, a.a9, a.b1, a.b2, a.b3, a.b4); }`); err == nil {
+		t.Error("oversized CUBE must fail")
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	f := mustParse(t, `
+CREATE QUERY q() {
+  S = A UNION B INTERSECT C MINUS D;
+}`)
+	so := f.Queries[0].Stmts[0].(*AssignStmt).Rhs.(*SetOpExpr)
+	if so.Op != "minus" {
+		t.Fatalf("outermost op %q", so.Op)
+	}
+	inner := so.L.(*SetOpExpr)
+	if inner.Op != "intersect" || inner.L.(*SetOpExpr).Op != "union" {
+		t.Error("set-op associativity wrong")
+	}
+}
+
+func TestParseBitwiseDecls(t *testing.T) {
+	f := mustParse(t, `
+CREATE QUERY q() {
+  BitwiseAndAccum @@a;
+  BitwiseOrAccum @@o;
+}`)
+	decls := f.Queries[0].Decls
+	if decls[0].Spec.Kind != accum.KindBitwiseAnd || decls[1].Spec.Kind != accum.KindBitwiseOr {
+		t.Errorf("bitwise decl kinds: %v %v", decls[0].Spec.Kind, decls[1].Spec.Kind)
+	}
+}
+
+func TestExprEqual(t *testing.T) {
+	parse := func(src string) Expr {
+		t.Helper()
+		f := mustParse(t, "CREATE QUERY q() { x = "+src+"; }")
+		return f.Queries[0].Stmts[0].(*AssignStmt).Rhs
+	}
+	same := [][2]string{
+		{`a.x + 1`, `a.x + 1`},
+		{`year(m.d)`, `year(m.d)`},
+		{`CASE WHEN a.x THEN 1 ELSE 2 END`, `CASE WHEN a.x THEN 1 ELSE 2 END`},
+		{`(1, 2)`, `(1, 2)`},
+		{`- a.x`, `-a.x`},
+	}
+	diff := [][2]string{
+		{`a.x + 1`, `a.x + 2`},
+		{`a.x`, `a.y`},
+		{`year(m.d)`, `month(m.d)`},
+		{`a.x`, `1`},
+		{`CASE WHEN a.x THEN 1 END`, `CASE WHEN a.x THEN 1 ELSE 2 END`},
+	}
+	for _, pair := range same {
+		if !ExprEqual(parse(pair[0]), parse(pair[1])) {
+			t.Errorf("ExprEqual(%q, %q) = false", pair[0], pair[1])
+		}
+	}
+	for _, pair := range diff {
+		if ExprEqual(parse(pair[0]), parse(pair[1])) {
+			t.Errorf("ExprEqual(%q, %q) = true", pair[0], pair[1])
+		}
+	}
+	// Accumulator references.
+	sel := mustParse(t, `CREATE QUERY q() { S = SELECT v FROM V:v WHERE v.@a == v.@a' AND @@g == 0; }`)
+	w := sel.Queries[0].Stmts[0].(*AssignStmt).Rhs.(*SelectExpr).Where.(*Binary)
+	eq := w.L.(*Binary)
+	if ExprEqual(eq.L, eq.R) {
+		t.Error("v.@a and v.@a' must differ")
+	}
+	if !ExprEqual(eq.L, eq.L) {
+		t.Error("self equality failed")
+	}
+}
+
+func TestValueKindNamesInSpecs(t *testing.T) {
+	// Regression: all scalar type names round-trip through the parser.
+	src := `
+CREATE QUERY q() {
+  SumAccum<int> @@a;
+  SumAccum<uint> @@b;
+  SumAccum<float> @@c;
+  SumAccum<double> @@d;
+  SumAccum<string> @@e;
+  MinAccum<datetime> @@f;
+  MinAccum<bool> @@g;
+  MinAccum<vertex> @@h;
+}
+`
+	f := mustParse(t, src)
+	kinds := []value.Kind{
+		value.KindInt, value.KindInt, value.KindFloat, value.KindFloat,
+		value.KindString, value.KindDatetime, value.KindBool, value.KindVertex,
+	}
+	for i, d := range f.Queries[0].Decls {
+		if d.Spec.Elem != kinds[i] {
+			t.Errorf("decl %d elem = %v, want %v", i, d.Spec.Elem, kinds[i])
+		}
+	}
+}

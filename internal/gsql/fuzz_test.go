@@ -1,0 +1,43 @@
+package gsql
+
+import "testing"
+
+// FuzzParse exercises the lexer and parser against arbitrary input:
+// parsing must terminate, never panic outside the controlled bail, and
+// accepted inputs must not crash validation-adjacent accessors. Run
+// with: go test -fuzz FuzzParse ./internal/gsql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure2, figure3, figure4, qnQuery, example5,
+		`CREATE QUERY q() {}`,
+		`CREATE QUERY q(vertex<T> v, int k) SEMANTICS nre { SumAccum<int> @a = k; }`,
+		`TYPEDEF TUPLE<a int, b string> T; CREATE QUERY q() { HeapAccum<T>(3, a DESC) @@h; }`,
+		`CREATE QUERY q() { S = SELECT v FROM V:v -(E>*1..3)- V:t WHERE v.x == 'lit' ACCUM t.@a += 1 POST_ACCUM t.@a = t.@a' + 1; }`,
+		`CREATE QUERY q() { SELECT a.x, count(*) INTO T FROM V:a GROUP BY CUBE (a.x, a.y) HAVING count(*) > 1 ORDER BY a.x LIMIT 3; }`,
+		`CREATE QUERY q() { FOREACH x IN @@s DO @@t += x; END; }`,
+		`CREATE QUERY q() { x = CASE WHEN 1 IN (1,2) THEN "a" ELSE 'b' END; }`,
+		`CREATE QUERY q() { S = A UNION B MINUS {V.*}; }`,
+		"CREATE QUERY q() { PRINT \"\\t\\n\\\\\"; }",
+		`@@ @ -( )- .. ' "unterminated`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input: basic invariants hold.
+		for _, q := range file.Queries {
+			if q.Name == "" {
+				t.Errorf("accepted query with empty name: %q", src)
+			}
+			for _, d := range q.Decls {
+				if d.Spec == nil {
+					t.Errorf("accepted declaration without a spec: %q", src)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer tokenizes GSQL source on demand. The parser can reposition it
+// (setPos) after extracting raw DARPE text from FROM-clause patterns.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	// prevKind/prevEnd disambiguate "'" — immediately after a vertex
+	// accumulator token it is the previous-value marker (v.@score'),
+	// anywhere else it opens a string literal ('Toys').
+	prevKind TokKind
+	prevEnd  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// setPos repositions the lexer to a byte offset; line accounting scans
+// forward from 0 only when moving backwards (which the parser never
+// does, but correctness is cheap).
+func (l *lexer) setPos(pos int) {
+	if pos < l.pos {
+		l.line = 1 + strings.Count(l.src[:pos], "\n")
+	} else {
+		l.line += strings.Count(l.src[l.pos:pos], "\n")
+	}
+	l.pos = pos
+	l.prevKind = TokPunct // repositioning never lands right after @acc
+}
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("gsql: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	tok, err := l.scan()
+	l.prevKind = tok.Kind
+	l.prevEnd = l.pos
+	return tok, err
+}
+
+func (l *lexer) scan() (Token, error) {
+	prevKind, prevEnd := l.prevKind, l.prevEnd
+	l.skipSpaceAndComments()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	if c == '\'' && prevKind == TokVAcc && prevEnd == l.pos {
+		l.pos++
+		return Token{Kind: TokPunct, Text: "'", Pos: start, Line: l.line}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: l.src[start:l.pos], Pos: start, Line: l.line}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start)
+	case c == '"' || c == '\'':
+		return l.lexString(start, c)
+	case c == '@':
+		l.pos++
+		kind := TokVAcc
+		if l.pos < len(l.src) && l.src[l.pos] == '@' {
+			l.pos++
+			kind = TokGAcc
+		}
+		nameStart := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == nameStart {
+			return Token{}, l.errf("expected accumulator name after '@'")
+		}
+		return Token{Kind: kind, Text: l.src[nameStart:l.pos], Pos: start, Line: l.line}, nil
+	default:
+		return l.lexPunct(start)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber(start int) (Token, error) {
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// A '.' begins a fraction only when followed by a digit — "1..3"
+	// must not lex "1." as a float (DARPE bounds are extracted raw,
+	// but LIMIT 3 .. style typos should still diagnose cleanly).
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	// Exponent.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		p := l.pos + 1
+		if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+			p++
+		}
+		if p < len(l.src) && l.src[p] >= '0' && l.src[p] <= '9' {
+			l.pos = p
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		}
+	}
+	return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start, Line: l.line}, nil
+}
+
+func (l *lexer) lexString(start int, quote byte) (Token, error) {
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start, Line: l.line}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return Token{}, l.errf("unterminated string")
+			}
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '"', '\'':
+				sb.WriteByte(l.src[l.pos])
+			default:
+				return Token{}, l.errf("unknown escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+		case '\n':
+			return Token{}, l.errf("unterminated string")
+		default:
+			sb.WriteByte(c)
+			l.pos++
+		}
+	}
+	return Token{}, l.errf("unterminated string")
+}
+
+// multi-byte punctuation, longest first.
+var puncts = []string{
+	"+=", "==", "!=", "<>", "<=", ">=", "->", "..",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":", ".",
+	"+", "-", "*", "/", "%", "<", ">", "=", "!", "|", "'",
+}
+
+func (l *lexer) lexPunct(start int) (Token, error) {
+	rest := l.src[l.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			l.pos += len(p)
+			return Token{Kind: TokPunct, Text: p, Pos: start, Line: l.line}, nil
+		}
+	}
+	return Token{}, l.errf("unexpected character %q", l.src[l.pos])
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,168 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) ([]Token, error) {
+	t.Helper()
+	l := newLexer(src)
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return out, err
+		}
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	bad := map[string]string{
+		`"unterminated`:      "unterminated string",
+		"\"line\nbreak\"":    "unterminated string",
+		`"bad \q escape"`:    "unknown escape",
+		`"trailing \`:        "unterminated string",
+		"@;":                 "expected accumulator name",
+		"@@ x":               "expected accumulator name",
+		"\x01":               "unexpected character",
+		"ident $":            "unexpected character",
+		"CREATE QUERY q() {": "", // parser error, not lexer — just ensure lexing is fine
+	}
+	for src, want := range bad {
+		_, err := lexAll(t, src)
+		if want == "" {
+			if err != nil {
+				t.Errorf("lexAll(%q): unexpected error %v", src, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("lexAll(%q): error %v must mention %q", src, err, want)
+		}
+	}
+}
+
+func TestLexerNumbersAndComments(t *testing.T) {
+	toks, err := lexAll(t, `
+// line comment
+# hash comment
+/* block
+   comment */ 1.5e-3 2e10 7 3.14 1..3
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts := []string{}
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"1.5e-3", "2e10", "7", "3.14", "1", "..", "3"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens: %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexerUnterminatedBlockComment(t *testing.T) {
+	// Unterminated block comments consume to EOF without hanging.
+	toks, err := lexAll(t, "x /* never closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Text != "x" {
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestLexerLineTracking(t *testing.T) {
+	l := newLexer("a\nb\n  c")
+	lines := []int{}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TokEOF {
+			break
+		}
+		lines = append(lines, tok.Line)
+	}
+	if len(lines) != 3 || lines[0] != 1 || lines[1] != 2 || lines[2] != 3 {
+		t.Errorf("lines = %v", lines)
+	}
+	// setPos backwards recomputes the line.
+	l2 := newLexer("a\nb")
+	if _, err := l2.next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.next(); err != nil {
+		t.Fatal(err)
+	}
+	l2.setPos(0)
+	tok, err := l2.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Text != "a" || tok.Line != 1 {
+		t.Errorf("after rewind: %v line %d", tok, tok.Line)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := map[string]Token{
+		"end of input":   {Kind: TokEOF},
+		`identifier "x"`: {Kind: TokIdent, Text: "x"},
+		"number 5":       {Kind: TokNumber, Text: "5"},
+		`string "s"`:     {Kind: TokString, Text: "s"},
+		"@a":             {Kind: TokVAcc, Text: "a"},
+		"@@b":            {Kind: TokGAcc, Text: "b"},
+		`"+="`:           {Kind: TokPunct, Text: "+="},
+	}
+	for want, tok := range cases {
+		if got := tok.String(); got != want {
+			t.Errorf("Token.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestParserSpecErrors(t *testing.T) {
+	bad := []struct{ src, want string }{
+		{`CREATE QUERY q() { MapAccum<list, int> @@m; }`, "scalar type"},
+		{`CREATE QUERY q() { GroupByAccum<SumAccum<int>, string k> @@g; }`, "keys must precede"},
+		{`TYPEDEF TUPLE<a b> T;`, "scalar type"},
+		{`TYPEDEF TUPLE<a int> T; CREATE QUERY q() { HeapAccum<T>(x, a) @@h; }`, "capacity"},
+		{`CREATE QUERY q(bogus x) {}`, "unknown type"},
+		{`CREATE QUERY q() { SumAccum<int> x; }`, "expected @name or @@name"},
+		{`CREATE QUERY q() { PRINT POST; }`, ""}, // POST alone is a plain identifier
+	}
+	for _, c := range bad {
+		_, err := Parse(c.src)
+		if c.want == "" {
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q): error %v must mention %q", c.src, err, c.want)
+		}
+	}
+	// TYPEDEF inside a query body registers the tuple for later decls.
+	f, err := Parse(`
+CREATE QUERY q() {
+  TYPEDEF TUPLE<a int> Inner;
+  HeapAccum<Inner>(2, a DESC) @@h;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Queries[0].Decls[0].Spec.Tuple.Name != "Inner" {
+		t.Error("in-body typedef not visible to HeapAccum")
+	}
+}

@@ -1,0 +1,1088 @@
+package gsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/value"
+)
+
+// Parse parses a GSQL source file containing TYPEDEF TUPLE definitions
+// and CREATE QUERY blocks.
+func Parse(src string) (f *File, err error) {
+	p := &parser{lex: newLexer(src), tuples: map[string]*accum.TupleType{}}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseBail)
+			if !ok {
+				panic(r)
+			}
+			f, err = nil, pe.err
+		}
+	}()
+	p.advance()
+	f = &File{}
+	for p.tok.Kind != TokEOF {
+		switch {
+		case p.isKw("TYPEDEF"):
+			tt := p.parseTypedef()
+			f.Typedefs = append(f.Typedefs, tt)
+		case p.isKw("CREATE"):
+			f.Queries = append(f.Queries, p.parseQuery())
+		default:
+			p.failf("expected TYPEDEF or CREATE QUERY, got %s", p.tok)
+		}
+	}
+	return f, nil
+}
+
+type parseBail struct{ err error }
+
+type parser struct {
+	lex    *lexer
+	tok    Token
+	tuples map[string]*accum.TupleType
+}
+
+func (p *parser) failf(format string, args ...interface{}) {
+	panic(parseBail{fmt.Errorf("gsql: line %d: %s", p.tok.Line, fmt.Sprintf(format, args...))})
+}
+
+func (p *parser) advance() {
+	tok, err := p.lex.next()
+	if err != nil {
+		panic(parseBail{err})
+	}
+	p.tok = tok
+}
+
+// peek returns the next token without consuming it.
+func (p *parser) peek() Token {
+	saved := *p.lex
+	tok, err := p.lex.next()
+	*p.lex = saved
+	if err != nil {
+		panic(parseBail{err})
+	}
+	return tok
+}
+
+func (p *parser) isKw(kw string) bool {
+	return p.tok.Kind == TokIdent && strings.EqualFold(p.tok.Text, kw)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) {
+	if !p.acceptKw(kw) {
+		p.failf("expected %s, got %s", kw, p.tok)
+	}
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.tok.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) {
+	if !p.acceptPunct(s) {
+		p.failf("expected %q, got %s", s, p.tok)
+	}
+}
+
+func (p *parser) expectIdent() string {
+	if p.tok.Kind != TokIdent {
+		p.failf("expected identifier, got %s", p.tok)
+	}
+	name := p.tok.Text
+	p.advance()
+	return name
+}
+
+// scalarKind maps a GSQL type keyword to a value kind.
+func scalarKind(name string) (value.Kind, bool) {
+	switch strings.ToLower(name) {
+	case "int", "uint":
+		return value.KindInt, true
+	case "float", "double":
+		return value.KindFloat, true
+	case "string":
+		return value.KindString, true
+	case "bool":
+		return value.KindBool, true
+	case "datetime":
+		return value.KindDatetime, true
+	case "vertex":
+		return value.KindVertex, true
+	case "edge":
+		return value.KindEdge, true
+	}
+	return 0, false
+}
+
+// ---- typedefs -----------------------------------------------------------------
+
+// TYPEDEF TUPLE <name type, ...> Name ;
+// (the field order "name type" and "type name" are both accepted)
+func (p *parser) parseTypedef() *accum.TupleType {
+	p.expectKw("TYPEDEF")
+	p.expectKw("TUPLE")
+	p.expectPunct("<")
+	tt := &accum.TupleType{}
+	for {
+		first := p.expectIdent()
+		second := p.expectIdent()
+		// Either "name type" or "type name".
+		if k, ok := scalarKind(second); ok {
+			tt.Fields = append(tt.Fields, accum.TupleField{Name: first, Kind: k})
+		} else if k, ok := scalarKind(first); ok {
+			tt.Fields = append(tt.Fields, accum.TupleField{Name: second, Kind: k})
+		} else {
+			p.failf("tuple field needs a scalar type, got %q %q", first, second)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(">")
+	tt.Name = p.expectIdent()
+	p.expectPunct(";")
+	p.tuples[tt.Name] = tt
+	return tt
+}
+
+// ---- queries --------------------------------------------------------------------
+
+func (p *parser) parseQuery() *Query {
+	p.expectKw("CREATE")
+	p.expectKw("QUERY")
+	q := &Query{Name: p.expectIdent()}
+	p.expectPunct("(")
+	for !p.tok.isPunct(")") {
+		q.Params = append(q.Params, p.parseParam())
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(")")
+	if p.acceptKw("FOR") {
+		p.expectKw("GRAPH")
+		q.GraphName = p.expectIdent()
+	}
+	// Per-query path-legality selection (the Section 6.1 extension):
+	// CREATE QUERY q(...) SEMANTICS nre { ... }
+	if p.acceptKw("SEMANTICS") {
+		sem := strings.ToLower(p.expectIdent())
+		switch sem {
+		case "asp", "shortest", "nre", "non_repeated_edge", "nrv", "non_repeated_vertex", "exists":
+			q.Semantics = sem
+		default:
+			p.failf("unknown semantics %q (asp|nre|nrv|exists)", sem)
+		}
+	}
+	p.expectPunct("{")
+	for !p.tok.isPunct("}") {
+		p.parseBodyItem(q, &q.Stmts)
+	}
+	p.expectPunct("}")
+	return q
+}
+
+func (p *parser) parseParam() Param {
+	tr := p.parseTypeRef()
+	return Param{Name: p.expectIdent(), Type: tr}
+}
+
+func (p *parser) parseTypeRef() TypeRef {
+	name := p.expectIdent()
+	k, ok := scalarKind(name)
+	if !ok {
+		p.failf("unknown type %q", name)
+	}
+	tr := TypeRef{Kind: k}
+	if k == value.KindVertex && p.acceptPunct("<") {
+		tr.VertexType = p.expectIdent()
+		p.expectPunct(">")
+	}
+	return tr
+}
+
+// ---- body ------------------------------------------------------------------------
+
+// isAccumTypeName reports whether an identifier begins an accumulator
+// declaration.
+func isAccumTypeName(name string) bool {
+	if _, ok := accum.KindByName(name); ok {
+		return true
+	}
+	// Custom accumulators follow the *Accum naming convention.
+	return strings.HasSuffix(name, "Accum") && accum.CustomSpec(name).Validate() == nil
+}
+
+func (p *parser) parseBodyItem(q *Query, stmts *[]Stmt) {
+	switch {
+	case p.isKw("TYPEDEF"):
+		p.parseTypedef() // registered in p.tuples for later HeapAccum use
+	case p.tok.Kind == TokIdent && isAccumTypeName(p.tok.Text):
+		q.Decls = append(q.Decls, p.parseAccumDecls()...)
+	default:
+		*stmts = append(*stmts, p.parseStmt())
+	}
+}
+
+// SumAccum<float> @a = 1, @b; MaxAccum<float> @@m;
+func (p *parser) parseAccumDecls() []*AccumDecl {
+	spec := p.parseAccumSpec()
+	var decls []*AccumDecl
+	for {
+		d := &AccumDecl{Spec: spec}
+		switch p.tok.Kind {
+		case TokVAcc:
+			d.Name, d.Global = p.tok.Text, false
+		case TokGAcc:
+			d.Name, d.Global = p.tok.Text, true
+		default:
+			p.failf("expected @name or @@name in accumulator declaration, got %s", p.tok)
+		}
+		p.advance()
+		if p.acceptPunct("=") {
+			d.Init = p.parseExpr()
+		}
+		decls = append(decls, d)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(";")
+	return decls
+}
+
+func (p *parser) parseAccumSpec() *accum.Spec {
+	name := p.expectIdent()
+	kind, ok := accum.KindByName(name)
+	if !ok {
+		// registered custom accumulator
+		return accum.CustomSpec(name)
+	}
+	switch kind {
+	case accum.KindOr:
+		return accum.OrSpec()
+	case accum.KindAnd:
+		return accum.AndSpec()
+	case accum.KindBitwiseAnd:
+		return accum.BitwiseAndSpec()
+	case accum.KindBitwiseOr:
+		return accum.BitwiseOrSpec()
+	case accum.KindSum, accum.KindMin, accum.KindMax, accum.KindAvg,
+		accum.KindSet, accum.KindBag, accum.KindList, accum.KindArray:
+		p.expectPunct("<")
+		elem := p.parseScalarKind()
+		p.expectPunct(">")
+		return &accum.Spec{Kind: kind, Elem: elem}
+	case accum.KindMap:
+		p.expectPunct("<")
+		key := p.parseScalarKind()
+		p.expectPunct(",")
+		var nested *accum.Spec
+		if p.tok.Kind == TokIdent && isAccumTypeName(p.tok.Text) {
+			nested = p.parseAccumSpec()
+		} else {
+			// Scalar value types desugar to the natural aggregation:
+			// += on colliding keys sums (numerics, strings).
+			nested = accum.SumSpec(p.parseScalarKind())
+		}
+		p.expectPunct(">")
+		return accum.MapSpec(key, nested)
+	case accum.KindHeap:
+		p.expectPunct("<")
+		tname := p.expectIdent()
+		tt, ok := p.tuples[tname]
+		if !ok {
+			p.failf("HeapAccum references undefined tuple type %q", tname)
+		}
+		p.expectPunct(">")
+		p.expectPunct("(")
+		capTok := p.tok
+		if capTok.Kind != TokNumber {
+			p.failf("HeapAccum capacity must be a number, got %s", capTok)
+		}
+		capacity, err := strconv.Atoi(capTok.Text)
+		if err != nil {
+			p.failf("bad HeapAccum capacity: %v", err)
+		}
+		p.advance()
+		var sorts []accum.SortField
+		for p.acceptPunct(",") {
+			f := accum.SortField{Field: p.expectIdent()}
+			if p.acceptKw("DESC") {
+				f.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sorts = append(sorts, f)
+		}
+		p.expectPunct(")")
+		return accum.HeapSpec(tt, capacity, sorts...)
+	case accum.KindGroupBy:
+		p.expectPunct("<")
+		spec := &accum.Spec{Kind: accum.KindGroupBy}
+		for {
+			if p.tok.Kind == TokIdent && isAccumTypeName(p.tok.Text) {
+				spec.Nested = append(spec.Nested, p.parseAccumSpec())
+			} else {
+				k := p.parseScalarKind()
+				keyName := ""
+				if p.tok.Kind == TokIdent && !isAccumTypeName(p.tok.Text) {
+					keyName = p.expectIdent()
+				}
+				if len(spec.Nested) > 0 {
+					p.failf("GroupByAccum keys must precede nested accumulators")
+				}
+				spec.Keys = append(spec.Keys, k)
+				spec.KeyNames = append(spec.KeyNames, keyName)
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(">")
+		return spec
+	default:
+		p.failf("unsupported accumulator type %q", name)
+		return nil
+	}
+}
+
+func (p *parser) parseScalarKind() value.Kind {
+	name := p.expectIdent()
+	k, ok := scalarKind(name)
+	if !ok {
+		p.failf("expected a scalar type, got %q", name)
+	}
+	return k
+}
+
+// ---- statements --------------------------------------------------------------------
+
+func (p *parser) parseStmt() Stmt {
+	switch {
+	case p.isKw("WHILE"):
+		return p.parseWhile()
+	case p.isKw("IF"):
+		return p.parseIf()
+	case p.isKw("FOREACH"):
+		return p.parseForeach()
+	case p.isKw("PRINT"):
+		return p.parsePrint()
+	case p.isKw("RETURN"):
+		p.advance()
+		s := &ReturnStmt{Expr: p.parseExpr()}
+		p.expectPunct(";")
+		return s
+	case p.isKw("SELECT"):
+		sel := p.parseSelect(false)
+		p.expectPunct(";")
+		return &SelectStmt{Sel: sel}
+	case p.tok.Kind == TokGAcc:
+		target := &GlobalAccRef{Name: p.tok.Text}
+		p.advance()
+		op := p.accumOp()
+		s := &AccAssignStmt{Target: target, Op: op, Rhs: p.parseExpr()}
+		p.expectPunct(";")
+		return s
+	case p.tok.Kind == TokIdent:
+		name := p.expectIdent()
+		p.expectPunct("=")
+		var rhs Expr
+		switch {
+		case p.isKw("SELECT"):
+			rhs = p.parseSelect(true)
+		case p.tok.isPunct("{"):
+			rhs = p.parseVSetLit()
+		case p.tok.isPunct(":"):
+			p.failf("path variables (p = :s -(...)- :t) are not supported: the tractable class of Theorem 7.1 excludes them")
+			return nil
+		default:
+			rhs = p.parseExpr()
+			// Vertex-set algebra: S = A UNION B MINUS C ...
+			for p.isKw("UNION") || p.isKw("INTERSECT") || p.isKw("MINUS") {
+				op := strings.ToLower(p.tok.Text)
+				p.advance()
+				rhs = &SetOpExpr{Op: op, L: rhs, R: p.parseExpr()}
+			}
+		}
+		p.expectPunct(";")
+		return &AssignStmt{Name: name, Rhs: rhs}
+	default:
+		p.failf("unexpected %s at statement start", p.tok)
+		return nil
+	}
+}
+
+func (p *parser) accumOp() string {
+	if p.acceptPunct("+=") {
+		return "+="
+	}
+	p.expectPunct("=")
+	return "="
+}
+
+func (p *parser) parseVSetLit() Expr {
+	p.expectPunct("{")
+	lit := &VSetLit{}
+	for {
+		lit.Types = append(lit.Types, p.expectIdent())
+		p.expectPunct(".")
+		p.expectPunct("*")
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct("}")
+	return lit
+}
+
+func (p *parser) parseWhile() Stmt {
+	p.expectKw("WHILE")
+	s := &WhileStmt{Cond: p.parseExpr()}
+	if p.acceptKw("LIMIT") {
+		s.Limit = p.parseExpr()
+	}
+	p.expectKw("DO")
+	for !p.isKw("END") {
+		p.parseBodyItemInto(&s.Body)
+	}
+	p.expectKw("END")
+	p.acceptPunct(";")
+	return s
+}
+
+// FOREACH x IN expr DO body END
+func (p *parser) parseForeach() Stmt {
+	p.expectKw("FOREACH")
+	s := &ForeachStmt{Var: p.expectIdent()}
+	p.expectKw("IN")
+	s.Coll = p.parseExpr()
+	p.expectKw("DO")
+	for !p.isKw("END") {
+		p.parseBodyItemInto(&s.Body)
+	}
+	p.expectKw("END")
+	p.acceptPunct(";")
+	return s
+}
+
+func (p *parser) parseIf() Stmt {
+	p.expectKw("IF")
+	s := &IfStmt{Cond: p.parseExpr()}
+	p.expectKw("THEN")
+	for !p.isKw("ELSE") && !p.isKw("END") {
+		p.parseBodyItemInto(&s.Then)
+	}
+	if p.acceptKw("ELSE") {
+		for !p.isKw("END") {
+			p.parseBodyItemInto(&s.Else)
+		}
+	}
+	p.expectKw("END")
+	p.acceptPunct(";")
+	return s
+}
+
+// parseBodyItemInto parses nested statements (accumulator declarations
+// are only legal at query top level).
+func (p *parser) parseBodyItemInto(stmts *[]Stmt) {
+	if p.tok.Kind == TokIdent && isAccumTypeName(p.tok.Text) {
+		p.failf("accumulator declarations must appear at query top level")
+	}
+	*stmts = append(*stmts, p.parseStmt())
+}
+
+func (p *parser) parsePrint() Stmt {
+	p.expectKw("PRINT")
+	s := &PrintStmt{}
+	for {
+		item := PrintItem{Expr: p.parseExpr()}
+		if _, isIdent := item.Expr.(*Ident); isIdent && p.tok.isPunct("[") {
+			p.advance()
+			for {
+				item.Projections = append(item.Projections, p.parseSelectItem())
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+			p.expectPunct("]")
+		}
+		s.Items = append(s.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(";")
+	return s
+}
+
+// ---- SELECT ---------------------------------------------------------------------------
+
+// parseSelect parses a SELECT block. assignForm marks use as the RHS
+// of "S = SELECT ...", where the (single) output is a bare vertex
+// alias instead of INTO fragments.
+func (p *parser) parseSelect(assignForm bool) *SelectExpr {
+	p.expectKw("SELECT")
+	sel := &SelectExpr{}
+	sel.Distinct = p.acceptKw("DISTINCT")
+	for {
+		out := SelectOutput{}
+		for {
+			out.Items = append(out.Items, p.parseSelectItem())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if p.acceptKw("INTO") {
+			out.Into = p.expectIdent()
+		}
+		sel.Outputs = append(sel.Outputs, out)
+		// Multi-output fragments are ';'-separated and the list ends
+		// at FROM (Example 5).
+		if p.tok.isPunct(";") && !assignForm {
+			save := *p.lex
+			savedTok := p.tok
+			p.advance()
+			if p.isKw("FROM") || p.tok.Kind == TokEOF {
+				// That ';' terminated the statement elsewhere — undo.
+				*p.lex = save
+				p.tok = savedTok
+				break
+			}
+			continue
+		}
+		break
+	}
+	p.expectKw("FROM")
+	for {
+		sel.From = append(sel.From, p.parsePath())
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		sel.Where = p.parseExpr()
+	}
+	if p.acceptKw("ACCUM") {
+		sel.Accum = p.parseAccStmts()
+	}
+	if p.atPostAccum() {
+		sel.PostAccum = p.parseAccStmts()
+	}
+	if p.isKw("GROUP") {
+		p.advance()
+		p.expectKw("BY")
+		p.parseGroupBy(sel)
+	}
+	if p.acceptKw("HAVING") {
+		sel.Having = p.parseExpr()
+	}
+	if p.isKw("ORDER") {
+		p.advance()
+		p.expectKw("BY")
+		for {
+			key := OrderKey{Expr: p.parseExpr()}
+			if p.acceptKw("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		sel.Limit = p.parseExpr()
+	}
+	if assignForm {
+		if len(sel.Outputs) != 1 || len(sel.Outputs[0].Items) != 1 || sel.Outputs[0].Into != "" {
+			p.failf("the assignment form S = SELECT ... takes a single bare vertex alias")
+		}
+		if _, ok := sel.Outputs[0].Items[0].Expr.(*Ident); !ok {
+			p.failf("the assignment form S = SELECT ... takes a single bare vertex alias")
+		}
+	}
+	return sel
+}
+
+// maxCubeKeys caps CUBE arity (2^m grouping sets).
+const maxCubeKeys = 12
+
+// parseGroupBy handles plain key lists plus the GROUPING SETS, CUBE
+// and ROLLUP extensions of Example 12 (straightforward accumulator
+// sugar, per the paper).
+func (p *parser) parseGroupBy(sel *SelectExpr) {
+	addKey := func(e Expr) int {
+		for i, k := range sel.GroupBy {
+			if ExprEqual(k, e) {
+				return i
+			}
+		}
+		sel.GroupBy = append(sel.GroupBy, e)
+		return len(sel.GroupBy) - 1
+	}
+	switch {
+	case p.isKw("GROUPING"):
+		p.advance()
+		p.expectKw("SETS")
+		p.expectPunct("(")
+		for {
+			var set []int
+			if p.acceptPunct("(") {
+				if !p.tok.isPunct(")") {
+					for {
+						set = append(set, addKey(p.parseExpr()))
+						if !p.acceptPunct(",") {
+							break
+						}
+					}
+				}
+				p.expectPunct(")")
+			} else {
+				set = append(set, addKey(p.parseExpr()))
+			}
+			sel.GroupingSets = append(sel.GroupingSets, set)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(")")
+	case p.isKw("CUBE"):
+		p.advance()
+		keys := p.parseKeyList(addKey)
+		if len(keys) > maxCubeKeys {
+			p.failf("CUBE over %d keys would produce 2^%d grouping sets", len(keys), len(keys))
+		}
+		for mask := (1 << len(keys)) - 1; mask >= 0; mask-- {
+			var set []int
+			for i, k := range keys {
+				if mask&(1<<i) != 0 {
+					set = append(set, k)
+				}
+			}
+			sel.GroupingSets = append(sel.GroupingSets, set)
+		}
+	case p.isKw("ROLLUP"):
+		p.advance()
+		keys := p.parseKeyList(addKey)
+		for n := len(keys); n >= 0; n-- {
+			sel.GroupingSets = append(sel.GroupingSets, append([]int(nil), keys[:n]...))
+		}
+	default:
+		for {
+			addKey(p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+}
+
+func (p *parser) parseKeyList(addKey func(Expr) int) []int {
+	p.expectPunct("(")
+	var keys []int
+	for {
+		keys = append(keys, addKey(p.parseExpr()))
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(")")
+	return keys
+}
+
+// atPostAccum consumes POST_ACCUM / POST-ACCUM if present.
+func (p *parser) atPostAccum() bool {
+	if p.isKw("POST_ACCUM") {
+		p.advance()
+		return true
+	}
+	if p.isKw("POST") && p.peek().isPunct("-") {
+		p.advance() // POST
+		p.advance() // -
+		p.expectKw("ACCUM")
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseSelectItem() SelectItem {
+	item := SelectItem{Expr: p.parseExpr()}
+	if p.acceptKw("AS") {
+		item.Alias = p.expectIdent()
+	}
+	return item
+}
+
+// parsePath parses Seed:alias ( -(DARPE[:edgeAlias])- Target:alias )*.
+func (p *parser) parsePath() PathPattern {
+	pat := PathPattern{Src: p.parseStepRef()}
+	for p.tok.isPunct("-") {
+		p.advance()
+		if !p.tok.isPunct("(") {
+			p.failf("expected '(' after '-' in path pattern, got %s", p.tok)
+		}
+		lparenPos := p.tok.Pos
+		raw, closeIdx := p.extractParenRaw(lparenPos)
+		darpeText, edgeAlias := splitTopLevelAlias(raw)
+		expr, err := darpe.Parse(darpeText)
+		if err != nil {
+			p.failf("bad path expression %q: %v", darpeText, err)
+		}
+		if edgeAlias != "" {
+			if _, single := expr.(*darpe.Symbol); !single {
+				p.failf("edge alias %q: variables are only allowed on single-edge patterns (no variables under Kleene stars — Theorem 7.1 tractable class)", edgeAlias)
+			}
+		}
+		// Resync the token stream past ')'.
+		p.lex.setPos(closeIdx + 1)
+		p.advance()
+		p.expectPunct("-")
+		hop := Hop{Darpe: expr, DarpeText: darpeText, EdgeAlias: edgeAlias, Target: p.parseStepRef()}
+		pat.Hops = append(pat.Hops, hop)
+	}
+	return pat
+}
+
+// extractParenRaw returns the raw text between the '(' at lparenPos
+// and its matching ')', plus the index of that ')'.
+func (p *parser) extractParenRaw(lparenPos int) (string, int) {
+	src := p.lex.src
+	depth := 0
+	for i := lparenPos; i < len(src); i++ {
+		switch src[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return src[lparenPos+1 : i], i
+			}
+		}
+	}
+	p.failf("unbalanced '(' in path pattern")
+	return "", 0
+}
+
+// splitTopLevelAlias splits "E>:e" into ("E>", "e"); a ':' nested in
+// parentheses belongs to the DARPE (there is none in the grammar, but
+// nesting-aware scanning is cheap insurance).
+func splitTopLevelAlias(raw string) (string, string) {
+	depth := 0
+	for i := 0; i < len(raw); i++ {
+		switch raw[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ':':
+			if depth == 0 {
+				return strings.TrimSpace(raw[:i]), strings.TrimSpace(raw[i+1:])
+			}
+		}
+	}
+	return strings.TrimSpace(raw), ""
+}
+
+func (p *parser) parseStepRef() StepRef {
+	ref := StepRef{Name: p.expectIdent()}
+	if p.acceptPunct(":") {
+		ref.Alias = p.expectIdent()
+	} else {
+		ref.Alias = ref.Name
+	}
+	return ref
+}
+
+// ---- ACCUM statement lists ----------------------------------------------------------
+
+func (p *parser) parseAccStmts() []AccStmt {
+	var stmts []AccStmt
+	for {
+		stmts = append(stmts, p.parseAccStmt())
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return stmts
+}
+
+func (p *parser) parseAccStmt() AccStmt {
+	// Conditional block: IF cond THEN stmts [ELSE stmts] END
+	if p.isKw("IF") {
+		p.advance()
+		st := AccStmt{Cond: p.parseExpr()}
+		p.expectKw("THEN")
+		st.Then = p.parseAccStmts()
+		if p.acceptKw("ELSE") {
+			st.Else = p.parseAccStmts()
+		}
+		p.expectKw("END")
+		return st
+	}
+	// Typed local declaration: FLOAT salesPrice = expr
+	if p.tok.Kind == TokIdent {
+		if k, ok := scalarKind(p.tok.Text); ok && p.peek().Kind == TokIdent {
+			p.advance()
+			tr := TypeRef{Kind: k}
+			name := p.expectIdent()
+			p.expectPunct("=")
+			return AccStmt{LocalType: &tr, Lhs: &Ident{Name: name}, Op: "=", Rhs: p.parseExpr()}
+		}
+	}
+	lhs := p.parsePostfix()
+	op := p.accumOp()
+	return AccStmt{Lhs: lhs, Op: op, Rhs: p.parseExpr()}
+}
+
+// ---- expressions -----------------------------------------------------------------------
+
+func (p *parser) parseExpr() Expr { return p.parseOr() }
+
+func (p *parser) parseOr() Expr {
+	e := p.parseAnd()
+	for p.isKw("OR") {
+		p.advance()
+		e = &Binary{Op: "or", L: e, R: p.parseAnd()}
+	}
+	return e
+}
+
+func (p *parser) parseAnd() Expr {
+	e := p.parseNot()
+	for p.isKw("AND") {
+		p.advance()
+		e = &Binary{Op: "and", L: e, R: p.parseNot()}
+	}
+	return e
+}
+
+func (p *parser) parseNot() Expr {
+	if p.isKw("NOT") {
+		p.advance()
+		return &Unary{Op: "not", X: p.parseNot()}
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]string{
+	"=": "==", "==": "==", "!=": "!=", "<>": "!=",
+	"<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+func (p *parser) parseCmp() Expr {
+	e := p.parseAdd()
+	if p.tok.Kind == TokPunct {
+		if op, ok := cmpOps[p.tok.Text]; ok {
+			p.advance()
+			return &Binary{Op: op, L: e, R: p.parseAdd()}
+		}
+	}
+	if p.isKw("IN") {
+		p.advance()
+		return &Binary{Op: "in", L: e, R: p.parseAdd()}
+	}
+	if p.isKw("NOT") && strings.EqualFold(p.peek().Text, "IN") {
+		p.advance()
+		p.advance()
+		return &Unary{Op: "not", X: &Binary{Op: "in", L: e, R: p.parseAdd()}}
+	}
+	return e
+}
+
+func (p *parser) parseAdd() Expr {
+	e := p.parseMul()
+	for p.tok.isPunct("+") || p.tok.isPunct("-") {
+		op := p.tok.Text
+		p.advance()
+		e = &Binary{Op: op, L: e, R: p.parseMul()}
+	}
+	return e
+}
+
+func (p *parser) parseMul() Expr {
+	e := p.parseUnary()
+	for p.tok.isPunct("*") || p.tok.isPunct("/") || p.tok.isPunct("%") {
+		op := p.tok.Text
+		p.advance()
+		e = &Binary{Op: op, L: e, R: p.parseUnary()}
+	}
+	return e
+}
+
+func (p *parser) parseUnary() Expr {
+	if p.tok.isPunct("-") {
+		p.advance()
+		return &Unary{Op: "-", X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() Expr {
+	e := p.parsePrimary()
+	for {
+		switch {
+		case p.tok.isPunct("."):
+			p.advance()
+			switch p.tok.Kind {
+			case TokIdent:
+				name := p.expectIdent()
+				if p.tok.isPunct("(") {
+					e = &Call{Recv: e, Name: name, Args: p.parseArgs()}
+				} else {
+					e = &AttrRef{Obj: e, Name: name}
+				}
+			case TokVAcc:
+				ref := &VertexAccRef{Vertex: e, Name: p.tok.Text}
+				p.advance()
+				if p.acceptPunct("'") {
+					ref.Prev = true
+				}
+				e = ref
+			default:
+				p.failf("expected attribute or @accumulator after '.', got %s", p.tok)
+			}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parseArgs() []Expr {
+	p.expectPunct("(")
+	var args []Expr
+	if !p.tok.isPunct(")") {
+		for {
+			if p.tok.isPunct("*") { // count(*)
+				p.advance()
+				args = append(args, &Ident{Name: "*"})
+			} else {
+				args = append(args, p.parseExpr())
+			}
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	p.expectPunct(")")
+	return args
+}
+
+func (p *parser) parsePrimary() Expr {
+	switch {
+	case p.tok.Kind == TokNumber:
+		text := p.tok.Text
+		p.advance()
+		if strings.ContainsAny(text, ".eE") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				p.failf("bad number %q: %v", text, err)
+			}
+			return &Lit{Val: value.NewFloat(f)}
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			p.failf("bad number %q: %v", text, err)
+		}
+		return &Lit{Val: value.NewInt(i)}
+	case p.tok.Kind == TokString:
+		v := value.NewString(p.tok.Text)
+		p.advance()
+		return &Lit{Val: v}
+	case p.tok.Kind == TokGAcc:
+		e := &GlobalAccRef{Name: p.tok.Text}
+		p.advance()
+		return e
+	case p.isKw("TRUE"):
+		p.advance()
+		return &Lit{Val: value.NewBool(true)}
+	case p.isKw("FALSE"):
+		p.advance()
+		return &Lit{Val: value.NewBool(false)}
+	case p.isKw("CASE"):
+		return p.parseCase()
+	case p.tok.Kind == TokIdent:
+		name := p.expectIdent()
+		if p.tok.isPunct("(") {
+			return &Call{Name: name, Args: p.parseArgs()}
+		}
+		return &Ident{Name: name}
+	case p.tok.isPunct("("):
+		return p.parseParenExpr()
+	default:
+		p.failf("unexpected %s in expression", p.tok)
+		return nil
+	}
+}
+
+// parseCase parses CASE WHEN c THEN e [WHEN ...]* [ELSE e] END.
+func (p *parser) parseCase() Expr {
+	p.expectKw("CASE")
+	ce := &CaseExpr{}
+	for p.isKw("WHEN") {
+		p.advance()
+		arm := CaseWhen{Cond: p.parseExpr()}
+		p.expectKw("THEN")
+		arm.Then = p.parseExpr()
+		ce.Whens = append(ce.Whens, arm)
+	}
+	if len(ce.Whens) == 0 {
+		p.failf("CASE requires at least one WHEN arm")
+	}
+	if p.acceptKw("ELSE") {
+		ce.Else = p.parseExpr()
+	}
+	p.expectKw("END")
+	return ce
+}
+
+// parseParenExpr parses (e), tuples (e1, e2) and the arrow-tuple
+// grouped-input form (k1, k2 -> a1, a2). A "null" identifier inside an
+// arrow tuple denotes a skipped key or aggregate (Example 12's
+// GROUPING SETS simulation).
+func (p *parser) parseParenExpr() Expr {
+	p.expectPunct("(")
+	var first []Expr
+	for {
+		first = append(first, p.parseExpr())
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptPunct("->") {
+		var vals []Expr
+		for {
+			vals = append(vals, p.parseExpr())
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		p.expectPunct(")")
+		return &ArrowTuple{Keys: first, Vals: vals}
+	}
+	p.expectPunct(")")
+	if len(first) == 1 {
+		return first[0]
+	}
+	return &TupleExpr{Elems: first}
+}

@@ -1,0 +1,474 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/accum"
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/value"
+)
+
+// figure2 is the multi-grouping revenue query of Example 4 (Figure 2),
+// reconstructed per the paper's description.
+const figure2 = `
+CREATE QUERY RevenuePerToyAndCustomer() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy;
+  SumAccum<float> @revenuePerCust;
+
+  S = SELECT c
+      FROM Customer:c -(Bought>:e)- Product:p
+      WHERE p.category == "toy"
+      ACCUM float salesPrice = e.quantity * p.listPrice * (1.0 - e.discount),
+            c.@revenuePerCust += salesPrice,
+            p.@revenuePerToy += salesPrice,
+            @@totalRevenue += salesPrice;
+}
+`
+
+// figure3 is the two-pass recommender of Example 6 (Figure 3).
+const figure3 = `
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH SalesGraph {
+  SumAccum<float> @lc, @inCommon, @rank;
+
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c AND t.category == 'Toys'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log(1 + o.@inCommon);
+
+  SELECT t.name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category == 'Toys' AND c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT k;
+
+  RETURN Recommended;
+}
+`
+
+// figure4 is the PageRank query of Example 7 (Figure 4), with the
+// standard explicit initializer for @@maxDifference.
+const figure4 = `
+CREATE QUERY PageRank (float maxChange, int maxIteration, float dampingFactor) {
+  MaxAccum<float> @@maxDifference = 9999;   // max score change in an iteration
+  SumAccum<float> @received_score;          // sum of scores received from neighbors
+  SumAccum<float> @score = 1;               // initial score for every vertex is 1.
+
+  AllV = {Page.*};
+  WHILE @@maxDifference > maxChange LIMIT maxIteration DO
+     @@maxDifference = 0;
+     S = SELECT v
+         FROM       AllV:v -(LinkTo>)- Page:n
+         ACCUM      n.@received_score += v.@score/v.outdegree()
+         POST-ACCUM v.@score = 1-dampingFactor + dampingFactor * v.@received_score,
+                    v.@received_score = 0,
+                    @@maxDifference += abs(v.@score - v.@score');
+  END;
+}
+`
+
+// qnQuery is the diamond-chain path-counting query of Section 7.1.
+const qnQuery = `
+CREATE QUERY Qn(string srcName, string tgtName) {
+  SumAccum<int> @pathCount;
+
+  R = SELECT t
+      FROM V:s -(E>*)- V:t
+      WHERE s.name == srcName AND t.name == tgtName
+      ACCUM t.@pathCount += 1;
+
+  PRINT R[R.name, R.@pathCount];
+}
+`
+
+// example5 exercises the multi-output SELECT of Example 5.
+const example5 = `
+CREATE QUERY RevenueTables() FOR GRAPH SalesGraph {
+  SumAccum<float> @@totalRevenue;
+  SumAccum<float> @revenuePerToy;
+  SumAccum<float> @revenuePerCust;
+
+  SELECT c.name, c.@revenuePerCust INTO PerCust;
+         t.name, t.@revenuePerToy INTO PerToy;
+         @@totalRevenue AS rev INTO Total
+  FROM   Customer:c -(Bought>:e)- Product:t
+  WHERE  t.category == "toy"
+  ACCUM  float salesPrice = e.quantity * t.listPrice * (1.0 - e.discount),
+         c.@revenuePerCust += salesPrice,
+         t.@revenuePerToy += salesPrice,
+         @@totalRevenue += salesPrice;
+}
+`
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseFigure2(t *testing.T) {
+	f := mustParse(t, figure2)
+	if len(f.Queries) != 1 {
+		t.Fatalf("queries = %d", len(f.Queries))
+	}
+	q := f.Queries[0]
+	if q.Name != "RevenuePerToyAndCustomer" || q.GraphName != "SalesGraph" {
+		t.Errorf("header: %s / %s", q.Name, q.GraphName)
+	}
+	if len(q.Decls) != 3 {
+		t.Fatalf("decls = %d", len(q.Decls))
+	}
+	if !q.Decls[0].Global || q.Decls[0].Name != "totalRevenue" {
+		t.Error("first decl must be global @@totalRevenue")
+	}
+	if q.Decls[1].Global || q.Decls[1].Spec.Kind != accum.KindSum {
+		t.Error("second decl must be vertex SumAccum")
+	}
+	if len(q.Stmts) != 1 {
+		t.Fatalf("stmts = %d", len(q.Stmts))
+	}
+	as, ok := q.Stmts[0].(*AssignStmt)
+	if !ok || as.Name != "S" {
+		t.Fatalf("statement: %T", q.Stmts[0])
+	}
+	sel := as.Rhs.(*SelectExpr)
+	if len(sel.From) != 1 || len(sel.From[0].Hops) != 1 {
+		t.Fatalf("from shape: %+v", sel.From)
+	}
+	hop := sel.From[0].Hops[0]
+	if hop.EdgeAlias != "e" || hop.DarpeText != "Bought>" {
+		t.Errorf("hop: %q alias %q", hop.DarpeText, hop.EdgeAlias)
+	}
+	if len(sel.Accum) != 4 {
+		t.Fatalf("accum stmts = %d", len(sel.Accum))
+	}
+	if sel.Accum[0].LocalType == nil || sel.Accum[0].LocalType.Kind != value.KindFloat {
+		t.Error("first accum stmt must be a typed local declaration")
+	}
+	if sel.Accum[3].Op != "+=" {
+		t.Error("global accumulation must be +=")
+	}
+}
+
+func TestParseFigure3(t *testing.T) {
+	f := mustParse(t, figure3)
+	q := f.Queries[0]
+	if len(q.Params) != 2 {
+		t.Fatalf("params = %d", len(q.Params))
+	}
+	if q.Params[0].Type.Kind != value.KindVertex || q.Params[0].Type.VertexType != "Customer" {
+		t.Errorf("param 0: %+v", q.Params[0])
+	}
+	if len(q.Stmts) != 3 {
+		t.Fatalf("stmts = %d", len(q.Stmts))
+	}
+	sel1 := q.Stmts[0].(*SelectStmt).Sel
+	if !sel1.Distinct || sel1.Outputs[0].Into != "OthersWithCommonLikes" {
+		t.Errorf("block 1 outputs: %+v", sel1.Outputs)
+	}
+	if len(sel1.From[0].Hops) != 2 {
+		t.Fatalf("block 1 hops = %d", len(sel1.From[0].Hops))
+	}
+	if sel1.From[0].Hops[1].DarpeText != "<Likes" {
+		t.Errorf("reverse hop text %q", sel1.From[0].Hops[1].DarpeText)
+	}
+	if len(sel1.PostAccum) != 1 {
+		t.Error("block 1 must have POST_ACCUM")
+	}
+	sel2 := q.Stmts[1].(*SelectStmt).Sel
+	if len(sel2.OrderBy) != 1 || !sel2.OrderBy[0].Desc {
+		t.Error("block 2 ORDER BY DESC missing")
+	}
+	if sel2.Limit == nil {
+		t.Error("block 2 LIMIT missing")
+	}
+	if _, ok := q.Stmts[2].(*ReturnStmt); !ok {
+		t.Error("third statement must be RETURN")
+	}
+}
+
+func TestParseFigure4(t *testing.T) {
+	f := mustParse(t, figure4)
+	q := f.Queries[0]
+	if len(q.Decls) != 3 {
+		t.Fatalf("decls = %d", len(q.Decls))
+	}
+	if q.Decls[0].Init == nil || q.Decls[2].Init == nil {
+		t.Error("initializers missing")
+	}
+	if len(q.Stmts) != 2 {
+		t.Fatalf("stmts = %d: %#v", len(q.Stmts), q.Stmts)
+	}
+	if _, ok := q.Stmts[0].(*AssignStmt); !ok {
+		t.Error("AllV assignment missing")
+	}
+	w, ok := q.Stmts[1].(*WhileStmt)
+	if !ok {
+		t.Fatalf("while: %T", q.Stmts[1])
+	}
+	if w.Limit == nil {
+		t.Error("WHILE LIMIT missing")
+	}
+	if len(w.Body) != 2 {
+		t.Fatalf("while body = %d", len(w.Body))
+	}
+	if _, ok := w.Body[0].(*AccAssignStmt); !ok {
+		t.Errorf("expected @@maxDifference = 0, got %T", w.Body[0])
+	}
+	sel := w.Body[1].(*AssignStmt).Rhs.(*SelectExpr)
+	if len(sel.PostAccum) != 3 {
+		t.Fatalf("POST-ACCUM stmts = %d", len(sel.PostAccum))
+	}
+	// The hyphenated POST-ACCUM form parsed; the primed accumulator
+	// reference appears in the third statement.
+	prev := false
+	var findPrev func(e Expr)
+	findPrev = func(e Expr) {
+		switch n := e.(type) {
+		case *VertexAccRef:
+			if n.Prev {
+				prev = true
+			}
+		case *Binary:
+			findPrev(n.L)
+			findPrev(n.R)
+		case *Unary:
+			findPrev(n.X)
+		case *Call:
+			for _, a := range n.Args {
+				findPrev(a)
+			}
+		}
+	}
+	findPrev(sel.PostAccum[2].Rhs)
+	if !prev {
+		t.Error("v.@score' (previous value) not parsed")
+	}
+}
+
+func TestParseQn(t *testing.T) {
+	f := mustParse(t, qnQuery)
+	q := f.Queries[0]
+	sel := q.Stmts[0].(*AssignStmt).Rhs.(*SelectExpr)
+	hop := sel.From[0].Hops[0]
+	if hop.DarpeText != "E>*" {
+		t.Errorf("star hop text %q", hop.DarpeText)
+	}
+	if !darpe.HasKleene(hop.Darpe) {
+		t.Error("hop must contain a Kleene star")
+	}
+	pr, ok := q.Stmts[1].(*PrintStmt)
+	if !ok {
+		t.Fatalf("print: %T", q.Stmts[1])
+	}
+	if len(pr.Items) != 1 || len(pr.Items[0].Projections) != 2 {
+		t.Errorf("print projections: %+v", pr.Items)
+	}
+}
+
+func TestParseExample5MultiOutput(t *testing.T) {
+	f := mustParse(t, example5)
+	sel := f.Queries[0].Stmts[0].(*SelectStmt).Sel
+	if len(sel.Outputs) != 3 {
+		t.Fatalf("outputs = %d", len(sel.Outputs))
+	}
+	into := []string{sel.Outputs[0].Into, sel.Outputs[1].Into, sel.Outputs[2].Into}
+	if into[0] != "PerCust" || into[1] != "PerToy" || into[2] != "Total" {
+		t.Errorf("INTO targets: %v", into)
+	}
+	if sel.Outputs[2].Items[0].Alias != "rev" {
+		t.Error("AS rev alias missing")
+	}
+}
+
+func TestParseTypedefAndHeap(t *testing.T) {
+	src := `
+TYPEDEF TUPLE<score float, name string> Scored;
+CREATE QUERY TopComments(int k) {
+  HeapAccum<Scored>(10, score DESC, name ASC) @@top;
+  AndAccum @@all;
+  OrAccum @@any;
+  MapAccum<string, SumAccum<int>> @@byCity;
+  MapAccum<int, int> @@sums;
+  GroupByAccum<string city, int year, SumAccum<float>, AvgAccum<float>> @@gs;
+  @@any += true;
+}
+`
+	f := mustParse(t, src)
+	if len(f.Typedefs) != 1 || f.Typedefs[0].Name != "Scored" {
+		t.Fatalf("typedefs: %+v", f.Typedefs)
+	}
+	q := f.Queries[0]
+	specs := map[string]*accum.Spec{}
+	for _, d := range q.Decls {
+		specs[d.Name] = d.Spec
+	}
+	if specs["top"].Kind != accum.KindHeap || specs["top"].Capacity != 10 || len(specs["top"].Sort) != 2 {
+		t.Errorf("heap spec: %+v", specs["top"])
+	}
+	if !specs["top"].Sort[0].Desc || specs["top"].Sort[1].Desc {
+		t.Error("heap sort directions wrong")
+	}
+	if specs["byCity"].Kind != accum.KindMap || specs["byCity"].Nested[0].Kind != accum.KindSum {
+		t.Error("map spec wrong")
+	}
+	if specs["sums"].Nested[0].Kind != accum.KindSum {
+		t.Error("scalar map value must desugar to SumAccum")
+	}
+	gs := specs["gs"]
+	if gs.Kind != accum.KindGroupBy || len(gs.Keys) != 2 || len(gs.Nested) != 2 {
+		t.Errorf("groupby spec: %+v", gs)
+	}
+	if gs.KeyNames[0] != "city" || gs.KeyNames[1] != "year" {
+		t.Errorf("groupby key names: %v", gs.KeyNames)
+	}
+}
+
+func TestParseArrowTuple(t *testing.T) {
+	src := `
+CREATE QUERY G() {
+  GroupByAccum<string k1, SumAccum<float>> @@a;
+  S = SELECT v FROM V:v
+      ACCUM @@a += (v.name -> v.weight, v.height);
+}
+`
+	f := mustParse(t, src)
+	sel := f.Queries[0].Stmts[0].(*AssignStmt).Rhs.(*SelectExpr)
+	at, ok := sel.Accum[0].Rhs.(*ArrowTuple)
+	if !ok {
+		t.Fatalf("rhs: %T", sel.Accum[0].Rhs)
+	}
+	if len(at.Keys) != 1 || len(at.Vals) != 2 {
+		t.Errorf("arrow tuple arity: %d -> %d", len(at.Keys), len(at.Vals))
+	}
+}
+
+func TestParseIfAndComparisons(t *testing.T) {
+	src := `
+CREATE QUERY C(int x) {
+  SumAccum<int> @@n;
+  IF x > 3 AND NOT x >= 10 OR x <> 0 THEN
+    @@n += 1;
+  ELSE
+    @@n += 2;
+  END;
+}
+`
+	f := mustParse(t, src)
+	ifs, ok := f.Queries[0].Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("if: %T", f.Queries[0].Stmts[0])
+	}
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Error("if branches wrong")
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	src := `
+CREATE QUERY G() {
+  SELECT c.city, count(*) AS n, avg(c.age) INTO ByCity
+  FROM Customer:c
+  GROUP BY c.city
+  HAVING count(*) > 2
+  ORDER BY c.city ASC
+  LIMIT 10;
+}
+`
+	f := mustParse(t, src)
+	sel := f.Queries[0].Stmts[0].(*SelectStmt).Sel
+	if len(sel.GroupBy) != 1 || sel.Having == nil || len(sel.OrderBy) != 1 || sel.Limit == nil {
+		t.Errorf("select clauses: %+v", sel)
+	}
+	call := sel.Outputs[0].Items[1].Expr.(*Call)
+	if call.Name != "count" || len(call.Args) != 1 {
+		t.Errorf("count(*): %+v", call)
+	}
+}
+
+func TestParseErrorMessages(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"CREATE FOO", "expected QUERY"},
+		{"CREATE QUERY q() { p = :s -(E>)- :t; }", "path variables"},
+		{"CREATE QUERY q() { S = SELECT v FROM V:v -(E>*:e)- V:t; }", "Kleene"},
+		{"CREATE QUERY q() { S = SELECT v FROM V:v -(|E)- V:t; }", "bad path expression"},
+		{"CREATE QUERY q() { SumAccum<bogus> @x; }", "scalar type"},
+		{"CREATE QUERY q() { HeapAccum<NoSuchTuple>(3, a) @@h; }", "undefined tuple"},
+		{"CREATE QUERY q(vertex<T> v) { WHILE true DO SumAccum<int> @x; END; }", "top level"},
+		{"CREATE QUERY q() { S = SELECT a, b FROM V:v; }", "single bare vertex alias"},
+		{"CREATE QUERY q() { x = 1 }", "expected \";\""},
+		{"CREATE QUERY q() { @@x = ; }", "unexpected"},
+		{"CREATE QUERY q() { PRINT 'unterminated ; }", "unterminated"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) must fail", c.src)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	l := newLexer(`foo 12 3.5 1e3 "s\"x" 'lit' @a @@b += <> .. // comment
+/* block */ #! line`)
+	var kinds []TokKind
+	var texts []string
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TokEOF {
+			break
+		}
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"foo", "12", "3.5", "1e3", `s"x`, "lit", "a", "b", "+=", "<>", ".."}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens: %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+	if kinds[4] != TokString || kinds[5] != TokString {
+		t.Error("string kinds wrong")
+	}
+	if kinds[6] != TokVAcc || kinds[7] != TokGAcc {
+		t.Error("accumulator token kinds wrong")
+	}
+}
+
+func TestLexerPrimeAfterAccum(t *testing.T) {
+	l := newLexer(`v.@score' x`)
+	texts := []string{}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tok.Text)
+	}
+	// v . @score ' x
+	if len(texts) != 5 || texts[3] != "'" {
+		t.Fatalf("tokens: %v", texts)
+	}
+}

@@ -1,0 +1,58 @@
+// Package gsql implements the front end of the GSQL subset described
+// in the paper: a lexer, a recursive-descent parser and an abstract
+// syntax tree covering CREATE QUERY with parameters, accumulator
+// declarations (vertex-attached @ and global @@), multi-block bodies
+// with SELECT / FROM / WHERE / ACCUM / POST-ACCUM clauses, multi-output
+// SELECT ... INTO, SQL-borrowed GROUP BY / HAVING / ORDER BY / LIMIT,
+// the control-flow primitives WHILE and IF of Section 5, TYPEDEF TUPLE
+// for HeapAccum, PRINT and RETURN.
+package gsql
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber // integer or float literal
+	TokString
+	TokVAcc // @name
+	TokGAcc // @@name
+	TokPunct
+)
+
+// Token is one lexical token. Text holds the identifier/number/string
+// payload or the punctuation spelling; for accumulator tokens it holds
+// the bare name (without @/@@).
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int // byte offset of the token start
+	Line int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TokNumber:
+		return fmt.Sprintf("number %s", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokVAcc:
+		return "@" + t.Text
+	case TokGAcc:
+		return "@@" + t.Text
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// isPunct reports whether the token is the given punctuation.
+func (t Token) isPunct(s string) bool { return t.Kind == TokPunct && t.Text == s }

@@ -1,0 +1,256 @@
+package ldbc
+
+import "fmt"
+
+// This file holds the GSQL sources of the adapted LDBC SNB IC queries
+// (Section 7.1's large-scale experiment: ic3, ic5, ic6, ic9, ic11 with
+// the KNOWS hop count varied 2–4) and the Appendix B multi-grouping
+// workload (Qgs vs Qacc).
+//
+// Each IC query finds the friend neighbourhood with a bounded KNOWS
+// repetition -(Knows*1..h)- in a first block, collapses it to a
+// DISTINCT vertex set (so the final results coincide under every path
+// semantics, as the paper observes), and aggregates over it in
+// subsequent blocks. The hop count is baked into the pattern text, so
+// the sources are generated per h.
+
+// IC3 counts, per friend within h hops, messages located in two given
+// countries, returning friends active in both (adapted LDBC IC-3).
+func IC3(h int) string {
+	return fmt.Sprintf(`
+CREATE QUERY ic3_h%[1]d (vertex<Person> p, string countryX, string countryY, int k) {
+  SumAccum<int> @msgX, @msgY;
+
+  F = SELECT f
+      FROM Person:p -(Knows*1..%[1]d)- Person:f
+      WHERE f <> p;
+
+  MX = SELECT f
+       FROM F:f -(<CommentHasCreator)- Comment:m -(CommentLocatedIn>)- Country:c
+       WHERE c.name == countryX
+       ACCUM f.@msgX += 1;
+
+  MY = SELECT f
+       FROM F:f -(<CommentHasCreator)- Comment:m -(CommentLocatedIn>)- Country:c
+       WHERE c.name == countryY
+       ACCUM f.@msgY += 1;
+
+  SELECT f.id() AS person, f.@msgX AS xCount, f.@msgY AS yCount, f.@msgX + f.@msgY AS total INTO Res
+  FROM F:f
+  WHERE f.@msgX > 0 AND f.@msgY > 0
+  ORDER BY f.@msgX + f.@msgY DESC, f.id() ASC
+  LIMIT k;
+
+  RETURN Res;
+}
+`, h)
+}
+
+// IC5 ranks forums that friends within h hops joined after a given
+// date by the number of such memberships (adapted LDBC IC-5).
+func IC5(h int) string {
+	return fmt.Sprintf(`
+CREATE QUERY ic5_h%[1]d (vertex<Person> p, datetime minDate, int k) {
+  SumAccum<int> @joins;
+
+  F = SELECT f
+      FROM Person:p -(Knows*1..%[1]d)- Person:f
+      WHERE f <> p;
+
+  Fo = SELECT fo
+       FROM F:f -(<HasMember:e)- Forum:fo
+       WHERE e.joinDate > minDate
+       ACCUM fo.@joins += 1;
+
+  SELECT fo.title AS forum, fo.@joins AS joins INTO Res
+  FROM Fo:fo
+  ORDER BY fo.@joins DESC, fo.title ASC
+  LIMIT k;
+
+  RETURN Res;
+}
+`, h)
+}
+
+// IC6 finds tags co-occurring with a given tag on posts created by
+// friends within h hops (adapted LDBC IC-6).
+func IC6(h int) string {
+	return fmt.Sprintf(`
+CREATE QUERY ic6_h%[1]d (vertex<Person> p, string tagName, int k) {
+  SumAccum<int> @cnt;
+  OrAccum @hasTag;
+
+  F = SELECT f
+      FROM Person:p -(Knows*1..%[1]d)- Person:f
+      WHERE f <> p;
+
+  P1 = SELECT po
+       FROM F:f -(<PostHasCreator)- Post:po -(PostHasTag>)- Tag:t
+       WHERE t.name == tagName
+       ACCUM po.@hasTag += true;
+
+  T2 = SELECT t2
+       FROM P1:po -(PostHasTag>)- Tag:t2
+       WHERE t2.name != tagName AND po.@hasTag == true
+       ACCUM t2.@cnt += 1;
+
+  SELECT t2.name AS tag, t2.@cnt AS postCount INTO Res
+  FROM T2:t2
+  ORDER BY t2.@cnt DESC, t2.name ASC
+  LIMIT k;
+
+  RETURN Res;
+}
+`, h)
+}
+
+// IC9 returns the most recent messages created by friends within h
+// hops before a given date, using a HeapAccum top-k (adapted LDBC
+// IC-9).
+func IC9(h int) string {
+	return fmt.Sprintf(`
+TYPEDEF TUPLE<creationDate datetime, id string> Msg;
+CREATE QUERY ic9_h%[1]d (vertex<Person> p, datetime maxDate, int k) {
+  HeapAccum<Msg>(20, creationDate DESC, id ASC) @@recent;
+
+  F = SELECT f
+      FROM Person:p -(Knows*1..%[1]d)- Person:f
+      WHERE f <> p;
+
+  M = SELECT m
+      FROM F:f -(<CommentHasCreator)- Comment:m
+      WHERE m.creationDate < maxDate
+      ACCUM @@recent += (m.creationDate, m.id());
+
+  PRINT @@recent;
+}
+`, h)
+}
+
+// IC11 finds friends within h hops who work at a company in a given
+// country since before a given year (adapted LDBC IC-11).
+func IC11(h int) string {
+	return fmt.Sprintf(`
+CREATE QUERY ic11_h%[1]d (vertex<Person> p, string countryName, int maxYear, int k) {
+  F = SELECT f
+      FROM Person:p -(Knows*1..%[1]d)- Person:f
+      WHERE f <> p;
+
+  SELECT f.id() AS person, co.name AS company, w.workFrom AS workFrom INTO Res
+  FROM F:f -(WorkAt>:w)- Company:co -(CompanyIn>)- Country:c
+  WHERE c.name == countryName AND w.workFrom < maxYear
+  ORDER BY w.workFrom ASC, f.id() ASC
+  LIMIT k;
+
+  RETURN Res;
+}
+`, h)
+}
+
+// ICQueries returns the benchmark family keyed by short name.
+func ICQueries(h int) map[string]string {
+	return map[string]string{
+		"ic3":  IC3(h),
+		"ic5":  IC5(h),
+		"ic6":  IC6(h),
+		"ic9":  IC9(h),
+		"ic11": IC11(h),
+	}
+}
+
+// ICName returns the installed query name for a family member at a
+// given hop count.
+func ICName(short string, h int) string { return fmt.Sprintf("%s_h%d", short, h) }
+
+// appendixBHeader declares the tuple types both Appendix B queries
+// share: comment tuples sorted by date/length and author tuples sorted
+// by author birthday.
+const appendixBHeader = `
+TYPEDEF TUPLE<creationDate datetime, length int, id string> CDT;
+TYPEDEF TUPLE<birthday datetime, length int, id string> ADT;
+`
+
+// appendixBAggs is the full 8-aggregate list of the Appendix B
+// workload: six top-k heaps, a count, and an average.
+const appendixBAggs = `HeapAccum<CDT>(20, creationDate DESC, length DESC),
+                 HeapAccum<CDT>(20, creationDate ASC, length DESC),
+                 HeapAccum<CDT>(20, length DESC, creationDate DESC),
+                 HeapAccum<CDT>(20, length ASC, creationDate DESC),
+                 HeapAccum<ADT>(10, birthday ASC, length DESC),
+                 HeapAccum<ADT>(10, birthday DESC, length DESC),
+                 SumAccum<int>,
+                 AvgAccum<float>`
+
+// appendixBHeapAggs is the six-heap subset grouping set (i) actually
+// wants.
+const appendixBHeapAggs = `HeapAccum<CDT>(20, creationDate DESC, length DESC),
+                 HeapAccum<CDT>(20, creationDate ASC, length DESC),
+                 HeapAccum<CDT>(20, length DESC, creationDate DESC),
+                 HeapAccum<CDT>(20, length ASC, creationDate DESC),
+                 HeapAccum<ADT>(10, birthday ASC, length DESC),
+                 HeapAccum<ADT>(10, birthday DESC, length DESC)`
+
+// appendixBAllInputs feeds all 8 aggregates (GROUPING SET semantics:
+// every aggregate is computed for every grouping set).
+const appendixBAllInputs = `(m.creationDate, m.length, m.id()),
+              (m.creationDate, m.length, m.id()),
+              (m.creationDate, m.length, m.id()),
+              (m.creationDate, m.length, m.id()),
+              (author.birthday, m.length, m.id()),
+              (author.birthday, m.length, m.id()),
+              1,
+              m.length`
+
+// appendixBHeapInputs feeds only the six heaps.
+const appendixBHeapInputs = `(m.creationDate, m.length, m.id()),
+              (m.creationDate, m.length, m.id()),
+              (m.creationDate, m.length, m.id()),
+              (m.creationDate, m.length, m.id()),
+              (author.birthday, m.length, m.id()),
+              (author.birthday, m.length, m.id())`
+
+// QGS is the Appendix B query in SQL GROUPING SETS style: one
+// GroupByAccum per grouping set, each computing all eight aggregates —
+// including the unwanted ones, exactly the waste Example 13 describes.
+func QGS() string {
+	return appendixBHeader + `
+CREATE QUERY Qgs (datetime lo, datetime hi) {
+  GroupByAccum<int year, ` + appendixBAggs + `> @@gs1;
+  GroupByAccum<string city, string browser, int year, int month, int length, ` + appendixBAggs + `> @@gs2;
+  GroupByAccum<string city, string gender, string browser, int year, int month, ` + appendixBAggs + `> @@gs3;
+
+  S = SELECT p
+      FROM Person:p -(Likes>)- Comment:m -(CommentHasCreator>)- Person:author,
+           Person:p -(PersonLocatedIn>)- City:city
+      WHERE m.creationDate >= lo AND m.creationDate <= hi
+      ACCUM @@gs1 += (year(m.creationDate) -> ` + appendixBAllInputs + `),
+            @@gs2 += (city.name, m.browserUsed, year(m.creationDate), month(m.creationDate), m.length -> ` + appendixBAllInputs + `),
+            @@gs3 += (city.name, p.gender, m.browserUsed, year(m.creationDate), month(m.creationDate) -> ` + appendixBAllInputs + `);
+
+  PRINT size(@@gs1), size(@@gs2), size(@@gs3);
+}
+`
+}
+
+// QACC is the Appendix B query in accumulator style: each grouping set
+// gets a dedicated accumulator computing only the aggregates it needs
+// (Example 13's fix).
+func QACC() string {
+	return appendixBHeader + `
+CREATE QUERY Qacc (datetime lo, datetime hi) {
+  GroupByAccum<int year, ` + appendixBHeapAggs + `> @@peryear;
+  GroupByAccum<string city, string browser, int year, int month, int length, SumAccum<int>> @@counts;
+  GroupByAccum<string city, string gender, string browser, int year, int month, AvgAccum<float>> @@avglen;
+
+  S = SELECT p
+      FROM Person:p -(Likes>)- Comment:m -(CommentHasCreator>)- Person:author,
+           Person:p -(PersonLocatedIn>)- City:city
+      WHERE m.creationDate >= lo AND m.creationDate <= hi
+      ACCUM @@peryear += (year(m.creationDate) -> ` + appendixBHeapInputs + `),
+            @@counts += (city.name, m.browserUsed, year(m.creationDate), month(m.creationDate), m.length -> 1),
+            @@avglen += (city.name, p.gender, m.browserUsed, year(m.creationDate), month(m.creationDate) -> m.length);
+
+  PRINT size(@@peryear), size(@@counts), size(@@avglen);
+}
+`
+}

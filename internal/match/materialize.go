@@ -1,0 +1,67 @@
+package match
+
+import (
+	"gsqlgo/internal/graph"
+
+	"gsqlgo/internal/darpe"
+)
+
+// CountASPMaterializedPair counts the shortest satisfying src→dst
+// paths the way an engine without the counting insight does it: a
+// level-synchronous BFS that materializes every partial path (as
+// parent-pointer records) and, at the first level where dst is reached
+// in an accepting state, counts the accepting path records.
+//
+// This is deliberately exponential when exponentially many shortest
+// paths exist — it models the behaviour the paper observed in Neo4j's
+// allShortestPaths mode (Section 7.1), in contrast to CountASPPair's
+// polynomial counting. Levels are capped at V·Q (a shortest accepting
+// product walk never repeats a product node); MaxSteps bounds the
+// number of materialized records.
+func CountASPMaterializedPair(g *graph.Graph, d *darpe.DFA, src, dst graph.VID, limits EnumLimits) (dist int, mult uint64, err error) {
+	types := typeResolver(g, d)
+	budget := limits.maxSteps()
+
+	type rec struct {
+		v      graph.VID
+		q      int32
+		parent int32 // index into previous level; kept to model real path materialization
+		edge   graph.EID
+	}
+	level := []rec{{v: src, q: int32(d.Start()), parent: -1, edge: -1}}
+	if d.Accepting(d.Start()) && src == dst {
+		return 0, 1, nil
+	}
+	maxLevels := g.NumVertices() * d.NumStates()
+	var res Counts
+	for depth := 1; depth <= maxLevels; depth++ {
+		var next []rec
+		for i, r := range level {
+			for _, h := range g.Neighbors(r.v) {
+				q2 := d.StepIdx(int(r.q), types[h.Type], adornOf(h.Dir))
+				if q2 < 0 {
+					continue
+				}
+				if budget == 0 {
+					return 0, 0, ErrBudget
+				}
+				budget--
+				next = append(next, rec{v: h.To, q: int32(q2), parent: int32(i), edge: h.Edge})
+			}
+		}
+		var count uint64
+		for _, r := range next {
+			if r.v == dst && d.Accepting(int(r.q)) {
+				res.satAdd(&count, 1)
+			}
+		}
+		if count > 0 {
+			return depth, count, nil
+		}
+		if len(next) == 0 {
+			break
+		}
+		level = next
+	}
+	return 0, 0, nil
+}

@@ -1,0 +1,213 @@
+package value
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindDatetime: "datetime", KindVertex: "vertex",
+		KindEdge: "edge", KindTuple: "tuple", KindList: "list", KindSet: "set",
+		KindMap: "map",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "kind(") {
+		t.Error("unknown kind rendering wrong")
+	}
+}
+
+func TestIsNullAndAsConversions(t *testing.T) {
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if f, ok := NewDatetime(5).AsFloat(); !ok || f != 5 {
+		t.Error("datetime AsFloat")
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("string AsFloat must fail")
+	}
+	if i, ok := NewFloat(2.9).AsInt(); !ok || i != 2 {
+		t.Error("float AsInt truncation")
+	}
+	if i, ok := NewDatetime(7).AsInt(); !ok || i != 7 {
+		t.Error("datetime AsInt")
+	}
+	if _, ok := NewBool(true).AsInt(); ok {
+		t.Error("bool AsInt must fail")
+	}
+}
+
+func TestPayloadPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic on wrong kind", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Bool", func() { NewInt(1).Bool() })
+	assertPanics("Int", func() { NewString("x").Int() })
+	assertPanics("Float", func() { NewInt(1).Float() })
+	assertPanics("Str", func() { NewInt(1).Str() })
+	assertPanics("Datetime", func() { NewInt(1).Datetime() })
+	assertPanics("VertexID", func() { NewInt(1).VertexID() })
+	assertPanics("EdgeID", func() { NewInt(1).EdgeID() })
+	assertPanics("Elems", func() { NewInt(1).Elems() })
+	assertPanics("Pairs", func() { NewInt(1).Pairs() })
+}
+
+func TestAddVariants(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want Value
+		ok   bool
+	}{
+		{NewInt(1), NewInt(2), NewInt(3), true},
+		{NewFloat(1), NewInt(2), NewFloat(3), true},
+		{NewString("a"), NewString("b"), NewString("ab"), true},
+		{NewDatetime(10), NewInt(5), NewDatetime(15), true},
+		{NewInt(5), NewDatetime(10), NewDatetime(15), true},
+		{NewList([]Value{NewInt(1)}), NewList([]Value{NewInt(2)}),
+			NewList([]Value{NewInt(1), NewInt(2)}), true},
+		{NewBool(true), NewInt(1), Null, false},
+		{NewString("a"), NewInt(1), Null, false},
+	}
+	for _, c := range cases {
+		got, err := Add(c.a, c.b)
+		if c.ok != (err == nil) {
+			t.Errorf("Add(%v, %v): err=%v", c.a, c.b, err)
+			continue
+		}
+		if err == nil && (got.Kind() != c.want.Kind() || !Equal(got, c.want)) {
+			t.Errorf("Add(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSubMulVariants(t *testing.T) {
+	if got, _ := Sub(NewInt(5), NewInt(3)); got.Int() != 2 {
+		t.Errorf("Sub int: %v", got)
+	}
+	if got, _ := Sub(NewFloat(5), NewInt(3)); got.Float() != 2 {
+		t.Errorf("Sub float: %v", got)
+	}
+	if got, _ := Sub(NewDatetime(100), NewInt(40)); got.Kind() != KindDatetime || got.Datetime() != 60 {
+		t.Errorf("Sub datetime-int: %v", got)
+	}
+	if _, err := Sub(NewString("a"), NewInt(1)); err == nil {
+		t.Error("Sub type error expected")
+	}
+	if got, _ := Mul(NewFloat(2), NewInt(3)); got.Float() != 6 {
+		t.Errorf("Mul mixed: %v", got)
+	}
+	if _, err := Mul(NewString("a"), NewInt(2)); err == nil {
+		t.Error("Mul type error expected")
+	}
+}
+
+func TestDivModVariants(t *testing.T) {
+	if got, _ := Div(NewFloat(1), NewFloat(0)); !math.IsInf(got.Float(), 1) {
+		t.Errorf("float/0 = %v, want +Inf", got)
+	}
+	if _, err := Div(NewString("x"), NewInt(1)); err == nil {
+		t.Error("Div type error expected")
+	}
+	if _, err := IntDiv(NewInt(1), NewInt(0)); err == nil {
+		t.Error("IntDiv by zero must error")
+	}
+	if _, err := IntDiv(NewString("x"), NewInt(1)); err == nil {
+		t.Error("IntDiv type error expected")
+	}
+	if _, err := Mod(NewInt(1), NewInt(0)); err == nil {
+		t.Error("Mod by zero must error")
+	}
+	if _, err := Mod(NewFloat(1), NewInt(2)); err == nil {
+		t.Error("Mod float must error")
+	}
+}
+
+func TestNegAbsVariants(t *testing.T) {
+	if got, _ := Neg(NewInt(3)); got.Int() != -3 {
+		t.Errorf("Neg int: %v", got)
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("Neg type error expected")
+	}
+	if got, _ := Abs(NewInt(4)); got.Int() != 4 {
+		t.Errorf("Abs positive: %v", got)
+	}
+	if got, _ := Abs(NewFloat(-2.5)); got.Float() != 2.5 {
+		t.Errorf("Abs float: %v", got)
+	}
+	if _, err := Abs(NewBool(true)); err == nil {
+		t.Error("Abs type error expected")
+	}
+}
+
+func TestMinMaxOfBranches(t *testing.T) {
+	a, b := NewInt(2), NewInt(1)
+	if MinOf(a, b).Int() != 1 || MaxOf(b, a).Int() != 2 {
+		t.Error("MinOf/MaxOf reversed operands wrong")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	cases := map[string]Value{
+		"{1, 2}":        NewSet([]Value{NewInt(2), NewInt(1)}),
+		"{a: 1}":        NewMap([]Pair{{NewString("a"), NewInt(1)}}),
+		"(1, x)":        NewTuple([]Value{NewInt(1), NewString("x")}),
+		"[ ]"[:1] + "]": NewList(nil),
+		"0.5":           NewFloat(0.5),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v-kind) = %q, want %q", v.Kind(), got, want)
+		}
+	}
+}
+
+func TestCompareCrossKindsAndStructures(t *testing.T) {
+	// Different non-numeric kinds order by kind tag, both directions.
+	if Compare(NewBool(true), NewString("a")) >= 0 {
+		t.Error("bool must order before string")
+	}
+	if Compare(NewString("a"), NewBool(true)) <= 0 {
+		t.Error("string must order after bool")
+	}
+	// Structured comparisons: prefix ordering and element ordering.
+	short := NewList([]Value{NewInt(1)})
+	long := NewList([]Value{NewInt(1), NewInt(2)})
+	if Compare(short, long) >= 0 || Compare(long, short) <= 0 {
+		t.Error("list prefix ordering wrong")
+	}
+	m1 := NewMap([]Pair{{NewString("a"), NewInt(1)}})
+	m2 := NewMap([]Pair{{NewString("a"), NewInt(2)}})
+	m3 := NewMap([]Pair{{NewString("b"), NewInt(1)}})
+	if Compare(m1, m2) >= 0 || Compare(m1, m3) >= 0 {
+		t.Error("map ordering wrong")
+	}
+	m4 := NewMap([]Pair{{NewString("a"), NewInt(1)}, {NewString("b"), NewInt(1)}})
+	if Compare(m1, m4) >= 0 {
+		t.Error("shorter map must order first on shared prefix")
+	}
+	// Vertex/edge/datetime payload ordering.
+	if Compare(NewVertex(1), NewVertex(2)) >= 0 || Compare(NewEdge(3), NewEdge(2)) <= 0 {
+		t.Error("graph ref ordering wrong")
+	}
+	if Compare(NewDatetime(1), NewDatetime(2)) >= 0 {
+		t.Error("datetime ordering wrong")
+	}
+	// Float ordering both ways.
+	if Compare(NewFloat(1.5), NewFloat(2.5)) >= 0 || Compare(NewFloat(2.5), NewFloat(1.5)) <= 0 {
+		t.Error("float ordering wrong")
+	}
+}

@@ -1,0 +1,469 @@
+// Package value implements the runtime value system of the GSQL
+// interpreter: a compact tagged union covering the scalar types of the
+// GSQL type system (bool, int, float, string, datetime), graph element
+// references (vertex, edge), and the structured values produced by
+// collection accumulators (tuple, list, set, map).
+//
+// Values are immutable once constructed. Structured values share
+// underlying slices; callers that mutate must copy first.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind discriminates the dynamic type held by a Value.
+type Kind uint8
+
+// The kinds of runtime values.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDatetime // seconds since the Unix epoch, UTC
+	KindVertex   // graph-global vertex id
+	KindEdge     // graph-global edge id
+	KindTuple    // fixed-arity heterogeneous sequence
+	KindList     // variable-length sequence
+	KindSet      // canonically sorted, deduplicated sequence
+	KindMap      // canonically sorted key/value pairs
+)
+
+// String returns the GSQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindDatetime:
+		return "datetime"
+	case KindVertex:
+		return "vertex"
+	case KindEdge:
+		return "edge"
+	case KindTuple:
+		return "tuple"
+	case KindList:
+		return "list"
+	case KindSet:
+		return "set"
+	case KindMap:
+		return "map"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Pair is one entry of a map value.
+type Pair struct {
+	Key Value
+	Val Value
+}
+
+// Value is a runtime value. The zero Value is the null value.
+type Value struct {
+	kind  Kind
+	i     int64   // bool (0/1), int, datetime, vertex id, edge id
+	f     float64 // float payload
+	s     string  // string payload
+	elems []Value // tuple/list/set payload
+	pairs []Pair  // map payload
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewDatetime returns a datetime value from Unix seconds.
+func NewDatetime(unixSec int64) Value { return Value{kind: KindDatetime, i: unixSec} }
+
+// NewVertex returns a vertex reference for a graph-global vertex id.
+func NewVertex(id int64) Value { return Value{kind: KindVertex, i: id} }
+
+// NewEdge returns an edge reference for a graph-global edge id.
+func NewEdge(id int64) Value { return Value{kind: KindEdge, i: id} }
+
+// NewTuple returns a tuple value over the given fields. The slice is
+// retained; the caller must not mutate it afterwards.
+func NewTuple(fields []Value) Value { return Value{kind: KindTuple, elems: fields} }
+
+// NewList returns a list value. The slice is retained.
+func NewList(elems []Value) Value { return Value{kind: KindList, elems: elems} }
+
+// NewSet returns a set value with canonical (sorted, deduplicated)
+// element order. The input slice may be reordered in place.
+func NewSet(elems []Value) Value {
+	sort.Slice(elems, func(i, j int) bool { return Less(elems[i], elems[j]) })
+	out := elems[:0]
+	for i, e := range elems {
+		if i == 0 || !Equal(e, elems[i-1]) {
+			out = append(out, e)
+		}
+	}
+	return Value{kind: KindSet, elems: out}
+}
+
+// NewMap returns a map value with canonical key order. The input slice
+// may be reordered in place. Duplicate keys keep the last value.
+func NewMap(pairs []Pair) Value {
+	sort.SliceStable(pairs, func(i, j int) bool { return Less(pairs[i].Key, pairs[j].Key) })
+	out := pairs[:0]
+	for i, p := range pairs {
+		if i > 0 && Equal(p.Key, out[len(out)-1].Key) {
+			out[len(out)-1] = p
+			_ = i
+			continue
+		}
+		out = append(out, p)
+	}
+	return Value{kind: KindMap, pairs: out}
+}
+
+// Kind reports the value's dynamic kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; it panics for other kinds.
+func (v Value) Bool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+// Int returns the integer payload; it panics for other kinds.
+func (v Value) Int() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// Float returns the floating-point payload; it panics for other kinds.
+func (v Value) Float() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// Str returns the string payload; it panics for other kinds.
+func (v Value) Str() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// Datetime returns the datetime payload in Unix seconds.
+func (v Value) Datetime() int64 {
+	v.mustBe(KindDatetime)
+	return v.i
+}
+
+// VertexID returns the vertex id payload.
+func (v Value) VertexID() int64 {
+	v.mustBe(KindVertex)
+	return v.i
+}
+
+// EdgeID returns the edge id payload.
+func (v Value) EdgeID() int64 {
+	v.mustBe(KindEdge)
+	return v.i
+}
+
+// Elems returns the elements of a tuple, list or set value. The
+// returned slice must not be mutated.
+func (v Value) Elems() []Value {
+	switch v.kind {
+	case KindTuple, KindList, KindSet:
+		return v.elems
+	}
+	panic(fmt.Sprintf("value: Elems on %s", v.kind))
+}
+
+// Pairs returns the entries of a map value in canonical key order. The
+// returned slice must not be mutated.
+func (v Value) Pairs() []Pair {
+	v.mustBe(KindMap)
+	return v.pairs
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("value: %s payload requested from %s value", k, v.kind))
+	}
+}
+
+// IsNumeric reports whether the value is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsFloat returns the value as a float64, coercing ints and datetimes.
+// The second result is false if the value is not numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt, KindDatetime:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// AsInt returns the value as an int64, truncating floats. The second
+// result is false if the value is not numeric.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt, KindDatetime:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	}
+	return 0, false
+}
+
+// Truthy reports whether the value is considered true in a condition:
+// booleans by payload, numbers by non-zero, strings by non-empty, and
+// null as false.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool:
+		return v.i != 0
+	case KindInt, KindDatetime:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	case KindNull:
+		return false
+	default:
+		return true
+	}
+}
+
+// Equal reports deep equality of two values. Int and float values
+// compare numerically across kinds (1 == 1.0).
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Less reports a < b under the total order implemented by Compare.
+func Less(a, b Value) bool { return Compare(a, b) < 0 }
+
+// Compare imposes a total order on values. Numeric kinds (int, float)
+// compare numerically with each other; otherwise values of different
+// kinds order by kind tag. Structured values compare lexicographically.
+// Null orders before everything.
+func Compare(a, b Value) int {
+	if a.IsNumeric() && b.IsNumeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		// Exact int/int comparison avoids float rounding.
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindNull:
+		return 0
+	case KindBool, KindInt, KindDatetime, KindVertex, KindEdge:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindFloat:
+		switch {
+		case a.f < b.f:
+			return -1
+		case a.f > b.f:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindTuple, KindList, KindSet:
+		return compareSlices(a.elems, b.elems)
+	case KindMap:
+		n := len(a.pairs)
+		if len(b.pairs) < n {
+			n = len(b.pairs)
+		}
+		for i := 0; i < n; i++ {
+			if c := Compare(a.pairs[i].Key, b.pairs[i].Key); c != 0 {
+				return c
+			}
+			if c := Compare(a.pairs[i].Val, b.pairs[i].Val); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(a.pairs) < len(b.pairs):
+			return -1
+		case len(a.pairs) > len(b.pairs):
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+func compareSlices(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a string that is equal for equal values and distinct for
+// distinct values, suitable for use as a Go map key (e.g. grouping).
+func (v Value) Key() string {
+	var sb strings.Builder
+	v.appendKey(&sb)
+	return sb.String()
+}
+
+func (v Value) appendKey(sb *strings.Builder) {
+	// Normalize int-valued floats so 1 and 1.0 share a key, matching
+	// Compare's numeric cross-kind equality.
+	if v.kind == KindFloat && v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && v.f >= -1<<62 && v.f <= 1<<62 {
+		v = NewInt(int64(v.f))
+	}
+	sb.WriteByte(byte('A' + v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool, KindInt, KindDatetime, KindVertex, KindEdge:
+		sb.WriteString(strconv.FormatInt(v.i, 36))
+	case KindFloat:
+		sb.WriteString(strconv.FormatUint(math.Float64bits(v.f), 36))
+	case KindString:
+		sb.WriteString(strconv.Itoa(len(v.s)))
+		sb.WriteByte(':')
+		sb.WriteString(v.s)
+	case KindTuple, KindList, KindSet:
+		sb.WriteString(strconv.Itoa(len(v.elems)))
+		for _, e := range v.elems {
+			sb.WriteByte('(')
+			e.appendKey(sb)
+			sb.WriteByte(')')
+		}
+	case KindMap:
+		sb.WriteString(strconv.Itoa(len(v.pairs)))
+		for _, p := range v.pairs {
+			sb.WriteByte('[')
+			p.Key.appendKey(sb)
+			sb.WriteByte('=')
+			p.Val.appendKey(sb)
+			sb.WriteByte(']')
+		}
+	}
+}
+
+// Normalize int-kind key prefix: KindInt must serialize identically for
+// int and int-valued float (see appendKey). This dummy reference keeps
+// the invariant close to the code it documents.
+var _ = KindInt
+
+// String renders the value for display (PRINT output, test failures).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindDatetime:
+		return time.Unix(v.i, 0).UTC().Format("2006-01-02 15:04:05")
+	case KindVertex:
+		return "vertex(" + strconv.FormatInt(v.i, 10) + ")"
+	case KindEdge:
+		return "edge(" + strconv.FormatInt(v.i, 10) + ")"
+	case KindTuple, KindList, KindSet:
+		open, close := "[", "]"
+		if v.kind == KindTuple {
+			open, close = "(", ")"
+		} else if v.kind == KindSet {
+			open, close = "{", "}"
+		}
+		parts := make([]string, len(v.elems))
+		for i, e := range v.elems {
+			parts[i] = e.String()
+		}
+		return open + strings.Join(parts, ", ") + close
+	case KindMap:
+		parts := make([]string, len(v.pairs))
+		for i, p := range v.pairs {
+			parts[i] = p.Key.String() + ": " + p.Val.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return "?"
+	}
+}

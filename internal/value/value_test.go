@@ -1,0 +1,264 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "null"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewInt(-42), KindInt, "-42"},
+		{NewFloat(2.5), KindFloat, "2.5"},
+		{NewString("abc"), KindString, "abc"},
+		{NewDatetime(0), KindDatetime, "1970-01-01 00:00:00"},
+		{NewVertex(7), KindVertex, "vertex(7)"},
+		{NewEdge(9), KindEdge, "edge(9)"},
+		{NewTuple([]Value{NewInt(1), NewString("x")}), KindTuple, "(1, x)"},
+		{NewList([]Value{NewInt(2), NewInt(1)}), KindList, "[2, 1]"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v: got %s want %s", c.v, c.v.Kind(), c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String: got %q want %q", got, c.str)
+		}
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool payload mismatch")
+	}
+	if NewInt(5).Int() != 5 || NewFloat(1.5).Float() != 1.5 {
+		t.Error("numeric payload mismatch")
+	}
+	if NewString("s").Str() != "s" || NewDatetime(11).Datetime() != 11 {
+		t.Error("string/datetime payload mismatch")
+	}
+	if NewVertex(3).VertexID() != 3 || NewEdge(4).EdgeID() != 4 {
+		t.Error("graph ref payload mismatch")
+	}
+}
+
+func TestSetCanonicalization(t *testing.T) {
+	s := NewSet([]Value{NewInt(3), NewInt(1), NewInt(3), NewInt(2), NewInt(1)})
+	want := []Value{NewInt(1), NewInt(2), NewInt(3)}
+	if !reflect.DeepEqual(s.Elems(), want) {
+		t.Fatalf("set canonical form: got %v want %v", s.Elems(), want)
+	}
+}
+
+func TestMapCanonicalization(t *testing.T) {
+	m := NewMap([]Pair{
+		{NewString("b"), NewInt(2)},
+		{NewString("a"), NewInt(1)},
+		{NewString("b"), NewInt(3)}, // duplicate key keeps last value
+	})
+	ps := m.Pairs()
+	if len(ps) != 2 {
+		t.Fatalf("map size: got %d want 2", len(ps))
+	}
+	if ps[0].Key.Str() != "a" || ps[0].Val.Int() != 1 {
+		t.Errorf("first pair: got %v=%v", ps[0].Key, ps[0].Val)
+	}
+	if ps[1].Key.Str() != "b" || ps[1].Val.Int() != 3 {
+		t.Errorf("second pair: got %v=%v", ps[1].Key, ps[1].Val)
+	}
+}
+
+func TestNumericCrossKindEquality(t *testing.T) {
+	if !Equal(NewInt(1), NewFloat(1.0)) {
+		t.Error("1 == 1.0 expected")
+	}
+	if Compare(NewInt(2), NewFloat(2.5)) != -1 {
+		t.Error("2 < 2.5 expected")
+	}
+	if NewInt(1).Key() != NewFloat(1.0).Key() {
+		t.Error("keys of equal numerics must agree")
+	}
+	if NewInt(1).Key() == NewFloat(1.25).Key() {
+		t.Error("distinct numerics must have distinct keys")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{NewBool(true), NewInt(1), NewFloat(-0.5), NewString("x"), NewList(nil)}
+	falsy := []Value{Null, NewBool(false), NewInt(0), NewFloat(0), NewString("")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustV := func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := mustV(Add(NewInt(2), NewInt(3))); got.Int() != 5 {
+		t.Errorf("2+3: %v", got)
+	}
+	if got := mustV(Add(NewInt(2), NewFloat(0.5))); got.Float() != 2.5 {
+		t.Errorf("2+0.5: %v", got)
+	}
+	if got := mustV(Add(NewString("a"), NewString("b"))); got.Str() != "ab" {
+		t.Errorf("string concat: %v", got)
+	}
+	if got := mustV(Sub(NewDatetime(100), NewDatetime(40))); got.Int() != 60 {
+		t.Errorf("datetime diff: %v", got)
+	}
+	if got := mustV(Mul(NewInt(4), NewInt(5))); got.Int() != 20 {
+		t.Errorf("4*5: %v", got)
+	}
+	if got := mustV(Div(NewInt(1), NewInt(2))); got.Float() != 0.5 {
+		t.Errorf("1/2: %v", got)
+	}
+	if got := mustV(IntDiv(NewInt(7), NewInt(2))); got.Int() != 3 {
+		t.Errorf("7 div 2: %v", got)
+	}
+	if got := mustV(Mod(NewInt(7), NewInt(3))); got.Int() != 1 {
+		t.Errorf("7%%3: %v", got)
+	}
+	if got := mustV(Neg(NewFloat(2.5))); got.Float() != -2.5 {
+		t.Errorf("-2.5: %v", got)
+	}
+	if got := mustV(Abs(NewInt(-9))); got.Int() != 9 {
+		t.Errorf("abs(-9): %v", got)
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("int division by zero must error")
+	}
+	if _, err := Add(NewBool(true), NewInt(1)); err == nil {
+		t.Error("bool+int must be a type error")
+	}
+}
+
+// randomValue builds an arbitrary value of bounded depth for property
+// tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(10)
+	if depth <= 0 && k >= 7 {
+		k = r.Intn(7)
+	}
+	switch k {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(r.Intn(2) == 0)
+	case 2:
+		return NewInt(int64(r.Intn(2001) - 1000))
+	case 3:
+		return NewFloat(float64(r.Intn(2001)-1000) / 4)
+	case 4:
+		return NewString(string(rune('a' + r.Intn(26))))
+	case 5:
+		return NewDatetime(int64(r.Intn(1 << 20)))
+	case 6:
+		return NewVertex(int64(r.Intn(100)))
+	case 7:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return NewTuple(elems)
+	case 8:
+		n := r.Intn(4)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = randomValue(r, depth-1)
+		}
+		return NewList(elems)
+	default:
+		n := r.Intn(4)
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{randomValue(r, depth-1), randomValue(r, depth-1)}
+		}
+		return NewMap(pairs)
+	}
+}
+
+func TestCompareTotalOrderProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	anti := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 2), randomValue(r, 2)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, cfg); err != nil {
+		t.Error(err)
+	}
+	// Reflexivity: Compare(a,a) == 0.
+	refl := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomValue(r, 2)
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(refl, cfg); err != nil {
+		t.Error(err)
+	}
+	// Transitivity via sortedness check.
+	trans := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vs := make([]Value, 8)
+		for i := range vs {
+			vs[i] = randomValue(r, 2)
+		}
+		sort.Slice(vs, func(i, j int) bool { return Less(vs[i], vs[j]) })
+		return sort.SliceIsSorted(vs, func(i, j int) bool { return Less(vs[i], vs[j]) })
+	}
+	if err := quick.Check(trans, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyConsistentWithEqual(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1000}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r, 2), randomValue(r, 2)
+		if Equal(a, b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxOf(t *testing.T) {
+	a, b := NewInt(1), NewInt(2)
+	if !Equal(MinOf(a, b), a) || !Equal(MaxOf(a, b), b) {
+		t.Error("MinOf/MaxOf order wrong")
+	}
+}
+
+func TestFloatKeyNonInteger(t *testing.T) {
+	// Non-integer floats keep full precision in keys.
+	a := NewFloat(1.5)
+	b := NewFloat(math.Nextafter(1.5, 2))
+	if a.Key() == b.Key() {
+		t.Error("adjacent distinct floats must have distinct keys")
+	}
+}

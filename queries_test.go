@@ -1,0 +1,45 @@
+package gsqlgo_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsqlgo"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+)
+
+// TestShippedQueriesInstall installs every .gsql file the repository
+// ships against the graph it documents, so the samples cannot rot.
+func TestShippedQueriesInstall(t *testing.T) {
+	graphFor := map[string]*gsqlgo.Graph{
+		"pathcount.gsql":   graph.BuildDiamondChain(4),
+		"pagerank.gsql":    graph.BuildLinkGraph(10, 3, 1),
+		"recommender.gsql": graph.BuildSalesGraph(graph.SalesGraphConfig{Customers: 5, Products: 5, Sales: 10, Likes: 10, Seed: 1}),
+		"revenue.gsql":     graph.BuildSalesGraph(graph.SalesGraphConfig{Customers: 5, Products: 5, Sales: 10, Likes: 10, Seed: 1}),
+		"friends.gsql":     ldbc.Generate(ldbc.Config{SF: 0.05, Seed: 1}),
+	}
+	files, err := filepath.Glob("queries/*.gsql")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(graphFor) {
+		t.Fatalf("found %d query files, expected %d — update graphFor", len(files), len(graphFor))
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, ok := graphFor[filepath.Base(path)]
+		if !ok {
+			t.Errorf("no target graph registered for %s", path)
+			continue
+		}
+		db := gsqlgo.Open(g, gsqlgo.Options{})
+		if err := db.Install(string(src)); err != nil {
+			t.Errorf("%s does not install: %v", path, err)
+		}
+	}
+}
