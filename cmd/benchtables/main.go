@@ -10,6 +10,11 @@
 //
 // Scale knobs (-maxn, -sf, -hops, -timeout) default to laptop-friendly
 // sizes; raise them to approach the paper's ranges.
+//
+// -json FILE additionally runs the kernel microbenchmark suite and
+// writes machine-readable {name: {ns_per_op, allocs_per_op,
+// bytes_per_op}} results — the convention is `-json BENCH_csr.json`,
+// committed so the perf trajectory is tracked across PRs.
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 	hops := flag.String("hops", "2,3,4", "SNB KNOWS hop counts, comma separated")
 	reps := flag.Int("reps", 5, "Appendix B repetitions per query (median reported)")
 	seed := flag.Int64("seed", 7, "generator seed")
+	jsonPath := flag.String("json", "", "write kernel microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
 	flag.Parse()
 
 	sfList, err := parseFloats(*sfs)
@@ -76,6 +82,20 @@ func main() {
 		run("Appendix A multiplicity-shortcut ablation", func() error {
 			return bench.ShortcutAblation(w, nil, *timeout)
 		})
+	}
+	if *jsonPath != "" {
+		fmt.Printf("\n──────── kernel microbenchmarks → %s ────────\n\n", *jsonPath)
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatalf("microbench: %v", err)
+		}
+		if err := bench.WriteMicroJSON(f, os.Stdout); err != nil {
+			f.Close()
+			log.Fatalf("microbench: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("microbench: %v", err)
+		}
 	}
 }
 

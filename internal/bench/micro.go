@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/value"
+)
+
+// Micro is one machine-readable microbenchmark measurement. The JSON
+// emitted by WriteMicroJSON (cmd/benchtables -json, conventionally
+// BENCH_csr.json) tracks the perf trajectory of the hot kernels across
+// PRs: compare ns_per_op and allocs_per_op against the committed
+// baseline before and after touching a hot path.
+type Micro struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// microSuite mirrors the allocation-sensitive benchmarks of
+// bench_test.go (the SDMC kernel family and the Table 1 counting
+// column, plus the full engine Q_n) as programmatically runnable
+// cases.
+func microSuite() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	snb := ldbc.Generate(ldbc.Config{SF: 0.2, Seed: 7})
+	knows := darpe.MustCompile("Knows*1..3")
+	diam := graph.BuildDiamondChain(20)
+	dE := darpe.MustCompile("E>*")
+	v0, _ := diam.VertexByKey("V", "v0")
+	v20, _ := diam.VertexByKey("V", "v20")
+	qnEngine := core.New(diam, core.Options{})
+	if err := qnEngine.Install(qnSource); err != nil {
+		panic(err)
+	}
+	qnArgs := map[string]value.Value{
+		"srcName": value.NewString("v0"),
+		"tgtName": value.NewString("v20"),
+	}
+	return []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"SDMCAllPairs/sequential", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				match.CountASPAll(snb, knows)
+			}
+		}},
+		{"SDMCAllPairs/parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				match.CountASPAllParallel(snb, knows, 0)
+			}
+		}},
+		{"SDMC/singleSource", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				match.CountASP(diam, dE, v0)
+			}
+		}},
+		{"Table1ASPCount/n=20", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, mult, ok := match.CountASPPair(diam, dE, v0, v20); !ok || mult != 1<<20 {
+					b.Fatalf("count %d", mult)
+				}
+			}
+		}},
+		{"Table1FullQn/n=20", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := qnEngine.Run("Qn", qnArgs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// WriteMicroJSON runs the microbenchmark suite via testing.Benchmark
+// and writes {"name": {"ns_per_op": …, "allocs_per_op": …,
+// "bytes_per_op": …}, …} to w. Progress goes to progress (nil for
+// silent) since a full run takes several seconds.
+func WriteMicroJSON(w, progress io.Writer) error {
+	results := make(map[string]Micro)
+	for _, c := range microSuite() {
+		if progress != nil {
+			fmt.Fprintf(progress, "  bench %s ...", c.name)
+		}
+		r := testing.Benchmark(c.fn)
+		m := Micro{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		results[c.name] = m
+		if progress != nil {
+			fmt.Fprintf(progress, " %.0f ns/op, %d allocs/op\n", m.NsPerOp, m.AllocsPerOp)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

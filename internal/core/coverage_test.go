@@ -402,11 +402,11 @@ func TestTableString(t *testing.T) {
 func TestQueriesList(t *testing.T) {
 	g := graph.BuildDiamondChain(1)
 	e := New(g, Options{})
-	if err := e.Install(`CREATE QUERY A() {} CREATE QUERY B() {}`); err != nil {
+	if err := e.Install(`CREATE QUERY B() {} CREATE QUERY A() {}`); err != nil {
 		t.Fatal(err)
 	}
-	if got := e.Queries(); len(got) != 2 {
-		t.Errorf("Queries() = %v", got)
+	if got := e.Queries(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Queries() = %v, want sorted [A B]", got)
 	}
 	if _, err := e.InstallAndRun(`CREATE QUERY C() {} CREATE QUERY D() {}`, nil); err == nil {
 		t.Error("InstallAndRun with two queries must error")

@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -96,7 +97,8 @@ func (e *Engine) Install(src string) error {
 	return nil
 }
 
-// Queries lists installed query names.
+// Queries lists installed query names, sorted so CLI and test output
+// is deterministic rather than map-iteration-ordered.
 func (e *Engine) Queries() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -104,6 +106,7 @@ func (e *Engine) Queries() []string {
 	for name := range e.queries {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"strconv"
-	"strings"
 
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/graph"
@@ -67,41 +65,119 @@ func (bt *bindingTable) addRelAlias(name string) int {
 	return len(bt.relAliases) - 1
 }
 
-// rowKey encodes a row's bindings for deduplication.
-func (bt *bindingTable) rowKey(r bindingRow) string {
-	var sb strings.Builder
+// FNV-1a, the fingerprint behind row deduplication and joins. Rows of
+// one table all share the same arity per column family, so hashing the
+// fixed-width binding words positionally is unambiguous without
+// separators; relational values get a length prefix.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvWord(h uint64, w uint32) uint64 {
+	h = (h ^ uint64(w&0xff)) * fnvPrime64
+	h = (h ^ uint64((w>>8)&0xff)) * fnvPrime64
+	h = (h ^ uint64((w>>16)&0xff)) * fnvPrime64
+	h = (h ^ uint64(w>>24)) * fnvPrime64
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	h = fnvWord(h, uint32(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// rowHash fingerprints a row's bindings. Replaces the old string-built
+// rowKey: hashing fixed-width integers allocates nothing per row.
+// Every hash hit is confirmed with rowsEqual, so a collision costs one
+// comparison, never correctness.
+func (bt *bindingTable) rowHash(r bindingRow) uint64 {
+	h := fnvOffset64
 	for _, v := range r.verts {
-		sb.WriteString(strconv.Itoa(int(v)))
-		sb.WriteByte(',')
+		h = fnvWord(h, uint32(v))
 	}
-	sb.WriteByte('|')
 	for _, e := range r.edges {
-		sb.WriteString(strconv.Itoa(int(e)))
-		sb.WriteByte(',')
+		h = fnvWord(h, uint32(e))
 	}
-	sb.WriteByte('|')
 	for _, rel := range r.rels {
-		sb.WriteString(rel.Key())
-		sb.WriteByte(',')
+		h = fnvString(h, rel.Key())
 	}
-	return sb.String()
+	return h
+}
+
+// rowsEqual reports whether two rows of the same table carry identical
+// bindings (multiplicity excluded).
+func rowsEqual(a, b bindingRow) bool {
+	for i := range a.verts {
+		if a.verts[i] != b.verts[i] {
+			return false
+		}
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			return false
+		}
+	}
+	for i := range a.rels {
+		if a.rels[i].Key() != b.rels[i].Key() {
+			return false
+		}
+	}
+	return true
 }
 
 // compress merges rows with identical bindings, summing multiplicities
-// (saturating).
+// (saturating). Kept rows stay in first-appearance order.
 func (bt *bindingTable) compress() {
 	if len(bt.rows) < 2 {
 		return
 	}
-	seen := make(map[string]int, len(bt.rows))
+	// Fast path: a table of one vertex column dedups on the VID itself
+	// — no hashing, no collision chains.
+	if len(bt.vertAliases) == 1 && len(bt.edgeAliases) == 0 && len(bt.relAliases) == 0 {
+		seen := make(map[graph.VID]int, len(bt.rows))
+		out := bt.rows[:0]
+		for _, r := range bt.rows {
+			v := r.verts[0]
+			if i, ok := seen[v]; ok {
+				out[i].mult = satAdd(out[i].mult, r.mult)
+				continue
+			}
+			seen[v] = len(out)
+			out = append(out, r)
+		}
+		bt.rows = out
+		return
+	}
+	// General path: hash fingerprints with chained exact confirmation.
+	// chain[i] links out-row i to the previous out-row with the same
+	// fingerprint (-1 ends the chain).
+	seen := make(map[uint64]int32, len(bt.rows))
+	chain := make([]int32, 0, len(bt.rows))
 	out := bt.rows[:0]
 	for _, r := range bt.rows {
-		k := bt.rowKey(r)
-		if i, ok := seen[k]; ok {
-			out[i].mult = satAdd(out[i].mult, r.mult)
-			continue
+		h := bt.rowHash(r)
+		head, ok := seen[h]
+		if ok {
+			merged := false
+			for i := head; i >= 0; i = chain[i] {
+				if rowsEqual(out[i], r) {
+					out[i].mult = satAdd(out[i].mult, r.mult)
+					merged = true
+					break
+				}
+			}
+			if merged {
+				continue
+			}
+		} else {
+			head = -1
 		}
-		seen[k] = len(out)
+		seen[h] = int32(len(out))
+		chain = append(chain, head)
 		out = append(out, r)
 	}
 	bt.rows = out
@@ -309,7 +385,7 @@ func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.
 		}
 		typeID = et.ID
 	}
-	var next []bindingRow
+	next := make([]bindingRow, 0, len(bt.rows)) // ≥1 expansion per row is the common case
 	for _, row := range bt.rows {
 		v := row.verts[curCol]
 		for _, h := range g.Neighbors(v) {
@@ -413,7 +489,7 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 		cache[src] = r
 		return r, nil
 	}
-	var next []bindingRow
+	next := make([]bindingRow, 0, len(bt.rows))
 	for _, row := range bt.rows {
 		r, err := countFrom(row.verts[curCol])
 		if err != nil {
@@ -480,24 +556,47 @@ func joinTables(a, b *bindingTable) (*bindingTable, error) {
 	for _, alias := range b.relAliases {
 		out.addRelAlias(alias)
 	}
-	// Hash b on the shared key.
-	key := func(verts []graph.VID, cols []int) string {
-		var sb strings.Builder
+	// Hash b on the shared key: fingerprint map plus chains, confirmed
+	// by exact column comparison (same scheme as compress). Building
+	// the chains backward keeps b's row order per key, preserving the
+	// original join output order.
+	hashCols := func(verts []graph.VID, cols []int) uint64 {
+		h := fnvOffset64
 		for _, c := range cols {
-			sb.WriteString(strconv.Itoa(int(verts[c])))
-			sb.WriteByte(',')
+			h = fnvWord(h, uint32(verts[c]))
 		}
-		return sb.String()
+		return h
 	}
-	index := make(map[string][]int, len(b.rows))
-	for i, rb := range b.rows {
-		k := key(rb.verts, sharedB)
-		index[k] = append(index[k], i)
+	sharedEqual := func(av, bv []graph.VID) bool {
+		for k := range sharedA {
+			if av[sharedA[k]] != bv[sharedB[k]] {
+				return false
+			}
+		}
+		return true
+	}
+	head := make(map[uint64]int32, len(b.rows))
+	chain := make([]int32, len(b.rows))
+	for i := len(b.rows) - 1; i >= 0; i-- {
+		h := hashCols(b.rows[i].verts, sharedB)
+		if hd, ok := head[h]; ok {
+			chain[i] = hd
+		} else {
+			chain[i] = -1
+		}
+		head[h] = int32(i)
 	}
 	for _, ra := range a.rows {
-		k := key(ra.verts, sharedA)
-		for _, bi := range index[k] {
+		h := hashCols(ra.verts, sharedA)
+		bi, ok := head[h]
+		if !ok {
+			continue
+		}
+		for ; bi >= 0; bi = chain[bi] {
 			rb := b.rows[bi]
+			if !sharedEqual(ra.verts, rb.verts) {
+				continue
+			}
 			nr := bindingRow{
 				verts: append(make([]graph.VID, 0, len(out.vertAliases)), ra.verts...),
 				edges: append(append(make([]graph.EID, 0, len(out.edgeAliases)), ra.edges...), rb.edges...),

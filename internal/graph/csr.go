@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"slices"
+)
+
+// CSR is a frozen compressed-sparse-row view of a graph's adjacency:
+// every half-edge of every vertex in one flat array, grouped by vertex
+// and, within a vertex, sorted by (Type, Dir). It exists for the hot
+// traversal kernels (the SDMC counter of internal/match): a flat array
+// walks sequentially through memory where the mutable [][]HalfEdge
+// adjacency chases one pointer per vertex, and the (Type, Dir) sort
+// lets a kernel resolve one DFA transition per segment instead of one
+// per half-edge.
+//
+// A CSR is immutable once built and safe for concurrent readers. It is
+// a snapshot: mutating the graph after Freeze does not change an
+// already-obtained CSR, it only invalidates the graph's cached one so
+// the next Freeze rebuilds.
+type CSR struct {
+	offsets []int32    // len V+1; halves[offsets[v]:offsets[v+1]] is v's adjacency
+	halves  []HalfEdge // all half-edges, grouped by vertex, (Type, Dir)-sorted per vertex
+	segOff  []int32    // len V+1; segs[segOff[v]:segOff[v+1]] are v's segments
+	segs    []Seg      // per-vertex runs of equal (Type, Dir)
+}
+
+// Seg is one maximal run of half-edges of a single vertex sharing the
+// same (Type, Dir): the half-edges c.HalfEdges(s) can all be traversed
+// by the same DFA transition.
+type Seg struct {
+	Type  int16 // edge type id
+	Dir   Dir   // traversal direction
+	Start int32 // into the CSR's flat half-edge array
+	End   int32
+}
+
+// NumVertices returns the number of vertices in the snapshot.
+func (c *CSR) NumVertices() int { return len(c.offsets) - 1 }
+
+// NumHalfEdges returns the total number of half-edges.
+func (c *CSR) NumHalfEdges() int { return len(c.halves) }
+
+// Neighbors returns v's adjacency as a subslice of the flat array,
+// sorted by (Type, Dir). The slice must not be mutated.
+func (c *CSR) Neighbors(v VID) []HalfEdge { return c.halves[c.offsets[v]:c.offsets[v+1]] }
+
+// Segments returns v's (Type, Dir) runs. The slice must not be
+// mutated.
+func (c *CSR) Segments(v VID) []Seg { return c.segs[c.segOff[v]:c.segOff[v+1]] }
+
+// HalfEdges returns the half-edges covered by one segment.
+func (c *CSR) HalfEdges(s Seg) []HalfEdge { return c.halves[s.Start:s.End] }
+
+// Freeze returns the CSR view of the graph, building it on first use
+// and caching it until the next topology mutation (AddVertex/AddEdge),
+// which invalidates the cache so a later Freeze rebuilds. Attribute
+// updates do not invalidate: the CSR holds topology only.
+//
+// Freeze is safe to call from concurrent readers (the query path calls
+// it lazily); concurrent first calls may build the snapshot more than
+// once, which is wasteful but correct since all builds are identical.
+// As everywhere else, topology mutation must not race with queries.
+func (g *Graph) Freeze() *CSR {
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	g.frozen.Store(c)
+	return c
+}
+
+func buildCSR(g *Graph) *CSR {
+	nV := len(g.adj)
+	c := &CSR{
+		offsets: make([]int32, nV+1),
+		segOff:  make([]int32, nV+1),
+	}
+	total := 0
+	for _, hs := range g.adj {
+		total += len(hs)
+	}
+	c.halves = make([]HalfEdge, 0, total)
+	c.segs = make([]Seg, 0, nV) // ≥1 segment per non-isolated vertex
+	for v, hs := range g.adj {
+		start := len(c.halves)
+		c.halves = append(c.halves, hs...)
+		own := c.halves[start:]
+		slices.SortFunc(own, func(a, b HalfEdge) int {
+			if a.Type != b.Type {
+				return int(a.Type) - int(b.Type)
+			}
+			if a.Dir != b.Dir {
+				return int(a.Dir) - int(b.Dir)
+			}
+			if a.To != b.To { // deterministic layout: tie-break by endpoint, then edge
+				return int(a.To) - int(b.To)
+			}
+			return int(a.Edge) - int(b.Edge)
+		})
+		for i := 0; i < len(own); {
+			j := i + 1
+			for j < len(own) && own[j].Type == own[i].Type && own[j].Dir == own[i].Dir {
+				j++
+			}
+			c.segs = append(c.segs, Seg{
+				Type:  own[i].Type,
+				Dir:   own[i].Dir,
+				Start: int32(start + i),
+				End:   int32(start + j),
+			})
+			i = j
+		}
+		c.offsets[v+1] = int32(len(c.halves))
+		c.segOff[v+1] = int32(len(c.segs))
+	}
+	return c
+}

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+// csrInvariants checks the structural invariants of a CSR against the
+// mutable adjacency it was frozen from: same half-edge multiset per
+// vertex, (Type, Dir)-sorted layout, and segments that tile each
+// vertex's range exactly.
+func csrInvariants(t *testing.T, g *Graph, c *CSR) {
+	t.Helper()
+	if c.NumVertices() != g.NumVertices() {
+		t.Fatalf("CSR has %d vertices, graph has %d", c.NumVertices(), g.NumVertices())
+	}
+	totalHalves := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		adj := g.adj[v]
+		flat := c.Neighbors(VID(v))
+		totalHalves += len(flat)
+		if len(flat) != len(adj) {
+			t.Fatalf("v%d: CSR degree %d, adj degree %d", v, len(flat), len(adj))
+		}
+		// Multiset equality: every (To, Edge, Type, Dir) of adj appears
+		// exactly once in the CSR slice.
+		seen := make(map[HalfEdge]int, len(adj))
+		for _, h := range adj {
+			seen[h]++
+		}
+		for _, h := range flat {
+			seen[h]--
+			if seen[h] < 0 {
+				t.Fatalf("v%d: CSR half-edge %+v not in adjacency", v, h)
+			}
+		}
+		// Sortedness by (Type, Dir).
+		for i := 1; i < len(flat); i++ {
+			a, b := flat[i-1], flat[i]
+			if a.Type > b.Type || (a.Type == b.Type && a.Dir > b.Dir) {
+				t.Fatalf("v%d: CSR not (Type, Dir)-sorted at %d: %+v then %+v", v, i, a, b)
+			}
+		}
+		// Segments tile the vertex's range and are homogeneous.
+		segs := c.Segments(VID(v))
+		want := c.offsets[v]
+		for _, s := range segs {
+			if s.Start != want {
+				t.Fatalf("v%d: segment starts at %d, want %d", v, s.Start, want)
+			}
+			if s.End <= s.Start {
+				t.Fatalf("v%d: empty segment %+v", v, s)
+			}
+			for _, h := range c.HalfEdges(s) {
+				if h.Type != s.Type || h.Dir != s.Dir {
+					t.Fatalf("v%d: half-edge %+v in segment %+v", v, h, s)
+				}
+			}
+			want = s.End
+		}
+		if want != c.offsets[v+1] {
+			t.Fatalf("v%d: segments end at %d, vertex ends at %d", v, want, c.offsets[v+1])
+		}
+		// Adjacent segments differ (maximality).
+		for i := 1; i < len(segs); i++ {
+			if segs[i-1].Type == segs[i].Type && segs[i-1].Dir == segs[i].Dir {
+				t.Fatalf("v%d: segments %d and %d not maximal", v, i-1, i)
+			}
+		}
+	}
+	if c.NumHalfEdges() != totalHalves {
+		t.Fatalf("NumHalfEdges %d, summed %d", c.NumHalfEdges(), totalHalves)
+	}
+}
+
+func TestFreezeInvariants(t *testing.T) {
+	for name, g := range map[string]*Graph{
+		"G1":      BuildG1(),
+		"G2":      BuildG2(),
+		"cycle":   BuildABCCycle(),
+		"diamond": BuildDiamondChain(8),
+		"sales": BuildSalesGraph(SalesGraphConfig{
+			Customers: 30, Products: 10, Sales: 200, Likes: 50, Seed: 3,
+		}),
+	} {
+		csrInvariants(t, g, g.Freeze())
+		_ = name
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := BuildRandomMixedGraph(2+r.Intn(8), 1+r.Intn(20), seed)
+		csrInvariants(t, g, g.Freeze())
+	}
+}
+
+func TestFreezeCachesAndInvalidates(t *testing.T) {
+	g := BuildDiamondChain(3)
+	c1 := g.Freeze()
+	if g.Freeze() != c1 {
+		t.Fatal("Freeze must cache between mutations")
+	}
+	// Topology mutation invalidates; the old snapshot stays intact.
+	a, _ := g.VertexByKey("V", "v0")
+	b, _ := g.VertexByKey("V", "v3")
+	oldDeg := len(c1.Neighbors(a))
+	if _, err := g.AddEdge("E", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	c2 := g.Freeze()
+	if c2 == c1 {
+		t.Fatal("AddEdge must invalidate the frozen CSR")
+	}
+	if len(c1.Neighbors(a)) != oldDeg {
+		t.Fatal("old snapshot mutated")
+	}
+	if len(c2.Neighbors(a)) != oldDeg+1 {
+		t.Fatalf("new snapshot degree %d, want %d", len(c2.Neighbors(a)), oldDeg+1)
+	}
+	csrInvariants(t, g, c2)
+	// AddVertex also invalidates (offsets must grow).
+	if _, err := g.AddVertex("V", "extra", nil); err != nil {
+		t.Fatal(err)
+	}
+	c3 := g.Freeze()
+	if c3 == c2 {
+		t.Fatal("AddVertex must invalidate the frozen CSR")
+	}
+	if c3.NumVertices() != g.NumVertices() {
+		t.Fatalf("rebuilt CSR has %d vertices, want %d", c3.NumVertices(), g.NumVertices())
+	}
+	csrInvariants(t, g, c3)
+	// Attribute updates are not topology: the snapshot survives.
+	if err := g.SetVertexAttr(a, "name", value.NewString("renamed")); err != nil {
+		t.Fatal(err)
+	}
+	if g.Freeze() != c3 {
+		t.Fatal("SetVertexAttr must not invalidate the frozen CSR")
+	}
+}
+
+func TestFreezeEmptyGraph(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddVertexType("V"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+	c := g.Freeze()
+	if c.NumVertices() != 0 || c.NumHalfEdges() != 0 {
+		t.Fatalf("empty graph CSR: %d vertices, %d halves", c.NumVertices(), c.NumHalfEdges())
+	}
+}

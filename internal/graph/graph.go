@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gsqlgo/internal/value"
 )
@@ -65,6 +66,10 @@ type Graph struct {
 	esrc   []VID
 	edst   []VID
 	eattrs [][]value.Value
+
+	// frozen caches the CSR snapshot of adj (see Freeze); topology
+	// mutation clears it so the next Freeze rebuilds.
+	frozen atomic.Pointer[CSR]
 }
 
 // New returns an empty graph over the given schema.
@@ -106,6 +111,7 @@ func (g *Graph) AddVertex(typeName, key string, attrs map[string]value.Value) (V
 	g.adj = append(g.adj, nil)
 	g.keyIndex[vt.ID][key] = id
 	g.byType[vt.ID] = append(g.byType[vt.ID], id)
+	g.frozen.Store(nil)
 	return id, nil
 }
 
@@ -137,6 +143,7 @@ func (g *Graph) AddEdge(typeName string, src, dst VID, attrs map[string]value.Va
 			g.adj[dst] = append(g.adj[dst], HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirUndir})
 		}
 	}
+	g.frozen.Store(nil)
 	return id, nil
 }
 

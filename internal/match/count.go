@@ -1,6 +1,7 @@
 package match
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,7 +13,7 @@ import (
 // CountASP solves the single-source SDMC problem (Theorem 6.1): for
 // every vertex t it computes the length of the shortest path from src
 // to t satisfying the DARPE, and the exact number of such shortest
-// paths, in time O((V·Q + E·Q) ) for a Q-state DFA — polynomial in the
+// paths, in time O(V·Q + E·Q) for a Q-state DFA — polynomial in the
 // graph, never materializing paths.
 //
 // The algorithm is a layered BFS over the implicit product graph whose
@@ -21,36 +22,59 @@ import (
 // per-layer count propagation counts graph paths exactly; parallel
 // edges contribute separately because expansion iterates half-edges,
 // not neighbors.
+//
+// The hot loop runs on the graph's frozen CSR adjacency (freezing it
+// on first use) with pooled scratch buffers; per call it allocates
+// only the returned Counts.
 func CountASP(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
 	nV := g.NumVertices()
-	nQ := d.NumStates()
 	res := newCounts(nV)
 	if nV == 0 {
 		return res
 	}
-	types := typeResolver(g, d)
-
-	dist := make([]int32, nV*nQ)
-	for i := range dist {
-		dist[i] = -1
+	nQ := d.NumStates()
+	if int64(nV)*int64(nQ) > math.MaxInt32 {
+		// Product space exceeds the CSR kernel's int32 node ids.
+		return countASPReference(g, d, src)
 	}
-	cnt := make([]uint64, nV*nQ)
-	node := func(v graph.VID, q int) int { return int(v)*nQ + q }
+	s := getScratch(nV * nQ)
+	countASPInto(g.Freeze(), d, typeResolver(g, d), src, s, res)
+	putScratch(s)
+	return res
+}
 
-	start := node(src, d.Start())
+// countASPInto is the zero-allocation SDMC kernel: one single-source
+// layered BFS over the (vertex, DFA state) product, reading adjacency
+// from the CSR and working entirely in the pooled scratch. Results
+// accumulate into res, whose Dist must be -1-filled and Mult zeroed.
+//
+// The CSR's (Type, Dir) segments let the kernel resolve one DFA
+// transition per segment and then stream the segment's half-edges
+// without further automaton work; epoch stamps make dist/cnt reuse
+// free of O(V·Q) clears between sources.
+func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scratch, res *Counts) {
+	nQ := d.NumStates()
+	epoch := s.nextEpoch()
+	stamp, dist, cnt := s.stamp, s.dist, s.cnt
+
+	start := int32(int(src)*nQ + d.Start())
+	stamp[start] = epoch
 	dist[start] = 0
 	cnt[start] = 1
-	frontier := []int{start}
+	frontier := append(s.frontier[:0], start)
+	next := s.next[:0]
 
-	// bestDist[t] is fixed the first time an accepting product node
-	// lands on t; later layers cannot improve it (BFS monotonicity).
-	finish := func(layer []int, layerDist int32) {
-		for _, n := range layer {
-			q := n % nQ
+	for layerDist := int32(0); ; layerDist++ {
+		// Finish the current layer: the first accepting product node
+		// landing on t fixes Dist[t]; later layers cannot improve it
+		// (BFS monotonicity), and every accepting node of the fixing
+		// layer contributes its count.
+		for _, n := range frontier {
+			q := int(n) % nQ
 			if !d.Accepting(q) {
 				continue
 			}
-			t := graph.VID(n / nQ)
+			t := graph.VID(int(n) / nQ)
 			if res.Dist[t] < 0 {
 				res.Dist[t] = layerDist
 			}
@@ -58,41 +82,46 @@ func CountASP(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
 				res.satAdd(&res.Mult[t], cnt[n])
 			}
 		}
-	}
-
-	layerDist := int32(0)
-	finish(frontier, layerDist)
-	for len(frontier) > 0 {
-		var next []int
+		if len(frontier) == 0 {
+			break
+		}
+		// Expand into the next layer.
+		next = next[:0]
 		for _, n := range frontier {
-			v := graph.VID(n / nQ)
-			q := n % nQ
-			c := cnt[n]
-			for _, h := range g.Neighbors(v) {
-				q2 := d.StepIdx(q, types[h.Type], adornOf(h.Dir))
+			v := graph.VID(int(n) / nQ)
+			q := int(n) % nQ
+			c0 := cnt[n]
+			for _, sg := range c.Segments(v) {
+				q2 := d.StepIdx(q, types[sg.Type], adornOf(sg.Dir))
 				if q2 < 0 {
 					continue
 				}
-				m := node(h.To, q2)
-				if dist[m] < 0 {
-					dist[m] = layerDist + 1
-					next = append(next, m)
-				}
-				if dist[m] == layerDist+1 {
-					res.satAdd(&cnt[m], c)
+				for _, h := range c.HalfEdges(sg) {
+					m := int32(int(h.To)*nQ + q2)
+					if stamp[m] != epoch {
+						stamp[m] = epoch
+						dist[m] = layerDist + 1
+						cnt[m] = c0
+						next = append(next, m)
+					} else if dist[m] == layerDist+1 {
+						res.satAdd(&cnt[m], c0)
+					}
 				}
 			}
 		}
-		layerDist++
-		finish(next, layerDist)
-		frontier = next
+		frontier, next = next, frontier
 	}
-	return res
+	s.frontier, s.next = frontier, next // keep grown capacity pooled
 }
 
 // CountASPPair solves the single-pair SDMC flavor. ok is false when no
 // satisfying path exists.
 func CountASPPair(g *graph.Graph, d *darpe.DFA, src, dst graph.VID) (dist int, mult uint64, ok bool) {
+	if src == dst && d.Accepting(d.Start()) {
+		// The empty path is the unique length-0 path and no shorter
+		// one exists: answer without running the BFS.
+		return 0, 1, true
+	}
 	c := CountASP(g, d, src)
 	if !c.Reached(dst) {
 		return 0, 0, false
@@ -100,13 +129,51 @@ func CountASPPair(g *graph.Graph, d *darpe.DFA, src, dst graph.VID) (dist int, m
 	return int(c.Dist[dst]), c.Mult[dst], true
 }
 
-// CountASPAll solves the all-paths SDMC flavor: one single-source run
-// per vertex. The result is indexed by source vertex.
-func CountASPAll(g *graph.Graph, d *darpe.DFA) []*Counts {
-	out := make([]*Counts, g.NumVertices())
-	for v := 0; v < g.NumVertices(); v++ {
-		out[v] = CountASP(g, d, graph.VID(v))
+// allCounts carves the result set of an all-paths run out of three
+// bulk allocations (structs, Dist slab, Mult slab) instead of 3·V
+// little ones; sources write disjoint regions, so parallel workers
+// share it safely.
+func allCounts(nV int) ([]*Counts, []Counts) {
+	out := make([]*Counts, nV)
+	counts := make([]Counts, nV)
+	distSlab := make([]int32, nV*nV)
+	for i := range distSlab {
+		distSlab[i] = -1
 	}
+	multSlab := make([]uint64, nV*nV)
+	for v := 0; v < nV; v++ {
+		counts[v].Dist = distSlab[v*nV : (v+1)*nV : (v+1)*nV]
+		counts[v].Mult = multSlab[v*nV : (v+1)*nV : (v+1)*nV]
+		out[v] = &counts[v]
+	}
+	return out, counts
+}
+
+// CountASPAll solves the all-paths SDMC flavor: one single-source run
+// per vertex. The result is indexed by source vertex. The CSR, the
+// DFA's type table and the kernel scratch are set up once and shared
+// across all V runs.
+func CountASPAll(g *graph.Graph, d *darpe.DFA) []*Counts {
+	nV := g.NumVertices()
+	if nV == 0 {
+		return nil
+	}
+	nQ := d.NumStates()
+	if int64(nV)*int64(nQ) > math.MaxInt32 {
+		out := make([]*Counts, nV)
+		for v := 0; v < nV; v++ {
+			out[v] = countASPReference(g, d, graph.VID(v))
+		}
+		return out
+	}
+	c := g.Freeze()
+	types := typeResolver(g, d)
+	out, counts := allCounts(nV)
+	s := getScratch(nV * nQ)
+	for v := 0; v < nV; v++ {
+		countASPInto(c, d, types, graph.VID(v), s, &counts[v])
+	}
+	putScratch(s)
 	return out
 }
 
@@ -114,31 +181,37 @@ func CountASPAll(g *graph.Graph, d *darpe.DFA) []*Counts {
 // BFS runs spread over the given number of workers (0 = GOMAXPROCS).
 // Sources are embarrassingly parallel — the paper's "particularly
 // well-suited to parallel graph processing" observation applies to the
-// counting itself, not only to accumulation.
+// counting itself, not only to accumulation. Each worker owns one
+// pooled scratch for its whole run.
 func CountASPAllParallel(g *graph.Graph, d *darpe.DFA, workers int) []*Counts {
-	n := g.NumVertices()
-	out := make([]*Counts, n)
+	nV := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > nV {
+		workers = nV
 	}
-	if workers <= 1 {
+	nQ := d.NumStates()
+	if workers <= 1 || int64(nV)*int64(nQ) > math.MaxInt32 {
 		return CountASPAll(g, d)
 	}
-	var next int64 = -1
+	c := g.Freeze()
+	types := typeResolver(g, d)
+	out, counts := allCounts(nV)
+	var nextSrc int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			s := getScratch(nV * nQ)
+			defer putScratch(s)
 			for {
-				v := atomic.AddInt64(&next, 1)
-				if v >= int64(n) {
+				v := atomic.AddInt64(&nextSrc, 1)
+				if v >= int64(nV) {
 					return
 				}
-				out[v] = CountASP(g, d, graph.VID(v))
+				countASPInto(c, d, types, graph.VID(v), s, &counts[v])
 			}
 		}()
 	}

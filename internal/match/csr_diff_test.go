@@ -1,0 +1,165 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+)
+
+// assertSameCounts asserts two single-source results are bit-identical.
+func assertSameCounts(t *testing.T, label string, ref, got *Counts) {
+	t.Helper()
+	if len(ref.Dist) != len(got.Dist) {
+		t.Fatalf("%s: result size %d vs %d", label, len(got.Dist), len(ref.Dist))
+	}
+	for v := range ref.Dist {
+		if ref.Dist[v] != got.Dist[v] || ref.Mult[v] != got.Mult[v] {
+			t.Fatalf("%s: v%d: CSR (dist=%d mult=%d), reference (dist=%d mult=%d)",
+				label, v, got.Dist[v], got.Mult[v], ref.Dist[v], ref.Mult[v])
+		}
+	}
+	if ref.Saturated != got.Saturated {
+		t.Fatalf("%s: Saturated CSR=%v reference=%v", label, got.Saturated, ref.Saturated)
+	}
+}
+
+// diffFixture is one (graph, patterns) differential case. The fixtures
+// mirror every graph/pattern combination the match tests exercise.
+type diffFixture struct {
+	name     string
+	g        *graph.Graph
+	patterns []string
+}
+
+func diffFixtures(t *testing.T) []diffFixture {
+	t.Helper()
+	undirected := func() *graph.Graph {
+		s := graph.NewSchema()
+		if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddEdgeType("K", false); err != nil {
+			t.Fatal(err)
+		}
+		g := graph.New(s)
+		a, _ := g.AddVertex("V", "a", nil)
+		b, _ := g.AddVertex("V", "b", nil)
+		c, _ := g.AddVertex("V", "c", nil)
+		mustEdge(t, g, "K", a, b)
+		mustEdge(t, g, "K", c, b)
+		return g
+	}
+	parallelEdges := func() *graph.Graph {
+		s := graph.NewSchema()
+		if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddEdgeType("E", true); err != nil {
+			t.Fatal(err)
+		}
+		g := graph.New(s)
+		a, _ := g.AddVertex("V", "a", nil)
+		b, _ := g.AddVertex("V", "b", nil)
+		for i := 0; i < 3; i++ {
+			mustEdge(t, g, "E", a, b)
+		}
+		return g
+	}
+	return []diffFixture{
+		{"G1", graph.BuildG1(), []string{"E>*", "E>", "<E*", "_*1..4"}},
+		{"G2", graph.BuildG2(), []string{"E>*.F>.E>*", "E>*", "F>"}},
+		{"ABCCycle", graph.BuildABCCycle(), []string{"A>.(B>|D>)._>.A>", "_*"}},
+		{"Diamond12", graph.BuildDiamondChain(12), []string{"E>*", "E>*1..3"}},
+		{"Diamond70-saturating", graph.BuildDiamondChain(70), []string{"E>*"}},
+		{"Undirected", undirected(), []string{"K*1..2", "K>", "K"}},
+		{"ParallelEdges", parallelEdges(), []string{"E>", "E>*"}},
+	}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, typ string, a, b graph.VID) {
+	t.Helper()
+	if _, err := g.AddEdge(typ, a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCSRKernelMatchesReference runs every fixture through both the
+// old slice-of-slices implementation (countASPReference) and the CSR
+// kernel, from every source vertex, asserting bit-identical
+// Dist/Mult/Saturated — the differential guarantee that the layout and
+// scratch-reuse rework changed performance only.
+func TestCSRKernelMatchesReference(t *testing.T) {
+	for _, fx := range diffFixtures(t) {
+		for _, pat := range fx.patterns {
+			d := darpe.MustCompile(pat)
+			for v := 0; v < fx.g.NumVertices(); v++ {
+				src := graph.VID(v)
+				ref := countASPReference(fx.g, d, src)
+				got := CountASP(fx.g, d, src)
+				assertSameCounts(t, fmt.Sprintf("%s %q src=%d", fx.name, pat, v), ref, got)
+			}
+			// The all-paths flavors reuse one scratch across sources —
+			// the epoch logic must isolate runs just as well.
+			refAll := make([]*Counts, fx.g.NumVertices())
+			for v := range refAll {
+				refAll[v] = countASPReference(fx.g, d, graph.VID(v))
+			}
+			for flavor, all := range map[string][]*Counts{
+				"CountASPAll":         CountASPAll(fx.g, d),
+				"CountASPAllParallel": CountASPAllParallel(fx.g, d, 4),
+			} {
+				for v := range refAll {
+					assertSameCounts(t, fmt.Sprintf("%s %s %q src=%d", fx.name, flavor, pat, v), refAll[v], all[v])
+				}
+			}
+		}
+	}
+}
+
+// TestCSRKernelMatchesReferenceRandom property-checks the differential
+// on random mixed graphs (directed/undirected/parallel/self-loop
+// edges) across the same pattern set the brute-force oracle test uses.
+func TestCSRKernelMatchesReferenceRandom(t *testing.T) {
+	patterns := []string{
+		"D1>", "D1>.D2>", "D1>*", "(D1>|D2>)*", "U*", "(D1>|U)*",
+		"D1>*1..3", "<D1.D2>", "(D1>.D2>)*", "_*1..4", "D1>.(U|<D2)*",
+	}
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.BuildRandomMixedGraph(2+r.Intn(8), 1+r.Intn(16), seed)
+		d := darpe.MustCompile(patterns[r.Intn(len(patterns))])
+		for v := 0; v < g.NumVertices(); v++ {
+			src := graph.VID(v)
+			ref := countASPReference(g, d, src)
+			got := CountASP(g, d, src)
+			assertSameCounts(t, fmt.Sprintf("seed=%d src=%d", seed, v), ref, got)
+		}
+	}
+}
+
+// TestCountASPAfterMutationRefreezes asserts the query path sees a
+// mutation made after a frozen query: the graph re-freezes lazily and
+// the counts change accordingly.
+func TestCountASPAfterMutationRefreezes(t *testing.T) {
+	g := graph.BuildDiamondChain(4)
+	d := darpe.MustCompile("E>*")
+	v0, _ := g.VertexByKey("V", "v0")
+	v4, _ := g.VertexByKey("V", "v4")
+
+	if _, mult, ok := CountASPPair(g, d, v0, v4); !ok || mult != 16 {
+		t.Fatalf("before mutation: mult=%d ok=%v, want 16", mult, ok)
+	}
+	// A direct v0→v4 edge makes the shortest path length 1, unique.
+	mustEdge(t, g, "E", v0, v4)
+	dist, mult, ok := CountASPPair(g, d, v0, v4)
+	if !ok || dist != 1 || mult != 1 {
+		t.Fatalf("after mutation: dist=%d mult=%d ok=%v, want 1/1/true", dist, mult, ok)
+	}
+	// And the differential still holds on the mutated, re-frozen graph.
+	ref := countASPReference(g, d, v0)
+	got := CountASP(g, d, v0)
+	assertSameCounts(t, "mutated diamond", ref, got)
+}

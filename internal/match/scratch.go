@@ -1,0 +1,65 @@
+package match
+
+import "sync"
+
+// scratch is the reusable working set of one SDMC kernel run over a
+// product space of n = V·Q nodes: per-product-node distance and count
+// arrays plus the two BFS frontier buffers. Reuse works through
+// epoch-stamped visitation — dist[i] and cnt[i] are meaningful only
+// when stamp[i] equals the current epoch — so starting the next
+// per-source run costs one epoch increment instead of an O(V·Q)
+// re-clear, and the steady-state kernel allocates nothing.
+type scratch struct {
+	n     int // product-space size this scratch serves (the pool key)
+	epoch uint32
+	stamp []uint32 // visitation epoch per product node
+	dist  []int32  // BFS layer; valid iff stamp matches epoch
+	cnt   []uint64 // shortest-walk count; valid iff stamp matches epoch
+	// frontier/next are the current and next BFS layers, swapped each
+	// step; kept here so their grown capacity survives across runs.
+	frontier []int32
+	next     []int32
+}
+
+// scratchPools pools scratches by product-space size class, so
+// concurrent queries over differently sized (graph, DFA) pairs never
+// hand each other under-sized buffers: map[int]*sync.Pool.
+var scratchPools sync.Map
+
+func poolFor(n int) *sync.Pool {
+	if p, ok := scratchPools.Load(n); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := scratchPools.LoadOrStore(n, &sync.Pool{})
+	return p.(*sync.Pool)
+}
+
+// getScratch fetches (or makes) a scratch for an n-node product space.
+func getScratch(n int) *scratch {
+	if s, ok := poolFor(n).Get().(*scratch); ok {
+		return s
+	}
+	return &scratch{
+		n:     n,
+		stamp: make([]uint32, n),
+		dist:  make([]int32, n),
+		cnt:   make([]uint64, n),
+	}
+}
+
+// putScratch returns a scratch to its size class for reuse.
+func putScratch(s *scratch) { poolFor(s.n).Put(s) }
+
+// nextEpoch opens a fresh visitation epoch, invalidating every stamp
+// at once. On uint32 wraparound the stamps are cleared for real so a
+// stale stamp from 2^32 runs ago cannot read as current.
+func (s *scratch) nextEpoch() uint32 {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s.epoch
+}
