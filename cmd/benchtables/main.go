@@ -11,9 +11,12 @@
 // Scale knobs (-maxn, -sf, -hops, -timeout) default to laptop-friendly
 // sizes; raise them to approach the paper's ranges.
 //
-// -json FILE additionally runs the kernel microbenchmark suite and
-// writes machine-readable {name: {ns_per_op, allocs_per_op,
-// bytes_per_op}} results — the convention is `-json BENCH_csr.json`,
+// -json FILE additionally runs a microbenchmark suite (-suite kernel
+// or -suite server) and writes machine-readable results as
+// {"meta": {go_version, gomaxprocs, num_cpu, commit, …},
+// "benchmarks": {name: {ns_per_op, allocs_per_op, bytes_per_op}}} —
+// the convention is `-json BENCH_csr.json` for the kernel suite and
+// `-json BENCH_server.json -suite server` for the serving path, both
 // committed so the perf trajectory is tracked across PRs.
 package main
 
@@ -22,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 	"time"
@@ -37,7 +41,8 @@ func main() {
 	hops := flag.String("hops", "2,3,4", "SNB KNOWS hop counts, comma separated")
 	reps := flag.Int("reps", 5, "Appendix B repetitions per query (median reported)")
 	seed := flag.Int64("seed", 7, "generator seed")
-	jsonPath := flag.String("json", "", "write kernel microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
+	jsonPath := flag.String("json", "", "write microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
+	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server")
 	flag.Parse()
 
 	sfList, err := parseFloats(*sfs)
@@ -84,12 +89,20 @@ func main() {
 		})
 	}
 	if *jsonPath != "" {
-		fmt.Printf("\n──────── kernel microbenchmarks → %s ────────\n\n", *jsonPath)
+		write := bench.WriteMicroJSON
+		switch *suite {
+		case "kernel":
+		case "server":
+			write = bench.WriteServerJSON
+		default:
+			log.Fatalf("unknown -suite %q (kernel|server)", *suite)
+		}
+		fmt.Printf("\n──────── %s microbenchmarks → %s ────────\n\n", *suite, *jsonPath)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			log.Fatalf("microbench: %v", err)
 		}
-		if err := bench.WriteMicroJSON(f, os.Stdout); err != nil {
+		if err := write(bench.CurrentMeta(headCommit()), f, os.Stdout); err != nil {
 			f.Close()
 			log.Fatalf("microbench: %v", err)
 		}
@@ -97,6 +110,17 @@ func main() {
 			log.Fatalf("microbench: %v", err)
 		}
 	}
+}
+
+// headCommit resolves the short HEAD hash for the meta stamp; empty
+// when git (or a checkout) is unavailable — the artifact is still
+// valid, just unpinned.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,0 +1,167 @@
+// Command gsqld serves GSQL queries over HTTP — the paper's
+// installed-query model as a long-running service. Install queries
+// with POST /queries (GSQL source in the body), list them with GET
+// /queries, invoke with POST /queries/{name}/run and a JSON body of
+// {"params": {...}, "timeout_ms": N}. Metrics are at GET /metrics
+// (Prometheus text format) and GET /debug/vars (expvar).
+//
+//	gsqld -builtin sales -addr :8844
+//	curl -sS localhost:8844/queries --data-binary @q.gsql
+//	curl -sS localhost:8844/queries/TopProducts/run -d '{"params":{"k":5}}'
+//
+// SIGINT/SIGTERM trigger graceful shutdown: the server stops admitting
+// work (503), drains in-flight runs, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/match"
+	"gsqlgo/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8844", "listen address")
+	data := flag.String("data", "", "directory with schema.json and CSV files (from snbgen or DumpCSV)")
+	builtin := flag.String("builtin", "", "built-in graph: diamond:N | sales | snb:SF | g1 | g2 | linkgraph:N")
+	queryFile := flag.String("query", "", "optional GSQL source file to pre-install at startup")
+	semantics := flag.String("semantics", "asp", "path semantics: asp | nre | nrv | exists")
+	workers := flag.Int("workers", 0, "ACCUM workers (0 = GOMAXPROCS)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max simultaneously executing runs (0 = worker count)")
+	maxQueue := flag.Int("max-queue", 0, "max runs queued for a slot (0 = 4x max-concurrent)")
+	defTimeout := flag.Duration("timeout", 30*time.Second, "default per-run deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
+	drainWait := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight runs")
+	flag.Parse()
+
+	g, err := loadGraph(*data, *builtin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sem, err := parseSemantics(*semantics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := core.New(g, core.Options{Semantics: sem, Workers: *workers})
+	if *queryFile != "" {
+		src, err := os.ReadFile(*queryFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Install(string(src)); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("pre-installed queries: %s", strings.Join(eng.Queries(), ", "))
+	}
+
+	srv := server.New(server.Config{
+		Engine:         eng,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+	})
+	srv.PublishExpvar("gsqld")
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("gsqld listening on %s (%d vertices, %d workers)",
+		*addr, g.NumVertices(), eng.Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v, draining (up to %v)", s, *drainWait)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+}
+
+func loadGraph(data, builtin string) (*graph.Graph, error) {
+	switch {
+	case data != "" && builtin != "":
+		return nil, fmt.Errorf("use either -data or -builtin, not both")
+	case data != "":
+		return graph.LoadCSVDir(data)
+	case builtin != "":
+		return builtinGraph(builtin)
+	default:
+		return nil, fmt.Errorf("missing -data directory or -builtin graph")
+	}
+}
+
+func builtinGraph(spec string) (*graph.Graph, error) {
+	name, param, _ := strings.Cut(spec, ":")
+	switch name {
+	case "diamond":
+		n, err := strconv.Atoi(param)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("diamond:N requires a positive N, got %q", param)
+		}
+		return graph.BuildDiamondChain(n), nil
+	case "sales":
+		return graph.BuildSalesGraph(graph.SalesGraphConfig{
+			Customers: 50, Products: 30, Sales: 400, Likes: 600, Seed: 42,
+		}), nil
+	case "snb":
+		sf := 1.0
+		if param != "" {
+			f, err := strconv.ParseFloat(param, 64)
+			if err != nil {
+				return nil, fmt.Errorf("snb:SF requires a number, got %q", param)
+			}
+			sf = f
+		}
+		return ldbc.Generate(ldbc.Config{SF: sf, Seed: 7}), nil
+	case "g1":
+		return graph.BuildG1(), nil
+	case "g2":
+		return graph.BuildG2(), nil
+	case "linkgraph":
+		n, err := strconv.Atoi(param)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("linkgraph:N requires a positive N, got %q", param)
+		}
+		return graph.BuildLinkGraph(n, 8, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown builtin graph %q", spec)
+	}
+}
+
+func parseSemantics(s string) (match.Semantics, error) {
+	switch strings.ToLower(s) {
+	case "asp":
+		return match.AllShortestPaths, nil
+	case "nre":
+		return match.NonRepeatedEdge, nil
+	case "nrv":
+		return match.NonRepeatedVertex, nil
+	case "exists":
+		return match.ShortestExists, nil
+	default:
+		return 0, fmt.Errorf("unknown semantics %q (asp|nre|nrv|exists)", s)
+	}
+}

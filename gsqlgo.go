@@ -21,6 +21,8 @@
 package gsqlgo
 
 import (
+	"context"
+
 	"gsqlgo/internal/accum"
 	"gsqlgo/internal/core"
 	"gsqlgo/internal/graph"
@@ -109,6 +111,19 @@ func NewSchema() *Schema { return graph.NewSchema() }
 // NewGraph returns an empty graph over the schema.
 func NewGraph(s *Schema) *Graph { return graph.New(s) }
 
+// Error taxonomy re-exports: match with errors.Is.
+var (
+	// ErrUnknownQuery: the named query is not installed.
+	ErrUnknownQuery = core.ErrUnknownQuery
+	// ErrParse: the GSQL source failed to parse or validate.
+	ErrParse = core.ErrParse
+	// ErrCancelled: a run was stopped by context cancellation or
+	// deadline.
+	ErrCancelled = core.ErrCancelled
+	// ErrDuplicateQuery: Install collided with an installed name.
+	ErrDuplicateQuery = core.ErrDuplicateQuery
+)
+
 // DB couples a graph with a GSQL engine.
 type DB struct {
 	g *Graph
@@ -131,9 +146,22 @@ func (db *DB) Run(name string, args map[string]Value) (*Result, error) {
 	return db.e.Run(name, args)
 }
 
+// RunCtx executes an installed query under a context: cancellation
+// and deadlines propagate cooperatively into the ACCUM and path-
+// counting loops, and a run aborted that way fails with an error
+// matching errors.Is(err, ErrCancelled).
+func (db *DB) RunCtx(ctx context.Context, name string, args map[string]Value) (*Result, error) {
+	return db.e.RunCtx(ctx, name, args)
+}
+
 // InstallAndRun installs a single-query source and runs it.
 func (db *DB) InstallAndRun(src string, args map[string]Value) (*Result, error) {
 	return db.e.InstallAndRun(src, args)
+}
+
+// InstallAndRunCtx is InstallAndRun under a context (see RunCtx).
+func (db *DB) InstallAndRunCtx(ctx context.Context, src string, args map[string]Value) (*Result, error) {
+	return db.e.InstallAndRunCtx(ctx, src, args)
 }
 
 // Queries lists installed query names.

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"runtime"
+)
+
+// RunMeta stamps a benchmark JSON artifact with the environment it was
+// measured in. Without it a committed BENCH_*.json is not comparable
+// across machines or toolchains — a regression can be a CPU-count
+// change in disguise.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Commit is the repo HEAD at measurement time (short hash; empty
+	// when the caller could not resolve it).
+	Commit string `json:"commit,omitempty"`
+}
+
+// CurrentMeta captures the running process's environment. The commit
+// hash is the caller's to supply — this package cannot assume a git
+// checkout.
+func CurrentMeta(commit string) RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Commit:     commit,
+	}
+}
+
+// Report is the on-disk shape of a BENCH_*.json artifact: run metadata
+// plus the measurements.
+type Report struct {
+	Meta       RunMeta          `json:"meta"`
+	Benchmarks map[string]Micro `json:"benchmarks"`
+}

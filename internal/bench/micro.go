@@ -29,10 +29,7 @@ type Micro struct {
 // bench_test.go (the SDMC kernel family and the Table 1 counting
 // column, plus the full engine Q_n) as programmatically runnable
 // cases.
-func microSuite() []struct {
-	name string
-	fn   func(b *testing.B)
-} {
+func microSuite() []benchCase {
 	snb := ldbc.Generate(ldbc.Config{SF: 0.2, Seed: 7})
 	knows := darpe.MustCompile("Knows*1..3")
 	diam := graph.BuildDiamondChain(20)
@@ -47,10 +44,7 @@ func microSuite() []struct {
 		"srcName": value.NewString("v0"),
 		"tgtName": value.NewString("v20"),
 	}
-	return []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	return []benchCase{
 		{"SDMCAllPairs/sequential", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -88,13 +82,19 @@ func microSuite() []struct {
 	}
 }
 
-// WriteMicroJSON runs the microbenchmark suite via testing.Benchmark
-// and writes {"name": {"ns_per_op": …, "allocs_per_op": …,
-// "bytes_per_op": …}, …} to w. Progress goes to progress (nil for
-// silent) since a full run takes several seconds.
-func WriteMicroJSON(w, progress io.Writer) error {
-	results := make(map[string]Micro)
-	for _, c := range microSuite() {
+// benchCase is one named programmatically runnable benchmark.
+type benchCase struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// writeSuiteJSON runs a suite via testing.Benchmark and writes a
+// Report ({"meta": …, "benchmarks": {name: measurement}}) to w.
+// Progress goes to progress (nil for silent) since a full run takes
+// several seconds.
+func writeSuiteJSON(cases []benchCase, meta RunMeta, w, progress io.Writer) error {
+	rep := Report{Meta: meta, Benchmarks: make(map[string]Micro)}
+	for _, c := range cases {
 		if progress != nil {
 			fmt.Fprintf(progress, "  bench %s ...", c.name)
 		}
@@ -104,12 +104,19 @@ func WriteMicroJSON(w, progress io.Writer) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 		}
-		results[c.name] = m
+		rep.Benchmarks[c.name] = m
 		if progress != nil {
 			fmt.Fprintf(progress, " %.0f ns/op, %d allocs/op\n", m.NsPerOp, m.AllocsPerOp)
 		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(rep)
+}
+
+// WriteMicroJSON runs the kernel microbenchmark suite and writes the
+// stamped Report to w (cmd/benchtables -json, conventionally
+// BENCH_csr.json).
+func WriteMicroJSON(meta RunMeta, w, progress io.Writer) error {
+	return writeSuiteJSON(microSuite(), meta, w, progress)
 }

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/server"
+)
+
+// recommenderSrc is the Figure 3 two-pass recommender — the serving
+// suite's representative parameterized workload (vertex + int params,
+// two SELECT blocks, ORDER BY/LIMIT).
+const recommenderSrc = `
+CREATE QUERY TopKToys (vertex<Customer> c, int k) FOR GRAPH SalesGraph {
+  SumAccum<float> @lc, @inCommon, @rank;
+
+  SELECT DISTINCT o INTO OthersWithCommonLikes
+  FROM   Customer:c -(Likes>)- Product:t -(<Likes)- Customer:o
+  WHERE  o <> c AND t.category == 'toy'
+  ACCUM  o.@inCommon += 1
+  POST_ACCUM o.@lc = log(1 + o.@inCommon);
+
+  SELECT t.name, t.@rank AS rank INTO Recommended
+  FROM   OthersWithCommonLikes:o -(Likes>)- Product:t
+  WHERE  t.category == 'toy' AND c <> o
+  ACCUM  t.@rank += o.@lc
+  ORDER BY t.@rank DESC
+  LIMIT k;
+
+  RETURN Recommended;
+}
+`
+
+// serverSuite measures the serving path end to end — request decode,
+// admission, engine run, JSON encode, metrics record — by driving the
+// HTTP handler in-process (handler.ServeHTTP against a recorder; no
+// sockets, so the numbers isolate gsqld's own overhead).
+func serverSuite() []benchCase {
+	g := graph.BuildSalesGraph(graph.SalesGraphConfig{
+		Customers: 200, Products: 60, Sales: 3000, Likes: 4000, Seed: 42,
+	})
+	eng := core.New(g, core.Options{})
+	if err := eng.Install(recommenderSrc); err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Config{Engine: eng})
+	doReq := func(method, path, body string) int {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		return w.Code
+	}
+	// Prime one run so /metrics exposition has series to render.
+	if code := doReq("POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":5}}`); code != http.StatusOK {
+		panic(fmt.Sprintf("prime run: HTTP %d", code))
+	}
+	return []benchCase{
+		{"Serve/run", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				body := fmt.Sprintf(`{"params":{"c":"c%d","k":5}}`, i%200)
+				if code := doReq("POST", "/queries/TopKToys/run", body); code != http.StatusOK {
+					b.Fatalf("HTTP %d", code)
+				}
+			}
+		}},
+		{"Serve/run/parallel", func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					body := fmt.Sprintf(`{"params":{"c":"c%d","k":5}}`, i%200)
+					if code := doReq("POST", "/queries/TopKToys/run", body); code != http.StatusOK {
+						b.Fatalf("HTTP %d", code)
+					}
+				}
+			})
+		}},
+		{"Serve/list", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := doReq("GET", "/queries", ""); code != http.StatusOK {
+					b.Fatalf("HTTP %d", code)
+				}
+			}
+		}},
+		{"Serve/metrics", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := doReq("GET", "/metrics", ""); code != http.StatusOK {
+					b.Fatalf("HTTP %d", code)
+				}
+			}
+		}},
+		{"Serve/rejected404", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if code := doReq("POST", "/queries/NoSuch/run", "{}"); code != http.StatusNotFound {
+					b.Fatalf("HTTP %d", code)
+				}
+			}
+		}},
+	}
+}
+
+// WriteServerJSON runs the serving-path benchmark suite and writes the
+// stamped Report to w (cmd/benchtables -json -suite server,
+// conventionally BENCH_server.json).
+func WriteServerJSON(meta RunMeta, w, progress io.Writer) error {
+	return writeSuiteJSON(serverSuite(), meta, w, progress)
+}

@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -77,18 +79,18 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 func (e *Engine) Install(src string) error {
 	f, err := gsql.Parse(src)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: %w: %w", ErrParse, err)
 	}
 	for _, q := range f.Queries {
 		if err := e.validate(q); err != nil {
-			return fmt.Errorf("core: query %s: %w", q.Name, err)
+			return fmt.Errorf("core: query %s: %w: %w", q.Name, ErrParse, err)
 		}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, q := range f.Queries {
 		if _, dup := e.queries[q.Name]; dup {
-			return fmt.Errorf("core: query %q already installed", q.Name)
+			return fmt.Errorf("core: %w: %q", ErrDuplicateQuery, q.Name)
 		}
 	}
 	for _, q := range f.Queries {
@@ -110,16 +112,26 @@ func (e *Engine) Queries() []string {
 	return out
 }
 
-// dfa compiles (with caching) the DFA for a DARPE.
+// dfa compiles (with caching) the DFA for a DARPE. Compilation runs
+// outside the catalog mutex (double-checked insert) so one slow DARPE
+// determinization cannot stall concurrent Runs that only need cache
+// hits; a racing duplicate compile is harmless — deterministic input,
+// first insert wins.
 func (e *Engine) dfa(text string, expr darpe.Expr) (*darpe.DFA, error) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if d, ok := e.dfaCache[text]; ok {
+	d, ok := e.dfaCache[text]
+	e.mu.Unlock()
+	if ok {
 		return d, nil
 	}
 	d, err := darpe.CompileDFA(expr)
 	if err != nil {
 		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prior, ok := e.dfaCache[text]; ok {
+		return prior, nil
 	}
 	e.dfaCache[text] = d
 	return d, nil
@@ -131,6 +143,11 @@ func (e *Engine) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// Workers reports the engine's effective ACCUM-phase parallelism
+// (Options.Workers, or GOMAXPROCS when unset). The serving layer sizes
+// its admission semaphore from it.
+func (e *Engine) Workers() int { return e.workers() }
 
 // Table is a named result table.
 type Table struct {
@@ -167,21 +184,56 @@ type Result struct {
 	// Globals exposes the final values of the query's global
 	// accumulators (diagnostics and tests).
 	Globals map[string]value.Value
+	// Stats carries run-level execution counters for observability.
+	Stats RunStats
+}
+
+// RunStats aggregates execution counters over one run — the raw
+// material for the serving layer's histograms.
+type RunStats struct {
+	// BindingRows counts compressed binding-table rows that survived
+	// WHERE across every SELECT block of the run (the unit the ACCUM
+	// phase iterates).
+	BindingRows int64
+	// Selects counts SELECT blocks executed.
+	Selects int64
 }
 
 // Run executes an installed query with the given arguments.
 func (e *Engine) Run(name string, args map[string]value.Value) (*Result, error) {
+	return e.RunCtx(context.Background(), name, args)
+}
+
+// RunCtx executes an installed query under a context. Cancellation is
+// cooperative: the interpreter checks between statements, the parallel
+// ACCUM phase between binding batches, and the SDMC kernels inside
+// their BFS frontier loops, so a expired deadline stops in-flight work
+// (including spawned workers) instead of leaking it. A run stopped by
+// the context returns an error satisfying errors.Is(err, ErrCancelled).
+func (e *Engine) RunCtx(ctx context.Context, name string, args map[string]value.Value) (*Result, error) {
 	e.mu.Lock()
 	q, ok := e.queries[name]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("core: query %q is not installed", name)
+		return nil, fmt.Errorf("core: %w: %q", ErrUnknownQuery, name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: query %s: %w", name, cancelErr(ctx))
 	}
 	rs, err := newRunState(e, q, args)
 	if err != nil {
 		return nil, err
 	}
+	rs.ctx = ctx
+	rs.done = ctx.Done()
 	if _, err := rs.execStmts(q.Stmts); err != nil {
+		// Catch-all cancellation mapping: failures caused by the
+		// context expiring (wherever they surfaced) report as
+		// ErrCancelled even if a deeper layer returned the raw
+		// context error.
+		if ctx.Err() != nil && !errors.Is(err, ErrCancelled) {
+			err = fmt.Errorf("%w: %v", ErrCancelled, err)
+		}
 		return nil, fmt.Errorf("core: query %s: %w", name, err)
 	}
 	for gname, acc := range rs.globals {
@@ -193,9 +245,14 @@ func (e *Engine) Run(name string, args map[string]value.Value) (*Result, error) 
 // InstallAndRun parses, installs and runs a single query in one step
 // (convenience for examples and tests).
 func (e *Engine) InstallAndRun(src string, args map[string]value.Value) (*Result, error) {
+	return e.InstallAndRunCtx(context.Background(), src, args)
+}
+
+// InstallAndRunCtx is InstallAndRun under a context (see RunCtx).
+func (e *Engine) InstallAndRunCtx(ctx context.Context, src string, args map[string]value.Value) (*Result, error) {
 	f, err := gsql.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: %w: %w", ErrParse, err)
 	}
 	if len(f.Queries) != 1 {
 		return nil, fmt.Errorf("core: InstallAndRun expects exactly one query, got %d", len(f.Queries))
@@ -203,5 +260,18 @@ func (e *Engine) InstallAndRun(src string, args map[string]value.Value) (*Result
 	if err := e.Install(src); err != nil {
 		return nil, err
 	}
-	return e.Run(f.Queries[0].Name, args)
+	return e.RunCtx(ctx, f.Queries[0].Name, args)
+}
+
+// QueryParams returns the parameter signature of an installed query
+// (the serving layer uses it to decode JSON arguments by declared
+// type).
+func (e *Engine) QueryParams(name string) ([]gsql.Param, error) {
+	e.mu.Lock()
+	q, ok := e.queries[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %w: %q", ErrUnknownQuery, name)
+	}
+	return q.Params, nil
 }

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/graph"
+)
+
+// TestEngineConcurrentInstallRunList hammers one Engine from many
+// goroutines mixing Install, Run, Queries and QueryParams — the
+// serving layer's exact access pattern. Run under -race this checks
+// the catalog mutex discipline (including the double-checked DFA
+// cache insert).
+func TestEngineConcurrentInstallRunList(t *testing.T) {
+	e := salesEngine(t, Options{Workers: 2})
+	if err := e.Install(figure2Src); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					// Unique name per goroutine+iteration; the DARPE
+					// differs per goroutine so DFA compiles race too.
+					src := fmt.Sprintf(`CREATE QUERY W%d_%d() FOR GRAPH SalesGraph {
+  SumAccum<int> @@n;
+  S = SELECT p FROM Customer:c -(Bought>*1..%d)- Product:p ACCUM @@n += 1;
+  RETURN @@n;
+}`, w, i, 1+w%3)
+					if err := e.Install(src); err != nil {
+						errs <- fmt.Errorf("install w%d i%d: %w", w, i, err)
+						return
+					}
+				case 1:
+					if _, err := e.Run("RevenuePerToyAndCustomer", nil); err != nil {
+						errs <- fmt.Errorf("run w%d i%d: %w", w, i, err)
+						return
+					}
+				case 2:
+					if len(e.Queries()) == 0 {
+						errs <- fmt.Errorf("w%d i%d: empty catalog", w, i)
+						return
+					}
+				case 3:
+					if _, err := e.QueryParams("RevenuePerToyAndCustomer"); err != nil {
+						errs <- fmt.Errorf("params w%d i%d: %w", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every install must have landed: base query + one per (w, i%4==0).
+	want := 1 + goroutines*(iters/4+1)
+	if got := len(e.Queries()); got != want {
+		t.Errorf("catalog size = %d, want %d", got, want)
+	}
+}
+
+// TestRunCtxAlreadyCancelled: a dead context fails before execution,
+// typed ErrCancelled.
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	e := salesEngine(t, Options{})
+	if err := e.Install(figure2Src); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunCtx(ctx, "RevenuePerToyAndCustomer", nil)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestRunCtxDeadlineCancelsLoop: the per-statement checkpoint stops a
+// long WHILE loop once the deadline passes.
+func TestRunCtxDeadlineCancelsLoop(t *testing.T) {
+	e := salesEngine(t, Options{})
+	if err := e.Install(`CREATE QUERY Spin() {
+  SumAccum<int> @@n;
+  WHILE true LIMIT 100000000 DO
+    @@n += 1;
+  END;
+  RETURN @@n;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.RunCtx(ctx, "Spin", nil)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; checkpoints not firing", elapsed)
+	}
+}
+
+// TestRunCtxDeadlineCancelsHopExpansion: cancellation propagates into
+// the SDMC counted-hop kernel on a graph big enough that the BFS phase
+// dominates.
+func TestRunCtxDeadlineCancelsHopExpansion(t *testing.T) {
+	g := graph.BuildLinkGraph(1200, 6, 7)
+	e := New(g, Options{Workers: 2})
+	if err := e.Install(`CREATE QUERY Reach() {
+  SumAccum<int> @@n;
+  S = SELECT t FROM Page:p -(LinkTo>*1..4)- Page:t ACCUM @@n += 1;
+  RETURN @@n;
+}`); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: uncancelled run completes.
+	if _, err := e.Run("Reach", nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := e.RunCtx(ctx, "Reach", nil)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+}
+
+// TestErrorTaxonomy pins the errors.Is contract the serving layer's
+// status mapping relies on.
+func TestErrorTaxonomy(t *testing.T) {
+	e := salesEngine(t, Options{})
+	if _, err := e.Run("nope", nil); !errors.Is(err, ErrUnknownQuery) {
+		t.Errorf("unknown query: err = %v, want ErrUnknownQuery", err)
+	}
+	if err := e.Install("CREATE QUERY {"); !errors.Is(err, ErrParse) {
+		t.Errorf("bad source: err = %v, want ErrParse", err)
+	}
+	if err := e.Install(figure2Src); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Install(figure2Src); !errors.Is(err, ErrDuplicateQuery) {
+		t.Errorf("re-install: err = %v, want ErrDuplicateQuery", err)
+	}
+	if _, err := e.Explain("nope"); !errors.Is(err, ErrUnknownQuery) {
+		t.Errorf("explain unknown: err = %v, want ErrUnknownQuery", err)
+	}
+}
+
+// TestRunStats checks the binding-row counter the serving layer turns
+// into a histogram.
+func TestRunStats(t *testing.T) {
+	e := salesEngine(t, Options{})
+	res, err := e.InstallAndRun(figure2Src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Selects != 3 {
+		t.Errorf("Selects = %d, want 3", res.Stats.Selects)
+	}
+	if res.Stats.BindingRows <= 0 {
+		t.Errorf("BindingRows = %d, want > 0", res.Stats.BindingRows)
+	}
+}

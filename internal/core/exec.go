@@ -12,6 +12,12 @@ import (
 // RETURN.
 func (rs *runState) execStmts(stmts []gsql.Stmt) (bool, error) {
 	for _, s := range stmts {
+		// Statement boundaries are the coarse cancellation
+		// checkpoints; WHILE/FOREACH bodies pass through here every
+		// iteration, so unbounded control flow stays cancellable.
+		if err := rs.checkCancel(); err != nil {
+			return false, err
+		}
 		returned, err := rs.execStmt(s)
 		if err != nil {
 			return false, err

@@ -19,7 +19,7 @@ func (e *Engine) Explain(name string) (string, error) {
 	q, ok := e.queries[name]
 	e.mu.Unlock()
 	if !ok {
-		return "", fmt.Errorf("core: query %q is not installed", name)
+		return "", fmt.Errorf("core: %w: %q", ErrUnknownQuery, name)
 	}
 	var sb strings.Builder
 	sem := e.opts.Semantics

@@ -386,7 +386,12 @@ func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.
 		typeID = et.ID
 	}
 	next := make([]bindingRow, 0, len(bt.rows)) // ≥1 expansion per row is the common case
-	for _, row := range bt.rows {
+	for ri, row := range bt.rows {
+		if ri&4095 == 0 {
+			if err := rs.checkCancel(); err != nil {
+				return nil, err
+			}
+		}
 		v := row.verts[curCol]
 		for _, h := range g.Neighbors(v) {
 			if typeID >= 0 && int(h.Type) != typeID {
@@ -455,13 +460,24 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 		var c *match.Counts
 		switch rs.semantics {
 		case match.AllShortestPaths:
-			c = match.CountASP(g, d, src)
+			var err error
+			c, err = match.CountASPCtx(rs.ctx, g, d, src)
+			if err != nil {
+				return nil, cancelErr(rs.ctx)
+			}
 		case match.ShortestExists:
-			c = match.CountExists(g, d, src)
+			var err error
+			c, err = match.CountExistsCtx(rs.ctx, g, d, src)
+			if err != nil {
+				return nil, cancelErr(rs.ctx)
+			}
 		case match.NonRepeatedEdge, match.NonRepeatedVertex:
 			var err error
-			c, err = match.CountEnum(g, d, src, rs.semantics, rs.e.opts.EnumLimits)
+			c, err = match.CountEnumCtx(rs.ctx, g, d, src, rs.semantics, rs.e.opts.EnumLimits)
 			if err != nil {
+				if rs.ctx.Err() != nil {
+					return nil, cancelErr(rs.ctx)
+				}
 				return nil, fmt.Errorf("pattern -(%s)- under %v: %w", hop.DarpeText, rs.e.opts.Semantics, err)
 			}
 		case match.UnrestrictedBounded:
@@ -470,10 +486,13 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 				return nil, fmt.Errorf("unrestricted semantics requires a fixed-unique-length pattern, -(%s)- is not", hop.DarpeText)
 			}
 			var err error
-			c, err = match.CountEnum(g, d, src, match.UnrestrictedBounded, match.EnumLimits{
+			c, err = match.CountEnumCtx(rs.ctx, g, d, src, match.UnrestrictedBounded, match.EnumLimits{
 				MaxSteps: rs.e.opts.EnumLimits.MaxSteps, MaxLen: fl,
 			})
 			if err != nil {
+				if rs.ctx.Err() != nil {
+					return nil, cancelErr(rs.ctx)
+				}
 				return nil, err
 			}
 		default:
@@ -490,7 +509,12 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 		return r, nil
 	}
 	next := make([]bindingRow, 0, len(bt.rows))
-	for _, row := range bt.rows {
+	for ri, row := range bt.rows {
+		if ri&1023 == 0 {
+			if err := rs.checkCancel(); err != nil {
+				return nil, err
+			}
+		}
 		r, err := countFrom(row.verts[curCol])
 		if err != nil {
 			return nil, err

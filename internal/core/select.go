@@ -25,6 +25,8 @@ func (rs *runState) runSelect(sel *gsql.SelectExpr, assignTo string) error {
 			return err
 		}
 	}
+	rs.res.Stats.Selects++
+	rs.res.Stats.BindingRows += int64(len(bt.rows))
 	if len(sel.Accum) > 0 {
 		if err := rs.execAccumClause(sel.Accum, bt); err != nil {
 			return fmt.Errorf("ACCUM: %w", err)
@@ -41,7 +43,12 @@ func (rs *runState) runSelect(sel *gsql.SelectExpr, assignTo string) error {
 func (rs *runState) filterWhere(bt *bindingTable, where gsql.Expr) error {
 	out := bt.rows[:0]
 	en := &env{vars: map[string]value.Value{}}
-	for _, row := range bt.rows {
+	for ri, row := range bt.rows {
+		if ri&4095 == 0 {
+			if err := rs.checkCancel(); err != nil {
+				return err
+			}
+		}
 		bt.bindRow(en, row)
 		ok, err := rs.eval(where, en)
 		if err != nil {
@@ -196,7 +203,15 @@ func (rs *runState) accumShard(stmts []gsql.AccStmt, bt *bindingTable, rows []bi
 		clear(en.locals)
 		return rs.accStmtSeq(stmts, en, mult, d)
 	}
-	for _, row := range rows {
+	for ri, row := range rows {
+		// Cancellation checkpoint on a stride: each shard polls the
+		// run's done channel so an expired deadline stops all ACCUM
+		// workers instead of letting them finish the phase.
+		if ri&255 == 0 {
+			if err := rs.checkCancel(); err != nil {
+				return err
+			}
+		}
 		if rs.e.opts.NoMultiplicityShortcut {
 			// Ablation: μ literal acc-executions. Refuse absurd
 			// replication counts instead of looping for years — the
@@ -207,6 +222,11 @@ func (rs *runState) accumShard(stmts []gsql.AccStmt, bt *bindingTable, rows []bi
 				return fmt.Errorf("binding multiplicity %d exceeds the %d replay limit with the multiplicity shortcut disabled", row.mult, uint64(maxReplay))
 			}
 			for i := uint64(0); i < row.mult; i++ {
+				if i&8191 == 0 {
+					if err := rs.checkCancel(); err != nil {
+						return err
+					}
+				}
 				if err := exec(row, 1); err != nil {
 					return err
 				}
@@ -334,7 +354,12 @@ func (rs *runState) execPostAccumClause(stmts []gsql.AccStmt, bt *bindingTable) 
 		}
 		col := bt.vertIdx[alias]
 		seen := map[graph.VID]bool{}
-		for _, row := range bt.rows {
+		for ri, row := range bt.rows {
+			if ri&1023 == 0 {
+				if err := rs.checkCancel(); err != nil {
+					return err
+				}
+			}
 			v := row.verts[col]
 			if seen[v] {
 				continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"gsqlgo/internal/accum"
@@ -16,6 +17,11 @@ import (
 type runState struct {
 	e *Engine
 	q *gsql.Query
+	// ctx/done drive cooperative cancellation. done is ctx.Done(),
+	// cached because it is polled in hot loops; nil (context.Background)
+	// means the checks compile down to one predictable branch.
+	ctx  context.Context
+	done <-chan struct{}
 	// semantics is the effective path-legality flavor: the query's
 	// SEMANTICS annotation when present, else the engine default.
 	semantics match.Semantics
@@ -93,6 +99,7 @@ func newRunState(e *Engine, q *gsql.Query, args map[string]value.Value) (*runSta
 	rs := &runState{
 		e:         e,
 		q:         q,
+		ctx:       context.Background(),
 		semantics: e.opts.Semantics,
 		params:    make(map[string]value.Value, len(q.Params)),
 		locals:    map[string]value.Value{},
@@ -170,6 +177,22 @@ func newRunState(e *Engine, q *gsql.Query, args map[string]value.Value) (*runSta
 		}
 	}
 	return rs, nil
+}
+
+// checkCancel is the interpreter's cooperative cancellation
+// checkpoint: nil while the run's context is live, ErrCancelled-
+// wrapped once it is done. Hot loops call it on a stride so the
+// common (background-context) case costs one nil compare.
+func (rs *runState) checkCancel() error {
+	if rs.done == nil {
+		return nil
+	}
+	select {
+	case <-rs.done:
+		return cancelErr(rs.ctx)
+	default:
+		return nil
+	}
 }
 
 func declName(d *gsql.AccumDecl) string {

@@ -1,6 +1,8 @@
 package match
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -9,6 +11,19 @@ import (
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/graph"
 )
+
+// cancelStride is how many frontier nodes a BFS expands between polls
+// of the done channel: frequent enough that a 1ms deadline stops a
+// large-graph run promptly, rare enough to be invisible in the kernel
+// profile.
+const cancelStride = 2048
+
+// ctxErr wraps the context's cause as this package's cancellation
+// error. Callers above (internal/core) re-map it onto their own typed
+// taxonomy.
+func ctxErr(ctx context.Context) error {
+	return fmt.Errorf("match: cancelled: %w", context.Cause(ctx))
+}
 
 // CountASP solves the single-source SDMC problem (Theorem 6.1): for
 // every vertex t it computes the length of the shortest path from src
@@ -27,20 +42,38 @@ import (
 // on first use) with pooled scratch buffers; per call it allocates
 // only the returned Counts.
 func CountASP(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
+	res, _ := countASP(g, d, src, nil)
+	return res
+}
+
+// CountASPCtx is CountASP under a context: the BFS frontier loop polls
+// ctx.Done() on a stride and aborts with the context's error, so
+// serving-layer deadlines stop kernel work mid-run.
+func CountASPCtx(ctx context.Context, g *graph.Graph, d *darpe.DFA, src graph.VID) (*Counts, error) {
+	res, ok := countASP(g, d, src, ctx.Done())
+	if !ok {
+		return nil, ctxErr(ctx)
+	}
+	return res, nil
+}
+
+// countASP dispatches between the CSR kernel and the reference
+// fallback; done == nil disables cancellation.
+func countASP(g *graph.Graph, d *darpe.DFA, src graph.VID, done <-chan struct{}) (*Counts, bool) {
 	nV := g.NumVertices()
 	res := newCounts(nV)
 	if nV == 0 {
-		return res
+		return res, true
 	}
 	nQ := d.NumStates()
 	if int64(nV)*int64(nQ) > math.MaxInt32 {
 		// Product space exceeds the CSR kernel's int32 node ids.
-		return countASPReference(g, d, src)
+		return countASPReferenceDone(g, d, src, done)
 	}
 	s := getScratch(nV * nQ)
-	countASPInto(g.Freeze(), d, typeResolver(g, d), src, s, res)
+	ok := countASPInto(g.Freeze(), d, typeResolver(g, d), src, s, res, done)
 	putScratch(s)
-	return res
+	return res, ok
 }
 
 // countASPInto is the zero-allocation SDMC kernel: one single-source
@@ -52,7 +85,10 @@ func CountASP(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
 // transition per segment and then stream the segment's half-edges
 // without further automaton work; epoch stamps make dist/cnt reuse
 // free of O(V·Q) clears between sources.
-func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scratch, res *Counts) {
+//
+// done (nil = never) is polled every cancelStride frontier nodes; a
+// false return means the BFS aborted and res holds partial garbage.
+func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scratch, res *Counts, done <-chan struct{}) bool {
 	nQ := d.NumStates()
 	epoch := s.nextEpoch()
 	stamp, dist, cnt := s.stamp, s.dist, s.cnt
@@ -87,7 +123,15 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 		}
 		// Expand into the next layer.
 		next = next[:0]
-		for _, n := range frontier {
+		for i, n := range frontier {
+			if done != nil && i%cancelStride == 0 {
+				select {
+				case <-done:
+					s.frontier, s.next = frontier, next
+					return false
+				default:
+				}
+			}
 			v := graph.VID(int(n) / nQ)
 			q := int(n) % nQ
 			c0 := cnt[n]
@@ -112,6 +156,7 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 		frontier, next = next, frontier
 	}
 	s.frontier, s.next = frontier, next // keep grown capacity pooled
+	return true
 }
 
 // CountASPPair solves the single-pair SDMC flavor. ok is false when no
@@ -129,7 +174,7 @@ func CountASPPair(g *graph.Graph, d *darpe.DFA, src, dst graph.VID) (dist int, m
 	return int(c.Dist[dst]), c.Mult[dst], true
 }
 
-// allCounts carves the result set of an all-paths run out of three
+// allCounts carves the result set of an all-pairs run out of three
 // bulk allocations (structs, Dist slab, Mult slab) instead of 3·V
 // little ones; sources write disjoint regions, so parallel workers
 // share it safely.
@@ -154,27 +199,48 @@ func allCounts(nV int) ([]*Counts, []Counts) {
 // DFA's type table and the kernel scratch are set up once and shared
 // across all V runs.
 func CountASPAll(g *graph.Graph, d *darpe.DFA) []*Counts {
+	out, _ := countASPAll(g, d, nil)
+	return out
+}
+
+// CountASPAllCtx is CountASPAll under a context: cancellation is
+// checked between per-source runs and inside each run's frontier loop.
+func CountASPAllCtx(ctx context.Context, g *graph.Graph, d *darpe.DFA) ([]*Counts, error) {
+	out, ok := countASPAll(g, d, ctx.Done())
+	if !ok {
+		return nil, ctxErr(ctx)
+	}
+	return out, nil
+}
+
+func countASPAll(g *graph.Graph, d *darpe.DFA, done <-chan struct{}) ([]*Counts, bool) {
 	nV := g.NumVertices()
 	if nV == 0 {
-		return nil
+		return nil, true
 	}
 	nQ := d.NumStates()
 	if int64(nV)*int64(nQ) > math.MaxInt32 {
 		out := make([]*Counts, nV)
 		for v := 0; v < nV; v++ {
-			out[v] = countASPReference(g, d, graph.VID(v))
+			res, ok := countASPReferenceDone(g, d, graph.VID(v), done)
+			if !ok {
+				return nil, false
+			}
+			out[v] = res
 		}
-		return out
+		return out, true
 	}
 	c := g.Freeze()
 	types := typeResolver(g, d)
 	out, counts := allCounts(nV)
 	s := getScratch(nV * nQ)
+	defer putScratch(s)
 	for v := 0; v < nV; v++ {
-		countASPInto(c, d, types, graph.VID(v), s, &counts[v])
+		if !countASPInto(c, d, types, graph.VID(v), s, &counts[v], done) {
+			return nil, false
+		}
 	}
-	putScratch(s)
-	return out
+	return out, true
 }
 
 // CountASPAllParallel is CountASPAll with the independent per-source
@@ -184,6 +250,22 @@ func CountASPAll(g *graph.Graph, d *darpe.DFA) []*Counts {
 // counting itself, not only to accumulation. Each worker owns one
 // pooled scratch for its whole run.
 func CountASPAllParallel(g *graph.Graph, d *darpe.DFA, workers int) []*Counts {
+	out, _ := countASPAllParallel(g, d, workers, nil)
+	return out
+}
+
+// CountASPAllParallelCtx is CountASPAllParallel under a context. On
+// cancellation every worker exits at its next frontier-stride poll (or
+// next source pickup), so no goroutines outlive the call.
+func CountASPAllParallelCtx(ctx context.Context, g *graph.Graph, d *darpe.DFA, workers int) ([]*Counts, error) {
+	out, ok := countASPAllParallel(g, d, workers, ctx.Done())
+	if !ok {
+		return nil, ctxErr(ctx)
+	}
+	return out, nil
+}
+
+func countASPAllParallel(g *graph.Graph, d *darpe.DFA, workers int, done <-chan struct{}) ([]*Counts, bool) {
 	nV := g.NumVertices()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -193,12 +275,13 @@ func CountASPAllParallel(g *graph.Graph, d *darpe.DFA, workers int) []*Counts {
 	}
 	nQ := d.NumStates()
 	if workers <= 1 || int64(nV)*int64(nQ) > math.MaxInt32 {
-		return CountASPAll(g, d)
+		return countASPAll(g, d, done)
 	}
 	c := g.Freeze()
 	types := typeResolver(g, d)
 	out, counts := allCounts(nV)
 	var nextSrc int64 = -1
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -208,15 +291,21 @@ func CountASPAllParallel(g *graph.Graph, d *darpe.DFA, workers int) []*Counts {
 			defer putScratch(s)
 			for {
 				v := atomic.AddInt64(&nextSrc, 1)
-				if v >= int64(nV) {
+				if v >= int64(nV) || cancelled.Load() {
 					return
 				}
-				countASPInto(c, d, types, graph.VID(v), s, &counts[v])
+				if !countASPInto(c, d, types, graph.VID(v), s, &counts[v], done) {
+					cancelled.Store(true)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	if cancelled.Load() {
+		return nil, false
+	}
+	return out, true
 }
 
 // CountExists implements the SparQL-style existence semantics: every
@@ -224,11 +313,25 @@ func CountASPAllParallel(g *graph.Graph, d *darpe.DFA, workers int) []*Counts {
 // Dist reporting the shortest satisfying length.
 func CountExists(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
 	c := CountASP(g, d, src)
+	existsify(c)
+	return c
+}
+
+// CountExistsCtx is CountExists under a context (see CountASPCtx).
+func CountExistsCtx(ctx context.Context, g *graph.Graph, d *darpe.DFA, src graph.VID) (*Counts, error) {
+	c, err := CountASPCtx(ctx, g, d, src)
+	if err != nil {
+		return nil, err
+	}
+	existsify(c)
+	return c, nil
+}
+
+func existsify(c *Counts) {
 	for t := range c.Mult {
 		if c.Dist[t] >= 0 {
 			c.Mult[t] = 1
 		}
 	}
 	c.Saturated = false
-	return c
 }

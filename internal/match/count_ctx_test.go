@@ -1,0 +1,98 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+)
+
+// TestCtxVariantsMatchPlain: the ctx-accepting kernels must be
+// bit-identical to the plain ones under a live context.
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	g := graph.BuildLinkGraph(300, 5, 3)
+	d := darpe.MustCompile("LinkTo>*1..4")
+	ctx := context.Background()
+	src := graph.VID(0)
+
+	want := CountASP(g, d, src)
+	got, err := CountASPCtx(ctx, g, d, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("CountASPCtx diverges from CountASP")
+	}
+
+	wantAll := CountASPAll(g, d)
+	gotAll, err := CountASPAllCtx(ctx, g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantAll, gotAll) {
+		t.Error("CountASPAllCtx diverges from CountASPAll")
+	}
+
+	gotPar, err := CountASPAllParallelCtx(ctx, g, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantAll, gotPar) {
+		t.Error("CountASPAllParallelCtx diverges from CountASPAll")
+	}
+
+	wantEx := CountExists(g, d, src)
+	gotEx, err := CountExistsCtx(ctx, g, d, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantEx, gotEx) {
+		t.Error("CountExistsCtx diverges from CountExists")
+	}
+}
+
+// TestCtxCancelledStopsKernels: a dead context aborts every kernel
+// with a context-wrapping error instead of running to completion.
+func TestCtxCancelledStopsKernels(t *testing.T) {
+	g := graph.BuildLinkGraph(2000, 8, 3)
+	d := darpe.MustCompile("LinkTo>*")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := CountASPCtx(ctx, g, d, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountASPCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := CountASPAllCtx(ctx, g, d); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountASPAllCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := CountASPAllParallelCtx(ctx, g, d, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountASPAllParallelCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := CountExistsCtx(ctx, g, d, 0); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountExistsCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := CountEnumCtx(ctx, g, d, 0, NonRepeatedEdge, EnumLimits{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("CountEnumCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCtxDeadlineMidFlight: a deadline landing mid-sweep stops the
+// all-pairs kernels promptly.
+func TestCtxDeadlineMidFlight(t *testing.T) {
+	g := graph.BuildLinkGraph(3000, 8, 9)
+	d := darpe.MustCompile("LinkTo>*")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := CountASPAllParallelCtx(ctx, g, d, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v; cancellation checkpoints not firing", elapsed)
+	}
+}

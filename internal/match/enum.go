@@ -1,6 +1,7 @@
 package match
 
 import (
+	"context"
 	"fmt"
 
 	"gsqlgo/internal/darpe"
@@ -34,6 +35,17 @@ func (l EnumLimits) maxSteps() uint64 {
 // UnrestrictedBounded. Dist reports the shortest counted length per
 // target; Mult counts all legal satisfying paths (not only shortest).
 func CountEnum(g *graph.Graph, d *darpe.DFA, src graph.VID, sem Semantics, limits EnumLimits) (*Counts, error) {
+	return countEnum(g, d, src, sem, limits, nil, nil)
+}
+
+// CountEnumCtx is CountEnum under a context: the DFS polls ctx.Done()
+// on a step stride, so deadlines bound the exponential enumeration
+// baselines the same way they bound the polynomial kernel.
+func CountEnumCtx(ctx context.Context, g *graph.Graph, d *darpe.DFA, src graph.VID, sem Semantics, limits EnumLimits) (*Counts, error) {
+	return countEnum(g, d, src, sem, limits, ctx.Done(), ctx)
+}
+
+func countEnum(g *graph.Graph, d *darpe.DFA, src graph.VID, sem Semantics, limits EnumLimits, done <-chan struct{}, ctx context.Context) (*Counts, error) {
 	switch sem {
 	case NonRepeatedEdge, NonRepeatedVertex, UnrestrictedBounded:
 	default:
@@ -50,6 +62,8 @@ func CountEnum(g *graph.Graph, d *darpe.DFA, src graph.VID, sem Semantics, limit
 		res:    newCounts(g.NumVertices()),
 		budget: limits.maxSteps(),
 		maxLen: limits.MaxLen,
+		done:   done,
+		ctx:    ctx,
 	}
 	if sem == NonRepeatedEdge {
 		e.usedEdges = newBitset(g.NumEdges())
@@ -71,10 +85,13 @@ type enumerator struct {
 	sem       Semantics
 	res       *Counts
 	budget    uint64
+	steps     uint64
 	maxLen    int
 	usedEdges bitset
 	usedVerts bitset
 	canReach  bitset // optional target-reachability pruning
+	done      <-chan struct{}
+	ctx       context.Context
 }
 
 func (e *enumerator) record(v graph.VID, length int32) {
@@ -115,6 +132,14 @@ func (e *enumerator) walk(v graph.VID, q int, length int32) error {
 			return ErrBudget
 		}
 		e.budget--
+		e.steps++
+		if e.done != nil && e.steps&8191 == 0 {
+			select {
+			case <-e.done:
+				return ctxErr(e.ctx)
+			default:
+			}
+		}
 		err := e.walk(h.To, q2, length+1)
 		switch e.sem {
 		case NonRepeatedEdge:

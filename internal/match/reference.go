@@ -22,11 +22,20 @@ import (
 // exceeds MaxMult), so both kernels agree exactly even though they
 // expand half-edges in different orders.
 func countASPReference(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
+	res, _ := countASPReferenceDone(g, d, src, nil)
+	return res
+}
+
+// countASPReferenceDone is the reference kernel with the same
+// cooperative cancellation contract as countASPInto: done (nil =
+// never) is polled per BFS layer and every cancelStride frontier
+// nodes; a false return means the run aborted.
+func countASPReferenceDone(g *graph.Graph, d *darpe.DFA, src graph.VID, done <-chan struct{}) (*Counts, bool) {
 	nV := g.NumVertices()
 	nQ := d.NumStates()
 	res := newCounts(nV)
 	if nV == 0 {
-		return res
+		return res, true
 	}
 	types := typeResolver(g, d)
 
@@ -64,7 +73,14 @@ func countASPReference(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
 	finish(frontier, layerDist)
 	for len(frontier) > 0 {
 		var next []int
-		for _, n := range frontier {
+		for i, n := range frontier {
+			if done != nil && i%cancelStride == 0 {
+				select {
+				case <-done:
+					return res, false
+				default:
+				}
+			}
 			v := graph.VID(n / nQ)
 			q := n % nQ
 			c := cnt[n]
@@ -87,5 +103,5 @@ func countASPReference(g *graph.Graph, d *darpe.DFA, src graph.VID) *Counts {
 		finish(next, layerDist)
 		frontier = next
 	}
-	return res
+	return res, true
 }

@@ -1,0 +1,366 @@
+// Package metrics is a dependency-free metrics registry for the
+// serving layer: counters, gauges and fixed-bucket histograms —
+// optionally labeled — with two export surfaces: the Prometheus text
+// exposition format (GET /metrics) and expvar JSON (GET /debug/vars).
+//
+// The implementation is deliberately small (the container image bakes
+// in no third-party modules): lock-free atomic hot paths, a mutex only
+// on series creation, exposition order fixed by registration order so
+// scrapes are deterministic.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default latency histogram bounds, in
+// seconds (upper-inclusive, Prometheus "le" convention).
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// DefSizeBuckets are the default bounds for count-valued histograms
+// (binding rows, result rows): powers of ten.
+var DefSizeBuckets = []float64{0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value reads the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bound bucket histogram. Observations are
+// lock-free; bounds are upper-inclusive with an implicit +Inf bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reads the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric is anything a family's series map can hold.
+type metric interface{ isMetric() }
+
+func (*Counter) isMetric()   {}
+func (*Gauge) isMetric()     {}
+func (*Histogram) isMetric() {}
+
+// family is one exposition family: a name, a type, label names, and a
+// series per observed label-value combination (exactly one unlabeled
+// series when labels is empty).
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter" | "gauge" | "histogram"
+	labels []string
+	bounds []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]metric // key: label values joined by \x1f
+	order  []string
+}
+
+const labelSep = "\x1f"
+
+func (f *family) get(values []string, make func() metric) metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	m := make()
+	f.series[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// snapshot returns the series keys in creation order with their
+// metrics (stable exposition without holding the lock while writing).
+func (f *family) snapshot() ([]string, []metric) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	keys := append([]string(nil), f.order...)
+	ms := make([]metric, len(keys))
+	for i, k := range keys {
+		ms[i] = f.series[k]
+	}
+	return keys, ms
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, typ string, bounds []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, typ, f.typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ, labels: labels, bounds: bounds, series: map[string]metric{}}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, "counter", nil, nil)
+	return f.get(nil, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, "gauge", nil, nil)
+	return f.get(nil, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or fetches) an unlabeled histogram with the
+// given bucket bounds (nil = DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	f := r.family(name, help, "histogram", bounds, nil)
+	return f.get(nil, func() metric { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, "counter", nil, labels)}
+}
+
+// With returns the series for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.get(values, func() metric { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, "gauge", nil, labels)}
+}
+
+// With returns the series for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.get(values, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family (nil bounds =
+// DefLatencyBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return &HistogramVec{r.family(name, help, "histogram", bounds, labels)}
+}
+
+// With returns the series for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.get(values, func() metric { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// ---- exposition ----------------------------------------------------------
+
+// labelString renders {k="v",...} for a series key; extra appends one
+// more pair (the histogram "le" label). Go's %q escaping coincides
+// with the Prometheus text format's (\\, \", \n).
+func (f *family) labelString(key string, extra ...string) string {
+	if len(f.labels) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var parts []string
+	if len(f.labels) > 0 {
+		values := strings.Split(key, labelSep)
+		for i, l := range f.labels {
+			parts = append(parts, fmt.Sprintf("%s=%q", l, values[i]))
+		}
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", extra[i], extra[i+1]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(x float64) string {
+	if math.IsInf(x, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		keys, ms := f.snapshot()
+		if len(keys) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for i, key := range keys {
+			switch m := ms[i].(type) {
+			case *Counter:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelString(key), m.Value()); err != nil {
+					return err
+				}
+			case *Gauge:
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelString(key), m.Value()); err != nil {
+					return err
+				}
+			case *Histogram:
+				cum := uint64(0)
+				for bi, bound := range m.bounds {
+					cum += m.buckets[bi].Load()
+					ls := f.labelString(key, "le", formatFloat(bound))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cum); err != nil {
+						return err
+					}
+				}
+				cum += m.buckets[len(m.bounds)].Load()
+				ls := f.labelString(key, "le", "+Inf")
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, ls, cum); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, f.labelString(key), formatFloat(m.Sum())); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, f.labelString(key), m.Count()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PublishExpvar publishes the registry as one expvar.Func under name.
+// expvar publication is process-global and panics on duplicate names,
+// so callers do this once per process, not per registry build.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// Snapshot returns a JSON-marshalable view of every series — the
+// expvar surface. Histograms export {count, sum}; labeled series are
+// keyed "name{a=x,b=y}".
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	out := map[string]any{}
+	for _, f := range fams {
+		keys, ms := f.snapshot()
+		for i, key := range keys {
+			name := f.name
+			if len(f.labels) > 0 {
+				values := strings.Split(key, labelSep)
+				var parts []string
+				for li, l := range f.labels {
+					parts = append(parts, l+"="+values[li])
+				}
+				name += "{" + strings.Join(parts, ",") + "}"
+			}
+			switch m := ms[i].(type) {
+			case *Counter:
+				out[name] = m.Value()
+			case *Gauge:
+				out[name] = m.Value()
+			case *Histogram:
+				out[name] = map[string]any{"count": m.Count(), "sum": m.Sum()}
+			}
+		}
+	}
+	return out
+}

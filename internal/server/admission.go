@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gsqlgo/internal/core"
+)
+
+// admission is the serving layer's admission controller: a weighted
+// semaphore of run slots sized from the engine's worker budget, with a
+// bounded wait queue in front of it. A request either holds a queue
+// slot (bounded, rejected immediately with ErrOverload when full),
+// then a run slot (bounded wait, rejected with ErrOverload on
+// timeout), or it never touches the engine — overload sheds load at
+// the door instead of stacking goroutines.
+type admission struct {
+	running chan struct{} // run slots; capacity = max concurrent runs
+	queued  chan struct{} // admitted incl. waiting; capacity = running + queue depth
+	maxWait time.Duration // longest a request may wait for a run slot
+}
+
+func newAdmission(maxConcurrent, maxQueue int, maxWait time.Duration) *admission {
+	return &admission{
+		running: make(chan struct{}, maxConcurrent),
+		queued:  make(chan struct{}, maxConcurrent+maxQueue),
+		maxWait: maxWait,
+	}
+}
+
+// acquire admits one request or fails typed: ErrOverload (queue full /
+// slot wait timeout) or ErrCancelled (the request's own context died
+// while queued). On nil return the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queued <- struct{}{}:
+	default:
+		return fmt.Errorf("%w: admission queue full (%d waiting)", core.ErrOverload, cap(a.queued)-cap(a.running))
+	}
+	// Fast path: a run slot is free right now.
+	select {
+	case a.running <- struct{}{}:
+		return nil
+	default:
+	}
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.running <- struct{}{}:
+		return nil
+	case <-timer.C:
+		<-a.queued
+		return fmt.Errorf("%w: no run slot within %v", core.ErrOverload, a.maxWait)
+	case <-ctx.Done():
+		<-a.queued
+		return fmt.Errorf("%w: %v", core.ErrCancelled, context.Cause(ctx))
+	}
+}
+
+// release returns both slots.
+func (a *admission) release() {
+	<-a.running
+	<-a.queued
+}

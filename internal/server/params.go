@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/value"
+)
+
+// decodeParams converts the JSON "params" object of a run request into
+// engine argument values, guided by the installed query's declared
+// parameter types (the paper's installed-query model: parameters are
+// typed at install time, REST payloads are plain JSON).
+//
+// Accepted encodings per declared type:
+//
+//	int      JSON number (integral) or string of digits
+//	float    JSON number
+//	string   JSON string
+//	bool     JSON bool
+//	datetime JSON string "YYYY-MM-DD[ HH:MM:SS]" or number (Unix sec)
+//	vertex<T> JSON string with the vertex key; bare "key" when the
+//	         parameter is type-constrained, "Type:key" otherwise
+func decodeParams(g *graph.Graph, specs []gsql.Param, raw map[string]json.RawMessage) (map[string]value.Value, error) {
+	out := make(map[string]value.Value, len(raw))
+	byName := make(map[string]gsql.Param, len(specs))
+	for _, p := range specs {
+		byName[p.Name] = p
+	}
+	for name, msg := range raw {
+		p, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown parameter %q", name)
+		}
+		v, err := decodeParam(g, p, msg)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func decodeParam(g *graph.Graph, p gsql.Param, msg json.RawMessage) (value.Value, error) {
+	dec := json.NewDecoder(strings.NewReader(string(msg)))
+	dec.UseNumber()
+	var rv any
+	if err := dec.Decode(&rv); err != nil {
+		return value.Null, err
+	}
+	switch p.Type.Kind {
+	case value.KindInt:
+		switch x := rv.(type) {
+		case json.Number:
+			i, err := x.Int64()
+			if err != nil {
+				return value.Null, fmt.Errorf("expected integer, got %v", x)
+			}
+			return value.NewInt(i), nil
+		case string:
+			var i int64
+			if _, err := fmt.Sscanf(x, "%d", &i); err != nil {
+				return value.Null, fmt.Errorf("expected integer, got %q", x)
+			}
+			return value.NewInt(i), nil
+		}
+		return value.Null, fmt.Errorf("expected integer, got %T", rv)
+	case value.KindFloat:
+		if x, ok := rv.(json.Number); ok {
+			f, err := x.Float64()
+			if err != nil {
+				return value.Null, err
+			}
+			return value.NewFloat(f), nil
+		}
+		return value.Null, fmt.Errorf("expected number, got %T", rv)
+	case value.KindString:
+		if x, ok := rv.(string); ok {
+			return value.NewString(x), nil
+		}
+		return value.Null, fmt.Errorf("expected string, got %T", rv)
+	case value.KindBool:
+		if x, ok := rv.(bool); ok {
+			return value.NewBool(x), nil
+		}
+		return value.Null, fmt.Errorf("expected bool, got %T", rv)
+	case value.KindDatetime:
+		switch x := rv.(type) {
+		case string:
+			return graph.ParseDatetime(x)
+		case json.Number:
+			i, err := x.Int64()
+			if err != nil {
+				return value.Null, err
+			}
+			return value.NewDatetime(i), nil
+		}
+		return value.Null, fmt.Errorf("expected datetime string or Unix seconds, got %T", rv)
+	case value.KindVertex:
+		x, ok := rv.(string)
+		if !ok {
+			return value.Null, fmt.Errorf("expected vertex key string, got %T", rv)
+		}
+		vt := p.Type.VertexType
+		key := x
+		if vt == "" {
+			var found bool
+			vt, key, found = strings.Cut(x, ":")
+			if !found {
+				return value.Null, fmt.Errorf("untyped vertex parameter needs \"Type:key\", got %q", x)
+			}
+		}
+		id, found := g.VertexByKey(vt, key)
+		if !found {
+			return value.Null, fmt.Errorf("no %s vertex with key %q", vt, key)
+		}
+		return value.NewVertex(int64(id)), nil
+	}
+	return value.Null, fmt.Errorf("unsupported parameter type %s", p.Type.Kind)
+}
+
+// valueJSON renders an engine value as a JSON-marshalable Go value.
+// Vertices render as their stable string key (REST clients have no use
+// for internal ids), datetimes via their canonical string form,
+// maps as objects keyed by the key's string form.
+func valueJSON(g *graph.Graph, v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindDatetime:
+		return v.String()
+	case value.KindVertex:
+		return g.VertexKey(graph.VID(v.VertexID()))
+	case value.KindEdge:
+		return v.EdgeID()
+	case value.KindTuple, value.KindList, value.KindSet:
+		elems := v.Elems()
+		out := make([]any, len(elems))
+		for i, e := range elems {
+			out[i] = valueJSON(g, e)
+		}
+		return out
+	case value.KindMap:
+		out := map[string]any{}
+		for _, p := range v.Pairs() {
+			out[p.Key.String()] = valueJSON(g, p.Val)
+		}
+		return out
+	default:
+		return v.String()
+	}
+}
+
+// tableJSON is the wire form of a result table.
+type tableJSON struct {
+	Name string  `json:"name,omitempty"`
+	Cols []string `json:"cols"`
+	Rows [][]any  `json:"rows"`
+}
+
+func toTableJSON(g *graph.Graph, t *core.Table) *tableJSON {
+	out := &tableJSON{Name: t.Name, Cols: t.Cols, Rows: make([][]any, len(t.Rows))}
+	for i, row := range t.Rows {
+		r := make([]any, len(row))
+		for j, v := range row {
+			r[j] = valueJSON(g, v)
+		}
+		out.Rows[i] = r
+	}
+	return out
+}

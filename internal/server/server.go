@@ -1,0 +1,432 @@
+// Package server is gsqld's serving layer: an HTTP JSON facade over
+// core.Engine that mirrors the paper's installed-query model. Queries
+// are installed once (POST /queries, GSQL source in the body) and then
+// invoked by name with JSON parameters (POST /queries/{name}/run) —
+// the same two-phase workflow TigerGraph exposes through CREATE/
+// INSTALL QUERY plus its generated REST endpoints.
+//
+// The layer adds what a long-running service needs and the library
+// deliberately omits: per-request deadlines that propagate as
+// cooperative cancellation into the ACCUM shard loops and SDMC BFS
+// kernels, an admission controller that sheds load with typed 429s
+// instead of stacking goroutines, graceful shutdown that drains
+// in-flight runs, and a metrics registry exported in Prometheus text
+// format (GET /metrics) and expvar JSON (GET /debug/vars).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/metrics"
+)
+
+// Config tunes a Server. The zero value of every field except Engine
+// picks a sensible default.
+type Config struct {
+	// Engine executes the queries. Required.
+	Engine *core.Engine
+
+	// DefaultTimeout caps a run when the request does not ask for a
+	// deadline (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps what a request may ask for via timeout_ms
+	// (default 5m).
+	MaxTimeout time.Duration
+
+	// MaxConcurrent bounds simultaneously executing runs (default:
+	// the engine's worker budget).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a run slot; further
+	// arrivals get 429 immediately (default 4×MaxConcurrent;
+	// negative disables queueing entirely).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a run
+	// slot before 429 (default 1s).
+	QueueWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = c.Engine.Workers()
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	} else if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	return c
+}
+
+// Server is the HTTP query service.
+type Server struct {
+	cfg Config
+	eng *core.Engine
+	adm *admission
+	mux *http.ServeMux
+	reg *metrics.Registry
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mRuns      *metrics.CounterVec   // gsqld_query_runs_total{query,status}
+	mLatency   *metrics.HistogramVec // gsqld_query_latency_seconds{query}
+	mRows      *metrics.HistogramVec // gsqld_query_binding_rows{query}
+	mInflight  *metrics.Gauge        // gsqld_inflight_queries
+	mRejected  *metrics.CounterVec   // gsqld_rejected_total{reason}
+	mInstalled *metrics.Gauge        // gsqld_installed_queries
+}
+
+// New builds a Server over cfg.Engine. It panics if Engine is nil.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		eng: cfg.Engine,
+		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+		reg: metrics.NewRegistry(),
+	}
+	s.mRuns = s.reg.CounterVec("gsqld_query_runs_total",
+		"Completed query runs by query name and outcome.", "query", "status")
+	s.mLatency = s.reg.HistogramVec("gsqld_query_latency_seconds",
+		"End-to-end run latency per query.", metrics.DefLatencyBuckets, "query")
+	s.mRows = s.reg.HistogramVec("gsqld_query_binding_rows",
+		"Compressed binding-table rows produced per run.", metrics.DefSizeBuckets, "query")
+	s.mInflight = s.reg.Gauge("gsqld_inflight_queries",
+		"Runs currently executing or queued for a slot.")
+	s.mRejected = s.reg.CounterVec("gsqld_rejected_total",
+		"Requests rejected before execution, by reason.", "reason")
+	s.mInstalled = s.reg.Gauge("gsqld_installed_queries",
+		"Queries currently installed in the catalog.")
+	s.mInstalled.Set(int64(len(s.eng.Queries())))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.handleInstall)
+	mux.HandleFunc("GET /queries", s.handleList)
+	mux.HandleFunc("POST /queries/{name}/run", s.handleRun)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes Server itself an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the metrics registry (tests, expvar publication).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// PublishExpvar publishes the registry under name in the process-wide
+// expvar namespace, so GET /debug/vars includes the gsqld metrics next
+// to memstats. Publishing is process-global and panics on duplicate
+// names, so it is an explicit step the binary takes once rather than a
+// side effect of New (tests build many Servers per process).
+func (s *Server) PublishExpvar(name string) {
+	s.reg.PublishExpvar(name)
+}
+
+// Shutdown stops admitting work and waits for in-flight runs to drain,
+// or for ctx to expire. New requests get 503 while draining.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown: %w", ctx.Err())
+	}
+}
+
+// ---- request/response shapes ---------------------------------------------
+
+type installRequest struct {
+	Source string `json:"source"`
+}
+
+type installResponse struct {
+	Installed []string `json:"installed"`
+}
+
+type runRequest struct {
+	Params    map[string]json.RawMessage `json:"params"`
+	TimeoutMs int64                      `json:"timeout_ms"`
+}
+
+type runResponse struct {
+	Query     string                `json:"query"`
+	ElapsedMs float64               `json:"elapsed_ms"`
+	Tables    map[string]*tableJSON `json:"tables,omitempty"`
+	Printed   []*tableJSON          `json:"printed,omitempty"`
+	Returned  *tableJSON            `json:"returned,omitempty"`
+	Stats     runStatsJSON          `json:"stats"`
+}
+
+type runStatsJSON struct {
+	BindingRows int64 `json:"binding_rows"`
+	Selects     int64 `json:"selects"`
+}
+
+type queryInfo struct {
+	Name   string      `json:"name"`
+	Params []paramInfo `json:"params"`
+}
+
+type paramInfo struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ---- error mapping --------------------------------------------------------
+
+// httpStatus maps the core error taxonomy onto HTTP statuses:
+// ErrParse 400, ErrUnknownQuery 404, ErrDuplicateQuery 409,
+// ErrCancelled 408, ErrOverload 429; anything else is a 500.
+func httpStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrParse):
+		return http.StatusBadRequest, "parse_error"
+	case errors.Is(err, core.ErrUnknownQuery):
+		return http.StatusNotFound, "unknown_query"
+	case errors.Is(err, core.ErrDuplicateQuery):
+		return http.StatusConflict, "duplicate_query"
+	case errors.Is(err, core.ErrCancelled):
+		return http.StatusRequestTimeout, "cancelled"
+	case errors.Is(err, core.ErrOverload):
+		return http.StatusTooManyRequests, "overload"
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status, code := httpStatus(err)
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
+}
+
+// ---- handlers -------------------------------------------------------------
+
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.mRejected.With("draining").Inc()
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: "server is draining", Code: "draining"})
+	return true
+}
+
+// handleInstall accepts GSQL source — raw text, or JSON
+// {"source": "..."} when Content-Type is application/json — parses and
+// installs every query in it, and echoes the installed names.
+func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "reading body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	src := string(body)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req installRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "decoding JSON body: " + err.Error(), Code: "bad_request"})
+			return
+		}
+		src = req.Source
+	}
+	f, err := gsql.Parse(src)
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %w", core.ErrParse, err))
+		return
+	}
+	if err := s.eng.Install(src); err != nil {
+		writeError(w, err)
+		return
+	}
+	names := make([]string, len(f.Queries))
+	for i, q := range f.Queries {
+		names[i] = q.Name
+	}
+	s.mInstalled.Set(int64(len(s.eng.Queries())))
+	writeJSON(w, http.StatusCreated, installResponse{Installed: names})
+}
+
+// handleList returns the catalog with each query's typed signature.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.eng.Queries()
+	out := make([]queryInfo, 0, len(names))
+	for _, name := range names {
+		specs, err := s.eng.QueryParams(name)
+		if err != nil {
+			continue // raced with nothing — catalog only grows
+		}
+		qi := queryInfo{Name: name, Params: make([]paramInfo, len(specs))}
+		for i, p := range specs {
+			qi.Params[i] = paramInfo{Name: p.Name, Type: typeString(p.Type)}
+		}
+		out = append(out, qi)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": out})
+}
+
+func typeString(t gsql.TypeRef) string {
+	if t.VertexType != "" {
+		return "vertex<" + t.VertexType + ">"
+	}
+	return t.Kind.String()
+}
+
+// handleRun executes an installed query under an admission slot and a
+// deadline, recording latency and binding-row histograms.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	name := r.PathValue("name")
+	specs, err := s.eng.QueryParams(name)
+	if err != nil {
+		writeError(w, err) // 404 before burning an admission slot
+		return
+	}
+	var req runRequest
+	if r.Body != nil {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "reading body: " + err.Error(), Code: "bad_request"})
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeJSON(w, http.StatusBadRequest,
+					errorResponse{Error: "decoding JSON body: " + err.Error(), Code: "bad_request"})
+				return
+			}
+		}
+	}
+	args, err := decodeParams(s.eng.Graph(), specs, req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: err.Error(), Code: "bad_params"})
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = min(time.Duration(req.TimeoutMs)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+
+	if err := s.adm.acquire(r.Context()); err != nil {
+		if errors.Is(err, core.ErrOverload) {
+			s.mRejected.With("overload").Inc()
+		}
+		writeError(w, err)
+		return
+	}
+	defer s.adm.release()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	s.mInflight.Inc()
+	defer s.mInflight.Dec()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	start := time.Now()
+	res, err := s.eng.RunCtx(ctx, name, args)
+	elapsed := time.Since(start)
+	s.mLatency.With(name).Observe(elapsed.Seconds())
+	if err != nil {
+		status := "error"
+		if errors.Is(err, core.ErrCancelled) {
+			status = "cancelled"
+		}
+		s.mRuns.With(name, status).Inc()
+		writeError(w, err)
+		return
+	}
+	s.mRuns.With(name, "ok").Inc()
+	s.mRows.With(name).Observe(float64(res.Stats.BindingRows))
+
+	g := s.eng.Graph()
+	resp := runResponse{
+		Query:     name,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		Stats: runStatsJSON{
+			BindingRows: res.Stats.BindingRows,
+			Selects:     res.Stats.Selects,
+		},
+	}
+	if len(res.Tables) > 0 {
+		resp.Tables = make(map[string]*tableJSON, len(res.Tables))
+		for tn, t := range res.Tables {
+			resp.Tables[tn] = toTableJSON(g, t)
+		}
+	}
+	for _, t := range res.Printed {
+		resp.Printed = append(resp.Printed, toTableJSON(g, t))
+	}
+	if res.Returned != nil {
+		resp.Returned = toTableJSON(g, res.Returned)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
