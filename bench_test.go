@@ -334,3 +334,56 @@ CREATE QUERY Revenue() {
 		})
 	}
 }
+
+// ---- Parallel pattern expansion + count cache --------------------------------
+
+// BenchmarkExpandPipeline measures the counted-hop expansion pipeline
+// on an LDBC SNB graph three ways: serial sharding baseline, parallel
+// shards with the cache disabled, and warm engine-level count cache
+// (zero SDMC runs per iteration). cmd/benchtables -suite expand emits
+// the same comparison as BENCH_expand.json.
+func BenchmarkExpandPipeline(b *testing.B) {
+	g := ldbc.Generate(ldbc.Config{SF: 0.1, Seed: 7})
+	src := `
+CREATE QUERY FriendReach() {
+  SumAccum<int> @@pairs;
+  R = SELECT t FROM Person:p -(Knows*1..3)- Person:t WHERE t <> p ACCUM @@pairs += 1;
+  RETURN @@pairs;
+}
+`
+	cases := []struct {
+		name string
+		opts core.Options
+		warm bool
+	}{
+		{"serial", core.Options{Workers: 1, CountCacheSize: -1}, false},
+		{"parallel", core.Options{CountCacheSize: -1}, false},
+		{"warmcache", core.Options{}, true},
+	}
+	for _, c := range cases {
+		e := core.New(g, c.opts)
+		if err := e.Install(src); err != nil {
+			b.Fatal(err)
+		}
+		if c.warm {
+			res, err := e.Run("FriendReach", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.SDMCRuns == 0 {
+				b.Fatal("prime run did no SDMC work")
+			}
+		}
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run("FriendReach", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.warm && res.Stats.SDMCRuns != 0 {
+					b.Fatalf("warm iteration ran %d SDMC counts", res.Stats.SDMCRuns)
+				}
+			}
+		})
+	}
+}

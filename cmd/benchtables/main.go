@@ -11,13 +11,15 @@
 // Scale knobs (-maxn, -sf, -hops, -timeout) default to laptop-friendly
 // sizes; raise them to approach the paper's ranges.
 //
-// -json FILE additionally runs a microbenchmark suite (-suite kernel
-// or -suite server) and writes machine-readable results as
-// {"meta": {go_version, gomaxprocs, num_cpu, commit, …},
+// -json FILE additionally runs a microbenchmark suite (-suite kernel,
+// -suite server or -suite expand) and writes machine-readable results
+// as {"meta": {go_version, gomaxprocs, num_cpu, commit, …},
 // "benchmarks": {name: {ns_per_op, allocs_per_op, bytes_per_op}}} —
-// the convention is `-json BENCH_csr.json` for the kernel suite and
-// `-json BENCH_server.json -suite server` for the serving path, both
-// committed so the perf trajectory is tracked across PRs.
+// the convention is `-json BENCH_csr.json` for the kernel suite,
+// `-json BENCH_server.json -suite server` for the serving path and
+// `-json BENCH_expand.json -suite expand` for the pattern-expansion
+// pipeline, all committed so the perf trajectory is tracked across
+// PRs. An unknown -suite fails immediately, before any table work.
 package main
 
 import (
@@ -42,8 +44,22 @@ func main() {
 	reps := flag.Int("reps", 5, "Appendix B repetitions per query (median reported)")
 	seed := flag.Int64("seed", 7, "generator seed")
 	jsonPath := flag.String("json", "", "write microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
-	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server")
+	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand")
 	flag.Parse()
+
+	// Validate the suite name up front, whether or not -json was given:
+	// a typo must fail loudly before minutes of table work (or a
+	// truncated output file) hide it.
+	jsonWrite := bench.WriteMicroJSON
+	switch *suite {
+	case "kernel":
+	case "server":
+		jsonWrite = bench.WriteServerJSON
+	case "expand":
+		jsonWrite = bench.WriteExpandJSON
+	default:
+		log.Fatalf("unknown -suite %q (kernel|server|expand)", *suite)
+	}
 
 	sfList, err := parseFloats(*sfs)
 	if err != nil {
@@ -89,20 +105,12 @@ func main() {
 		})
 	}
 	if *jsonPath != "" {
-		write := bench.WriteMicroJSON
-		switch *suite {
-		case "kernel":
-		case "server":
-			write = bench.WriteServerJSON
-		default:
-			log.Fatalf("unknown -suite %q (kernel|server)", *suite)
-		}
 		fmt.Printf("\n──────── %s microbenchmarks → %s ────────\n\n", *suite, *jsonPath)
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			log.Fatalf("microbench: %v", err)
 		}
-		if err := write(bench.CurrentMeta(headCommit()), f, os.Stdout); err != nil {
+		if err := jsonWrite(bench.CurrentMeta(headCommit()), f, os.Stdout); err != nil {
 			f.Close()
 			log.Fatalf("microbench: %v", err)
 		}

@@ -112,7 +112,7 @@ CREATE QUERY Reach(string fromName) {
 	//   DECL @n SumAccum<int> (vertex)
 	//   R = SELECT
 	//     seed V as "s"
-	//     hop -(E>*)- V:t  [polynomial path counting (Theorem 6.1), no materialization; DFA 2 states]
+	//     hop -(E>*)- V:t  [polynomial path counting (Theorem 6.1), no materialization; DFA 2 states; count cache on]
 	//     WHERE filter
 	//     ACCUM 1 statement(s)  [snapshot map/reduce, parallel, multiplicity shortcut on]
 }

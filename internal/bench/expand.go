@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+)
+
+// friendReachSrc is the expansion suite's counted-hop workload: every
+// Person is a source of a bounded KNOWS repetition, so one run issues
+// |Person| single-source SDMC counts plus the row-expansion pass —
+// exactly the pipeline the sharded expansion and the count cache
+// accelerate.
+const friendReachSrc = `
+CREATE QUERY FriendReach () {
+  SumAccum<int> @@pairs;
+  R = SELECT t FROM Person:p -(Knows*1..3)- Person:t WHERE t <> p ACCUM @@pairs += 1;
+  RETURN @@pairs;
+}
+`
+
+// twoHopSrc exercises the single-hop shard path: two adjacency hops,
+// no DARPE counting, so the cost is dominated by binding-row fan-out.
+const twoHopSrc = `
+CREATE QUERY TwoHop () {
+  SumAccum<int> @@pairs;
+  R = SELECT t FROM Person:p -(Knows)- Person:f -(Knows)- Person:t ACCUM @@pairs += 1;
+  RETURN @@pairs;
+}
+`
+
+// expandEngine builds an engine over the shared LDBC graph with both
+// benchmark queries installed, panicking on any setup failure (bench
+// suites run outside testing.T).
+func expandEngine(g *graph.Graph, opts core.Options) *core.Engine {
+	e := core.New(g, opts)
+	for _, src := range []string{friendReachSrc, twoHopSrc} {
+		if err := e.Install(src); err != nil {
+			panic(err)
+		}
+	}
+	return e
+}
+
+// expandSuite measures the pattern-expansion pipeline three ways on one
+// LDBC SNB graph: serial (Workers 1, cache off) as the pre-parallelism
+// baseline, parallel (Workers 8, cache off) to show the sharded
+// speedup — pinned rather than GOMAXPROCS so the sharded code path is
+// exercised even on a single-core host, where the same numbers bound
+// the sharding overhead instead (meta records NumCPU for the reader) —
+// and warm (default options, primed once) to show the
+// mutation-invalidated count cache eliminating SDMC work entirely.
+func expandSuite() []benchCase {
+	g := ldbc.Generate(ldbc.Config{SF: 0.2, Seed: 7})
+
+	serial := expandEngine(g, core.Options{Workers: 1, CountCacheSize: -1})
+	parallel := expandEngine(g, core.Options{Workers: 8, CountCacheSize: -1})
+	warm := expandEngine(g, core.Options{})
+
+	run := func(b *testing.B, e *core.Engine, name string) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(name, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Prime the warm engine so measured iterations are pure cache hits.
+	for _, name := range []string{"FriendReach", "TwoHop"} {
+		if res, err := warm.Run(name, nil); err != nil {
+			panic(err)
+		} else if res.Stats.SDMCRuns == 0 && name == "FriendReach" {
+			panic("prime run did no SDMC work — suite graph too small?")
+		}
+	}
+	if res, err := warm.Run("FriendReach", nil); err != nil {
+		panic(err)
+	} else if res.Stats.SDMCRuns != 0 {
+		panic(fmt.Sprintf("warm rerun still did %d SDMC runs — count cache broken", res.Stats.SDMCRuns))
+	}
+
+	return []benchCase{
+		{"Expand/counted/serial", func(b *testing.B) { run(b, serial, "FriendReach") }},
+		{"Expand/counted/parallel", func(b *testing.B) { run(b, parallel, "FriendReach") }},
+		{"Expand/counted/warmcache", func(b *testing.B) { run(b, warm, "FriendReach") }},
+		{"Expand/singlehop/serial", func(b *testing.B) { run(b, serial, "TwoHop") }},
+		{"Expand/singlehop/parallel", func(b *testing.B) { run(b, parallel, "TwoHop") }},
+	}
+}
+
+// WriteExpandJSON runs the expansion-pipeline benchmark suite and
+// writes the stamped Report to w (cmd/benchtables -json -suite expand,
+// conventionally BENCH_expand.json).
+func WriteExpandJSON(meta RunMeta, w, progress io.Writer) error {
+	return writeSuiteJSON(expandSuite(), meta, w, progress)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/match"
+)
+
+// defaultCountCacheSize bounds the count cache when Options leaves the
+// size unset. At one entry per (DFA, semantics, source) it comfortably
+// covers the working set of a served installed-query mix while keeping
+// worst-case memory at cap · O(V) words.
+const defaultCountCacheSize = 4096
+
+// countKey identifies one cached single-source count run. The DFA
+// pointer stands in for the DARPE text: the engine's dfa cache
+// guarantees one stable *darpe.DFA per DARPE, so pointer identity is
+// exact and hashing it is free. Semantics is part of the key because
+// the same DARPE yields different Counts under different legality
+// flavors (a query-level SEMANTICS override shares the engine cache).
+type countKey struct {
+	d   *darpe.DFA
+	sem match.Semantics
+	src graph.VID
+}
+
+// countCache is the engine-level LRU of single-source SDMC results:
+// warm re-runs of installed queries against an unchanged graph skip
+// the BFS entirely. Entries are immutable once inserted (runs share
+// the *match.Counts), and the whole cache self-invalidates when the
+// graph's topology epoch moves — the same mutation events that
+// invalidate Freeze()'s CSR, so a cached count can never outlive the
+// adjacency it was computed from.
+type countCache struct {
+	g   *graph.Graph
+	cap int
+
+	mu    sync.Mutex
+	epoch uint64                     // graph epoch the entries belong to
+	order *list.List                 // of countKey; front = most recent
+	items map[countKey]*list.Element // element value is *countEntry
+}
+
+type countEntry struct {
+	key countKey
+	c   *match.Counts
+}
+
+// newCountCache sizes a cache from Options.CountCacheSize: 0 selects
+// the default cap, negative disables caching (nil cache).
+func newCountCache(g *graph.Graph, size int) *countCache {
+	if size < 0 {
+		return nil
+	}
+	if size == 0 {
+		size = defaultCountCacheSize
+	}
+	return &countCache{
+		g:     g,
+		cap:   size,
+		order: list.New(),
+		items: make(map[countKey]*list.Element),
+	}
+}
+
+// syncEpochLocked discards every entry when the graph's topology has
+// moved since they were computed.
+func (cc *countCache) syncEpochLocked() {
+	if e := cc.g.Epoch(); e != cc.epoch {
+		cc.epoch = e
+		cc.order.Init()
+		clear(cc.items)
+	}
+}
+
+// get returns the cached counts for k, or nil on miss.
+func (cc *countCache) get(k countKey) *match.Counts {
+	if cc == nil {
+		return nil
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.syncEpochLocked()
+	el, ok := cc.items[k]
+	if !ok {
+		return nil
+	}
+	cc.order.MoveToFront(el)
+	return el.Value.(*countEntry).c
+}
+
+// put inserts counts computed outside the lock, double-checked like
+// the DFA cache: when a racing run already inserted k, the prior entry
+// wins so every concurrent reader shares one *match.Counts. epoch is
+// the graph epoch the caller observed before computing; counts from an
+// epoch that has since moved are dropped rather than inserted, keeping
+// stale results out.
+func (cc *countCache) put(k countKey, c *match.Counts, epoch uint64) {
+	if cc == nil {
+		return
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.syncEpochLocked()
+	if epoch != cc.epoch {
+		return
+	}
+	if el, ok := cc.items[k]; ok {
+		cc.order.MoveToFront(el)
+		return
+	}
+	cc.items[k] = cc.order.PushFront(&countEntry{key: k, c: c})
+	for cc.order.Len() > cc.cap {
+		oldest := cc.order.Back()
+		cc.order.Remove(oldest)
+		delete(cc.items, oldest.Value.(*countEntry).key)
+	}
+}
+
+// len reports the live entry count (tests).
+func (cc *countCache) len() int {
+	if cc == nil {
+		return 0
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.order.Len()
+}

@@ -45,6 +45,15 @@ type Options struct {
 	NoMultiplicityShortcut bool
 	// EnumLimits bounds the enumeration baselines.
 	EnumLimits match.EnumLimits
+	// CountCacheSize caps the engine-level LRU of single-source SDMC
+	// count results reused across runs (invalidated by graph topology
+	// mutation). 0 selects a default cap; negative disables the cache.
+	CountCacheSize int
+	// MinParallelRows is the binding-row count below which FROM-clause
+	// expansion stays serial (sharding overhead dominates on tiny
+	// tables). 0 selects a default; set 1 to force parallel expansion
+	// whenever Workers allows (differential tests do).
+	MinParallelRows int
 }
 
 // Engine installs and runs GSQL queries against one graph. An Engine
@@ -59,6 +68,10 @@ type Engine struct {
 	queries   map[string]*gsql.Query
 	dfaCache  map[string]*darpe.DFA
 	relTables map[string]*RelTable
+
+	// counts caches single-source SDMC results across runs (nil when
+	// disabled); it carries its own lock and epoch guard.
+	counts *countCache
 }
 
 // New returns an engine over the graph.
@@ -68,6 +81,7 @@ func New(g *graph.Graph, opts Options) *Engine {
 		opts:     opts,
 		queries:  make(map[string]*gsql.Query),
 		dfaCache: make(map[string]*darpe.DFA),
+		counts:   newCountCache(g, opts.CountCacheSize),
 	}
 }
 
@@ -197,6 +211,17 @@ type RunStats struct {
 	BindingRows int64
 	// Selects counts SELECT blocks executed.
 	Selects int64
+	// CountCacheHits / CountCacheMisses count distinct-source lookups
+	// against the engine's SDMC count cache during counted-hop
+	// expansion. A warm re-run of an installed query shows misses == 0.
+	CountCacheHits   int64
+	CountCacheMisses int64
+	// SDMCRuns counts single-source count runs actually executed (BFS
+	// or enumeration) — cache hits don't run one.
+	SDMCRuns int64
+	// ExpandShards counts the shards FROM-clause hop expansion was
+	// split into, summed over hops (1 per hop when serial).
+	ExpandShards int64
 }
 
 // Run executes an installed query with the given arguments.

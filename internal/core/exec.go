@@ -76,7 +76,7 @@ func (rs *runState) execAssign(n *gsql.AssignStmt) error {
 				}
 			}
 		}
-		rs.vsets[n.Name] = ids
+		rs.setVSet(n.Name, ids)
 		return nil
 	case *gsql.SelectExpr:
 		return rs.runSelect(rhs, n.Name)
@@ -85,7 +85,7 @@ func (rs *runState) execAssign(n *gsql.AssignStmt) error {
 		if err != nil {
 			return err
 		}
-		rs.vsets[n.Name] = ids
+		rs.setVSet(n.Name, ids)
 		return nil
 	default:
 		v, err := rs.eval(rhs, rs.baseEnv())

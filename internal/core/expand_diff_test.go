@@ -1,0 +1,241 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/value"
+)
+
+// diffQueries exercises every expansion shape the sharded pipeline
+// must reproduce bit-identically: single hops (with edge aliases),
+// counted hops under several DARPEs, cycle-closing rebinds of both hop
+// kinds, and a mixed chain.
+var diffQueries = []string{
+	// Single-hop chain with an edge alias.
+	`CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT t FROM V:s -(D1>:e)- V:m -(U)- V:t ACCUM t.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`,
+	// Counted hop (Kleene star).
+	`CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT t FROM V:s -(D1>*)- V:t ACCUM t.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`,
+	// Counted hop over an alternation with bounds.
+	`CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT t FROM V:s -((D1>|U)*1..3)- V:t ACCUM t.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`,
+	// Counted hop closing a cycle (rebind onto the seed alias).
+	`CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT s FROM V:s -(D1>)- V:m -(D2>*)- V:s ACCUM s.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`,
+	// Wildcard bounded repetition.
+	`CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT t FROM V:s -(_*1..3)- V:t ACCUM t.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`,
+	// Single hop closing a cycle (rebind through adjacency expansion).
+	`CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT s FROM V:s -(U)- V:m -(U)- V:s ACCUM s.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`,
+}
+
+// firstFrom digs the FROM clause out of an installed query's first
+// SELECT assignment (the shape every diffQueries entry has).
+func firstFrom(t *testing.T, q *gsql.Query) []gsql.PathPattern {
+	t.Helper()
+	for _, s := range q.Stmts {
+		if a, ok := s.(*gsql.AssignStmt); ok {
+			if sel, ok := a.Rhs.(*gsql.SelectExpr); ok {
+				return sel.From
+			}
+		}
+	}
+	t.Fatal("query has no SELECT assignment")
+	return nil
+}
+
+// bindingSig flattens a binding table — aliases, then every row's
+// bindings and multiplicity in order — so two tables compare equal iff
+// they are bit-identical (rows, order, multiplicities).
+func bindingSig(bt *bindingTable) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verts=%v edges=%v rels=%v\n", bt.vertAliases, bt.edgeAliases, bt.relAliases)
+	for _, r := range bt.rows {
+		fmt.Fprintf(&sb, "%v|%v|%d\n", r.verts, r.edges, r.mult)
+	}
+	return sb.String()
+}
+
+// resultSig flattens a run's printed tables (values in row order).
+func resultSig(res *Result) string {
+	var sb strings.Builder
+	for _, tbl := range res.Printed {
+		sb.WriteString(tbl.String())
+	}
+	return sb.String()
+}
+
+// expandOutcome captures everything the differential test compares for
+// one (graph, query, worker count): the raw binding table built by the
+// FROM clause and the full query output.
+func expandOutcome(t *testing.T, g *graph.Graph, qsrc string, workers int) (string, string) {
+	t.Helper()
+	e := New(g, Options{Workers: workers, CountCacheSize: -1, MinParallelRows: 1})
+	if err := e.Install(qsrc); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	q := e.queries["Q"]
+	rs, err := newRunState(e, q, nil)
+	if err != nil {
+		t.Fatalf("runState: %v", err)
+	}
+	bt, err := rs.buildBindings(firstFrom(t, q))
+	if err != nil {
+		t.Fatalf("buildBindings (workers=%d): %v", workers, err)
+	}
+	res, err := e.Run("Q", nil)
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	return bindingSig(bt), resultSig(res)
+}
+
+// TestParallelExpansionBitIdentical is the core contract of the
+// sharded pipeline: over ~50 random mixed graphs, the binding tables
+// (rows, order, multiplicities) and query outputs at Workers 2 and 8
+// must be byte-identical to the serial (Workers 1) ones.
+// MinParallelRows is forced to 1 so even tiny tables take the parallel
+// path.
+func TestParallelExpansionBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.BuildRandomMixedGraph(2+r.Intn(8), 1+r.Intn(16), seed)
+		qsrc := diffQueries[int(seed)%len(diffQueries)]
+		refBT, refRes := expandOutcome(t, g, qsrc, 1)
+		for _, w := range []int{2, 8} {
+			gotBT, gotRes := expandOutcome(t, g, qsrc, w)
+			if gotBT != refBT {
+				t.Fatalf("seed %d workers %d: binding table diverged\nserial:\n%s\nparallel:\n%s",
+					seed, w, refBT, gotBT)
+			}
+			if gotRes != refRes {
+				t.Fatalf("seed %d workers %d: query output diverged\nserial:\n%s\nparallel:\n%s",
+					seed, w, refRes, gotRes)
+			}
+		}
+	}
+}
+
+// TestParallelExpansionCancellation drives both hop kinds with an
+// already-cancelled context at every worker count: every shard's first
+// stride check (and the counting kernel's done poll) must surface
+// ErrCancelled, serial and parallel alike.
+func TestParallelExpansionCancellation(t *testing.T) {
+	g := graph.BuildRandomMixedGraph(8, 24, 3)
+	srcs := map[string]string{
+		"single":  `CREATE QUERY Q() { R = SELECT t FROM V:s -(D1>)- V:t; PRINT R; }`,
+		"counted": `CREATE QUERY Q() { R = SELECT t FROM V:s -(D1>*)- V:t; PRINT R; }`,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for kind, qsrc := range srcs {
+		for _, w := range []int{1, 2, 8} {
+			e := New(g, Options{Workers: w, MinParallelRows: 1})
+			if err := e.Install(qsrc); err != nil {
+				t.Fatal(err)
+			}
+			q := e.queries["Q"]
+			rs, err := newRunState(e, q, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs.ctx = ctx
+			rs.done = ctx.Done()
+			if _, err := rs.buildBindings(firstFrom(t, q)); !errors.Is(err, ErrCancelled) {
+				t.Errorf("%s hop, workers %d: want ErrCancelled, got %v", kind, w, err)
+			}
+		}
+	}
+}
+
+// TestParallelExpansionSemanticsFlavors re-checks bit-identity for the
+// non-default legality flavors, whose counted hops run through the
+// enumeration path of countSources.
+func TestParallelExpansionSemanticsFlavors(t *testing.T) {
+	const qsrc = `CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  R = SELECT t FROM V:s -(U*1..3)- V:t ACCUM t.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`
+	for seed := int64(0); seed < 10; seed++ {
+		g := graph.BuildRandomMixedGraph(6, 14, seed)
+		for _, sem := range []string{"nre", "nrv", "exists"} {
+			src := strings.Replace(qsrc, "CREATE QUERY Q() {",
+				"CREATE QUERY Q() SEMANTICS "+sem+" {", 1)
+			refBT, refRes := expandOutcome(t, g, src, 1)
+			gotBT, gotRes := expandOutcome(t, g, src, 8)
+			if gotBT != refBT || gotRes != refRes {
+				t.Fatalf("seed %d semantics %s: parallel diverged from serial", seed, sem)
+			}
+		}
+	}
+}
+
+// TestVSetFilterHoisted pins the satellite: hops naming the same vset
+// reuse one memoized membership map, and reassigning the vset drops
+// it.
+func TestVSetFilterHoisted(t *testing.T) {
+	g := graph.BuildRandomMixedGraph(6, 12, 1)
+	e := New(g, Options{})
+	rs, err := newRunState(e, &gsql.Query{Name: "t"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []graph.VID{0, 2, 4}
+	rs.setVSet("S", ids)
+	m1 := rs.vsetLookup("S", ids)
+	m2 := rs.vsetLookup("S", ids)
+	if len(m1) != 3 || !m1[2] || m1[1] {
+		t.Fatalf("membership map wrong: %v", m1)
+	}
+	// Same map instance must be returned (maps are reference types;
+	// mutating a copy would show in the other if shared).
+	m1[graph.VID(5)] = true
+	if !m2[5] {
+		t.Error("vsetLookup rebuilt the map instead of memoizing it")
+	}
+	rs.setVSet("S", []graph.VID{1})
+	m3 := rs.vsetLookup("S", []graph.VID{1})
+	if m3[5] || !m3[1] {
+		t.Error("setVSet did not invalidate the memoized lookup")
+	}
+	// End to end: a query filtering two hops through one vset still
+	// answers correctly.
+	if err := e.Install(`CREATE QUERY Hoist() {
+	  S = {V.*};
+	  R = SELECT t FROM S:s -(D1>)- S:m -(D1>)- S:t;
+	  PRINT R;
+	}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run("Hoist", map[string]value.Value{}); err != nil {
+		t.Fatal(err)
+	}
+}

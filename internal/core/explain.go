@@ -136,8 +136,12 @@ func (e *Engine) explainSelect(sb *strings.Builder, sel *gsql.SelectExpr, sem ma
 			if d, err := e.dfa(hop.DarpeText, hop.Darpe); err == nil {
 				states = fmt.Sprintf("%d", d.NumStates())
 			}
-			fmt.Fprintf(sb, "%shop -(%s)- %s:%s  [%s; DFA %s states]\n",
-				indent, hop.DarpeText, hop.Target.Name, hop.Target.Alias, strategy, states)
+			cache := "count cache off"
+			if e.counts != nil {
+				cache = "count cache on"
+			}
+			fmt.Fprintf(sb, "%shop -(%s)- %s:%s  [%s; DFA %s states; %s]\n",
+				indent, hop.DarpeText, hop.Target.Name, hop.Target.Alias, strategy, states, cache)
 		}
 	}
 	if sel.Where != nil {

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/graph"
@@ -271,10 +273,7 @@ func (rs *runState) makeNameFilter(name string) (targetFilter, error) {
 		return func(v graph.VID) bool { return g.VertexTypeOf(v).ID == want }, nil
 	}
 	if ids, ok := rs.vsets[name]; ok {
-		set := make(map[graph.VID]bool, len(ids))
-		for _, id := range ids {
-			set[id] = true
-		}
+		set := rs.vsetLookup(name, ids)
 		return func(v graph.VID) bool { return set[v] }, nil
 	}
 	if pv, ok := rs.params[name]; ok && pv.Kind() == value.KindVertex {
@@ -370,7 +369,74 @@ func (rs *runState) evalPath(pat *gsql.PathPattern) (*bindingTable, error) {
 	return bt, nil
 }
 
-// expandSingleHop binds one edge traversal by adjacency expansion.
+// defaultMinParallelRows is the binding-row count below which hop
+// expansion stays serial — goroutine spawn and shard concatenation
+// cost more than the work they would split.
+const defaultMinParallelRows = 32
+
+// expandWorkers decides how many contiguous shards an nRows-row hop
+// expansion splits into: 1 (serial) below the MinParallelRows
+// threshold or when the engine is single-worker, else at most one
+// shard per row.
+func (rs *runState) expandWorkers(nRows int) int {
+	minRows := rs.e.opts.MinParallelRows
+	if minRows <= 0 {
+		minRows = defaultMinParallelRows
+	}
+	if nRows < minRows {
+		return 1
+	}
+	w := rs.e.workers()
+	if w > nRows {
+		w = nRows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardRows fans an expansion over contiguous row shards and
+// concatenates the per-shard outputs in shard order, which is exactly
+// the serial row order — binding tables come out bit-identical to the
+// single-worker path. fn owns rows [lo, hi) and keeps its own
+// cancellation stride. On failure the error reported is the first
+// failing shard's in shard order, the one the serial loop would have
+// hit first.
+func shardRows(nRows, workers int, fn func(lo, hi int) ([]bindingRow, error)) ([]bindingRow, error) {
+	if workers <= 1 {
+		return fn(0, nRows)
+	}
+	outs := make([][]bindingRow, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*nRows/workers, (w+1)*nRows/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			outs[w], errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	next := make([]bindingRow, 0, total)
+	for _, o := range outs {
+		next = append(next, o...)
+	}
+	return next, nil
+}
+
+// expandSingleHop binds one edge traversal by adjacency expansion,
+// sharded over binding rows across the engine's workers.
 func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.Symbol, curCol, boundCol int, rebind bool, filter targetFilter) ([]bindingRow, error) {
 	g := rs.e.g
 	var edgeCol = -1
@@ -385,42 +451,48 @@ func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.
 		}
 		typeID = et.ID
 	}
-	next := make([]bindingRow, 0, len(bt.rows)) // ≥1 expansion per row is the common case
-	for ri, row := range bt.rows {
-		if ri&4095 == 0 {
-			if err := rs.checkCancel(); err != nil {
-				return nil, err
+	rows := bt.rows
+	workers := rs.expandWorkers(len(rows))
+	rs.res.Stats.ExpandShards += int64(workers)
+	return shardRows(len(rows), workers, func(lo, hi int) ([]bindingRow, error) {
+		next := make([]bindingRow, 0, hi-lo) // ≥1 expansion per row is the common case
+		for ri := lo; ri < hi; ri++ {
+			if (ri-lo)&4095 == 0 {
+				if err := rs.checkCancel(); err != nil {
+					return nil, err
+				}
+			}
+			row := rows[ri]
+			v := row.verts[curCol]
+			for _, h := range g.Neighbors(v) {
+				if typeID >= 0 && int(h.Type) != typeID {
+					continue
+				}
+				if !adornMatches(sym.Dir, h.Dir) {
+					continue
+				}
+				if !filter(h.To) {
+					continue
+				}
+				if rebind && row.verts[boundCol] != h.To {
+					continue
+				}
+				nr := bindingRow{mult: row.mult}
+				if rebind {
+					nr.verts = row.verts
+				} else {
+					nr.verts = append(append(make([]graph.VID, 0, len(row.verts)+1), row.verts...), h.To)
+				}
+				if edgeCol >= 0 {
+					nr.edges = append(append(make([]graph.EID, 0, len(row.edges)+1), row.edges...), h.Edge)
+				} else {
+					nr.edges = row.edges
+				}
+				next = append(next, nr)
 			}
 		}
-		v := row.verts[curCol]
-		for _, h := range g.Neighbors(v) {
-			if typeID >= 0 && int(h.Type) != typeID {
-				continue
-			}
-			if !adornMatches(sym.Dir, h.Dir) {
-				continue
-			}
-			if !filter(h.To) {
-				continue
-			}
-			if rebind && row.verts[boundCol] != h.To {
-				continue
-			}
-			nr := bindingRow{mult: row.mult}
-			if rebind {
-				nr.verts = row.verts
-			} else {
-				nr.verts = append(append(make([]graph.VID, 0, len(row.verts)+1), row.verts...), h.To)
-			}
-			if edgeCol >= 0 {
-				nr.edges = append(append(make([]graph.EID, 0, len(row.edges)+1), row.edges...), h.Edge)
-			} else {
-				nr.edges = row.edges
-			}
-			next = append(next, nr)
-		}
-	}
-	return next, nil
+		return next, nil
+	})
 }
 
 func adornMatches(a darpe.Adorn, d graph.Dir) bool {
@@ -436,106 +508,223 @@ func adornMatches(a darpe.Adorn, d graph.Dir) bool {
 	}
 }
 
+// reach is the per-source result of a counted hop after target
+// filtering: the targets the hop can bind (ascending VID) and the
+// path multiplicity toward each.
+type reach struct {
+	targets []graph.VID
+	mults   []uint64
+}
+
 // expandCountedHop evaluates a multi-edge DARPE hop. Under
 // all-shortest-paths semantics it never materializes paths: it
 // multiplies binding multiplicities by the SDMC counts of Theorem 6.1.
 // Under the enumeration semantics it counts legal paths explicitly
 // (exponential — the baselines of Section 7.1).
+//
+// The hop runs in phases: collect the distinct source vertices (first-
+// appearance row order), resolve their Counts — engine cache first,
+// then the misses in parallel across workers — build per-source reach
+// lists from the sparse Counts.Reached, and finally do the cheap
+// sharded row-expansion pass.
 func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, boundCol int, rebind bool, filter targetFilter) ([]bindingRow, error) {
 	g := rs.e.g
 	d, err := rs.e.dfa(hop.DarpeText, hop.Darpe)
 	if err != nil {
 		return nil, err
 	}
-	// One count run per distinct source vertex, cached.
-	type reach struct {
-		targets []graph.VID
-		mults   []uint64
+	rows := bt.rows
+
+	// Distinct sources, in first-appearance row order so the parallel
+	// miss computation walks them the same way the serial loop did.
+	srcIdx := make(map[graph.VID]int, len(rows))
+	var sources []graph.VID
+	for _, row := range rows {
+		v := row.verts[curCol]
+		if _, ok := srcIdx[v]; !ok {
+			srcIdx[v] = len(sources)
+			sources = append(sources, v)
+		}
 	}
-	cache := map[graph.VID]*reach{}
-	countFrom := func(src graph.VID) (*reach, error) {
-		if r, ok := cache[src]; ok {
-			return r, nil
+
+	// Resolve counts: cache lookups, then kernel runs for the misses.
+	// The epoch is read before counting so a (disallowed, but possible)
+	// concurrent mutation drops the results instead of caching them.
+	epoch := g.Epoch()
+	counts := make([]*match.Counts, len(sources))
+	var missing []int
+	for i, src := range sources {
+		if c := rs.e.counts.get(countKey{d: d, sem: rs.semantics, src: src}); c != nil {
+			counts[i] = c
+		} else {
+			missing = append(missing, i)
 		}
-		var c *match.Counts
-		switch rs.semantics {
-		case match.AllShortestPaths:
-			var err error
-			c, err = match.CountASPCtx(rs.ctx, g, d, src)
-			if err != nil {
-				return nil, cancelErr(rs.ctx)
-			}
-		case match.ShortestExists:
-			var err error
-			c, err = match.CountExistsCtx(rs.ctx, g, d, src)
-			if err != nil {
-				return nil, cancelErr(rs.ctx)
-			}
-		case match.NonRepeatedEdge, match.NonRepeatedVertex:
-			var err error
-			c, err = match.CountEnumCtx(rs.ctx, g, d, src, rs.semantics, rs.e.opts.EnumLimits)
-			if err != nil {
-				if rs.ctx.Err() != nil {
-					return nil, cancelErr(rs.ctx)
-				}
-				return nil, fmt.Errorf("pattern -(%s)- under %v: %w", hop.DarpeText, rs.e.opts.Semantics, err)
-			}
-		case match.UnrestrictedBounded:
-			fl, fixed := darpe.FixedLength(hop.Darpe)
-			if !fixed {
-				return nil, fmt.Errorf("unrestricted semantics requires a fixed-unique-length pattern, -(%s)- is not", hop.DarpeText)
-			}
-			var err error
-			c, err = match.CountEnumCtx(rs.ctx, g, d, src, match.UnrestrictedBounded, match.EnumLimits{
-				MaxSteps: rs.e.opts.EnumLimits.MaxSteps, MaxLen: fl,
-			})
-			if err != nil {
-				if rs.ctx.Err() != nil {
-					return nil, cancelErr(rs.ctx)
-				}
-				return nil, err
-			}
-		default:
-			return nil, fmt.Errorf("unsupported semantics %v", rs.semantics)
+	}
+	rs.res.Stats.CountCacheHits += int64(len(sources) - len(missing))
+	rs.res.Stats.CountCacheMisses += int64(len(missing))
+	if len(missing) > 0 {
+		if err := rs.countSources(hop, d, sources, missing, counts); err != nil {
+			return nil, err
 		}
-		r := &reach{}
-		for t := 0; t < g.NumVertices(); t++ {
-			if c.Dist[t] >= 0 && c.Mult[t] > 0 && filter(graph.VID(t)) {
-				r.targets = append(r.targets, graph.VID(t))
+		rs.res.Stats.SDMCRuns += int64(len(missing))
+		for _, i := range missing {
+			rs.e.counts.put(countKey{d: d, sem: rs.semantics, src: sources[i]}, counts[i], epoch)
+		}
+	}
+
+	// Per-source reach lists: walk only the recorded targets, not all
+	// V Dist entries. Reached is sorted ascending, so targets come out
+	// in the same order the old dense scan produced.
+	reaches := make([]reach, len(sources))
+	for i, c := range counts {
+		r := &reaches[i]
+		for _, t := range c.Reached {
+			if c.Mult[t] > 0 && filter(t) {
+				r.targets = append(r.targets, t)
 				r.mults = append(r.mults, c.Mult[t])
 			}
 		}
-		cache[src] = r
-		return r, nil
 	}
-	next := make([]bindingRow, 0, len(bt.rows))
-	for ri, row := range bt.rows {
-		if ri&1023 == 0 {
-			if err := rs.checkCancel(); err != nil {
-				return nil, err
+
+	// Row expansion: every source's reach is resolved, so each row is
+	// a multiply-and-append — shard it like a single hop.
+	workers := rs.expandWorkers(len(rows))
+	rs.res.Stats.ExpandShards += int64(workers)
+	return shardRows(len(rows), workers, func(lo, hi int) ([]bindingRow, error) {
+		next := make([]bindingRow, 0, hi-lo)
+		for ri := lo; ri < hi; ri++ {
+			if (ri-lo)&1023 == 0 {
+				if err := rs.checkCancel(); err != nil {
+					return nil, err
+				}
 			}
-		}
-		r, err := countFrom(row.verts[curCol])
-		if err != nil {
-			return nil, err
-		}
-		for i, t := range r.targets {
-			if rebind {
-				if row.verts[boundCol] != t {
+			row := rows[ri]
+			r := &reaches[srcIdx[row.verts[curCol]]]
+			for i, t := range r.targets {
+				if rebind {
+					if row.verts[boundCol] != t {
+						continue
+					}
+					next = append(next, bindingRow{verts: row.verts, edges: row.edges, mult: satMul(row.mult, r.mults[i])})
 					continue
 				}
-				next = append(next, bindingRow{verts: row.verts, edges: row.edges, mult: satMul(row.mult, r.mults[i])})
-				continue
+				nr := bindingRow{
+					verts: append(append(make([]graph.VID, 0, len(row.verts)+1), row.verts...), t),
+					edges: row.edges,
+					mult:  satMul(row.mult, r.mults[i]),
+				}
+				next = append(next, nr)
 			}
-			nr := bindingRow{
-				verts: append(append(make([]graph.VID, 0, len(row.verts)+1), row.verts...), t),
-				edges: row.edges,
-				mult:  satMul(row.mult, r.mults[i]),
+		}
+		return next, nil
+	})
+}
+
+// countSources runs the cache-missed single-source count runs for one
+// counted hop, filling counts[i] for every i in missing. With more
+// than one missing source and worker, runs spread over goroutines in
+// the CountASPAllParallel pattern: an atomic source cursor, one pooled
+// kernel scratch per worker (via match.SourceCounter), cancellation
+// observed at the kernel's own stride. Errors are reported in missing
+// order — the first failing source is the one the serial loop would
+// have failed on.
+func (rs *runState) countSources(hop *gsql.Hop, d *darpe.DFA, sources []graph.VID, missing []int, counts []*match.Counts) error {
+	g := rs.e.g
+	sem := rs.semantics
+	limits := rs.e.opts.EnumLimits
+	switch sem {
+	case match.AllShortestPaths, match.ShortestExists:
+	case match.NonRepeatedEdge, match.NonRepeatedVertex:
+	case match.UnrestrictedBounded:
+		fl, fixed := darpe.FixedLength(hop.Darpe)
+		if !fixed {
+			return fmt.Errorf("unrestricted semantics requires a fixed-unique-length pattern, -(%s)- is not", hop.DarpeText)
+		}
+		limits = match.EnumLimits{MaxSteps: limits.MaxSteps, MaxLen: fl}
+	default:
+		return fmt.Errorf("unsupported semantics %v", sem)
+	}
+	// needKernel: ASP and existence run the SDMC kernel (existence is
+	// ASP with multiplicities collapsed); the rest enumerate.
+	needKernel := sem == match.AllShortestPaths || sem == match.ShortestExists
+	countOne := func(sc *match.SourceCounter, src graph.VID) (*match.Counts, error) {
+		if needKernel {
+			c, ok := sc.Count(src, rs.done)
+			if !ok {
+				return nil, cancelErr(rs.ctx)
 			}
-			next = append(next, nr)
+			if sem == match.ShortestExists {
+				match.Existsify(c)
+			}
+			return c, nil
+		}
+		c, err := match.CountEnumCtx(rs.ctx, g, d, src, sem, limits)
+		if err != nil {
+			if rs.ctx.Err() != nil {
+				return nil, cancelErr(rs.ctx)
+			}
+			if sem == match.UnrestrictedBounded {
+				return nil, err
+			}
+			return nil, fmt.Errorf("pattern -(%s)- under %v: %w", hop.DarpeText, rs.e.opts.Semantics, err)
+		}
+		return c, nil
+	}
+	workers := rs.e.workers()
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	if workers <= 1 {
+		var sc *match.SourceCounter
+		if needKernel {
+			sc = match.NewSourceCounter(g, d)
+			defer sc.Close()
+		}
+		for _, i := range missing {
+			c, err := countOne(sc, sources[i])
+			if err != nil {
+				return err
+			}
+			counts[i] = c
+		}
+		return nil
+	}
+	var cursor int64 = -1
+	var failed atomic.Bool
+	errs := make([]error, len(missing))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc *match.SourceCounter
+			if needKernel {
+				sc = match.NewSourceCounter(g, d)
+				defer sc.Close()
+			}
+			for {
+				mi := atomic.AddInt64(&cursor, 1)
+				if mi >= int64(len(missing)) || failed.Load() {
+					return
+				}
+				i := missing[mi]
+				c, err := countOne(sc, sources[i])
+				if err != nil {
+					errs[mi] = err
+					failed.Store(true)
+					return
+				}
+				counts[i] = c
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return next, nil
+	return nil
 }
 
 // joinTables hash-joins two binding tables on their shared vertex

@@ -609,7 +609,7 @@ func (rs *runState) emitOutputs(sel *gsql.SelectExpr, bt *bindingTable, assignTo
 		if len(out.Items) == 1 {
 			if id, ok := out.Items[0].Expr.(*gsql.Ident); ok {
 				if col, ok := bt.vertIdx[id.Name]; ok {
-					rs.vsets[out.Into] = distinctColumn(bt, col)
+					rs.setVSet(out.Into, distinctColumn(bt, col))
 				}
 			}
 		}
@@ -670,7 +670,7 @@ func (rs *runState) emitVertexSet(sel *gsql.SelectExpr, bt *bindingTable, assign
 			ids = ids[:n]
 		}
 	}
-	rs.vsets[assignTo] = ids
+	rs.setVSet(assignTo, ids)
 	return nil
 }
 

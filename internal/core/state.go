@@ -28,6 +28,12 @@ type runState struct {
 	params    map[string]value.Value
 	locals    map[string]value.Value
 	vsets     map[string][]graph.VID
+	// vsetLookups memoizes per-vset membership maps so hops naming the
+	// same vset don't rebuild the map per hop; setVSet invalidates the
+	// entry when the vset is reassigned. Built only between parallel
+	// phases (filters are constructed before expansion shards spawn),
+	// so the maps are read-only while workers run.
+	vsetLookups map[string]map[graph.VID]bool
 
 	globals map[string]accum.Accumulator
 	vaccs   map[string]*vaccStore
@@ -213,6 +219,33 @@ func coerceParam(p gsql.Param, v value.Value) (value.Value, error) {
 		return value.NewDatetime(v.Int()), nil
 	}
 	return value.Null, fmt.Errorf("argument %q: expected %s, got %s", p.Name, want, v.Kind())
+}
+
+// setVSet (re)binds a named vertex set, dropping any memoized
+// membership map for the old binding. Every vset assignment must go
+// through here, or a stale lookup could outlive its set.
+func (rs *runState) setVSet(name string, ids []graph.VID) {
+	rs.vsets[name] = ids
+	if rs.vsetLookups != nil {
+		delete(rs.vsetLookups, name)
+	}
+}
+
+// vsetLookup returns the memoized membership map for a named vset,
+// building it on first use.
+func (rs *runState) vsetLookup(name string, ids []graph.VID) map[graph.VID]bool {
+	if set, ok := rs.vsetLookups[name]; ok {
+		return set
+	}
+	set := make(map[graph.VID]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	if rs.vsetLookups == nil {
+		rs.vsetLookups = make(map[string]map[graph.VID]bool)
+	}
+	rs.vsetLookups[name] = set
+	return set
 }
 
 // vsetOrType resolves a FROM seed name to vertex ids.

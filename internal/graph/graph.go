@@ -70,6 +70,14 @@ type Graph struct {
 	// frozen caches the CSR snapshot of adj (see Freeze); topology
 	// mutation clears it so the next Freeze rebuilds.
 	frozen atomic.Pointer[CSR]
+	// epoch counts topology mutations (AddVertex/AddEdge). Every
+	// topology-derived cache outside this package — most prominently
+	// the engine-level SDMC count cache in internal/core — stamps its
+	// entries with the epoch it observed and treats a mismatch as
+	// invalidation, exactly mirroring how mutation invalidates the
+	// frozen CSR. Attribute updates do not advance it: like the CSR,
+	// epoch-guarded caches hold topology-derived state only.
+	epoch atomic.Uint64
 }
 
 // New returns an empty graph over the given schema.
@@ -82,6 +90,13 @@ func New(s *Schema) *Graph {
 	}
 	return g
 }
+
+// Epoch returns the current topology-mutation epoch. It advances on
+// every AddVertex/AddEdge — the same events that invalidate the frozen
+// CSR — so callers can stamp topology-derived caches with the epoch
+// they computed under and discard them when it moves. Attribute
+// updates (SetVertexAttr) leave the epoch unchanged.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return len(g.vtype) }
@@ -112,6 +127,7 @@ func (g *Graph) AddVertex(typeName, key string, attrs map[string]value.Value) (V
 	g.keyIndex[vt.ID][key] = id
 	g.byType[vt.ID] = append(g.byType[vt.ID], id)
 	g.frozen.Store(nil)
+	g.epoch.Add(1)
 	return id, nil
 }
 
@@ -144,6 +160,7 @@ func (g *Graph) AddEdge(typeName string, src, dst VID, attrs map[string]value.Va
 		}
 	}
 	g.frozen.Store(nil)
+	g.epoch.Add(1)
 	return id, nil
 }
 

@@ -341,3 +341,47 @@ func TestParseDatetime(t *testing.T) {
 	}()
 	MustDatetime("bogus")
 }
+
+// TestEpochTracksTopologyMutation pins the invalidation contract the
+// engine-level count cache relies on: the epoch advances on every
+// AddVertex/AddEdge (the events that clear the frozen CSR) and on
+// nothing else — attribute updates leave it, and topology-derived
+// caches stamped with it, alone.
+func TestEpochTracksTopologyMutation(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddVertexType("V", AttrDef{Name: "name", Type: AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+	e0 := g.Epoch()
+	a, err := g.AddVertex("V", "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AddVertex("V", "b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != e0+2 {
+		t.Fatalf("epoch after 2 AddVertex: %d, want %d", g.Epoch(), e0+2)
+	}
+	if _, err := g.AddEdge("E", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != e0+3 {
+		t.Fatalf("epoch after AddEdge: %d, want %d", g.Epoch(), e0+3)
+	}
+	// Attribute updates are not topology: epoch (like the frozen CSR)
+	// is untouched.
+	g.Freeze()
+	before := g.Epoch()
+	if err := g.SetVertexAttr(a, "name", value.NewString("renamed")); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != before {
+		t.Errorf("SetVertexAttr moved the epoch %d -> %d", before, g.Epoch())
+	}
+}

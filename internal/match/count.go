@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -99,6 +100,7 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 	cnt[start] = 1
 	frontier := append(s.frontier[:0], start)
 	next := s.next[:0]
+	reached := s.reached[:0]
 
 	for layerDist := int32(0); ; layerDist++ {
 		// Finish the current layer: the first accepting product node
@@ -113,6 +115,7 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 			t := graph.VID(int(n) / nQ)
 			if res.Dist[t] < 0 {
 				res.Dist[t] = layerDist
+				reached = append(reached, t)
 			}
 			if res.Dist[t] == layerDist {
 				res.satAdd(&res.Mult[t], cnt[n])
@@ -127,7 +130,7 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 			if done != nil && i%cancelStride == 0 {
 				select {
 				case <-done:
-					s.frontier, s.next = frontier, next
+					s.frontier, s.next, s.reached = frontier, next, reached
 					return false
 				default:
 				}
@@ -156,6 +159,12 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 		frontier, next = next, frontier
 	}
 	s.frontier, s.next = frontier, next // keep grown capacity pooled
+	// Targets were fixed in BFS discovery order; sort in the pooled
+	// buffer, then copy out exactly once — the kernel's only per-run
+	// allocation besides the caller's Counts.
+	slices.Sort(reached)
+	res.Reached = append(res.Reached[:0], reached...)
+	s.reached = reached
 	return true
 }
 
@@ -168,7 +177,7 @@ func CountASPPair(g *graph.Graph, d *darpe.DFA, src, dst graph.VID) (dist int, m
 		return 0, 1, true
 	}
 	c := CountASP(g, d, src)
-	if !c.Reached(dst) {
+	if !c.HasPath(dst) {
 		return 0, 0, false
 	}
 	return int(c.Dist[dst]), c.Mult[dst], true
@@ -326,6 +335,12 @@ func CountExistsCtx(ctx context.Context, g *graph.Graph, d *darpe.DFA, src graph
 	existsify(c)
 	return c, nil
 }
+
+// Existsify collapses ASP counts to the existence semantics in place:
+// every reached target's multiplicity becomes 1 (and saturation is
+// moot). It lets callers who already ran the counting kernel (e.g. via
+// SourceCounter) derive ShortestExists results without a second BFS.
+func Existsify(c *Counts) { existsify(c) }
 
 func existsify(c *Counts) {
 	for t := range c.Mult {

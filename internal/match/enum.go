@@ -3,6 +3,7 @@ package match
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/graph"
@@ -75,6 +76,7 @@ func countEnum(g *graph.Graph, d *darpe.DFA, src graph.VID, sem Semantics, limit
 	if err := e.walk(src, d.Start(), 0); err != nil {
 		return nil, err
 	}
+	slices.Sort(e.res.Reached)
 	return e.res, nil
 }
 
@@ -95,6 +97,9 @@ type enumerator struct {
 }
 
 func (e *enumerator) record(v graph.VID, length int32) {
+	if e.res.Dist[v] < 0 {
+		e.res.Reached = append(e.res.Reached, v)
+	}
 	if e.res.Dist[v] < 0 || length < e.res.Dist[v] {
 		e.res.Dist[v] = length
 	}

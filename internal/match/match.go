@@ -100,9 +100,15 @@ func typeResolver(g *graph.Graph, d *darpe.DFA) []int {
 // legal satisfying path from the source and Mult[t] the number of
 // legal satisfying paths (shortest ones under ASP; all of them under
 // the enumeration semantics). Counts saturate at MaxMult.
+//
+// Reached lists exactly the vertices with Dist >= 0, sorted by VID, so
+// consumers can walk the result sparsely instead of scanning all V
+// Dist entries per source. The sort makes the order independent of BFS
+// discovery order — identical to what an ascending dense scan yields.
 type Counts struct {
 	Dist      []int32 // per vertex; -1 = no match
 	Mult      []uint64
+	Reached   []graph.VID // matched targets, ascending
 	Saturated bool
 }
 
@@ -127,5 +133,5 @@ func (c *Counts) satAdd(a *uint64, b uint64) {
 	*a = s
 }
 
-// Reached reports whether target t has any legal satisfying path.
-func (c *Counts) Reached(t graph.VID) bool { return c.Dist[t] >= 0 }
+// HasPath reports whether target t has any legal satisfying path.
+func (c *Counts) HasPath(t graph.VID) bool { return c.Dist[t] >= 0 }

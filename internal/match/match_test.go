@@ -183,7 +183,7 @@ func TestUndirectedTraversal(t *testing.T) {
 	// Directed adornments never match undirected edges.
 	dd := darpe.MustCompile("K>")
 	cnt = CountASP(g, dd, a)
-	if cnt.Reached(b) {
+	if cnt.HasPath(b) {
 		t.Error("K> must not match an undirected K edge")
 	}
 }

@@ -1,6 +1,8 @@
 package match
 
 import (
+	"slices"
+
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/graph"
 )
@@ -62,6 +64,7 @@ func countASPReferenceDone(g *graph.Graph, d *darpe.DFA, src graph.VID, done <-c
 			t := graph.VID(n / nQ)
 			if res.Dist[t] < 0 {
 				res.Dist[t] = layerDist
+				res.Reached = append(res.Reached, t)
 			}
 			if res.Dist[t] == layerDist {
 				res.satAdd(&res.Mult[t], cnt[n])
@@ -103,5 +106,6 @@ func countASPReferenceDone(g *graph.Graph, d *darpe.DFA, src graph.VID, done <-c
 		finish(next, layerDist)
 		frontier = next
 	}
+	slices.Sort(res.Reached)
 	return res, true
 }

@@ -1,6 +1,10 @@
 package match
 
-import "sync"
+import (
+	"sync"
+
+	"gsqlgo/internal/graph"
+)
 
 // scratch is the reusable working set of one SDMC kernel run over a
 // product space of n = V·Q nodes: per-product-node distance and count
@@ -19,6 +23,9 @@ type scratch struct {
 	// step; kept here so their grown capacity survives across runs.
 	frontier []int32
 	next     []int32
+	// reached collects matched targets during a run (then sorted and
+	// copied into Counts.Reached); kept here for the same reason.
+	reached []graph.VID
 }
 
 // scratchPools pools scratches by product-space size class, so

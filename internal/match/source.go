@@ -1,0 +1,71 @@
+package match
+
+import (
+	"math"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+)
+
+// SourceCounter amortizes repeated single-source SDMC runs over one
+// (graph, DFA) pair: the frozen CSR, the DFA's edge-type table and one
+// pooled kernel scratch are resolved at construction and shared across
+// every Count call, so a call allocates only its returned Counts. This
+// is the per-source entry point the engine's parallel counted-hop
+// expansion drives — one SourceCounter per worker goroutine, mirroring
+// the per-worker scratch ownership of CountASPAllParallel.
+//
+// A SourceCounter is NOT safe for concurrent use (the scratch is
+// exclusive); Close returns the scratch to the pool. Semantics beyond
+// plain ASP (existence, enumeration) stay with the CountExists/
+// CountEnum entry points — this type serves the counting kernel only.
+type SourceCounter struct {
+	g     *graph.Graph
+	d     *darpe.DFA
+	c     *graph.CSR
+	types []int
+	s     *scratch
+	ref   bool // product space exceeds int32 ids: reference fallback
+}
+
+// NewSourceCounter prepares a counter for repeated single-source runs.
+func NewSourceCounter(g *graph.Graph, d *darpe.DFA) *SourceCounter {
+	sc := &SourceCounter{g: g, d: d}
+	nV := g.NumVertices()
+	if nV == 0 {
+		return sc
+	}
+	if int64(nV)*int64(d.NumStates()) > math.MaxInt32 {
+		sc.ref = true
+		return sc
+	}
+	sc.c = g.Freeze()
+	sc.types = typeResolver(g, d)
+	sc.s = getScratch(nV * d.NumStates())
+	return sc
+}
+
+// Count runs one single-source SDMC BFS. done (nil = never) is polled
+// on the kernel's cancellation stride; ok is false when the run was
+// aborted that way, in which case the Counts must be discarded.
+func (sc *SourceCounter) Count(src graph.VID, done <-chan struct{}) (*Counts, bool) {
+	nV := sc.g.NumVertices()
+	res := newCounts(nV)
+	if nV == 0 {
+		return res, true
+	}
+	if sc.ref {
+		return countASPReferenceDone(sc.g, sc.d, src, done)
+	}
+	ok := countASPInto(sc.c, sc.d, sc.types, src, sc.s, res, done)
+	return res, ok
+}
+
+// Close releases the pooled scratch. The counter must not be used
+// afterwards.
+func (sc *SourceCounter) Close() {
+	if sc.s != nil {
+		putScratch(sc.s)
+		sc.s = nil
+	}
+}

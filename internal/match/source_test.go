@@ -1,0 +1,100 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsqlgo/internal/darpe"
+	"gsqlgo/internal/graph"
+)
+
+// TestReachedMatchesDenseScan checks the sparse Reached list against
+// the dense definition — exactly the vertices with Dist >= 0, in
+// ascending VID order — across kernel, reference and enumeration
+// producers on random graphs.
+func TestReachedMatchesDenseScan(t *testing.T) {
+	patterns := []string{"D1>*", "(D1>|U)*", "D2>*1..3", "_*1..2"}
+	check := func(c *Counts, what string, seed int64) {
+		t.Helper()
+		var want []graph.VID
+		for v := range c.Dist {
+			if c.Dist[v] >= 0 {
+				want = append(want, graph.VID(v))
+			}
+		}
+		if len(want) != len(c.Reached) {
+			t.Fatalf("seed %d %s: Reached has %d entries, dense scan %d", seed, what, len(c.Reached), len(want))
+		}
+		for i := range want {
+			if c.Reached[i] != want[i] {
+				t.Fatalf("seed %d %s: Reached[%d]=%d, want %d (ascending)", seed, what, i, c.Reached[i], want[i])
+			}
+		}
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.BuildRandomMixedGraph(2+r.Intn(8), 1+r.Intn(16), seed)
+		d := darpe.MustCompile(patterns[int(seed)%len(patterns)])
+		src := graph.VID(r.Intn(g.NumVertices()))
+		check(CountASP(g, d, src), "kernel", seed)
+		ref, ok := countASPReferenceDone(g, d, src, nil)
+		if !ok {
+			t.Fatal("reference aborted without done channel")
+		}
+		check(ref, "reference", seed)
+		en, err := CountEnum(g, d, src, NonRepeatedEdge, EnumLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(en, "enum", seed)
+	}
+}
+
+// TestSourceCounterMatchesCountASP checks the amortized per-source
+// entry point returns bit-identical results to the one-shot API, and
+// that Existsify collapses multiplicities.
+func TestSourceCounterMatchesCountASP(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.BuildRandomMixedGraph(3+r.Intn(6), 2+r.Intn(12), seed)
+		d := darpe.MustCompile("(D1>|D2>)*")
+		sc := NewSourceCounter(g, d)
+		for v := 0; v < g.NumVertices(); v++ {
+			want := CountASP(g, d, graph.VID(v))
+			got, ok := sc.Count(graph.VID(v), nil)
+			if !ok {
+				t.Fatal("SourceCounter aborted without done channel")
+			}
+			assertSameCounts(t, "SourceCounter", want, got)
+		}
+		sc.Close()
+	}
+	// Existsify: every reached target drops to multiplicity 1.
+	g := graph.BuildDiamondChain(4)
+	d := darpe.MustCompile("E>*")
+	sc := NewSourceCounter(g, d)
+	defer sc.Close()
+	c, _ := sc.Count(0, nil)
+	Existsify(c)
+	for _, tgt := range c.Reached {
+		if c.Mult[tgt] != 1 {
+			t.Fatalf("Existsify left Mult[%d]=%d", tgt, c.Mult[tgt])
+		}
+	}
+	if len(c.Reached) == 0 {
+		t.Fatal("diamond chain source reaches nothing?")
+	}
+}
+
+// TestSourceCounterCancellation: a closed done channel aborts the run
+// at the kernel's stride poll.
+func TestSourceCounterCancellation(t *testing.T) {
+	g := graph.BuildRandomMixedGraph(10, 30, 2)
+	sc := NewSourceCounter(g, darpe.MustCompile("_*"))
+	defer sc.Close()
+	done := make(chan struct{})
+	close(done)
+	if _, ok := sc.Count(0, done); ok {
+		t.Error("closed done channel must abort the count")
+	}
+}

@@ -95,6 +95,11 @@ type Server struct {
 	mInflight  *metrics.Gauge        // gsqld_inflight_queries
 	mRejected  *metrics.CounterVec   // gsqld_rejected_total{reason}
 	mInstalled *metrics.Gauge        // gsqld_installed_queries
+
+	mCacheHits   *metrics.Counter // gsqld_expand_count_cache_hits_total
+	mCacheMisses *metrics.Counter // gsqld_expand_count_cache_misses_total
+	mSDMCRuns    *metrics.Counter // gsqld_expand_sdmc_runs_total
+	mShards      *metrics.Counter // gsqld_expand_shards_total
 }
 
 // New builds a Server over cfg.Engine. It panics if Engine is nil.
@@ -122,6 +127,14 @@ func New(cfg Config) *Server {
 	s.mInstalled = s.reg.Gauge("gsqld_installed_queries",
 		"Queries currently installed in the catalog.")
 	s.mInstalled.Set(int64(len(s.eng.Queries())))
+	s.mCacheHits = s.reg.Counter("gsqld_expand_count_cache_hits_total",
+		"Counted-hop sources served from the engine's SDMC count cache.")
+	s.mCacheMisses = s.reg.Counter("gsqld_expand_count_cache_misses_total",
+		"Counted-hop sources that missed the SDMC count cache.")
+	s.mSDMCRuns = s.reg.Counter("gsqld_expand_sdmc_runs_total",
+		"Single-source SDMC count runs (BFS or enumeration) executed.")
+	s.mShards = s.reg.Counter("gsqld_expand_shards_total",
+		"Shards FROM-clause hop expansion was split into, summed over hops.")
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleInstall)
@@ -194,8 +207,12 @@ type runResponse struct {
 }
 
 type runStatsJSON struct {
-	BindingRows int64 `json:"binding_rows"`
-	Selects     int64 `json:"selects"`
+	BindingRows      int64 `json:"binding_rows"`
+	Selects          int64 `json:"selects"`
+	CountCacheHits   int64 `json:"count_cache_hits"`
+	CountCacheMisses int64 `json:"count_cache_misses"`
+	SDMCRuns         int64 `json:"sdmc_runs"`
+	ExpandShards     int64 `json:"expand_shards"`
 }
 
 type queryInfo struct {
@@ -393,14 +410,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mRuns.With(name, "ok").Inc()
 	s.mRows.With(name).Observe(float64(res.Stats.BindingRows))
+	s.mCacheHits.Add(uint64(res.Stats.CountCacheHits))
+	s.mCacheMisses.Add(uint64(res.Stats.CountCacheMisses))
+	s.mSDMCRuns.Add(uint64(res.Stats.SDMCRuns))
+	s.mShards.Add(uint64(res.Stats.ExpandShards))
 
 	g := s.eng.Graph()
 	resp := runResponse{
 		Query:     name,
 		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
 		Stats: runStatsJSON{
-			BindingRows: res.Stats.BindingRows,
-			Selects:     res.Stats.Selects,
+			BindingRows:      res.Stats.BindingRows,
+			Selects:          res.Stats.Selects,
+			CountCacheHits:   res.Stats.CountCacheHits,
+			CountCacheMisses: res.Stats.CountCacheMisses,
+			SDMCRuns:         res.Stats.SDMCRuns,
+			ExpandShards:     res.Stats.ExpandShards,
 		},
 	}
 	if len(res.Tables) > 0 {

@@ -363,3 +363,47 @@ func TestConcurrentRunsThroughServer(t *testing.T) {
 		t.Errorf("ok runs = %d, want %d", got, n)
 	}
 }
+
+// TestServerExpandMetrics: the counted-hop pipeline counters are
+// exported through /metrics and advance across runs — a cold run
+// records misses plus SDMC work, a warm re-run records hits and zero
+// new SDMC runs — and the per-run stats surface in the JSON response.
+func TestServerExpandMetrics(t *testing.T) {
+	s := salesServer(t, Config{})
+	const src = `CREATE QUERY Wander () FOR GRAPH SalesGraph {
+  SumAccum<int> @n;
+  SELECT DISTINCT t INTO R FROM Customer:s -((Likes>|<Likes)*1..2)- Customer:t ACCUM t.@n += 1;
+  RETURN R;
+}`
+	if w := do(s, "POST", "/queries", src); w.Code != http.StatusCreated {
+		t.Fatalf("install: %d %s", w.Code, w.Body)
+	}
+	w := do(s, "POST", "/queries/Wander/run", "{}")
+	if w.Code != http.StatusOK {
+		t.Fatalf("cold run: %d %s", w.Code, w.Body)
+	}
+	cold := decode[runResponse](t, w)
+	if cold.Stats.CountCacheMisses == 0 || cold.Stats.SDMCRuns == 0 {
+		t.Fatalf("cold run stats = %+v, want cache misses and SDMC runs", cold.Stats)
+	}
+	w = do(s, "POST", "/queries/Wander/run", "{}")
+	if w.Code != http.StatusOK {
+		t.Fatalf("warm run: %d %s", w.Code, w.Body)
+	}
+	warm := decode[runResponse](t, w)
+	if warm.Stats.SDMCRuns != 0 || warm.Stats.CountCacheHits == 0 {
+		t.Fatalf("warm run stats = %+v, want cache hits and zero SDMC runs", warm.Stats)
+	}
+
+	body := do(s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		fmt.Sprintf("gsqld_expand_count_cache_hits_total %d", warm.Stats.CountCacheHits),
+		fmt.Sprintf("gsqld_expand_count_cache_misses_total %d", cold.Stats.CountCacheMisses),
+		fmt.Sprintf("gsqld_expand_sdmc_runs_total %d", cold.Stats.SDMCRuns+warm.Stats.SDMCRuns),
+		"gsqld_expand_shards_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
