@@ -16,10 +16,12 @@
 // as {"meta": {go_version, gomaxprocs, num_cpu, commit, …},
 // "benchmarks": {name: {ns_per_op, allocs_per_op, bytes_per_op}}} —
 // the convention is `-json BENCH_csr.json` for the kernel suite,
-// `-json BENCH_server.json -suite server` for the serving path and
+// `-json BENCH_server.json -suite server` for the serving path,
 // `-json BENCH_expand.json -suite expand` for the pattern-expansion
-// pipeline, all committed so the perf trajectory is tracked across
-// PRs. An unknown -suite fails immediately, before any table work.
+// pipeline and `-json BENCH_storage.json -suite storage` for the
+// durability layer (snapshot codec MB/s, WAL append, recovery replay),
+// all committed so the perf trajectory is tracked across PRs. An
+// unknown -suite fails immediately, before any table work.
 package main
 
 import (
@@ -44,7 +46,7 @@ func main() {
 	reps := flag.Int("reps", 5, "Appendix B repetitions per query (median reported)")
 	seed := flag.Int64("seed", 7, "generator seed")
 	jsonPath := flag.String("json", "", "write microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
-	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand")
+	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand | storage")
 	flag.Parse()
 
 	// Validate the suite name up front, whether or not -json was given:
@@ -57,8 +59,10 @@ func main() {
 		jsonWrite = bench.WriteServerJSON
 	case "expand":
 		jsonWrite = bench.WriteExpandJSON
+	case "storage":
+		jsonWrite = bench.WriteStorageJSON
 	default:
-		log.Fatalf("unknown -suite %q (kernel|server|expand)", *suite)
+		log.Fatalf("unknown -suite %q (kernel|server|expand|storage)", *suite)
 	}
 
 	sfList, err := parseFloats(*sfs)

@@ -9,11 +9,19 @@
 // int:, float:, string:, bool:, datetime:, vertex:<Type>:<key>.
 // Untyped values are inferred (int, then float, then datetime, then
 // string).
+//
+// With -data-dir the graph comes from (and persists to) a durable
+// store — recovered if the directory holds one, seeded from
+// -data/-builtin otherwise — and -checkpoint snapshots it on exit.
+// With -i the command drops into a meta-command loop (\help lists the
+// commands, including \save/\load for moving graphs through snapshot
+// files and \checkpoint for the store).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -24,6 +32,7 @@ import (
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/ldbc"
 	"gsqlgo/internal/match"
+	"gsqlgo/internal/storage"
 	"gsqlgo/internal/value"
 )
 
@@ -35,6 +44,9 @@ func (a *argList) Set(s string) error { *a = append(*a, s); return nil }
 func main() {
 	data := flag.String("data", "", "directory with schema.json and CSV files (from snbgen or DumpCSV)")
 	builtin := flag.String("builtin", "", "built-in graph: diamond:N | sales | snb:SF | g1 | g2 | linkgraph:N")
+	dataDir := flag.String("data-dir", "", "durable store directory (snapshots + WAL); recovered if present, seeded from -data/-builtin otherwise")
+	checkpoint := flag.Bool("checkpoint", false, "checkpoint the -data-dir store before exiting")
+	interactive := flag.Bool("i", false, `interactive meta-command loop (\help lists commands)`)
 	queryFile := flag.String("query", "", "GSQL source file to install")
 	run := flag.String("run", "", "query name to run")
 	semantics := flag.String("semantics", "asp", "path semantics: asp | nre | nrv | exists")
@@ -43,18 +55,55 @@ func main() {
 	flag.Var(&args, "arg", "query argument name=value (repeatable)")
 	flag.Parse()
 
-	g, err := loadGraph(*data, *builtin)
-	if err != nil {
-		log.Fatal(err)
+	var g *graph.Graph
+	var st *storage.Store
+	if *dataDir != "" {
+		var err error
+		st, err = storage.Open(*dataDir, storage.Options{
+			Init: func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		g = st.Graph()
+		if st.Recovered() {
+			fmt.Fprintf(os.Stderr, "recovered %s: %d vertices, %d WAL records replayed\n",
+				*dataDir, g.NumVertices(), st.Stats().ReplayedRecords)
+		}
+	} else {
+		var err error
+		g, err = loadGraph(*data, *builtin)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	sem, err := parseSemantics(*semantics)
 	if err != nil {
 		log.Fatal(err)
 	}
-	e := core.New(g, core.Options{Semantics: sem, Workers: *workers})
+	opts := core.Options{Semantics: sem, Workers: *workers}
 
+	if *interactive {
+		s := newSession(g, st, opts, os.Stdout)
+		if *queryFile != "" {
+			src, err := os.ReadFile(*queryFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := s.install(string(src)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := repl(os.Stdin, s); err != nil {
+			log.Fatal(err)
+		}
+		closeStore(st, *checkpoint)
+		return
+	}
+
+	e := core.New(g, opts)
 	if *queryFile == "" {
-		log.Fatal("missing -query file")
+		log.Fatal("missing -query file (or -i for interactive mode)")
 	}
 	src, err := os.ReadFile(*queryFile)
 	if err != nil {
@@ -65,6 +114,7 @@ func main() {
 	}
 	if *run == "" {
 		fmt.Println("installed queries:", strings.Join(e.Queries(), ", "))
+		closeStore(st, *checkpoint)
 		return
 	}
 	argVals, err := parseArgs(g, args)
@@ -76,6 +126,23 @@ func main() {
 		log.Fatal(err)
 	}
 	printResult(res)
+	closeStore(st, *checkpoint)
+}
+
+// closeStore checkpoints (when asked) and closes the durable store, if
+// one was opened.
+func closeStore(st *storage.Store, checkpoint bool) {
+	if st == nil {
+		return
+	}
+	if checkpoint {
+		if err := st.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func loadGraph(data, builtin string) (*graph.Graph, error) {
@@ -211,9 +278,11 @@ func parseArgValue(g *graph.Graph, raw string) (value.Value, error) {
 	return value.NewString(raw), nil
 }
 
-func printResult(res *core.Result) {
+func printResult(res *core.Result) { fprintResult(os.Stdout, res) }
+
+func fprintResult(w io.Writer, res *core.Result) {
 	for _, t := range res.Printed {
-		fmt.Printf("== PRINT %s ==\n%s\n", t.Name, t)
+		fmt.Fprintf(w, "== PRINT %s ==\n%s\n", t.Name, t)
 	}
 	names := make([]string, 0, len(res.Tables))
 	for name := range res.Tables {
@@ -221,15 +290,15 @@ func printResult(res *core.Result) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Printf("== TABLE %s ==\n%s\n", name, res.Tables[name])
+		fmt.Fprintf(w, "== TABLE %s ==\n%s\n", name, res.Tables[name])
 	}
 	if res.Returned != nil {
-		fmt.Printf("== RETURN ==\n%s\n", res.Returned)
+		fmt.Fprintf(w, "== RETURN ==\n%s\n", res.Returned)
 	}
 	if len(res.Globals) > 0 {
-		fmt.Println("== GLOBAL ACCUMULATORS ==")
+		fmt.Fprintln(w, "== GLOBAL ACCUMULATORS ==")
 		for name, v := range res.Globals {
-			fmt.Printf("@@%s = %s\n", name, v)
+			fmt.Fprintf(w, "@@%s = %s\n", name, v)
 		}
 	}
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
+)
+
+// The interactive mode (-i) is a meta-command loop in the psql style:
+// lines starting with \ drive the session, everything else is an
+// error (GSQL enters via \install FILE, keeping the loop line-based).
+// \save and \load move whole graphs through the storage snapshot
+// codec, so an expensive builtin or CSV load can be captured once and
+// reopened instantly; \checkpoint persists the durable store opened
+// with -data-dir.
+
+// session is the REPL state: the live graph, an engine over it, the
+// sources installed so far (replayed onto the fresh engine a \load
+// builds), and the optional durable store.
+type session struct {
+	g       *graph.Graph
+	e       *core.Engine
+	st      *storage.Store
+	opts    core.Options
+	sources []string
+	out     io.Writer
+}
+
+func newSession(g *graph.Graph, st *storage.Store, opts core.Options, out io.Writer) *session {
+	return &session{g: g, e: core.New(g, opts), st: st, opts: opts, out: out}
+}
+
+// install parses and installs src, remembering it for re-installation
+// after \load swaps the graph.
+func (s *session) install(src string) error {
+	if err := s.e.Install(src); err != nil {
+		return err
+	}
+	s.sources = append(s.sources, src)
+	return nil
+}
+
+// setGraph replaces the session graph and rebuilds the engine,
+// re-installing every remembered source (queries are validated against
+// the schema, so this surfaces schema mismatches immediately).
+func (s *session) setGraph(g *graph.Graph) error {
+	e := core.New(g, s.opts)
+	for _, src := range s.sources {
+		if err := e.Install(src); err != nil {
+			return fmt.Errorf("re-installing queries against loaded graph: %w", err)
+		}
+	}
+	s.g, s.e = g, e
+	return nil
+}
+
+// exec handles one REPL line, reporting whether the loop should quit.
+// Errors are printed, not returned: a typo must not end the session.
+func (s *session) exec(line string) bool {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return false
+	}
+	if !strings.HasPrefix(line, `\`) {
+		fmt.Fprintln(s.out, `error: commands start with \ (try \help)`)
+		return false
+	}
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case `\q`, `\quit`:
+		return true
+	case `\help`:
+		fmt.Fprint(s.out, `commands:
+  \install FILE        install GSQL queries from FILE
+  \run NAME [a=v ...]  run an installed query (arg syntax as -arg)
+  \queries             list installed queries
+  \stats               graph size and epoch
+  \save PATH           write the graph as a snapshot file
+  \load PATH           replace the graph from a snapshot file
+  \checkpoint          snapshot + rotate the -data-dir store
+  \quit                exit
+`)
+	case `\queries`:
+		fmt.Fprintln(s.out, strings.Join(s.e.Queries(), "\n"))
+	case `\stats`:
+		fmt.Fprintf(s.out, "%d vertices, %d edges, epoch %d\n",
+			s.g.NumVertices(), s.g.NumEdges(), s.g.Epoch())
+	case `\install`:
+		if len(args) != 1 {
+			fmt.Fprintln(s.out, `error: \install FILE`)
+			break
+		}
+		src, err := os.ReadFile(args[0])
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		if err := s.install(string(src)); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintln(s.out, "installed:", strings.Join(s.e.Queries(), ", "))
+	case `\run`:
+		if len(args) < 1 {
+			fmt.Fprintln(s.out, `error: \run NAME [arg=value ...]`)
+			break
+		}
+		argVals, err := parseArgs(s.g, argList(args[1:]))
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		res, err := s.e.Run(args[0], argVals)
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		fprintResult(s.out, res)
+	case `\save`:
+		if len(args) != 1 {
+			fmt.Fprintln(s.out, `error: \save PATH`)
+			break
+		}
+		if err := storage.SaveSnapshot(args[0], s.g); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(s.out, "saved %d vertices, %d edges to %s\n",
+			s.g.NumVertices(), s.g.NumEdges(), args[0])
+	case `\load`:
+		if len(args) != 1 {
+			fmt.Fprintln(s.out, `error: \load PATH`)
+			break
+		}
+		g, err := storage.LoadSnapshot(args[0])
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		if err := s.setGraph(g); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(s.out, "loaded %d vertices, %d edges from %s\n",
+			g.NumVertices(), g.NumEdges(), args[0])
+	case `\checkpoint`:
+		if s.st == nil {
+			fmt.Fprintln(s.out, "error: no durable store open (start with -data-dir)")
+			break
+		}
+		if err := s.st.Checkpoint(); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		st := s.st.Stats()
+		fmt.Fprintf(s.out, "checkpoint %d written to %s\n", st.Checkpoints, s.st.Dir())
+	default:
+		fmt.Fprintf(s.out, "error: unknown command %s (try \\help)\n", cmd)
+	}
+	return false
+}
+
+// repl runs the meta-command loop until \quit or EOF.
+func repl(in io.Reader, s *session) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for {
+		fmt.Fprint(s.out, "gsql> ")
+		if !sc.Scan() {
+			fmt.Fprintln(s.out)
+			return sc.Err()
+		}
+		if s.exec(sc.Text()) {
+			return nil
+		}
+	}
+}

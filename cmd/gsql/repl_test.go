@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
+)
+
+// runREPL feeds lines to a fresh session over g and returns the output.
+func runREPL(t *testing.T, g *graph.Graph, st *storage.Store, lines ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	s := newSession(g, st, core.Options{Workers: 1}, &sb)
+	if err := repl(strings.NewReader(strings.Join(lines, "\n")), s); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestREPLSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "g.gsnap")
+	qfile := filepath.Join(dir, "q.gsql")
+	src := `CREATE QUERY Deg() {
+	  SumAccum<int> @n;
+	  R = SELECT s FROM V:s -(E>)- V:t ACCUM s.@n += 1;
+	  PRINT R[R.name, R.@n];
+	}`
+	if err := os.WriteFile(qfile, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g := graph.BuildDiamondChain(3)
+	out := runREPL(t, g, nil,
+		`\install `+qfile,
+		`\run Deg`,
+		`\save `+snap,
+		`\stats`,
+		`\quit`,
+	)
+	if !strings.Contains(out, "installed: Deg") {
+		t.Fatalf("missing install echo:\n%s", out)
+	}
+	if !strings.Contains(out, "== PRINT R ==") {
+		t.Fatalf("missing run output:\n%s", out)
+	}
+	if !strings.Contains(out, "saved 10 vertices, 12 edges") {
+		t.Fatalf("missing save echo:\n%s", out)
+	}
+	runOut := out[strings.Index(out, "== PRINT R =="):]
+	runOut = runOut[:strings.Index(runOut, "gsql>")]
+
+	// A second session over an unrelated graph \loads the snapshot; the
+	// re-installed query must print the same table.
+	out2 := runREPL(t, graph.BuildDiamondChain(1), nil,
+		`\install `+qfile,
+		`\load `+snap,
+		`\run Deg`,
+		`\quit`,
+	)
+	if !strings.Contains(out2, "loaded 10 vertices, 12 edges") {
+		t.Fatalf("missing load echo:\n%s", out2)
+	}
+	if !strings.Contains(out2, runOut) {
+		t.Fatalf("loaded-graph run differs.\nwant fragment:\n%s\ngot:\n%s", runOut, out2)
+	}
+}
+
+func TestREPLCheckpointAndErrors(t *testing.T) {
+	// Without a store, \checkpoint refuses.
+	out := runREPL(t, graph.BuildDiamondChain(1), nil,
+		`\checkpoint`,
+		`notacommand`,
+		`\bogus`,
+		`\load /nonexistent/file`,
+		`\quit`,
+	)
+	for _, wantFrag := range []string{
+		"no durable store open",
+		`commands start with \`,
+		`unknown command \bogus`,
+		"error:",
+	} {
+		if !strings.Contains(out, wantFrag) {
+			t.Fatalf("missing %q in:\n%s", wantFrag, out)
+		}
+	}
+
+	// With a store, \checkpoint rotates a generation.
+	dir := t.TempDir()
+	st, err := storage.Open(dir, storage.Options{Init: func() (*graph.Graph, error) {
+		return graph.BuildDiamondChain(2), nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	out = runREPL(t, st.Graph(), st, `\checkpoint`)
+	if !strings.Contains(out, "checkpoint 2 written to "+dir) {
+		t.Fatalf("missing checkpoint echo:\n%s", out)
+	}
+	if st.Stats().Checkpoints != 2 {
+		t.Fatalf("store saw %d checkpoints, want 2", st.Stats().Checkpoints)
+	}
+}

@@ -9,8 +9,16 @@
 //	curl -sS localhost:8844/queries --data-binary @q.gsql
 //	curl -sS localhost:8844/queries/TopProducts/run -d '{"params":{"k":5}}'
 //
+// With -data-dir the graph is durable: mutations posted to
+// /graph/vertices and /graph/edges are write-ahead-logged before they
+// are acknowledged, POST /admin/checkpoint snapshots and rotates the
+// log, and a restart recovers the persisted state (so -data/-builtin
+// only seed the very first boot). Without it everything is in-memory,
+// as before.
+//
 // SIGINT/SIGTERM trigger graceful shutdown: the server stops admitting
-// work (503), drains in-flight runs, then exits.
+// work (503), drains in-flight runs, checkpoints the store (when one
+// is attached), then exits.
 package main
 
 import (
@@ -31,10 +39,13 @@ import (
 	"gsqlgo/internal/ldbc"
 	"gsqlgo/internal/match"
 	"gsqlgo/internal/server"
+	"gsqlgo/internal/storage"
 )
 
 func main() {
 	addr := flag.String("addr", ":8844", "listen address")
+	dataDir := flag.String("data-dir", "", "durable store directory (snapshots + WAL); recovered on start, seeded from -data/-builtin on first boot")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every mutation (durable against power loss, not just crashes)")
 	data := flag.String("data", "", "directory with schema.json and CSV files (from snbgen or DumpCSV)")
 	builtin := flag.String("builtin", "", "built-in graph: diamond:N | sales | snb:SF | g1 | g2 | linkgraph:N")
 	queryFile := flag.String("query", "", "optional GSQL source file to pre-install at startup")
@@ -47,9 +58,34 @@ func main() {
 	drainWait := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight runs")
 	flag.Parse()
 
-	g, err := loadGraph(*data, *builtin)
-	if err != nil {
-		log.Fatal(err)
+	var g *graph.Graph
+	var store *storage.Store
+	if *dataDir != "" {
+		// Lazy init: -data/-builtin only matter when the directory holds
+		// no store yet; recovery wins otherwise, and a recovered boot
+		// does not even require them.
+		st, err := storage.Open(*dataDir, storage.Options{
+			Fsync: *fsync,
+			Init:  func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = st
+		g = st.Graph()
+		stats := st.Stats()
+		if st.Recovered() {
+			log.Printf("recovered store %s: %d vertices, %d WAL records replayed",
+				*dataDir, g.NumVertices(), stats.ReplayedRecords)
+		} else {
+			log.Printf("initialized store %s: %d vertices", *dataDir, g.NumVertices())
+		}
+	} else {
+		var err error
+		g, err = loadGraph(*data, *builtin)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	sem, err := parseSemantics(*semantics)
 	if err != nil {
@@ -69,6 +105,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		Engine:         eng,
+		Store:          store,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxConcurrent:  *maxConcurrent,
@@ -97,6 +134,11 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package gsqlgo_test
+
+import (
+	"errors"
+	"testing"
+
+	"gsqlgo"
+)
+
+func socialInit() (*gsqlgo.Graph, error) {
+	s := gsqlgo.NewSchema()
+	s.AddVertexType("Person", gsqlgo.AttrDef{Name: "name", Type: gsqlgo.AttrString})
+	s.AddEdgeType("Knows", false)
+	return gsqlgo.NewGraph(s), nil
+}
+
+const friendCount = `CREATE QUERY Friends() {
+  SumAccum<int> @deg;
+  R = SELECT p FROM Person:p -(Knows)- Person:q ACCUM p.@deg += 1;
+  PRINT R[R.name, R.@deg];
+}`
+
+// TestOpenDBLifecycle drives the public durable API: seed, mutate,
+// crash-style reopen, query, checkpoint, reopen again.
+func TestOpenDBLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := gsqlgo.OpenDB(dir, socialInit, gsqlgo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Recovered() {
+		t.Fatal("fresh OpenDB claims to have recovered state")
+	}
+	g := db.Graph()
+	ada, err := g.AddVertex("Person", "ada", map[string]gsqlgo.Value{"name": gsqlgo.Str("Ada")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := g.AddVertex("Person", "bob", map[string]gsqlgo.Value{"name": gsqlgo.Str("Bob")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("Knows", ada, bob, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddVertex("Person", "ada", nil); !errors.Is(err, gsqlgo.ErrDuplicateKey) {
+		t.Fatalf("duplicate key: err = %v, want ErrDuplicateKey", err)
+	}
+	res, err := db.InstallAndRun(friendCount, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Printed[0].String()
+	// No Close: the reopen below recovers from the WAL alone.
+
+	db2, err := gsqlgo.OpenDB(dir, nil, gsqlgo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db2.Recovered() {
+		t.Fatal("reopen did not report recovery")
+	}
+	res2, err := db2.InstallAndRun(friendCount, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res2.Printed[0].String(); got != want {
+		t.Fatalf("recovered results differ:\n%s\nwant:\n%s", got, want)
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Graph().AddVertex("Person", "cyd", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+
+	db3, err := gsqlgo.OpenDB(dir, nil, gsqlgo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if n := db3.Graph().NumVertices(); n != 3 {
+		t.Fatalf("post-checkpoint reopen has %d vertices, want 3", n)
+	}
+}
+
+// TestOpenInMemoryHasNoStore pins the in-memory DB's durability
+// surface: Checkpoint errors, Close is a no-op.
+func TestOpenInMemoryHasNoStore(t *testing.T) {
+	g, _ := socialInit()
+	db := gsqlgo.Open(g, gsqlgo.Options{})
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on in-memory DB succeeded")
+	}
+	if db.Recovered() {
+		t.Fatal("in-memory DB claims recovery")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close on in-memory DB: %v", err)
+	}
+}

@@ -22,11 +22,13 @@ package gsqlgo
 
 import (
 	"context"
+	"errors"
 
 	"gsqlgo/internal/accum"
 	"gsqlgo/internal/core"
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/match"
+	"gsqlgo/internal/storage"
 	"gsqlgo/internal/value"
 )
 
@@ -122,17 +124,65 @@ var (
 	ErrCancelled = core.ErrCancelled
 	// ErrDuplicateQuery: Install collided with an installed name.
 	ErrDuplicateQuery = core.ErrDuplicateQuery
+	// ErrDuplicateKey: AddVertex collided with an existing
+	// (type, key) pair.
+	ErrDuplicateKey = graph.ErrDuplicateKey
+	// ErrCorrupt: durable state failed validation during recovery or
+	// snapshot load (distinct from a crash-torn WAL tail, which
+	// recovery repairs silently).
+	ErrCorrupt = storage.ErrCorrupt
 )
 
-// DB couples a graph with a GSQL engine.
+// DB couples a graph with a GSQL engine and, when opened with OpenDB,
+// a durable store.
 type DB struct {
-	g *Graph
-	e *core.Engine
+	g  *Graph
+	e  *core.Engine
+	st *storage.Store
 }
 
 // Open creates a DB over a loaded graph.
 func Open(g *Graph, opts Options) *DB {
 	return &DB{g: g, e: core.New(g, opts)}
+}
+
+// OpenDB opens a durable DB rooted at dir. An existing store is
+// recovered — newest valid snapshot loaded, WAL tail replayed, torn
+// tail truncated — and init is ignored; a fresh directory is seeded by
+// calling init and persisting its graph. Every subsequent AddVertex /
+// AddEdge / SetVertexAttr on the DB's graph is write-ahead-logged, so
+// the graph survives a crash at any point. Mutation is single-writer
+// (the graph's usual discipline); call Checkpoint only while no
+// mutation is in flight, and Close when done.
+func OpenDB(dir string, init func() (*Graph, error), opts Options) (*DB, error) {
+	st, err := storage.Open(dir, storage.Options{Init: init})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{g: st.Graph(), e: core.New(st.Graph(), opts), st: st}, nil
+}
+
+// Checkpoint writes a snapshot and rotates the write-ahead log,
+// bounding the next open's replay work. It is an error on a DB not
+// opened with OpenDB.
+func (db *DB) Checkpoint() error {
+	if db.st == nil {
+		return errors.New("gsqlgo: DB has no durable store (use OpenDB)")
+	}
+	return db.st.Checkpoint()
+}
+
+// Recovered reports whether OpenDB found and recovered existing state
+// (false on a DB that seeded a fresh directory or was built with Open).
+func (db *DB) Recovered() bool { return db.st != nil && db.st.Recovered() }
+
+// Close syncs and closes the durable store, if any. The DB stays
+// usable in memory; further mutations are no longer persisted.
+func (db *DB) Close() error {
+	if db.st == nil {
+		return nil
+	}
+	return db.st.Close()
 }
 
 // Graph returns the underlying graph.

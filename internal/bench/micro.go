@@ -23,6 +23,9 @@ type Micro struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MBPerS is throughput for cases that declare a payload size via
+	// b.SetBytes (the storage codec suite); zero elsewhere.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
 }
 
 // microSuite mirrors the allocation-sensitive benchmarks of
@@ -103,6 +106,9 @@ func writeSuiteJSON(cases []benchCase, meta RunMeta, w, progress io.Writer) erro
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if r.Bytes > 0 && r.T > 0 {
+			m.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
 		}
 		rep.Benchmarks[c.name] = m
 		if progress != nil {

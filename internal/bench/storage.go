@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/storage"
+	"gsqlgo/internal/value"
+)
+
+// storageSuite measures the durability layer: snapshot codec
+// throughput (MB/s via b.SetBytes), per-mutation WAL append cost, and
+// recovery time as a function of WAL length — the numbers behind
+// EXPERIMENTS.md E11 and the data for sizing checkpoint cadence.
+func storageSuite() []benchCase {
+	snb := ldbc.Generate(ldbc.Config{SF: 0.2, Seed: 7})
+	snap, err := storage.EncodeSnapshot(snb)
+	if err != nil {
+		panic(err)
+	}
+
+	// A store directory whose WAL holds walLen records, for replay
+	// benchmarks. Built once per case and reopened every iteration.
+	mkWALDir := func(walLen int) string {
+		dir, err := os.MkdirTemp("", "gsqlgo-bench-wal")
+		if err != nil {
+			panic(err)
+		}
+		st, err := storage.Open(dir, storage.Options{Init: func() (*graph.Graph, error) {
+			s := graph.NewSchema()
+			if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+				return nil, err
+			}
+			return graph.New(s), nil
+		}})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < walLen; i++ {
+			if _, err := st.Graph().AddVertex("V", fmt.Sprintf("v%d", i), nil); err != nil {
+				panic(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			panic(err)
+		}
+		return dir
+	}
+
+	replayCase := func(walLen int) benchCase {
+		return benchCase{fmt.Sprintf("Recovery/replay/records=%d", walLen), func(b *testing.B) {
+			dir := mkWALDir(walLen)
+			defer os.RemoveAll(dir)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := storage.Open(dir, storage.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := st.Stats().ReplayedRecords; got != uint64(walLen) {
+					b.Fatalf("replayed %d records, want %d", got, walLen)
+				}
+				st.Close()
+			}
+		}}
+	}
+
+	return []benchCase{
+		{"Snapshot/encode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(snap)))
+			for i := 0; i < b.N; i++ {
+				if _, err := storage.EncodeSnapshot(snb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Snapshot/decode", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(snap)))
+			for i := 0; i < b.N; i++ {
+				if _, err := storage.DecodeSnapshot(snap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Snapshot/save", func(b *testing.B) {
+			dir := b.TempDir()
+			b.SetBytes(int64(len(snap)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := storage.SaveSnapshot(filepath.Join(dir, "bench.gsnap"), snb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WAL/appendVertex", func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := storage.Open(dir, storage.Options{Init: func() (*graph.Graph, error) {
+				s := graph.NewSchema()
+				if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+					return nil, err
+				}
+				return graph.New(s), nil
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Graph().AddVertex("V", fmt.Sprintf("b%d", i), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WAL/appendSetAttr", func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := storage.Open(dir, storage.Options{Init: func() (*graph.Graph, error) {
+				s := graph.NewSchema()
+				if _, err := s.AddVertexType("V", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+					return nil, err
+				}
+				g := graph.New(s)
+				_, err := g.AddVertex("V", "only", nil)
+				return g, err
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			v := value.NewString("x")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Graph().SetVertexAttr(0, "name", v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		replayCase(1_000),
+		replayCase(10_000),
+		replayCase(50_000),
+	}
+}
+
+// WriteStorageJSON runs the storage suite and writes the stamped
+// Report to w (cmd/benchtables -suite storage, conventionally
+// BENCH_storage.json).
+func WriteStorageJSON(meta RunMeta, w, progress io.Writer) error {
+	return writeSuiteJSON(storageSuite(), meta, w, progress)
+}

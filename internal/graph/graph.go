@@ -1,11 +1,20 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"gsqlgo/internal/value"
 )
+
+// ErrDuplicateKey reports an AddVertex whose (typeName, key) pair is
+// already present. Rejecting duplicates (rather than silently inserting
+// a second vertex unreachable via VertexByKey) is load-bearing for
+// durability: WAL replay re-issues the original mutation sequence and
+// must reach the exact same state, so inserts have to be deterministic
+// and key-unique. Match with errors.Is; it is always returned wrapped.
+var ErrDuplicateKey = errors.New("duplicate vertex key")
 
 // VID identifies a vertex within a Graph.
 type VID int32
@@ -70,6 +79,10 @@ type Graph struct {
 	// frozen caches the CSR snapshot of adj (see Freeze); topology
 	// mutation clears it so the next Freeze rebuilds.
 	frozen atomic.Pointer[CSR]
+	// observer, when attached, is notified of every mutation after
+	// validation and before apply (see MutationObserver).
+	observer MutationObserver
+
 	// epoch counts topology mutations (AddVertex/AddEdge). Every
 	// topology-derived cache outside this package — most prominently
 	// the engine-level SDMC count cache in internal/core — stamps its
@@ -113,13 +126,18 @@ func (g *Graph) AddVertex(typeName, key string, attrs map[string]value.Value) (V
 		return 0, fmt.Errorf("graph: unknown vertex type %q", typeName)
 	}
 	if _, dup := g.keyIndex[vt.ID][key]; dup {
-		return 0, fmt.Errorf("graph: duplicate vertex %s %q", typeName, key)
+		return 0, fmt.Errorf("graph: %w: %s %q", ErrDuplicateKey, typeName, key)
 	}
 	row, err := buildAttrRow(vt.Attrs, vt.attrIdx, attrs, "vertex "+typeName)
 	if err != nil {
 		return 0, err
 	}
 	id := VID(len(g.vtype))
+	if g.observer != nil {
+		if err := g.observer.OnAddVertex(id, typeName, key, row); err != nil {
+			return 0, fmt.Errorf("graph: persisting vertex %s %q: %w", typeName, key, err)
+		}
+	}
 	g.vtype = append(g.vtype, int16(vt.ID))
 	g.vattrs = append(g.vattrs, row)
 	g.vkeys = append(g.vkeys, key)
@@ -146,6 +164,11 @@ func (g *Graph) AddEdge(typeName string, src, dst VID, attrs map[string]value.Va
 		return 0, err
 	}
 	id := EID(len(g.etype))
+	if g.observer != nil {
+		if err := g.observer.OnAddEdge(id, typeName, src, dst, row); err != nil {
+			return 0, fmt.Errorf("graph: persisting edge %s (%d, %d): %w", typeName, src, dst, err)
+		}
+	}
 	g.etype = append(g.etype, int16(et.ID))
 	g.esrc = append(g.esrc, src)
 	g.edst = append(g.edst, dst)
@@ -228,7 +251,13 @@ func (g *Graph) SetVertexAttr(v VID, name string, val value.Value) error {
 	if !vt.Attrs[i].Type.Accepts(val) {
 		return fmt.Errorf("graph: attribute %q: cannot store %s into %s", name, val.Kind(), vt.Attrs[i].Type)
 	}
-	g.vattrs[v][i] = vt.Attrs[i].Type.coerce(val)
+	coerced := vt.Attrs[i].Type.coerce(val)
+	if g.observer != nil {
+		if err := g.observer.OnSetVertexAttr(v, name, coerced); err != nil {
+			return fmt.Errorf("graph: persisting attribute %q of vertex %d: %w", name, v, err)
+		}
+	}
+	g.vattrs[v][i] = coerced
 	return nil
 }
 

@@ -1,0 +1,42 @@
+package graph
+
+import "gsqlgo/internal/value"
+
+// MutationObserver receives every graph mutation, in commit order, at
+// the same call sites that advance Epoch() and invalidate the frozen
+// CSR. It is the durability hook: internal/storage registers one to
+// write-ahead-log mutations without the engine layers (core, match)
+// knowing storage exists.
+//
+// Notification is write-ahead: the observer runs after the mutation has
+// been fully validated (type known, key unique, attribute row coerced)
+// but before it is applied to the in-memory graph. An observer error
+// aborts the mutation — the graph is left unchanged and the error is
+// returned (wrapped) to the mutating caller — so a mutation is never
+// visible in memory unless its log record was durably accepted.
+//
+// The attrs slice is the coerced attribute row in schema declaration
+// order (one value per AttrDef of the type, zero-filled for attributes
+// the caller omitted). Observers must not retain or mutate it beyond
+// the call. Observers are invoked under the graph's external mutation
+// discipline (mutation is not synchronized); they need their own
+// locking only if they are shared across graphs.
+type MutationObserver interface {
+	// OnAddVertex is notified before vertex v (the id the insert will
+	// assign) of the named type is inserted with the given key and row.
+	OnAddVertex(v VID, typeName, key string, attrs []value.Value) error
+	// OnAddEdge is notified before edge e of the named type is inserted
+	// between src and dst with the given row.
+	OnAddEdge(e EID, typeName string, src, dst VID, attrs []value.Value) error
+	// OnSetVertexAttr is notified before the named attribute of v is
+	// set to val (already coerced to the declared attribute type).
+	OnSetVertexAttr(v VID, name string, val value.Value) error
+}
+
+// SetObserver registers the mutation observer (nil to detach). At most
+// one observer is attached at a time; storage recovery detaches it
+// while replaying so replayed mutations are not re-logged.
+func (g *Graph) SetObserver(o MutationObserver) { g.observer = o }
+
+// Observer returns the currently attached mutation observer, if any.
+func (g *Graph) Observer() MutationObserver { return g.observer }

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+// recordingObserver logs every notification it receives and can be
+// armed to fail, exercising the write-ahead contract.
+type recordingObserver struct {
+	events []string
+	fail   error
+}
+
+func (r *recordingObserver) OnAddVertex(v VID, typeName, key string, attrs []value.Value) error {
+	r.events = append(r.events, fmt.Sprintf("v %d %s %s %v", v, typeName, key, attrs))
+	return r.fail
+}
+
+func (r *recordingObserver) OnAddEdge(e EID, typeName string, src, dst VID, attrs []value.Value) error {
+	r.events = append(r.events, fmt.Sprintf("e %d %s %d %d %v", e, typeName, src, dst, attrs))
+	return r.fail
+}
+
+func (r *recordingObserver) OnSetVertexAttr(v VID, name string, val value.Value) error {
+	r.events = append(r.events, fmt.Sprintf("a %d %s %s", v, name, val))
+	return r.fail
+}
+
+func obsSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if _, err := s.AddVertexType("V", AttrDef{"name", AttrString}, AttrDef{"score", AttrFloat}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true, AttrDef{"w", AttrInt}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestAddVertexRejectsDuplicateKey pins the insert contract the WAL
+// replay path depends on: a second AddVertex with the same (typeName,
+// key) fails with ErrDuplicateKey and leaves the graph untouched — it
+// must not silently insert a second vertex unreachable via VertexByKey.
+func TestAddVertexRejectsDuplicateKey(t *testing.T) {
+	g := New(obsSchema(t))
+	a, err := g.AddVertex("V", "a", map[string]value.Value{"name": value.NewString("first")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := g.Epoch()
+	if _, err := g.AddVertex("V", "a", map[string]value.Value{"name": value.NewString("second")}); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("duplicate AddVertex: err = %v, want ErrDuplicateKey", err)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("duplicate AddVertex inserted: %d vertices", g.NumVertices())
+	}
+	if g.Epoch() != epoch {
+		t.Fatalf("failed insert moved the epoch %d -> %d", epoch, g.Epoch())
+	}
+	if id, ok := g.VertexByKey("V", "a"); !ok || id != a {
+		t.Fatalf("VertexByKey after duplicate attempt: %d, %v", id, ok)
+	}
+	if v, _ := g.VertexAttr(a, "name"); v.Str() != "first" {
+		t.Fatalf("original vertex clobbered: name = %s", v)
+	}
+}
+
+// TestObserverSeesMutations verifies the observer receives every
+// mutation with assigned ids and the coerced schema-order row.
+func TestObserverSeesMutations(t *testing.T) {
+	g := New(obsSchema(t))
+	obs := &recordingObserver{}
+	g.SetObserver(obs)
+	if g.Observer() != obs {
+		t.Fatal("Observer() did not return the registered observer")
+	}
+	a, err := g.AddVertex("V", "a", map[string]value.Value{"score": value.NewInt(3)}) // int widens to float
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.AddVertex("V", "b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("E", a, b, map[string]value.Value{"w": value.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetVertexAttr(b, "name", value.NewString("bee")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"v 0 V a [ 3]",
+		"v 1 V b [ 0]",
+		"e 0 E 0 1 [7]",
+		"a 1 name bee",
+	}
+	if len(obs.events) != len(want) {
+		t.Fatalf("events = %v, want %d entries", obs.events, len(want))
+	}
+	for i, w := range want {
+		if obs.events[i] != w {
+			t.Errorf("event[%d] = %q, want %q", i, obs.events[i], w)
+		}
+	}
+	// Detach: further mutations are unobserved.
+	g.SetObserver(nil)
+	if _, err := g.AddVertex("V", "c", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.events) != len(want) {
+		t.Fatalf("detached observer still notified: %v", obs.events)
+	}
+}
+
+// TestObserverErrorAbortsMutation verifies write-ahead semantics: an
+// observer error leaves the in-memory graph unchanged.
+func TestObserverErrorAbortsMutation(t *testing.T) {
+	g := New(obsSchema(t))
+	a, _ := g.AddVertex("V", "a", nil)
+	b, _ := g.AddVertex("V", "b", nil)
+	sentinel := errors.New("disk on fire")
+	obs := &recordingObserver{fail: sentinel}
+	g.SetObserver(obs)
+
+	epoch := g.Epoch()
+	if _, err := g.AddVertex("V", "c", nil); !errors.Is(err, sentinel) {
+		t.Fatalf("AddVertex err = %v, want wrapped sentinel", err)
+	}
+	if g.NumVertices() != 2 {
+		t.Fatalf("aborted AddVertex applied: %d vertices", g.NumVertices())
+	}
+	if _, ok := g.VertexByKey("V", "c"); ok {
+		t.Fatal("aborted vertex reachable via VertexByKey")
+	}
+	if _, err := g.AddEdge("E", a, b, nil); !errors.Is(err, sentinel) {
+		t.Fatalf("AddEdge err = %v, want wrapped sentinel", err)
+	}
+	if g.NumEdges() != 0 || g.Degree(a) != 0 {
+		t.Fatalf("aborted AddEdge applied: %d edges, deg(a)=%d", g.NumEdges(), g.Degree(a))
+	}
+	if err := g.SetVertexAttr(a, "name", value.NewString("x")); !errors.Is(err, sentinel) {
+		t.Fatalf("SetVertexAttr err = %v, want wrapped sentinel", err)
+	}
+	if v, _ := g.VertexAttr(a, "name"); v.Str() != "" {
+		t.Fatalf("aborted SetVertexAttr applied: name = %q", v.Str())
+	}
+	if g.Epoch() != epoch {
+		t.Fatalf("aborted mutations moved the epoch %d -> %d", epoch, g.Epoch())
+	}
+}

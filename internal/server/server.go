@@ -28,8 +28,10 @@ import (
 	"time"
 
 	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/metrics"
+	"gsqlgo/internal/storage"
 )
 
 // Config tunes a Server. The zero value of every field except Engine
@@ -37,6 +39,13 @@ import (
 type Config struct {
 	// Engine executes the queries. Required.
 	Engine *core.Engine
+
+	// Store, when set, is the durable store backing the engine's graph:
+	// mutation routes persist through its WAL, POST /admin/checkpoint
+	// rotates it, Shutdown checkpoints it after the drain, and the
+	// gsqld_storage_* metrics reflect its counters. Nil serves the
+	// graph purely in memory (mutation routes still work, unlogged).
+	Store *storage.Store
 
 	// DefaultTimeout caps a run when the request does not ask for a
 	// deadline (default 30s).
@@ -89,6 +98,16 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
+	// gmu serializes graph mutation against everything that reads the
+	// graph: run handlers and checkpoints hold it shared, the mutation
+	// routes exclusively. The graph's own methods are deliberately
+	// unsynchronized (the library's single-writer discipline); this is
+	// where the serving layer supplies that discipline.
+	gmu sync.RWMutex
+
+	storageMu   sync.Mutex    // guards lastStorage delta-sync
+	lastStorage storage.Stats // counters already folded into the registry
+
 	mRuns      *metrics.CounterVec   // gsqld_query_runs_total{query,status}
 	mLatency   *metrics.HistogramVec // gsqld_query_latency_seconds{query}
 	mRows      *metrics.HistogramVec // gsqld_query_binding_rows{query}
@@ -100,6 +119,11 @@ type Server struct {
 	mCacheMisses *metrics.Counter // gsqld_expand_count_cache_misses_total
 	mSDMCRuns    *metrics.Counter // gsqld_expand_sdmc_runs_total
 	mShards      *metrics.Counter // gsqld_expand_shards_total
+
+	mWALRecords  *metrics.Counter // gsqld_storage_wal_records_total
+	mWALBytes    *metrics.Counter // gsqld_storage_wal_bytes_total
+	mCheckpoints *metrics.Counter // gsqld_storage_checkpoints_total
+	mRecoveries  *metrics.Counter // gsqld_storage_recoveries_total
 }
 
 // New builds a Server over cfg.Engine. It panics if Engine is nil.
@@ -135,11 +159,23 @@ func New(cfg Config) *Server {
 		"Single-source SDMC count runs (BFS or enumeration) executed.")
 	s.mShards = s.reg.Counter("gsqld_expand_shards_total",
 		"Shards FROM-clause hop expansion was split into, summed over hops.")
+	s.mWALRecords = s.reg.Counter("gsqld_storage_wal_records_total",
+		"Mutation records appended to the write-ahead log.")
+	s.mWALBytes = s.reg.Counter("gsqld_storage_wal_bytes_total",
+		"Bytes appended to the write-ahead log, frames included.")
+	s.mCheckpoints = s.reg.Counter("gsqld_storage_checkpoints_total",
+		"Snapshots written (initial persist, /admin/checkpoint, drain).")
+	s.mRecoveries = s.reg.Counter("gsqld_storage_recoveries_total",
+		"Opens that recovered persisted state (snapshot load + WAL replay).")
+	s.syncStorageMetrics() // fold in recovery/initial-persist counts from Open
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleInstall)
 	mux.HandleFunc("GET /queries", s.handleList)
 	mux.HandleFunc("POST /queries/{name}/run", s.handleRun)
+	mux.HandleFunc("POST /graph/vertices", s.handleAddVertex)
+	mux.HandleFunc("POST /graph/edges", s.handleAddEdge)
+	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -165,8 +201,11 @@ func (s *Server) PublishExpvar(name string) {
 	s.reg.PublishExpvar(name)
 }
 
-// Shutdown stops admitting work and waits for in-flight runs to drain,
-// or for ctx to expire. New requests get 503 while draining.
+// Shutdown stops admitting work, waits for in-flight runs to drain or
+// for ctx to expire, then — when a Store is attached and the drain
+// completed — checkpoints it, so a graceful stop leaves a fresh
+// snapshot and an empty WAL for the next boot to open instantly. New
+// requests get 503 while draining.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -176,10 +215,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
+	if s.cfg.Store != nil {
+		s.gmu.Lock()
+		err := s.cfg.Store.Checkpoint()
+		s.gmu.Unlock()
+		if err != nil {
+			return fmt.Errorf("server: checkpoint on drain: %w", err)
+		}
+	}
+	return nil
 }
 
 // ---- request/response shapes ---------------------------------------------
@@ -233,8 +280,9 @@ type errorResponse struct {
 // ---- error mapping --------------------------------------------------------
 
 // httpStatus maps the core error taxonomy onto HTTP statuses:
-// ErrParse 400, ErrUnknownQuery 404, ErrDuplicateQuery 409,
-// ErrCancelled 408, ErrOverload 429; anything else is a 500.
+// ErrParse 400, ErrUnknownQuery 404, ErrDuplicateQuery and
+// ErrDuplicateKey 409, ErrCancelled 408, ErrOverload 429; anything
+// else is a 500.
 func httpStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, core.ErrParse):
@@ -243,6 +291,8 @@ func httpStatus(err error) (int, string) {
 		return http.StatusNotFound, "unknown_query"
 	case errors.Is(err, core.ErrDuplicateQuery):
 		return http.StatusConflict, "duplicate_query"
+	case errors.Is(err, graph.ErrDuplicateKey):
+		return http.StatusConflict, "duplicate_key"
 	case errors.Is(err, core.ErrCancelled):
 		return http.StatusRequestTimeout, "cancelled"
 	case errors.Is(err, core.ErrOverload):
@@ -396,7 +446,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	start := time.Now()
+	s.gmu.RLock()
 	res, err := s.eng.RunCtx(ctx, name, args)
+	s.gmu.RUnlock()
 	elapsed := time.Since(start)
 	s.mLatency.With(name).Observe(elapsed.Seconds())
 	if err != nil {
@@ -444,6 +496,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.syncStorageMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }

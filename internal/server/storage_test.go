@@ -1,0 +1,317 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
+	"gsqlgo/internal/value"
+)
+
+func socialInit() (*graph.Graph, error) {
+	s := graph.NewSchema()
+	s.AddVertexType("Person",
+		graph.AttrDef{Name: "name", Type: graph.AttrString},
+		graph.AttrDef{Name: "age", Type: graph.AttrInt})
+	s.AddEdgeType("Knows", false, graph.AttrDef{Name: "since", Type: graph.AttrInt})
+	return graph.New(s), nil
+}
+
+// newStorageServer opens (or reopens) a store in dir and builds a
+// Server over it — one simulated gsqld process life.
+func newStorageServer(t *testing.T, dir string) (*Server, *storage.Store, *httptest.Server) {
+	t.Helper()
+	st, err := storage.Open(dir, storage.Options{Init: socialInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(st.Graph(), core.Options{Workers: 2})
+	srv := New(Config{Engine: eng, Store: st})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, st, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+const degreeQuery = `CREATE QUERY Degree() {
+  SumAccum<int> @deg;
+  R = SELECT p FROM Person:p -(Knows)- Person:q ACCUM p.@deg += 1;
+  PRINT R[R.name, R.@deg];
+}`
+
+func runDegree(t *testing.T, baseURL string) string {
+	t.Helper()
+	resp, body := postJSON(t, baseURL+"/queries/Degree/run", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: %d %s", resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// TestServerMutationsSurviveRestart is the serving-layer acceptance
+// test: mutate over HTTP, stop the server (graceful drain +
+// checkpoint), start a fresh server over the same directory, and see
+// identical data and query results.
+func TestServerMutationsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, st, ts := newStorageServer(t, dir)
+
+	// Install the query and build a little graph over the wire.
+	resp, body := postJSON(t, ts.URL+"/queries", map[string]string{"source": degreeQuery})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install: %d %s", resp.StatusCode, body)
+	}
+	for i, p := range []struct {
+		key  string
+		name string
+		age  int
+	}{{"ada", "Ada", 36}, {"bob", "Bob", 41}, {"cyd", "Cyd", 28}} {
+		resp, body := postJSON(t, ts.URL+"/graph/vertices", map[string]any{
+			"type": "Person", "key": p.key,
+			"attrs": map[string]any{"name": p.name, "age": p.age},
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("add vertex: %d %s", resp.StatusCode, body)
+		}
+		var mr mutationResponse
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatal(err)
+		}
+		if mr.ID != int64(i) || mr.Vertices != i+1 {
+			t.Fatalf("vertex %d: response %+v", i, mr)
+		}
+	}
+	for _, e := range [][2]string{{"ada", "bob"}, {"bob", "cyd"}} {
+		resp, body := postJSON(t, ts.URL+"/graph/edges", map[string]any{
+			"type": "Knows",
+			"src":  map[string]string{"type": "Person", "key": e[0]},
+			"dst":  map[string]string{"type": "Person", "key": e[1]},
+			"attrs": map[string]any{"since": 2020},
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("add edge %v: %d %s", e, resp.StatusCode, body)
+		}
+	}
+
+	// Error surface: duplicate key 409, unknown endpoint 404, bad attr 400.
+	resp, _ = postJSON(t, ts.URL+"/graph/vertices", map[string]any{"type": "Person", "key": "ada"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate vertex: %d, want 409", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/graph/edges", map[string]any{
+		"type": "Knows",
+		"src":  map[string]string{"type": "Person", "key": "nobody"},
+		"dst":  map[string]string{"type": "Person", "key": "ada"},
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("edge from unknown vertex: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/graph/vertices", map[string]any{
+		"type": "Person", "key": "dee", "attrs": map[string]any{"age": "not a number"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad attr: %d, want 400", resp.StatusCode)
+	}
+
+	want := runDegree(t, ts.URL)
+
+	// Storage metrics are exported.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, m := range []string{
+		"gsqld_storage_wal_records_total 5",
+		"gsqld_storage_checkpoints_total 1",
+		"gsqld_storage_recoveries_total 0",
+	} {
+		if !strings.Contains(string(mbody), m) {
+			t.Fatalf("metrics missing %q:\n%s", m, mbody)
+		}
+	}
+
+	// Stop process one: graceful drain checkpoints, then the store closes.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// Process two.
+	srv2, st2, ts2 := newStorageServer(t, dir)
+	if !st2.Recovered() {
+		t.Fatal("restart did not recover")
+	}
+	if n := st2.Stats().ReplayedRecords; n != 0 {
+		t.Fatalf("clean shutdown left %d WAL records to replay, want 0", n)
+	}
+	g := st2.Graph()
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("recovered %d vertices / %d edges, want 3 / 2", g.NumVertices(), g.NumEdges())
+	}
+	if v, ok := g.VertexByKey("Person", "bob"); !ok {
+		t.Fatal("bob did not survive the restart")
+	} else if got, _ := g.VertexAttr(v, "age"); !value.Equal(got, value.NewInt(41)) {
+		t.Fatalf("bob's age after restart: %v", got)
+	}
+	resp, body = postJSON(t, ts2.URL+"/queries", map[string]string{"source": degreeQuery})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("reinstall: %d %s", resp.StatusCode, body)
+	}
+	got := runDegree(t, ts2.URL)
+	// elapsed_ms differs between runs; compare everything else.
+	stripElapsed := func(s string) string {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "elapsed_ms")
+		out, _ := json.Marshal(m)
+		return string(out)
+	}
+	if stripElapsed(got) != stripElapsed(want) {
+		t.Fatalf("post-restart results differ:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Recovery metric reflects the reopen.
+	mresp2, err := http.Get(ts2.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody2, _ := io.ReadAll(mresp2.Body)
+	mresp2.Body.Close()
+	if !strings.Contains(string(mbody2), "gsqld_storage_recoveries_total 1") {
+		t.Fatalf("metrics missing recovery count:\n%s", mbody2)
+	}
+
+	_ = srv2.Shutdown(context.Background())
+	_ = st2.Close()
+}
+
+// TestCheckpointEndpoint drives POST /admin/checkpoint and the
+// no-store 409.
+func TestCheckpointEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	srv, st, ts := newStorageServer(t, dir)
+	if _, err := st.Graph().AddVertex("Person", "ada", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/admin/checkpoint", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, body)
+	}
+	var cr checkpointResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Checkpoints != 2 || cr.WALRecords != 1 {
+		t.Fatalf("checkpoint response %+v, want 2 checkpoints / 1 WAL record", cr)
+	}
+	_ = srv.Shutdown(context.Background())
+	_ = st.Close()
+
+	// A server without a store refuses.
+	g, _ := socialInit()
+	plain := New(Config{Engine: core.New(g, core.Options{Workers: 1})})
+	ts2 := httptest.NewServer(plain)
+	defer ts2.Close()
+	resp, body = postJSON(t, ts2.URL+"/admin/checkpoint", map[string]any{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint without store: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestConcurrentMutationsAndRuns hammers mutation and run routes
+// concurrently; under -race this checks the gmu discipline.
+func TestConcurrentMutationsAndRuns(t *testing.T) {
+	dir := t.TempDir()
+	srv, st, ts := newStorageServer(t, dir)
+	resp, body := postJSON(t, ts.URL+"/queries", map[string]string{"source": degreeQuery})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install: %d %s", resp.StatusCode, body)
+	}
+	if _, err := st.Graph().AddVertex("Person", "seed", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers, perWorker = 4, 4, 20
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWorker; i++ {
+				resp, body := postJSON(t, ts.URL+"/graph/vertices", map[string]any{
+					"type": "Person", "key": fmt.Sprintf("p%d-%d", w, i),
+				})
+				if resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Errorf("writer %d: %d %s", w, resp.StatusCode, body)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			for i := 0; i < perWorker; i++ {
+				resp, body := postJSON(t, ts.URL+"/queries/Degree/run", map[string]any{})
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("reader %d: %d %s", r, resp.StatusCode, body)
+					return
+				}
+			}
+			errs <- nil
+		}(r)
+	}
+	for i := 0; i < writers+readers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Graph().NumVertices(); got != 1+writers*perWorker {
+		t.Fatalf("graph has %d vertices, want %d", got, 1+writers*perWorker)
+	}
+	_ = srv.Shutdown(context.Background())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything written under concurrency is recoverable.
+	st2, err := storage.Open(dir, storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Graph().NumVertices(); got != 1+writers*perWorker {
+		t.Fatalf("recovered %d vertices, want %d", got, 1+writers*perWorker)
+	}
+}

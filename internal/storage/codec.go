@@ -1,0 +1,154 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gsqlgo/internal/value"
+)
+
+// Binary primitives shared by the snapshot codec and the WAL record
+// codec. Everything is little-endian and length-prefixed; there is no
+// varint layer — graphs are bounded by int32 ids, so fixed-width
+// framing keeps the torn-tail scanner trivial to reason about.
+
+// enc is an append-only byte encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(x uint8)   { e.b = append(e.b, x) }
+func (e *enc) u16(x uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, x) }
+func (e *enc) u32(x uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, x) }
+func (e *enc) u64(x uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, x) }
+
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// val encodes a scalar runtime value (the kinds storable in vertex and
+// edge attributes, plus null). Structured kinds are rejected: the
+// schema cannot declare them, so their appearance is a program bug.
+func (e *enc) val(v value.Value) error {
+	e.u8(uint8(v.Kind()))
+	switch v.Kind() {
+	case value.KindNull:
+	case value.KindBool:
+		if v.Bool() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case value.KindInt:
+		e.u64(uint64(v.Int()))
+	case value.KindDatetime:
+		e.u64(uint64(v.Datetime()))
+	case value.KindFloat:
+		e.u64(math.Float64bits(v.Float()))
+	case value.KindString:
+		e.str(v.Str())
+	default:
+		return fmt.Errorf("storage: cannot encode %s value", v.Kind())
+	}
+	return nil
+}
+
+// dec is a cursor over an encoded byte slice. Reads past the end set
+// err instead of panicking; callers check err once at the end (or at
+// natural boundaries) rather than after every field.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, d.off)
+	}
+}
+
+func (d *dec) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.b) {
+		d.fail(what)
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *dec) u8(what string) uint8 {
+	b := d.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *dec) u16(what string) uint16 {
+	b := d.take(2, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *dec) u32(what string) uint32 {
+	b := d.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *dec) u64(what string) uint64 {
+	b := d.take(8, what)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *dec) str(what string) string {
+	n := d.u32(what + " length")
+	return string(d.take(int(n), what))
+}
+
+func (d *dec) val(what string) value.Value {
+	kind := value.Kind(d.u8(what + " kind"))
+	switch kind {
+	case value.KindNull:
+		return value.Null
+	case value.KindBool:
+		return value.NewBool(d.u8(what) != 0)
+	case value.KindInt:
+		return value.NewInt(int64(d.u64(what)))
+	case value.KindDatetime:
+		return value.NewDatetime(int64(d.u64(what)))
+	case value.KindFloat:
+		return value.NewFloat(math.Float64frombits(d.u64(what)))
+	case value.KindString:
+		return value.NewString(d.str(what))
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("%w: %s has unencodable kind %d at offset %d", ErrCorrupt, what, kind, d.off)
+		}
+		return value.Null
+	}
+}
+
+// done reports successful exhaustion: no decode error and no trailing
+// garbage.
+func (d *dec) done(what string) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes after %s", ErrCorrupt, len(d.b)-d.off, what)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// fuzzWALSeedBytes builds a realistic WAL (magic + a few framed
+// records over testSchema) for the fuzzer to mutate.
+func fuzzWALSeedBytes(t testing.TB) []byte {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := st.Graph()
+	if _, err := g.AddVertex("Person", "ada", map[string]value.Value{"age": value.NewInt(36)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddVertex("City", "london", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge("Near", 0, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetVertexAttr(0, "name", value.NewString("Ada")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	data, err := os.ReadFile(filepath.Join(dir, walName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzWALReplay is the satellite fuzz target: for arbitrary WAL file
+// bytes, replay onto a fresh graph must never panic and must either
+// succeed (torn tails are tolerated by design) or fail with the typed
+// ErrCorrupt. Any other error class means the scanner trusted
+// unvalidated input.
+func FuzzWALReplay(f *testing.F) {
+	seed := fuzzWALSeedBytes(f)
+	f.Add(seed)
+	f.Add([]byte(walMagic))
+	f.Add([]byte{})
+	f.Add([]byte("GSQLWAL2 wrong magic"))
+	// Truncations at a few interior offsets (torn tails).
+	for _, cut := range []int{len(walMagic) + 3, len(seed) / 2, len(seed) - 1} {
+		if cut > 0 && cut < len(seed) {
+			f.Add(append([]byte(nil), seed[:cut]...))
+		}
+	}
+	// Bit flips in the header, a frame header and a payload.
+	for _, pos := range []int{0, len(walMagic) + 1, len(walMagic) + 9} {
+		if pos < len(seed) {
+			mut := append([]byte(nil), seed...)
+			mut[pos] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	// A CRC-valid frame whose payload is garbage: exercises applyRecord's
+	// validation rather than just the frame scanner.
+	bogus := []byte{0xFF, 0x01, 0x02}
+	frame := binary.LittleEndian.AppendUint32([]byte(walMagic), uint32(len(bogus)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(bogus))
+	f.Add(append(frame, bogus...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), walName(1))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g := graph.New(testSchema(t))
+		scan, err := replayWAL(path, g)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("replayWAL: non-ErrCorrupt failure %v", err)
+			}
+			return
+		}
+		if scan.validLen < int64(len(walMagic)) || scan.validLen > int64(len(data))+int64(len(walMagic)) {
+			t.Fatalf("replayWAL: validLen %d out of range for %d input bytes", scan.validLen, len(data))
+		}
+	})
+}
+
+// FuzzSnapshotDecode: arbitrary snapshot bytes must decode, or fail
+// with ErrCorrupt — never panic, never return a half-built graph with
+// a nil error.
+func FuzzSnapshotDecode(f *testing.F) {
+	g := graph.BuildRandomMixedGraph(5, 12, 42)
+	snap, err := EncodeSnapshot(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add([]byte{})
+	f.Add([]byte(snapMagic))
+	for _, cut := range []int{len(snapMagic) + 2, len(snap) / 2, len(snap) - 1} {
+		if cut > 0 && cut < len(snap) {
+			f.Add(append([]byte(nil), snap[:cut]...))
+		}
+	}
+	for _, pos := range []int{3, len(snapMagic) + 5, len(snap) / 3, 2 * len(snap) / 3} {
+		if pos < len(snap) {
+			mut := append([]byte(nil), snap...)
+			mut[pos] ^= 0x10
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("DecodeSnapshot: non-ErrCorrupt failure %v", err)
+			}
+			return
+		}
+		if g == nil {
+			t.Fatal("DecodeSnapshot: nil graph with nil error")
+		}
+	})
+}

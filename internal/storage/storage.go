@@ -1,0 +1,57 @@
+// Package storage is the durability subsystem: it pairs the in-memory
+// graph.Graph working set with an on-disk representation so a gsqld (or
+// library) restart preserves the catalog's data and every mutation made
+// since start — the piece the paper's compile-once/run-many serving
+// model assumes but the in-memory engine alone cannot provide.
+//
+// Two file kinds live in a store directory, named by a checkpoint
+// sequence number:
+//
+//	snap-<seq>.gsnap   versioned binary snapshot of the full graph
+//	                   (schema + vertices + edges), length-prefixed
+//	                   CRC32-guarded sections, written to a temp file
+//	                   and atomically renamed into place
+//	wal-<seq>.wal      append-only mutation log: one checksummed
+//	                   record per AddVertex / AddEdge / SetVertexAttr
+//	                   issued after snapshot <seq> was taken
+//
+// Store.Open recovers by loading the newest snapshot that passes its
+// checksums (falling back to the previous generation on corruption),
+// replaying the WAL records that postdate it, and truncating any torn
+// tail record left by a crash mid-append. Checkpoint() writes a fresh
+// snapshot and rotates to a new WAL; Close() syncs and detaches.
+//
+// The store hooks into the graph via graph.MutationObserver: mutations
+// are validated, then logged (write-ahead), then applied in memory, so
+// a mutation is never visible unless its record reached the log. The
+// engine layers (core, match) are untouched.
+package storage
+
+import "errors"
+
+// ErrCorrupt reports on-disk state that is structurally invalid beyond
+// what crash-tolerant recovery repairs: a snapshot whose checksum or
+// layout is wrong with no older generation to fall back to, or a WAL
+// record that passes its CRC yet cannot be decoded or re-applied. A
+// torn tail record (short write, checksum mismatch at the end of the
+// log) is NOT corruption — recovery truncates it and succeeds, since
+// that is exactly the residue an append interrupted by a crash leaves.
+// Match with errors.Is; it is always returned wrapped.
+var ErrCorrupt = errors.New("storage: corrupt data")
+
+// Stats are the store's monotonic operation counters, exported by the
+// serving layer as gsqld_storage_*_total metrics.
+type Stats struct {
+	// WALRecords counts mutation records appended to the WAL.
+	WALRecords uint64
+	// WALBytes counts bytes appended to the WAL (records incl. framing).
+	WALBytes uint64
+	// Checkpoints counts successful Checkpoint() calls (the initial
+	// snapshot of a fresh store counts as one).
+	Checkpoints uint64
+	// Recoveries is 1 when Open found existing state and recovered it,
+	// 0 for a fresh store.
+	Recoveries uint64
+	// ReplayedRecords counts WAL records re-applied during recovery.
+	ReplayedRecords uint64
+}

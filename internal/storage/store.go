@@ -1,0 +1,336 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Init builds the starting graph when the directory holds no
+	// existing store (fresh open). It is not called when Open recovers
+	// persisted state — the snapshot's schema and data win, so a
+	// seeding flag like gsqld's -builtin only matters on first boot.
+	Init func() (*graph.Graph, error)
+	// Fsync, when set, fsyncs the WAL after every append, making each
+	// mutation durable against power loss rather than only against
+	// process crash. Off by default: the paper's serving workloads are
+	// read-heavy, and Checkpoint/Close always sync.
+	Fsync bool
+}
+
+// Store couples a live graph with its durable representation. All
+// methods are safe for concurrent use with each other; mutations to
+// the underlying graph follow the graph's own discipline (the caller
+// serializes mutation against reads AND against Checkpoint — the
+// serving layer uses an RWMutex, single-threaded callers need nothing).
+type Store struct {
+	dir  string
+	opts Options
+	g    *graph.Graph
+
+	mu        sync.Mutex // guards wal, seq, closed, failed
+	wal       *walWriter
+	seq       uint64
+	closed    bool
+	failed    error // sticky first append failure; poisons later mutations
+	recovered bool
+
+	nWALRecords atomic.Uint64
+	nWALBytes   atomic.Uint64
+	nCheckpts   atomic.Uint64
+	nRecoveries atomic.Uint64
+	nReplayed   atomic.Uint64
+}
+
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.gsnap", seq) }
+func walName(seq uint64) string  { return fmt.Sprintf("wal-%08d.wal", seq) }
+
+// scanDir lists the sequence numbers of snapshots and WALs in dir.
+func scanDir(dir string) (snaps, wals []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		var seq uint64
+		if n, _ := fmt.Sscanf(e.Name(), "snap-%d.gsnap", &seq); n == 1 && e.Name() == snapName(seq) {
+			snaps = append(snaps, seq)
+		}
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%d.wal", &seq); n == 1 && e.Name() == walName(seq) {
+			wals = append(wals, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, nil
+}
+
+// Open opens (or creates) the store in dir and returns it with its
+// graph recovered: newest valid snapshot loaded, WAL tail replayed,
+// torn tail truncated, and the store registered as the graph's
+// mutation observer so every subsequent mutation is logged.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+	if len(snaps) == 0 {
+		if len(wals) > 0 {
+			return nil, fmt.Errorf("%w: %s has WAL files but no snapshot to replay them onto", ErrCorrupt, dir)
+		}
+		if err := s.initFresh(); err != nil {
+			return nil, err
+		}
+	} else if err := s.recover(snaps, wals); err != nil {
+		return nil, err
+	}
+	s.g.SetObserver(s)
+	return s, nil
+}
+
+// initFresh seeds an empty directory: build the initial graph, persist
+// it as snapshot 1, and start WAL 1.
+func (s *Store) initFresh() error {
+	if s.opts.Init == nil {
+		return fmt.Errorf("storage: %s holds no store and Options.Init is nil", s.dir)
+	}
+	g, err := s.opts.Init()
+	if err != nil {
+		return fmt.Errorf("storage: building initial graph: %w", err)
+	}
+	if g == nil {
+		return errors.New("storage: Options.Init returned a nil graph")
+	}
+	s.g, s.seq = g, 1
+	if err := SaveSnapshot(filepath.Join(s.dir, snapName(1)), g); err != nil {
+		return err
+	}
+	wal, err := createWAL(filepath.Join(s.dir, walName(1)), s.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.nCheckpts.Add(1)
+	return nil
+}
+
+// recover loads the newest snapshot that passes its checksums, replays
+// every WAL from that generation forward, and reopens the newest WAL
+// for appending with any torn tail truncated.
+func (s *Store) recover(snaps, wals []uint64) error {
+	var base uint64
+	var g *graph.Graph
+	var lastErr error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		g, lastErr = LoadSnapshot(filepath.Join(s.dir, snapName(snaps[i])))
+		if lastErr == nil {
+			base = snaps[i]
+			break
+		}
+		if !errors.Is(lastErr, ErrCorrupt) {
+			return lastErr // I/O trouble, not bit rot: don't mask it
+		}
+	}
+	if g == nil {
+		return fmt.Errorf("storage: no loadable snapshot in %s: %w", s.dir, lastErr)
+	}
+	s.g = g
+
+	// Replay generations base..newest in ascending order. Only the
+	// newest log may legitimately carry a torn tail (it was the active
+	// one when the process died); recovery truncates that tail before
+	// appending resumes.
+	active := base
+	for _, w := range wals {
+		if w > active {
+			active = w
+		}
+	}
+	activeScan := walScan{validLen: int64(len(walMagic))}
+	for _, w := range wals {
+		if w < base {
+			continue
+		}
+		scan, err := replayWAL(filepath.Join(s.dir, walName(w)), g)
+		if err != nil {
+			return err
+		}
+		s.nReplayed.Add(uint64(scan.records))
+		if w == active {
+			activeScan = scan
+		}
+	}
+	wal, err := openWAL(filepath.Join(s.dir, walName(active)), activeScan.validLen, s.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	s.seq = active
+	s.recovered = true
+	s.nRecoveries.Add(1)
+	return nil
+}
+
+// Graph returns the live graph the store persists.
+func (s *Store) Graph() *graph.Graph { return s.g }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Recovered reports whether Open found and recovered existing state.
+func (s *Store) Recovered() bool { return s.recovered }
+
+// Stats returns a snapshot of the store's monotonic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		WALRecords:      s.nWALRecords.Load(),
+		WALBytes:        s.nWALBytes.Load(),
+		Checkpoints:     s.nCheckpts.Load(),
+		Recoveries:      s.nRecoveries.Load(),
+		ReplayedRecords: s.nReplayed.Load(),
+	}
+}
+
+// ---- MutationObserver -----------------------------------------------------
+
+// OnAddVertex write-ahead-logs a vertex insert.
+func (s *Store) OnAddVertex(v graph.VID, typeName, key string, attrs []value.Value) error {
+	payload, err := encodeAddVertex(typeName, key, attrs)
+	if err != nil {
+		return err
+	}
+	return s.logAppend(payload)
+}
+
+// OnAddEdge write-ahead-logs an edge insert.
+func (s *Store) OnAddEdge(e graph.EID, typeName string, src, dst graph.VID, attrs []value.Value) error {
+	payload, err := encodeAddEdge(typeName, src, dst, attrs)
+	if err != nil {
+		return err
+	}
+	return s.logAppend(payload)
+}
+
+// OnSetVertexAttr write-ahead-logs an attribute update.
+func (s *Store) OnSetVertexAttr(v graph.VID, name string, val value.Value) error {
+	payload, err := encodeSetVertexAttr(v, name, val)
+	if err != nil {
+		return err
+	}
+	return s.logAppend(payload)
+}
+
+func (s *Store) logAppend(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.closed {
+		return errors.New("storage: store is closed")
+	}
+	n, err := s.wal.append(payload)
+	if err != nil {
+		// Poison the store: the log may hold a partial frame, so
+		// accepting further mutations would interleave good records
+		// after a torn middle. Recovery on restart truncates cleanly.
+		s.failed = fmt.Errorf("storage: WAL append: %w", err)
+		return s.failed
+	}
+	s.nWALRecords.Add(1)
+	s.nWALBytes.Add(uint64(n))
+	return nil
+}
+
+// ---- checkpoint / close ---------------------------------------------------
+
+// Checkpoint writes a fresh snapshot of the current graph, rotates to a
+// new WAL generation, and prunes files older than the previous
+// generation (two generations are retained so recovery can fall back
+// across one snapshot's bit rot). Must not run concurrently with graph
+// mutations (see Store).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("storage: store is closed")
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	newSeq := s.seq + 1
+	snapPath := filepath.Join(s.dir, snapName(newSeq))
+	if err := SaveSnapshot(snapPath, s.g); err != nil {
+		return err
+	}
+	wal, err := createWAL(filepath.Join(s.dir, walName(newSeq)), s.opts.Fsync)
+	if err != nil {
+		// Roll back the snapshot so recovery never prefers a generation
+		// whose log the still-active old WAL is quietly outrunning.
+		os.Remove(snapPath)
+		return err
+	}
+	if err := s.wal.sync(); err != nil {
+		wal.close()
+		os.Remove(filepath.Join(s.dir, walName(newSeq)))
+		os.Remove(snapPath)
+		return err
+	}
+	s.wal.close()
+	s.wal = wal
+	oldSeq := s.seq
+	s.seq = newSeq
+	s.pruneBelow(oldSeq)
+	s.nCheckpts.Add(1)
+	return nil
+}
+
+// pruneBelow best-effort removes snapshot/WAL generations older than
+// keep (errors are ignored: stale files cost disk, not correctness).
+func (s *Store) pruneBelow(keep uint64) {
+	snaps, wals, err := scanDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, q := range snaps {
+		if q < keep {
+			os.Remove(filepath.Join(s.dir, snapName(q)))
+		}
+	}
+	for _, q := range wals {
+		if q < keep {
+			os.Remove(filepath.Join(s.dir, walName(q)))
+		}
+	}
+}
+
+// Close syncs and closes the WAL and detaches the store from the
+// graph. The graph stays usable in memory; further mutations are
+// simply no longer persisted.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.g.SetObserver(nil)
+	err := s.wal.sync()
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}

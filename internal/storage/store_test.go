@@ -1,0 +1,370 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// testSchema covers every attribute type on both vertices and edges.
+func testSchema(t testing.TB) *graph.Schema {
+	t.Helper()
+	s := graph.NewSchema()
+	if _, err := s.AddVertexType("Person",
+		graph.AttrDef{Name: "name", Type: graph.AttrString},
+		graph.AttrDef{Name: "age", Type: graph.AttrInt},
+		graph.AttrDef{Name: "score", Type: graph.AttrFloat},
+		graph.AttrDef{Name: "joined", Type: graph.AttrDatetime},
+		graph.AttrDef{Name: "active", Type: graph.AttrBool},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddVertexType("City", graph.AttrDef{Name: "name", Type: graph.AttrString}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("Knows", true, graph.AttrDef{Name: "since", Type: graph.AttrInt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("Near", false); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func emptyInit(t testing.TB) func() (*graph.Graph, error) {
+	return func() (*graph.Graph, error) { return graph.New(testSchema(t)), nil }
+}
+
+// mutation is one replayable graph operation; the crash tests re-apply
+// prefixes of a mutation history to compute the expected post-recovery
+// state.
+type mutation func(g *graph.Graph) error
+
+// mutationHistory is a fixed mixed workload over testSchema: vertex
+// inserts of both types, directed and undirected edges (incl. a self
+// loop), and attribute updates.
+func mutationHistory() []mutation {
+	var ms []mutation
+	addPerson := func(key string, age int64) mutation {
+		return func(g *graph.Graph) error {
+			_, err := g.AddVertex("Person", key, map[string]value.Value{
+				"name":   value.NewString("n-" + key),
+				"age":    value.NewInt(age),
+				"score":  value.NewFloat(float64(age) / 3),
+				"joined": value.NewDatetime(1500000000 + age),
+				"active": value.NewBool(age%2 == 0),
+			})
+			return err
+		}
+	}
+	addCity := func(key string) mutation {
+		return func(g *graph.Graph) error {
+			_, err := g.AddVertex("City", key, map[string]value.Value{"name": value.NewString(key)})
+			return err
+		}
+	}
+	knows := func(a, b graph.VID, since int64) mutation {
+		return func(g *graph.Graph) error {
+			_, err := g.AddEdge("Knows", a, b, map[string]value.Value{"since": value.NewInt(since)})
+			return err
+		}
+	}
+	near := func(a, b graph.VID) mutation {
+		return func(g *graph.Graph) error {
+			_, err := g.AddEdge("Near", a, b, nil)
+			return err
+		}
+	}
+	setAttr := func(v graph.VID, name string, val value.Value) mutation {
+		return func(g *graph.Graph) error { return g.SetVertexAttr(v, name, val) }
+	}
+	for i, key := range []string{"ann", "bob", "cid", "dee", "eve"} {
+		ms = append(ms, addPerson(key, int64(20+i)))
+	}
+	ms = append(ms,
+		addCity("rome"), addCity("oslo"),
+		knows(0, 1, 2001), knows(1, 2, 2002), knows(2, 0, 2003), knows(3, 4, 2004),
+		near(5, 6), near(6, 5), near(5, 5), // incl. parallel + self loop
+		setAttr(0, "name", value.NewString("Ann Renamed")),
+		setAttr(1, "age", value.NewInt(99)),
+		setAttr(2, "score", value.NewFloat(3.75)),
+		setAttr(3, "active", value.NewBool(true)),
+		setAttr(4, "joined", value.NewDatetime(1700000000)),
+		knows(4, 0, 2005),
+		addPerson("fay", 31),
+		knows(7, 7, 2006), // self loop, directed
+		setAttr(7, "name", value.NewString("Fay")),
+	)
+	return ms
+}
+
+// applyPrefix replays the first n history mutations onto a fresh graph.
+func applyPrefix(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(testSchema(t))
+	for i, m := range mutationHistory()[:n] {
+		if err := m(g); err != nil {
+			t.Fatalf("history[%d]: %v", i, err)
+		}
+	}
+	return g
+}
+
+// graphSig returns a canonical byte signature of the full graph state —
+// the snapshot encoding, which covers schema, every vertex (type, key,
+// attrs in order) and every edge (type, endpoints, attrs in order).
+func graphSig(t testing.TB, g *graph.Graph) []byte {
+	t.Helper()
+	data, err := EncodeSnapshot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestFreshOpenPersistsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovered() {
+		t.Error("fresh store reports Recovered")
+	}
+	hist := mutationHistory()
+	for i, m := range hist {
+		if err := m(st.Graph()); err != nil {
+			t.Fatalf("mutation %d: %v", i, err)
+		}
+	}
+	stats := st.Stats()
+	if stats.WALRecords != uint64(len(hist)) {
+		t.Errorf("WALRecords = %d, want %d", stats.WALRecords, len(hist))
+	}
+	if stats.WALBytes == 0 || stats.Checkpoints != 1 || stats.Recoveries != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	want := graphSig(t, st.Graph())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{Init: func() (*graph.Graph, error) {
+		t.Fatal("Init called on recovery")
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if !st2.Recovered() {
+		t.Error("reopen did not report Recovered")
+	}
+	if s2 := st2.Stats(); s2.Recoveries != 1 || s2.ReplayedRecords != uint64(len(hist)) {
+		t.Errorf("recovery stats = %+v, want %d replayed", s2, len(hist))
+	}
+	if got := graphSig(t, st2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("recovered graph differs from pre-close graph")
+	}
+	// The recovered graph keeps accepting and persisting mutations.
+	if _, err := st2.Graph().AddVertex("City", "kyiv", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Stats().WALRecords != 1 {
+		t.Errorf("post-recovery WALRecords = %d, want 1", st2.Stats().WALRecords)
+	}
+}
+
+func TestCheckpointRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := mutationHistory()
+	half := len(hist) / 2
+	for _, m := range hist[:half] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range hist[half:] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Checkpoints; got != 3 { // initial + 2 explicit
+		t.Errorf("Checkpoints = %d, want 3", got)
+	}
+	want := graphSig(t, st.Graph())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two generations retained (2 and 3); generation 1 pruned.
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0] != 2 || snaps[1] != 3 {
+		t.Errorf("snapshots after prune: %v, want [2 3]", snaps)
+	}
+	if len(wals) != 2 || wals[0] != 2 || wals[1] != 3 {
+		t.Errorf("WALs after prune: %v, want [2 3]", wals)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	// Everything is in snapshot 3; nothing to replay.
+	if s := st2.Stats(); s.ReplayedRecords != 0 {
+		t.Errorf("replayed %d records after clean checkpoint", s.ReplayedRecords)
+	}
+	if got := graphSig(t, st2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("recovered graph differs after checkpointed close")
+	}
+}
+
+// TestCorruptNewestSnapshotFallsBack flips bytes in the newest snapshot
+// and expects recovery to fall back one generation, replaying both that
+// generation's WAL and the newer one to reach the identical state.
+func TestCorruptNewestSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := mutationHistory()
+	half := len(hist) / 2
+	for _, m := range hist[:half] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil { // snapshot 2
+		t.Fatal(err)
+	}
+	for _, m := range hist[half:] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil { // snapshot 3, empty wal-3
+		t.Fatal(err)
+	}
+	want := graphSig(t, st.Graph())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the newest snapshot's midsection.
+	snap3 := filepath.Join(dir, snapName(3))
+	data, err := os.ReadFile(snap3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+8 && i < len(data); i++ {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(snap3, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if s := st2.Stats(); s.ReplayedRecords != uint64(len(hist)-half) {
+		t.Errorf("replayed %d records, want %d (wal-2 tail)", s.ReplayedRecords, len(hist)-half)
+	}
+	if got := graphSig(t, st2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("fallback recovery diverged from pre-crash state")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	// Fresh directory without Init.
+	if _, err := Open(t.TempDir(), Options{}); err == nil {
+		t.Error("fresh open without Init must error")
+	}
+	// WAL present without any snapshot → corrupt.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walName(1)), []byte(walMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Init: emptyInit(t)}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("WAL-only dir: err = %v, want ErrCorrupt", err)
+	}
+	// All snapshots corrupt with no fallback → corrupt.
+	dir2 := t.TempDir()
+	st, err := Open(dir2, Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	if err := os.WriteFile(filepath.Join(dir2, snapName(1)), []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("hopeless dir: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestClosedStoreRefusesCheckpoint(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err == nil {
+		t.Error("Checkpoint after Close must error")
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+	// The graph remains usable in memory, just unpersisted.
+	if _, err := st.Graph().AddVertex("City", "lima", nil); err != nil {
+		t.Errorf("in-memory mutation after Close: %v", err)
+	}
+}
+
+func TestFsyncOptionRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Init: emptyInit(t), Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mutationHistory()[:5] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := graphSig(t, st.Graph())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := graphSig(t, st2.Graph()); !bytes.Equal(got, want) {
+		t.Fatal("fsync store did not round-trip")
+	}
+}

@@ -1,0 +1,300 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// WAL file layout:
+//
+//	[8]byte magic "GSQLWAL1"
+//	records, back to back:
+//	  u32 payload length
+//	  u32 CRC32 (IEEE) of the payload
+//	  []byte payload — u8 opcode, then opcode-specific fields
+//
+// A record is the unit of atomicity. Replay scans records in order and
+// stops at the first frame that is short, oversized or fails its CRC —
+// the torn tail a crash mid-append leaves — truncating the file back to
+// the last intact record. A record that passes its CRC but cannot be
+// decoded or re-applied is a different animal entirely (real corruption
+// or a bug) and surfaces as ErrCorrupt rather than silent data loss.
+
+const (
+	walMagic = "GSQLWAL1"
+
+	opAddVertex     = 1
+	opAddEdge       = 2
+	opSetVertexAttr = 3
+
+	// maxWALRecord bounds a single record's payload; a length field
+	// beyond it is treated as torn framing, not an allocation request.
+	maxWALRecord = 1 << 28
+)
+
+// ---- record encoding ------------------------------------------------------
+
+func encodeAddVertex(typeName, key string, row []value.Value) ([]byte, error) {
+	e := &enc{}
+	e.u8(opAddVertex)
+	e.str(typeName)
+	e.str(key)
+	e.u16(uint16(len(row)))
+	for _, v := range row {
+		if err := e.val(v); err != nil {
+			return nil, err
+		}
+	}
+	return e.b, nil
+}
+
+func encodeAddEdge(typeName string, src, dst graph.VID, row []value.Value) ([]byte, error) {
+	e := &enc{}
+	e.u8(opAddEdge)
+	e.str(typeName)
+	e.u32(uint32(src))
+	e.u32(uint32(dst))
+	e.u16(uint16(len(row)))
+	for _, v := range row {
+		if err := e.val(v); err != nil {
+			return nil, err
+		}
+	}
+	return e.b, nil
+}
+
+func encodeSetVertexAttr(v graph.VID, name string, val value.Value) ([]byte, error) {
+	e := &enc{}
+	e.u8(opSetVertexAttr)
+	e.u32(uint32(v))
+	e.str(name)
+	if err := e.val(val); err != nil {
+		return nil, err
+	}
+	return e.b, nil
+}
+
+// applyRecord decodes one CRC-valid payload and re-applies it to g.
+// Every failure is ErrCorrupt: the frame was intact, so the content
+// must be as well.
+func applyRecord(g *graph.Graph, payload []byte) error {
+	d := &dec{b: payload}
+	switch op := d.u8("opcode"); op {
+	case opAddVertex:
+		typeName := d.str("vertex type name")
+		key := d.str("vertex key")
+		n := int(d.u16("attr count"))
+		if d.err != nil {
+			return d.err
+		}
+		vt := g.Schema.VertexType(typeName)
+		if vt == nil {
+			return fmt.Errorf("%w: AddVertex record names unknown type %q", ErrCorrupt, typeName)
+		}
+		if n != len(vt.Attrs) {
+			return fmt.Errorf("%w: AddVertex record has %d attrs, type %s declares %d", ErrCorrupt, n, typeName, len(vt.Attrs))
+		}
+		row := make([]value.Value, n)
+		for i := range row {
+			row[i] = d.val("vertex attr")
+		}
+		if err := d.done("AddVertex record"); err != nil {
+			return err
+		}
+		if _, err := g.AddVertex(typeName, key, attrMap(vt.Attrs, row)); err != nil {
+			return fmt.Errorf("%w: replaying AddVertex %s %q: %v", ErrCorrupt, typeName, key, err)
+		}
+	case opAddEdge:
+		typeName := d.str("edge type name")
+		src := graph.VID(d.u32("edge src"))
+		dst := graph.VID(d.u32("edge dst"))
+		n := int(d.u16("attr count"))
+		if d.err != nil {
+			return d.err
+		}
+		et := g.Schema.EdgeType(typeName)
+		if et == nil {
+			return fmt.Errorf("%w: AddEdge record names unknown type %q", ErrCorrupt, typeName)
+		}
+		if n != len(et.Attrs) {
+			return fmt.Errorf("%w: AddEdge record has %d attrs, type %s declares %d", ErrCorrupt, n, typeName, len(et.Attrs))
+		}
+		row := make([]value.Value, n)
+		for i := range row {
+			row[i] = d.val("edge attr")
+		}
+		if err := d.done("AddEdge record"); err != nil {
+			return err
+		}
+		if _, err := g.AddEdge(typeName, src, dst, attrMap(et.Attrs, row)); err != nil {
+			return fmt.Errorf("%w: replaying AddEdge %s (%d, %d): %v", ErrCorrupt, typeName, src, dst, err)
+		}
+	case opSetVertexAttr:
+		v := graph.VID(d.u32("vertex id"))
+		name := d.str("attr name")
+		val := d.val("attr value")
+		if err := d.done("SetVertexAttr record"); err != nil {
+			return err
+		}
+		if v < 0 || int(v) >= g.NumVertices() {
+			return fmt.Errorf("%w: SetVertexAttr record targets vertex %d of %d", ErrCorrupt, v, g.NumVertices())
+		}
+		if err := g.SetVertexAttr(v, name, val); err != nil {
+			return fmt.Errorf("%w: replaying SetVertexAttr %d.%s: %v", ErrCorrupt, v, name, err)
+		}
+	default:
+		return fmt.Errorf("%w: unknown WAL opcode %d", ErrCorrupt, op)
+	}
+	return nil
+}
+
+// ---- replay ---------------------------------------------------------------
+
+// walScan is the outcome of replaying one WAL file.
+type walScan struct {
+	records  int   // intact records applied
+	validLen int64 // file offset just past the last intact record
+	torn     bool  // a torn tail was found (and stops the scan)
+}
+
+// replayWAL applies every intact record of the WAL at path to g and
+// reports how far the intact prefix extends. A missing file counts as
+// an empty log. The file is not modified; the caller decides whether
+// to truncate (only the active, newest log is).
+func replayWAL(path string, g *graph.Graph) (walScan, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return walScan{validLen: int64(len(walMagic))}, nil
+	}
+	if err != nil {
+		return walScan{}, err
+	}
+	if len(data) < len(walMagic) {
+		// Crash before the header hit the disk: an empty log.
+		return walScan{validLen: int64(len(walMagic)), torn: true}, nil
+	}
+	if string(data[:len(walMagic)]) != walMagic {
+		return walScan{}, fmt.Errorf("%w: %s: bad WAL magic", ErrCorrupt, path)
+	}
+	scan := walScan{validLen: int64(len(walMagic))}
+	off := len(walMagic)
+	for off < len(data) {
+		if len(data)-off < 8 {
+			scan.torn = true
+			return scan, nil
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxWALRecord || len(data)-off-8 < plen {
+			scan.torn = true
+			return scan, nil
+		}
+		payload := data[off+8 : off+8+plen]
+		if crc32.ChecksumIEEE(payload) != sum {
+			scan.torn = true
+			return scan, nil
+		}
+		if err := applyRecord(g, payload); err != nil {
+			return scan, fmt.Errorf("%s record %d: %w", path, scan.records, err)
+		}
+		off += 8 + plen
+		scan.records++
+		scan.validLen = int64(off)
+	}
+	return scan, nil
+}
+
+// ---- writer ---------------------------------------------------------------
+
+// walWriter appends framed records to an open WAL file. Each record is
+// written with a single Write call so the kernel sees whole frames;
+// durability beyond the OS cache is governed by the fsync flag (every
+// append) and sync() (checkpoint/close).
+type walWriter struct {
+	f     *os.File
+	fsync bool
+}
+
+// createWAL creates a fresh log at path (failing if one exists — the
+// rotation scheme never reuses a sequence number) and syncs its header.
+func createWAL(path string, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, fsync: fsync}, nil
+}
+
+// openWAL opens an existing log for appending after recovery truncated
+// it to validLen (which includes the magic header). A log whose header
+// never made it to disk is rebuilt in place.
+func openWAL(path string, validLen int64, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < int64(len(walMagic)) {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		validLen = int64(len(walMagic))
+	} else if st.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, fsync: fsync}, nil
+}
+
+// append frames and writes one record payload, returning the bytes
+// added to the file.
+func (w *walWriter) append(payload []byte) (int, error) {
+	frame := make([]byte, 0, 8+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, err
+	}
+	if w.fsync {
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return len(frame), nil
+}
+
+func (w *walWriter) sync() error  { return w.f.Sync() }
+func (w *walWriter) close() error { return w.f.Close() }
