@@ -83,7 +83,7 @@ func (s *session) exec(line string) bool {
   \queries             list installed queries
   \stats               graph size and epoch
   \save PATH           write the graph as a snapshot file
-  \load PATH           replace the graph from a snapshot file
+  \load PATH           replace the graph from a snapshot file (unavailable with -data-dir)
   \checkpoint          snapshot + rotate the -data-dir store
   \quit                exit
 `)
@@ -137,6 +137,13 @@ func (s *session) exec(line string) bool {
 	case `\load`:
 		if len(args) != 1 {
 			fmt.Fprintln(s.out, `error: \load PATH`)
+			break
+		}
+		if s.st != nil {
+			// The store observes the graph it was opened with; swapping
+			// in a loaded graph would leave \checkpoint persisting the
+			// stale pre-load state while \stats shows the new one.
+			fmt.Fprintln(s.out, `error: \load is unavailable while a -data-dir store is open (its checkpoints track the original graph)`)
 			break
 		}
 		g, err := storage.LoadSnapshot(args[0])

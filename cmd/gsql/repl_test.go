@@ -100,11 +100,22 @@ func TestREPLCheckpointAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer st.Close()
-	out = runREPL(t, st.Graph(), st, `\checkpoint`)
+	snap := filepath.Join(t.TempDir(), "g.gsnap")
+	out = runREPL(t, st.Graph(), st,
+		`\checkpoint`,
+		`\save `+snap,
+		`\load `+snap,
+	)
 	if !strings.Contains(out, "checkpoint 2 written to "+dir) {
 		t.Fatalf("missing checkpoint echo:\n%s", out)
 	}
 	if st.Stats().Checkpoints != 2 {
 		t.Fatalf("store saw %d checkpoints, want 2", st.Stats().Checkpoints)
+	}
+	// \load must refuse while the store is open: the store keeps
+	// observing (and checkpointing) the original graph, so a swap would
+	// silently diverge what \stats shows from what gets persisted.
+	if !strings.Contains(out, `\load is unavailable while a -data-dir store is open`) {
+		t.Fatalf("missing \\load refusal:\n%s", out)
 	}
 }

@@ -203,19 +203,25 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: "bad_attrs"})
 		return
 	}
+	// Endpoint resolution reads the key index, which handleAddVertex
+	// writes; both lookups and the insert share one exclusive section so
+	// a concurrent vertex POST can neither race the map nor invalidate a
+	// resolved VID before the edge lands.
+	s.gmu.Lock()
 	src, ok := g.VertexByKey(req.Src.Type, req.Src.Key)
 	if !ok {
+		s.gmu.Unlock()
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Src.Type, req.Src.Key), Code: "unknown_vertex"})
 		return
 	}
 	dst, ok := g.VertexByKey(req.Dst.Type, req.Dst.Key)
 	if !ok {
+		s.gmu.Unlock()
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Dst.Type, req.Dst.Key), Code: "unknown_vertex"})
 		return
 	}
-	s.gmu.Lock()
 	id, err := g.AddEdge(req.Type, src, dst, attrs)
 	resp := mutationResponse{ID: int64(id),
 		Vertices: g.NumVertices(), Edges: g.NumEdges(), Epoch: g.Epoch()}

@@ -264,8 +264,8 @@ func TestConcurrentMutationsAndRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const writers, readers, perWorker = 4, 4, 20
-	errs := make(chan error, writers+readers)
+	const writers, edgers, readers, perWorker = 4, 2, 4, 20
+	errs := make(chan error, writers+edgers+readers)
 	for w := 0; w < writers; w++ {
 		go func(w int) {
 			for i := 0; i < perWorker; i++ {
@@ -274,6 +274,25 @@ func TestConcurrentMutationsAndRuns(t *testing.T) {
 				})
 				if resp.StatusCode != http.StatusCreated {
 					errs <- fmt.Errorf("writer %d: %d %s", w, resp.StatusCode, body)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	// Edge inserts resolve endpoints through the key index the vertex
+	// writers are growing — the lookup-vs-insert race lives (lived) here.
+	for w := 0; w < edgers; w++ {
+		go func(w int) {
+			for i := 0; i < perWorker; i++ {
+				resp, body := postJSON(t, ts.URL+"/graph/edges", map[string]any{
+					"type": "Knows",
+					"src":  map[string]string{"type": "Person", "key": "seed"},
+					"dst":  map[string]string{"type": "Person", "key": "seed"},
+					"attrs": map[string]any{"since": i},
+				})
+				if resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Errorf("edger %d: %d %s", w, resp.StatusCode, body)
 					return
 				}
 			}
@@ -292,13 +311,16 @@ func TestConcurrentMutationsAndRuns(t *testing.T) {
 			errs <- nil
 		}(r)
 	}
-	for i := 0; i < writers+readers; i++ {
+	for i := 0; i < writers+edgers+readers; i++ {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
 	}
 	if got := st.Graph().NumVertices(); got != 1+writers*perWorker {
 		t.Fatalf("graph has %d vertices, want %d", got, 1+writers*perWorker)
+	}
+	if got := st.Graph().NumEdges(); got != edgers*perWorker {
+		t.Fatalf("graph has %d edges, want %d", got, edgers*perWorker)
 	}
 	_ = srv.Shutdown(context.Background())
 	if err := st.Close(); err != nil {
@@ -313,5 +335,8 @@ func TestConcurrentMutationsAndRuns(t *testing.T) {
 	defer st2.Close()
 	if got := st2.Graph().NumVertices(); got != 1+writers*perWorker {
 		t.Fatalf("recovered %d vertices, want %d", got, 1+writers*perWorker)
+	}
+	if got := st2.Graph().NumEdges(); got != edgers*perWorker {
+		t.Fatalf("recovered %d edges, want %d", got, edgers*perWorker)
 	}
 }

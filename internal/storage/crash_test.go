@@ -167,6 +167,73 @@ func TestCrashRecoveryCorruptMidRecord(t *testing.T) {
 	}
 }
 
+// TestTornNonActiveWALRefusesRecovery: a torn tail is only legitimate
+// in the newest WAL (the one being appended at crash time). When the
+// newest snapshot is rotted and fallback replay crosses an OLDER log
+// with a torn tail, records are missing from the middle of history —
+// recovery must refuse with ErrCorrupt rather than splice the later
+// generation onto the intact prefix and present a state that never
+// existed.
+func TestTornNonActiveWALRefusesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Init: emptyInit(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := mutationHistory()
+	half := len(hist) / 2
+	for _, m := range hist[:half] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil { // snapshot 2; wal-2 gets the tail
+		t.Fatal(err)
+	}
+	for _, m := range hist[half:] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(); err != nil { // snapshot 3, empty wal-3
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot snapshot 3 so recovery falls back to snapshot 2 and must
+	// replay wal-2 (non-active) then wal-3 (active).
+	snap3 := filepath.Join(dir, snapName(3))
+	data, err := os.ReadFile(snap3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+8 && i < len(data); i++ {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(snap3, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Tear wal-2's last record mid-frame.
+	wal2 := filepath.Join(dir, walName(2))
+	walData, err := os.ReadFile(wal2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := recordBoundaries(t, walData)
+	if len(bounds) < 2 {
+		t.Fatalf("wal-2 has no records to tear")
+	}
+	if err := os.Truncate(wal2, int64(bounds[len(bounds)-1]-3)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn non-active WAL: err = %v, want ErrCorrupt", err)
+	}
+}
+
 // TestReplayRejectsSemanticallyImpossibleRecord: a record whose frame
 // and CRC are intact but whose content cannot be re-applied (here: a
 // duplicate key insert that the original writer could never have

@@ -168,6 +168,15 @@ func (s *Store) recover(snaps, wals []uint64) error {
 		if err != nil {
 			return err
 		}
+		if scan.torn && w != active {
+			// A non-newest log was sealed by a checkpoint's sync before
+			// its successor existed, so a torn tail here means records
+			// were lost from the *middle* of history. Replaying later
+			// generations on top would fabricate a merged state that
+			// never existed; refuse instead.
+			return fmt.Errorf("%w: %s: torn record in a non-active WAL (generation %d, newest is %d)",
+				ErrCorrupt, filepath.Join(s.dir, walName(w)), w, active)
+		}
 		s.nReplayed.Add(uint64(scan.records))
 		if w == active {
 			activeScan = scan
