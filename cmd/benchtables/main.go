@@ -18,10 +18,12 @@
 // the convention is `-json BENCH_csr.json` for the kernel suite,
 // `-json BENCH_server.json -suite server` for the serving path,
 // `-json BENCH_expand.json -suite expand` for the pattern-expansion
-// pipeline and `-json BENCH_storage.json -suite storage` for the
-// durability layer (snapshot codec MB/s, WAL append, recovery replay),
-// all committed so the perf trajectory is tracked across PRs. An
-// unknown -suite fails immediately, before any table work.
+// pipeline, `-json BENCH_storage.json -suite storage` for the
+// durability layer (snapshot codec MB/s, WAL append, recovery replay)
+// and `-json BENCH_trace.json -suite trace` for the tracing overhead
+// guard (disabled vs enabled runs plus span primitives), all committed
+// so the perf trajectory is tracked across PRs. An unknown -suite
+// fails immediately, before any table work.
 package main
 
 import (
@@ -46,7 +48,7 @@ func main() {
 	reps := flag.Int("reps", 5, "Appendix B repetitions per query (median reported)")
 	seed := flag.Int64("seed", 7, "generator seed")
 	jsonPath := flag.String("json", "", "write microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
-	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand | storage")
+	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand | storage | trace")
 	flag.Parse()
 
 	// Validate the suite name up front, whether or not -json was given:
@@ -61,8 +63,10 @@ func main() {
 		jsonWrite = bench.WriteExpandJSON
 	case "storage":
 		jsonWrite = bench.WriteStorageJSON
+	case "trace":
+		jsonWrite = bench.WriteTraceJSON
 	default:
-		log.Fatalf("unknown -suite %q (kernel|server|expand|storage)", *suite)
+		log.Fatalf("unknown -suite %q (kernel|server|expand|storage|trace)", *suite)
 	}
 
 	sfList, err := parseFloats(*sfs)

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +34,7 @@ import (
 	"gsqlgo/internal/ldbc"
 	"gsqlgo/internal/match"
 	"gsqlgo/internal/storage"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -49,6 +51,7 @@ func main() {
 	interactive := flag.Bool("i", false, `interactive meta-command loop (\help lists commands)`)
 	queryFile := flag.String("query", "", "GSQL source file to install")
 	run := flag.String("run", "", "query name to run")
+	profile := flag.Bool("profile", false, "trace the -run query and print an EXPLAIN ANALYZE span tree after the result")
 	semantics := flag.String("semantics", "asp", "path semantics: asp | nre | nrv | exists")
 	workers := flag.Int("workers", 0, "ACCUM workers (0 = GOMAXPROCS)")
 	var args argList
@@ -121,11 +124,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := e.Run(*run, argVals)
+	ctx := context.Background()
+	var root *trace.Span
+	if *profile {
+		root = trace.New("query")
+		ctx = trace.NewContext(ctx, root)
+	}
+	res, err := e.RunCtx(ctx, *run, argVals)
+	root.End()
 	if err != nil {
 		log.Fatal(err)
 	}
 	printResult(res)
+	if root != nil {
+		fmt.Println()
+		trace.Render(os.Stdout, root)
+	}
 	closeStore(st, *checkpoint)
 }
 

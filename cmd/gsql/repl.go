@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"gsqlgo/internal/core"
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/storage"
+	"gsqlgo/internal/trace"
 )
 
 // The interactive mode (-i) is a meta-command loop in the psql style:
@@ -80,6 +82,8 @@ func (s *session) exec(line string) bool {
 		fmt.Fprint(s.out, `commands:
   \install FILE        install GSQL queries from FILE
   \run NAME [a=v ...]  run an installed query (arg syntax as -arg)
+  \profile NAME [a=v ...]  run with EXPLAIN ANALYZE: span tree with actual times
+  \explain NAME        show the evaluation plan without running
   \queries             list installed queries
   \stats               graph size and epoch
   \save PATH           write the graph as a snapshot file
@@ -123,6 +127,38 @@ func (s *session) exec(line string) bool {
 			break
 		}
 		fprintResult(s.out, res)
+	case `\profile`:
+		if len(args) < 1 {
+			fmt.Fprintln(s.out, `error: \profile NAME [arg=value ...]`)
+			break
+		}
+		argVals, err := parseArgs(s.g, argList(args[1:]))
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		root := trace.New("query")
+		ctx := trace.NewContext(context.Background(), root)
+		res, err := s.e.RunCtx(ctx, args[0], argVals)
+		root.End()
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		fprintResult(s.out, res)
+		fmt.Fprintln(s.out)
+		trace.Render(s.out, root)
+	case `\explain`:
+		if len(args) != 1 {
+			fmt.Fprintln(s.out, `error: \explain NAME`)
+			break
+		}
+		plan, err := s.e.Explain(args[0])
+		if err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprint(s.out, plan)
 	case `\save`:
 		if len(args) != 1 {
 			fmt.Fprintln(s.out, `error: \save PATH`)

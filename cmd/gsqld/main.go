@@ -9,6 +9,15 @@
 //	curl -sS localhost:8844/queries --data-binary @q.gsql
 //	curl -sS localhost:8844/queries/TopProducts/run -d '{"params":{"k":5}}'
 //
+// Observability: append ?trace=1 to a run (or mutation) to get the
+// span tree inline in the response; recent traces are retained at GET
+// /debug/traces. -slow-query-ms N arms the slow-query log — every run
+// is traced and those at or over the threshold emit a structured warn
+// record with per-stage timings. -debug-addr starts a second listener
+// serving net/http/pprof (kept off the query port so profiling is
+// never exposed by accident). Logs are structured (log/slog); -log-json
+// switches them from text to JSON.
+//
 // With -data-dir the graph is durable: mutations posted to
 // /graph/vertices and /graph/edges are write-ahead-logged before they
 // are acknowledged, POST /admin/checkpoint snapshots and rotates the
@@ -25,8 +34,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +54,11 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8844", "listen address")
+	debugAddr := flag.String("debug-addr", "", "listen address for a separate pprof/debug server (off when empty)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	slowMs := flag.Int64("slow-query-ms", 0, "slow-query log threshold in ms (0 = off); arming it traces every run")
+	traceRing := flag.Int("trace-ring", 0, "how many recent traces /debug/traces retains (0 = default 64)")
 	dataDir := flag.String("data-dir", "", "durable store directory (snapshots + WAL); recovered on start, seeded from -data/-builtin on first boot")
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every mutation (durable against power loss, not just crashes)")
 	data := flag.String("data", "", "directory with schema.json and CSV files (from snbgen or DumpCSV)")
@@ -58,6 +73,17 @@ func main() {
 	drainWait := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight runs")
 	flag.Parse()
 
+	logger, err := buildLogger(*logJSON, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
 	var g *graph.Graph
 	var store *storage.Store
 	if *dataDir != "" {
@@ -69,76 +95,117 @@ func main() {
 			Init:  func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal("opening store", err)
 		}
 		store = st
 		g = st.Graph()
 		stats := st.Stats()
 		if st.Recovered() {
-			log.Printf("recovered store %s: %d vertices, %d WAL records replayed",
-				*dataDir, g.NumVertices(), stats.ReplayedRecords)
+			logger.Info("recovered store", "dir", *dataDir,
+				"vertices", g.NumVertices(), "wal_records_replayed", stats.ReplayedRecords)
 		} else {
-			log.Printf("initialized store %s: %d vertices", *dataDir, g.NumVertices())
+			logger.Info("initialized store", "dir", *dataDir, "vertices", g.NumVertices())
 		}
 	} else {
 		var err error
 		g, err = loadGraph(*data, *builtin)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading graph", err)
 		}
 	}
 	sem, err := parseSemantics(*semantics)
 	if err != nil {
-		log.Fatal(err)
+		fatal("parsing -semantics", err)
 	}
 	eng := core.New(g, core.Options{Semantics: sem, Workers: *workers})
 	if *queryFile != "" {
 		src, err := os.ReadFile(*queryFile)
 		if err != nil {
-			log.Fatal(err)
+			fatal("reading -query file", err)
 		}
 		if err := eng.Install(string(src)); err != nil {
-			log.Fatal(err)
+			fatal("installing -query file", err)
 		}
-		log.Printf("pre-installed queries: %s", strings.Join(eng.Queries(), ", "))
+		logger.Info("pre-installed queries", "queries", eng.Queries())
 	}
 
 	srv := server.New(server.Config{
-		Engine:         eng,
-		Store:          store,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		MaxConcurrent:  *maxConcurrent,
-		MaxQueue:       *maxQueue,
+		Engine:             eng,
+		Store:              store,
+		DefaultTimeout:     *defTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueue:           *maxQueue,
+		Logger:             logger,
+		SlowQueryThreshold: time.Duration(*slowMs) * time.Millisecond,
+		TraceRingSize:      *traceRing,
 	})
 	srv.PublishExpvar("gsqld")
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("gsqld listening on %s (%d vertices, %d workers)",
-		*addr, g.NumVertices(), eng.Workers())
+	logger.Info("gsqld listening", "addr", *addr,
+		"vertices", g.NumVertices(), "workers", eng.Workers(),
+		"slow_query_ms", *slowMs, "debug_addr", *debugAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		fatal("serving", err)
 	case s := <-sig:
-		log.Printf("received %v, draining (up to %v)", s, *drainWait)
+		logger.Info("signal received, draining", "signal", s.String(), "drain_wait", *drainWait)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "error", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if store != nil {
 		if err := store.Close(); err != nil {
-			log.Printf("closing store: %v", err)
+			logger.Warn("closing store", "error", err)
 		}
+	}
+}
+
+func buildLogger(asJSON bool, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("unknown -log-level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
+}
+
+// serveDebug runs net/http/pprof on its own listener with an explicit
+// mux, so profiling endpoints never ride on the query port (the blank
+// import would register them on http.DefaultServeMux — which gsqld
+// never serves — but keeping registration explicit makes that
+// guarantee visible).
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("debug server listening", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("debug server", "error", err)
 	}
 }
 

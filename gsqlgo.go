@@ -23,12 +23,14 @@ package gsqlgo
 import (
 	"context"
 	"errors"
+	"io"
 
 	"gsqlgo/internal/accum"
 	"gsqlgo/internal/core"
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/match"
 	"gsqlgo/internal/storage"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -213,6 +215,36 @@ func (db *DB) InstallAndRun(src string, args map[string]Value) (*Result, error) 
 func (db *DB) InstallAndRunCtx(ctx context.Context, src string, args map[string]Value) (*Result, error) {
 	return db.e.InstallAndRunCtx(ctx, src, args)
 }
+
+// Span re-exports the execution-trace span type: a named, timed tree
+// with attributes, produced when a run executes under a traced
+// context (see RunProfiled).
+type Span = trace.Span
+
+// NewTraceContext derives a context that carries root; RunCtx under
+// it records spans for every execution phase (parse, DFA compile,
+// each hop, ACCUM/POST-ACCUM) into the tree. Result.Profile points at
+// the same root. End the root yourself when the run returns.
+func NewTraceContext(ctx context.Context, root *Span) context.Context {
+	return trace.NewContext(ctx, root)
+}
+
+// RunProfiled executes an installed query with tracing enabled and
+// returns the finished span tree alongside the result. Render it with
+// RenderTrace for an EXPLAIN ANALYZE-style view, or marshal it to
+// JSON. The profile is returned even when the run fails, so error
+// paths can still be timed.
+func (db *DB) RunProfiled(name string, args map[string]Value) (*Result, *Span, error) {
+	root := trace.New("query")
+	res, err := db.e.RunCtx(trace.NewContext(context.Background(), root), name, args)
+	root.End()
+	return res, root, err
+}
+
+// RenderTrace writes an EXPLAIN ANALYZE-style rendering of a span
+// tree: one line per span with actual time and attributes, children
+// indented with tree glyphs.
+func RenderTrace(w io.Writer, root *Span) { trace.Render(w, root) }
 
 // Queries lists installed query names.
 func (db *DB) Queries() []string { return db.e.Queries() }

@@ -17,6 +17,9 @@ type RunMeta struct {
 	// Commit is the repo HEAD at measurement time (short hash; empty
 	// when the caller could not resolve it).
 	Commit string `json:"commit,omitempty"`
+	// Notes is free-form suite-supplied context for readers of the
+	// artifact (e.g. which committed baseline a case compares against).
+	Notes string `json:"notes,omitempty"`
 }
 
 // CurrentMeta captures the running process's environment. The commit

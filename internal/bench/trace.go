@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/trace"
+)
+
+// traceSuite quantifies what the observability layer costs. The
+// headline pair is Trace/run/disabled vs Trace/run/enabled: the same
+// engine, the same counted-hop query (the expand suite's FriendReach),
+// once under a bare context (spans off — every instrumentation point
+// degrades to a nil check) and once under a traced context (a full
+// span tree built per run). The acceptance bar is disabled-vs-baseline
+// overhead under 5%; since the only code the instrumentation added to
+// the untraced path is nil-receiver branches, the disabled number IS
+// the post-change baseline — compare it against the same workload in
+// BENCH_expand.json (Expand/counted/warmcache) measured before and
+// after. The span micro-cases price the primitives themselves.
+func traceSuite() []benchCase {
+	g := ldbc.Generate(ldbc.Config{SF: 0.2, Seed: 7})
+	eng := expandEngine(g, core.Options{})
+	// Prime so measured runs hit the count cache: steady-state serving
+	// cost, where per-span overhead is proportionally largest.
+	if _, err := eng.Run("FriendReach", nil); err != nil {
+		panic(err)
+	}
+	bg := context.Background()
+	runOnce := func(b *testing.B, ctx context.Context) {
+		if _, err := eng.RunCtx(ctx, "FriendReach", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return []benchCase{
+		{"Trace/run/disabled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runOnce(b, bg)
+			}
+		}},
+		{"Trace/run/enabled", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				root := trace.New("query")
+				runOnce(b, trace.NewContext(bg, root))
+				root.End()
+			}
+		}},
+		{"Trace/span/startEnd", func(b *testing.B) {
+			b.ReportAllocs()
+			root := trace.New("root")
+			for i := 0; i < b.N; i++ {
+				sp := root.Start("op")
+				sp.SetInt("rows", int64(i))
+				sp.End()
+			}
+		}},
+		{"Trace/span/nilStartEnd", func(b *testing.B) {
+			b.ReportAllocs()
+			var root *trace.Span
+			for i := 0; i < b.N; i++ {
+				sp := root.Start("op")
+				sp.SetInt("rows", int64(i))
+				sp.End()
+			}
+		}},
+		{"Trace/json", func(b *testing.B) {
+			b.ReportAllocs()
+			root := trace.New("query")
+			root.SetStr("query", "FriendReach")
+			if _, err := eng.RunCtx(trace.NewContext(bg, root), "FriendReach", nil); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+			for i := 0; i < b.N; i++ {
+				if _, err := root.MarshalJSON(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Trace/render", func(b *testing.B) {
+			b.ReportAllocs()
+			root := trace.New("query")
+			if _, err := eng.RunCtx(trace.NewContext(bg, root), "FriendReach", nil); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+			for i := 0; i < b.N; i++ {
+				var sb strings.Builder
+				trace.Render(&sb, root)
+			}
+		}},
+	}
+}
+
+// WriteTraceJSON runs the tracing-overhead benchmark suite and writes
+// the stamped Report to w (cmd/benchtables -json -suite trace,
+// conventionally BENCH_trace.json).
+func WriteTraceJSON(meta RunMeta, w, progress io.Writer) error {
+	meta.Notes = "Trace/run/disabled runs the same warm FriendReach workload as " +
+		"Expand/counted/warmcache in BENCH_expand.json — comparing the two bounds " +
+		"the overhead the instrumentation adds to untraced runs (acceptance: <5%). " +
+		"Trace/run/enabled vs Trace/run/disabled prices a full span tree per run."
+	return writeSuiteJSON(traceSuite(), meta, w, progress)
+}

@@ -26,6 +26,7 @@ import (
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/match"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -126,29 +127,30 @@ func (e *Engine) Queries() []string {
 	return out
 }
 
-// dfa compiles (with caching) the DFA for a DARPE. Compilation runs
-// outside the catalog mutex (double-checked insert) so one slow DARPE
-// determinization cannot stall concurrent Runs that only need cache
-// hits; a racing duplicate compile is harmless — deterministic input,
-// first insert wins.
-func (e *Engine) dfa(text string, expr darpe.Expr) (*darpe.DFA, error) {
+// dfa compiles (with caching) the DFA for a DARPE, reporting whether
+// the result came from the cache. Compilation runs outside the catalog
+// mutex (double-checked insert) so one slow DARPE determinization
+// cannot stall concurrent Runs that only need cache hits; a racing
+// duplicate compile is harmless — deterministic input, first insert
+// wins.
+func (e *Engine) dfa(text string, expr darpe.Expr) (d *darpe.DFA, cached bool, err error) {
 	e.mu.Lock()
 	d, ok := e.dfaCache[text]
 	e.mu.Unlock()
 	if ok {
-		return d, nil
+		return d, true, nil
 	}
-	d, err := darpe.CompileDFA(expr)
+	d, err = darpe.CompileDFA(expr)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if prior, ok := e.dfaCache[text]; ok {
-		return prior, nil
+		return prior, true, nil
 	}
 	e.dfaCache[text] = d
-	return d, nil
+	return d, false, nil
 }
 
 func (e *Engine) workers() int {
@@ -200,6 +202,11 @@ type Result struct {
 	Globals map[string]value.Value
 	// Stats carries run-level execution counters for observability.
 	Stats RunStats
+	// Profile is the run's span tree when the context carried a trace
+	// root (trace.NewContext); nil for untraced runs. The engine does
+	// not End the root — the caller that created it does, after which
+	// it can be rendered (trace.Render) or marshaled.
+	Profile *trace.Span
 }
 
 // RunStats aggregates execution counters over one run — the raw
@@ -236,21 +243,40 @@ func (e *Engine) Run(name string, args map[string]value.Value) (*Result, error) 
 // (including spawned workers) instead of leaking it. A run stopped by
 // the context returns an error satisfying errors.Is(err, ErrCancelled).
 func (e *Engine) RunCtx(ctx context.Context, name string, args map[string]value.Value) (*Result, error) {
+	// One context lookup per run: sp is nil for untraced runs, and every
+	// span operation below degrades to a pointer test.
+	sp := trace.FromContext(ctx)
+	sp.SetStr("query", name)
+	// The catalog holds pre-parsed queries (parse happened at Install),
+	// so the run's "parse" stage is the catalog lookup; cached=true
+	// records that the source text itself was not re-parsed.
+	psp := sp.Start("parse")
+	psp.SetBool("cached", true)
 	e.mu.Lock()
 	q, ok := e.queries[name]
 	e.mu.Unlock()
+	psp.End()
 	if !ok {
 		return nil, fmt.Errorf("core: %w: %q", ErrUnknownQuery, name)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: query %s: %w", name, cancelErr(ctx))
 	}
+	// bind covers parameter coercion and accumulator declaration/init.
+	bsp := sp.Start("bind")
 	rs, err := newRunState(e, q, args)
+	bsp.End()
 	if err != nil {
 		return nil, err
 	}
 	rs.ctx = ctx
 	rs.done = ctx.Done()
+	if sp != nil {
+		bsp.SetInt("params", int64(len(rs.params)))
+		sp.SetStr("semantics", rs.semantics.String())
+		rs.prof = sp
+		rs.res.Profile = sp
+	}
 	if _, err := rs.execStmts(q.Stmts); err != nil {
 		// Catch-all cancellation mapping: failures caused by the
 		// context expiring (wherever they surfaced) report as
@@ -275,6 +301,11 @@ func (e *Engine) InstallAndRun(src string, args map[string]value.Value) (*Result
 
 // InstallAndRunCtx is InstallAndRun under a context (see RunCtx).
 func (e *Engine) InstallAndRunCtx(ctx context.Context, src string, args map[string]value.Value) (*Result, error) {
+	// Unlike a run of an installed query, this path really parses
+	// source, so a traced call sees the true parse + validate cost
+	// under this span (the nested RunCtx adds its own cached "parse").
+	isp := trace.FromContext(ctx).Start("install")
+	defer isp.End()
 	f, err := gsql.Parse(src)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w: %w", ErrParse, err)
@@ -285,6 +316,7 @@ func (e *Engine) InstallAndRunCtx(ctx context.Context, src string, args map[stri
 	if err := e.Install(src); err != nil {
 		return nil, err
 	}
+	isp.End()
 	return e.RunCtx(ctx, f.Queries[0].Name, args)
 }
 

@@ -106,7 +106,7 @@ func expandOutcome(t *testing.T, g *graph.Graph, qsrc string, workers int) (stri
 	if err != nil {
 		t.Fatalf("runState: %v", err)
 	}
-	bt, err := rs.buildBindings(firstFrom(t, q))
+	bt, err := rs.buildBindings(firstFrom(t, q), nil)
 	if err != nil {
 		t.Fatalf("buildBindings (workers=%d): %v", workers, err)
 	}
@@ -168,7 +168,7 @@ func TestParallelExpansionCancellation(t *testing.T) {
 			}
 			rs.ctx = ctx
 			rs.done = ctx.Done()
-			if _, err := rs.buildBindings(firstFrom(t, q)); !errors.Is(err, ErrCancelled) {
+			if _, err := rs.buildBindings(firstFrom(t, q), nil); !errors.Is(err, ErrCancelled) {
 				t.Errorf("%s hop, workers %d: want ErrCancelled, got %v", kind, w, err)
 			}
 		}

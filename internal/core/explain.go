@@ -133,7 +133,7 @@ func (e *Engine) explainSelect(sb *strings.Builder, sel *gsql.SelectExpr, sem ma
 				strategy = sem.String()
 			}
 			states := "?"
-			if d, err := e.dfa(hop.DarpeText, hop.Darpe); err == nil {
+			if d, _, err := e.dfa(hop.DarpeText, hop.Darpe); err == nil {
 				states = fmt.Sprintf("%d", d.NumStates())
 			}
 			cache := "count cache off"

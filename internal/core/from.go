@@ -10,6 +10,7 @@ import (
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/match"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -229,10 +230,12 @@ func (bt *bindingTable) bindRow(en *env, r bindingRow) {
 
 // buildBindings evaluates the FROM clause into a binding table,
 // joining comma-separated path conjuncts on shared vertex aliases.
-func (rs *runState) buildBindings(from []gsql.PathPattern) (*bindingTable, error) {
+// sp is the enclosing SELECT's trace span (nil when untraced): each
+// hop and join attaches a child span to it.
+func (rs *runState) buildBindings(from []gsql.PathPattern, sp *trace.Span) (*bindingTable, error) {
 	var result *bindingTable
 	for i := range from {
-		bt, err := rs.evalPath(&from[i])
+		bt, err := rs.evalPath(&from[i], sp)
 		if err != nil {
 			return nil, err
 		}
@@ -240,10 +243,16 @@ func (rs *runState) buildBindings(from []gsql.PathPattern) (*bindingTable, error
 			result = bt
 			continue
 		}
+		jsp := sp.Start("join")
+		jsp.SetInt("left_rows", int64(len(result.rows)))
+		jsp.SetInt("right_rows", int64(len(bt.rows)))
 		joined, err := joinTables(result, bt)
 		if err != nil {
+			jsp.End()
 			return nil, err
 		}
+		jsp.SetInt("rows_out", int64(len(joined.rows)))
+		jsp.End()
 		result = joined
 	}
 	return result, nil
@@ -305,7 +314,7 @@ func (rs *runState) seedIDs(ref gsql.StepRef) ([]graph.VID, error) {
 	return nil, fmt.Errorf("FROM: %q is not a vertex type, vertex set or vertex parameter", ref.Name)
 }
 
-func (rs *runState) evalPath(pat *gsql.PathPattern) (*bindingTable, error) {
+func (rs *runState) evalPath(pat *gsql.PathPattern, sp *trace.Span) (*bindingTable, error) {
 	bt := newBindingTable()
 	// Relational-table conjunct (Example 1): binds one row per table
 	// row; graph hops cannot start from a relational alias.
@@ -335,8 +344,12 @@ func (rs *runState) evalPath(pat *gsql.PathPattern) (*bindingTable, error) {
 	}
 	for hi := range pat.Hops {
 		hop := &pat.Hops[hi]
+		hsp := sp.Start("hop")
+		hsp.SetStr("darpe", hop.DarpeText)
+		hsp.SetInt("rows_in", int64(len(bt.rows)))
 		filter, err := rs.makeTargetFilter(hop.Target)
 		if err != nil {
+			hsp.End()
 			return nil, err
 		}
 		// A repeated alias closes a cycle: filter for equality instead
@@ -349,11 +362,14 @@ func (rs *runState) evalPath(pat *gsql.PathPattern) (*bindingTable, error) {
 		sym, isSingle := hop.Darpe.(*darpe.Symbol)
 		var next []bindingRow
 		if isSingle {
-			next, err = rs.expandSingleHop(bt, hop, sym, curCol, boundCol, rebind, filter)
+			hsp.SetStr("kind", "adjacency")
+			next, err = rs.expandSingleHop(bt, hop, sym, curCol, boundCol, rebind, filter, hsp)
 		} else {
-			next, err = rs.expandCountedHop(bt, hop, curCol, boundCol, rebind, filter)
+			hsp.SetStr("kind", "counted")
+			next, err = rs.expandCountedHop(bt, hop, curCol, boundCol, rebind, filter, hsp)
 		}
 		if err != nil {
+			hsp.End()
 			return nil, err
 		}
 		bt.rows = next
@@ -365,6 +381,8 @@ func (rs *runState) evalPath(pat *gsql.PathPattern) (*bindingTable, error) {
 		if !isSingle {
 			bt.compress()
 		}
+		hsp.SetInt("rows_out", int64(len(bt.rows)))
+		hsp.End()
 	}
 	return bt, nil
 }
@@ -437,7 +455,7 @@ func shardRows(nRows, workers int, fn func(lo, hi int) ([]bindingRow, error)) ([
 
 // expandSingleHop binds one edge traversal by adjacency expansion,
 // sharded over binding rows across the engine's workers.
-func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.Symbol, curCol, boundCol int, rebind bool, filter targetFilter) ([]bindingRow, error) {
+func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.Symbol, curCol, boundCol int, rebind bool, filter targetFilter, hsp *trace.Span) ([]bindingRow, error) {
 	g := rs.e.g
 	var edgeCol = -1
 	if hop.EdgeAlias != "" {
@@ -454,6 +472,7 @@ func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.
 	rows := bt.rows
 	workers := rs.expandWorkers(len(rows))
 	rs.res.Stats.ExpandShards += int64(workers)
+	hsp.SetInt("shards", int64(workers))
 	return shardRows(len(rows), workers, func(lo, hi int) ([]bindingRow, error) {
 		next := make([]bindingRow, 0, hi-lo) // ≥1 expansion per row is the common case
 		for ri := lo; ri < hi; ri++ {
@@ -527,12 +546,17 @@ type reach struct {
 // then the misses in parallel across workers — build per-source reach
 // lists from the sparse Counts.Reached, and finally do the cheap
 // sharded row-expansion pass.
-func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, boundCol int, rebind bool, filter targetFilter) ([]bindingRow, error) {
+func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, boundCol int, rebind bool, filter targetFilter, hsp *trace.Span) ([]bindingRow, error) {
 	g := rs.e.g
-	d, err := rs.e.dfa(hop.DarpeText, hop.Darpe)
+	dsp := hsp.Start("dfa")
+	d, dfaCached, err := rs.e.dfa(hop.DarpeText, hop.Darpe)
 	if err != nil {
+		dsp.End()
 		return nil, err
 	}
+	dsp.SetBool("cached", dfaCached)
+	dsp.SetInt("states", int64(d.NumStates()))
+	dsp.End()
 	rows := bt.rows
 
 	// Distinct sources, in first-appearance row order so the parallel
@@ -562,8 +586,12 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 	}
 	rs.res.Stats.CountCacheHits += int64(len(sources) - len(missing))
 	rs.res.Stats.CountCacheMisses += int64(len(missing))
+	hsp.SetInt("sources", int64(len(sources)))
+	hsp.SetInt("cache_hits", int64(len(sources)-len(missing)))
+	hsp.SetInt("cache_misses", int64(len(missing)))
+	hsp.SetInt("sdmc_runs", int64(len(missing)))
 	if len(missing) > 0 {
-		if err := rs.countSources(hop, d, sources, missing, counts); err != nil {
+		if err := rs.countSources(hop, d, sources, missing, counts, hsp); err != nil {
 			return nil, err
 		}
 		rs.res.Stats.SDMCRuns += int64(len(missing))
@@ -590,6 +618,7 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 	// a multiply-and-append — shard it like a single hop.
 	workers := rs.expandWorkers(len(rows))
 	rs.res.Stats.ExpandShards += int64(workers)
+	hsp.SetInt("shards", int64(workers))
 	return shardRows(len(rows), workers, func(lo, hi int) ([]bindingRow, error) {
 		next := make([]bindingRow, 0, hi-lo)
 		for ri := lo; ri < hi; ri++ {
@@ -620,6 +649,13 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 	})
 }
 
+// maxSDMCSpans caps the per-kernel-invocation child spans one hop
+// records: a cold hop over a large seed set runs thousands of
+// single-source counts, and a trace that large helps nobody. The hop
+// span's sdmc_runs attribute always carries the true total; beyond the
+// cap, invocations run untraced and sdmc_spans_dropped says how many.
+const maxSDMCSpans = 16
+
 // countSources runs the cache-missed single-source count runs for one
 // counted hop, filling counts[i] for every i in missing. With more
 // than one missing source and worker, runs spread over goroutines in
@@ -628,8 +664,26 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 // observed at the kernel's own stride. Errors are reported in missing
 // order — the first failing source is the one the serial loop would
 // have failed on.
-func (rs *runState) countSources(hop *gsql.Hop, d *darpe.DFA, sources []graph.VID, missing []int, counts []*match.Counts) error {
+func (rs *runState) countSources(hop *gsql.Hop, d *darpe.DFA, sources []graph.VID, missing []int, counts []*match.Counts, hsp *trace.Span) error {
 	g := rs.e.g
+	// Span budget shared by the (possibly parallel) workers; spans
+	// attach to hsp concurrently, which Span.Start permits.
+	var spanBudget atomic.Int64
+	spanBudget.Store(maxSDMCSpans)
+	startKernelSpan := func(src graph.VID) *trace.Span {
+		if hsp == nil {
+			return nil
+		}
+		if spanBudget.Add(-1) < 0 {
+			return nil
+		}
+		ssp := hsp.Start("sdmc")
+		ssp.SetInt("src", int64(src))
+		return ssp
+	}
+	if hsp != nil && len(missing) > maxSDMCSpans {
+		hsp.SetInt("sdmc_spans_dropped", int64(len(missing)-maxSDMCSpans))
+	}
 	sem := rs.semantics
 	limits := rs.e.opts.EnumLimits
 	switch sem {
@@ -681,7 +735,9 @@ func (rs *runState) countSources(hop *gsql.Hop, d *darpe.DFA, sources []graph.VI
 			defer sc.Close()
 		}
 		for _, i := range missing {
+			ssp := startKernelSpan(sources[i])
 			c, err := countOne(sc, sources[i])
+			ssp.End()
 			if err != nil {
 				return err
 			}
@@ -708,7 +764,9 @@ func (rs *runState) countSources(hop *gsql.Hop, d *darpe.DFA, sources []graph.VI
 					return
 				}
 				i := missing[mi]
+				ssp := startKernelSpan(sources[i])
 				c, err := countOne(sc, sources[i])
+				ssp.End()
 				if err != nil {
 					errs[mi] = err
 					failed.Store(true)

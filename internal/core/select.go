@@ -8,6 +8,7 @@ import (
 	"gsqlgo/internal/accum"
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/gsql"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -16,28 +17,47 @@ import (
 // variable for the "S = SELECT v ..." form (empty for standalone
 // SELECT ... INTO blocks).
 func (rs *runState) runSelect(sel *gsql.SelectExpr, assignTo string) error {
-	bt, err := rs.buildBindings(sel.From)
+	sp := rs.prof.Start("select")
+	defer sp.End()
+	bt, err := rs.buildBindings(sel.From, sp)
 	if err != nil {
 		return err
 	}
 	if sel.Where != nil {
-		if err := rs.filterWhere(bt, sel.Where); err != nil {
+		wsp := sp.Start("where")
+		wsp.SetInt("rows_in", int64(len(bt.rows)))
+		err := rs.filterWhere(bt, sel.Where)
+		wsp.SetInt("rows_out", int64(len(bt.rows)))
+		wsp.End()
+		if err != nil {
 			return err
 		}
 	}
 	rs.res.Stats.Selects++
 	rs.res.Stats.BindingRows += int64(len(bt.rows))
+	sp.SetInt("binding_rows", int64(len(bt.rows)))
 	if len(sel.Accum) > 0 {
-		if err := rs.execAccumClause(sel.Accum, bt); err != nil {
+		asp := sp.Start("accum")
+		asp.SetInt("rows", int64(len(bt.rows)))
+		err := rs.execAccumClause(sel.Accum, bt, asp)
+		asp.End()
+		if err != nil {
 			return fmt.Errorf("ACCUM: %w", err)
 		}
 	}
 	if len(sel.PostAccum) > 0 {
-		if err := rs.execPostAccumClause(sel.PostAccum, bt); err != nil {
+		psp := sp.Start("post_accum")
+		psp.SetInt("statements", int64(len(sel.PostAccum)))
+		err := rs.execPostAccumClause(sel.PostAccum, bt)
+		psp.End()
+		if err != nil {
 			return fmt.Errorf("POST-ACCUM: %w", err)
 		}
 	}
-	return rs.emitOutputs(sel, bt, assignTo)
+	osp := sp.Start("output")
+	err = rs.emitOutputs(sel, bt, assignTo)
+	osp.End()
+	return err
 }
 
 func (rs *runState) filterWhere(bt *bindingTable, where gsql.Expr) error {
@@ -145,11 +165,15 @@ func (d *deltas) merge() error {
 // accumulator snapshot (the live stores), stages inputs into
 // worker-local deltas, and the deltas merge after all executions
 // complete.
-func (rs *runState) execAccumClause(stmts []gsql.AccStmt, bt *bindingTable) error {
+func (rs *runState) execAccumClause(stmts []gsql.AccStmt, bt *bindingTable, sp *trace.Span) error {
 	workers := rs.e.workers()
 	if workers > len(bt.rows) {
 		workers = len(bt.rows)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	sp.SetInt("workers", int64(workers))
 	if workers <= 1 {
 		d := newDeltas(rs)
 		if err := rs.accumShard(stmts, bt, bt.rows, d); err != nil {

@@ -8,6 +8,7 @@ import (
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/match"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -22,6 +23,11 @@ type runState struct {
 	// means the checks compile down to one predictable branch.
 	ctx  context.Context
 	done <-chan struct{}
+	// prof is the run's trace root (nil when the run is untraced);
+	// SELECT blocks attach their span subtrees to it in execution
+	// order. Nil-receiver span methods make every instrumentation
+	// point a single branch when tracing is off.
+	prof *trace.Span
 	// semantics is the effective path-legality flavor: the query's
 	// SEMANTICS annotation when present, else the engine default.
 	semantics match.Semantics

@@ -21,6 +21,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/metrics"
 	"gsqlgo/internal/storage"
+	"gsqlgo/internal/trace"
 )
 
 // Config tunes a Server. The zero value of every field except Engine
@@ -64,6 +66,20 @@ type Config struct {
 	// QueueWait bounds how long a queued request waits for a run
 	// slot before 429 (default 1s).
 	QueueWait time.Duration
+
+	// Logger receives the server's structured log records (default
+	// slog.Default()). Every record about a request carries its
+	// request_id.
+	Logger *slog.Logger
+	// SlowQueryThreshold, when positive, turns on the slow-query log:
+	// every run is traced, and runs whose end-to-end latency meets or
+	// exceeds the threshold emit a structured warn record (query name,
+	// params hash, per-stage timings) and land in the trace ring.
+	// Zero disables it.
+	SlowQueryThreshold time.Duration
+	// TraceRingSize bounds the in-memory ring of recent traces served
+	// at GET /debug/traces (default 64).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -84,16 +100,31 @@ func (c Config) withDefaults() Config {
 	if c.QueueWait <= 0 {
 		c.QueueWait = time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
+	}
 	return c
 }
 
 // Server is the HTTP query service.
 type Server struct {
-	cfg Config
-	eng *core.Engine
-	adm *admission
-	mux *http.ServeMux
-	reg *metrics.Registry
+	cfg  Config
+	eng  *core.Engine
+	adm  *admission
+	mux  *http.ServeMux
+	root http.Handler // mux wrapped in the request-id middleware
+	reg  *metrics.Registry
+	log  *slog.Logger
+	ring *trace.Ring
+
+	ridPrefix  string
+	ridCounter atomic.Uint64
+
+	buildVersion string
+	buildCommit  string
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -124,6 +155,9 @@ type Server struct {
 	mWALBytes    *metrics.Counter // gsqld_storage_wal_bytes_total
 	mCheckpoints *metrics.Counter // gsqld_storage_checkpoints_total
 	mRecoveries  *metrics.Counter // gsqld_storage_recoveries_total
+
+	mTracedRuns  *metrics.Counter // gsqld_traced_runs_total
+	mSlowQueries *metrics.Counter // gsqld_slow_queries_total
 }
 
 // New builds a Server over cfg.Engine. It panics if Engine is nil.
@@ -133,10 +167,13 @@ func New(cfg Config) *Server {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		eng: cfg.Engine,
-		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
-		reg: metrics.NewRegistry(),
+		cfg:       cfg,
+		eng:       cfg.Engine,
+		adm:       newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+		reg:       metrics.NewRegistry(),
+		log:       cfg.Logger,
+		ring:      trace.NewRing(cfg.TraceRingSize),
+		ridPrefix: randPrefix(),
 	}
 	s.mRuns = s.reg.CounterVec("gsqld_query_runs_total",
 		"Completed query runs by query name and outcome.", "query", "status")
@@ -167,6 +204,11 @@ func New(cfg Config) *Server {
 		"Snapshots written (initial persist, /admin/checkpoint, drain).")
 	s.mRecoveries = s.reg.Counter("gsqld_storage_recoveries_total",
 		"Opens that recovered persisted state (snapshot load + WAL replay).")
+	s.mTracedRuns = s.reg.Counter("gsqld_traced_runs_total",
+		"Runs executed with a span trace attached (?trace=1 or slow-query log).")
+	s.mSlowQueries = s.reg.Counter("gsqld_slow_queries_total",
+		"Runs at or above the slow-query threshold.")
+	s.registerBuildInfo()
 	s.syncStorageMetrics() // fold in recovery/initial-persist counts from Open
 
 	mux := http.NewServeMux()
@@ -178,16 +220,19 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
+	s.root = s.withRequestID(mux)
 	return s
 }
 
-// Handler returns the root http.Handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root http.Handler (request-id middleware
+// included).
+func (s *Server) Handler() http.Handler { return s.root }
 
 // ServeHTTP makes Server itself an http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.root.ServeHTTP(w, r) }
 
 // Registry exposes the metrics registry (tests, expvar publication).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
@@ -208,6 +253,8 @@ func (s *Server) PublishExpvar(name string) {
 // requests get 503 while draining.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.log.Info("draining", "reason", "shutdown")
+	start := time.Now()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -216,6 +263,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		s.log.Error("shutdown drain timed out", "waited", time.Since(start))
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
 	if s.cfg.Store != nil {
@@ -226,6 +274,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return fmt.Errorf("server: checkpoint on drain: %w", err)
 		}
 	}
+	s.log.Info("drained", "waited", time.Since(start),
+		"checkpointed", s.cfg.Store != nil)
 	return nil
 }
 
@@ -246,11 +296,15 @@ type runRequest struct {
 
 type runResponse struct {
 	Query     string                `json:"query"`
+	RequestID string                `json:"request_id,omitempty"`
 	ElapsedMs float64               `json:"elapsed_ms"`
 	Tables    map[string]*tableJSON `json:"tables,omitempty"`
 	Printed   []*tableJSON          `json:"printed,omitempty"`
 	Returned  *tableJSON            `json:"returned,omitempty"`
 	Stats     runStatsJSON          `json:"stats"`
+	// Trace is the run's span tree, present only when the request
+	// asked for it with ?trace=1.
+	Trace *trace.Span `json:"trace,omitempty"`
 }
 
 type runStatsJSON struct {
@@ -363,6 +417,10 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		names[i] = q.Name
 	}
 	s.mInstalled.Set(int64(len(s.eng.Queries())))
+	s.log.Info("queries installed",
+		"request_id", requestID(r.Context()),
+		"queries", names,
+		"catalog_size", len(s.eng.Queries()))
 	writeJSON(w, http.StatusCreated, installResponse{Installed: names})
 }
 
@@ -445,20 +503,46 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	// A span tree is collected when the client asks for it inline
+	// (?trace=1) or the slow-query log is armed — in the latter case
+	// every run traces, because by the time a run proves slow it is
+	// too late to start instrumenting it.
+	wantTrace := traceWanted(r)
+	var root *trace.Span
+	if wantTrace || s.cfg.SlowQueryThreshold > 0 {
+		root = startTrace("query", r)
+		ctx = trace.NewContext(ctx, root)
+		s.mTracedRuns.Inc()
+	}
 	start := time.Now()
 	s.gmu.RLock()
 	res, err := s.eng.RunCtx(ctx, name, args)
 	s.gmu.RUnlock()
 	elapsed := time.Since(start)
+	root.End()
 	s.mLatency.With(name).Observe(elapsed.Seconds())
+	slow := s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold
 	if err != nil {
 		status := "error"
 		if errors.Is(err, core.ErrCancelled) {
 			status = "cancelled"
 		}
+		root.SetStr("error", err.Error())
+		if wantTrace || slow {
+			s.ring.Add(root)
+		}
+		if slow {
+			s.logSlowQuery(r, name, req, elapsed, status, root)
+		}
 		s.mRuns.With(name, status).Inc()
 		writeError(w, err)
 		return
+	}
+	if wantTrace || slow {
+		s.ring.Add(root)
+	}
+	if slow {
+		s.logSlowQuery(r, name, req, elapsed, "ok", root)
 	}
 	s.mRuns.With(name, "ok").Inc()
 	s.mRows.With(name).Observe(float64(res.Stats.BindingRows))
@@ -470,6 +554,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	g := s.eng.Graph()
 	resp := runResponse{
 		Query:     name,
+		RequestID: requestID(r.Context()),
 		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
 		Stats: runStatsJSON{
 			BindingRows:      res.Stats.BindingRows,
@@ -492,6 +577,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.Returned != nil {
 		resp.Returned = toTableJSON(g, res.Returned)
 	}
+	if wantTrace {
+		resp.Trace = root
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -502,9 +590,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		// 503 while draining so load balancers and scrapes agree the
+		// instance is on its way out (runs still in flight complete).
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, map[string]string{
+		"status":  status,
+		"version": s.buildVersion,
+		"commit":  s.buildCommit,
+	})
 }

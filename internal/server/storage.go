@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gsqlgo/internal/graph"
+	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
 
@@ -168,11 +169,13 @@ func (s *Server) handleAddVertex(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: "bad_attrs"})
 		return
 	}
+	done := s.traceMutation(r, "add_vertex")
 	s.gmu.Lock()
 	id, err := g.AddVertex(req.Type, req.Key, attrs)
 	resp := mutationResponse{ID: int64(id),
 		Vertices: g.NumVertices(), Edges: g.NumEdges(), Epoch: g.Epoch()}
 	s.gmu.Unlock()
+	done(err)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -207,10 +210,12 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	// writes; both lookups and the insert share one exclusive section so
 	// a concurrent vertex POST can neither race the map nor invalidate a
 	// resolved VID before the edge lands.
+	done := s.traceMutation(r, "add_edge")
 	s.gmu.Lock()
 	src, ok := g.VertexByKey(req.Src.Type, req.Src.Key)
 	if !ok {
 		s.gmu.Unlock()
+		done(nil)
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Src.Type, req.Src.Key), Code: "unknown_vertex"})
 		return
@@ -218,6 +223,7 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	dst, ok := g.VertexByKey(req.Dst.Type, req.Dst.Key)
 	if !ok {
 		s.gmu.Unlock()
+		done(nil)
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Dst.Type, req.Dst.Key), Code: "unknown_vertex"})
 		return
@@ -226,11 +232,46 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	resp := mutationResponse{ID: int64(id),
 		Vertices: g.NumVertices(), Edges: g.NumEdges(), Epoch: g.Epoch()}
 	s.gmu.Unlock()
+	done(err)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// traceMutation begins a span tree for a ?trace=1 mutation request —
+// a "mutation" root (op + request id) with a "wal_append" child
+// bracketing the logged mutation: validate → WAL append → apply, the
+// WAL write dominating once fsync is on ("apply" when no store is
+// attached and nothing hits a log). The returned func finishes the
+// trace and retains it in the /debug/traces ring; for an untraced
+// request it is a no-op, so call sites stay branch-free.
+func (s *Server) traceMutation(r *http.Request, op string) func(err error) {
+	if !traceWanted(r) {
+		return func(error) {}
+	}
+	root := startTrace("mutation", r)
+	root.SetStr("op", op)
+	root.SetBool("durable", s.cfg.Store != nil)
+	name := "apply"
+	var before uint64
+	if st := s.cfg.Store; st != nil {
+		name = "wal_append"
+		before = st.Stats().WALBytes
+	}
+	wsp := root.Start(name)
+	return func(err error) {
+		if st := s.cfg.Store; st != nil {
+			wsp.SetInt("bytes", int64(st.Stats().WALBytes-before))
+		}
+		wsp.End()
+		if err != nil {
+			root.SetStr("error", err.Error())
+		}
+		root.End()
+		s.ring.Add(root)
+	}
 }
 
 // handleCheckpoint snapshots the graph and rotates the WAL. It shares
@@ -246,15 +287,31 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: "server has no durable store attached (-data-dir)", Code: "no_store"})
 		return
 	}
+	var root *trace.Span
+	if traceWanted(r) {
+		root = startTrace("checkpoint", r)
+	}
+	csp := root.Start("snapshot_write")
 	s.gmu.RLock()
 	err := st.Checkpoint()
 	s.gmu.RUnlock()
+	csp.End()
+	stats := st.Stats()
+	if root != nil {
+		root.SetInt("checkpoints", int64(stats.Checkpoints))
+		root.SetInt("wal_records", int64(stats.WALRecords))
+		root.SetInt("wal_bytes", int64(stats.WALBytes))
+		if err != nil {
+			root.SetStr("error", err.Error())
+		}
+		root.End()
+		s.ring.Add(root)
+	}
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError,
 			errorResponse{Error: err.Error(), Code: "checkpoint_failed"})
 		return
 	}
-	stats := st.Stats()
 	writeJSON(w, http.StatusOK, checkpointResponse{
 		Dir:         st.Dir(),
 		Checkpoints: stats.Checkpoints,

@@ -189,13 +189,15 @@ func TestServerMutationsSurviveRestart(t *testing.T) {
 		t.Fatalf("reinstall: %d %s", resp.StatusCode, body)
 	}
 	got := runDegree(t, ts2.URL)
-	// elapsed_ms differs between runs; compare everything else.
+	// elapsed_ms and request_id differ between runs; compare
+	// everything else.
 	stripElapsed := func(s string) string {
 		var m map[string]any
 		if err := json.Unmarshal([]byte(s), &m); err != nil {
 			t.Fatal(err)
 		}
 		delete(m, "elapsed_ms")
+		delete(m, "request_id")
 		out, _ := json.Marshal(m)
 		return string(out)
 	}

@@ -1,0 +1,23 @@
+package trace
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s as the run's trace root. Passing a
+// nil span returns ctx unchanged, so callers can thread an optional
+// trace without branching.
+func NewContext(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the trace root carried by ctx, or nil. The
+// engine calls this once per run; nil means the run is untraced and
+// every span operation degrades to a pointer test.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// SpanJSON is the wire form of a span tree. Attribute maps marshal
+// with sorted keys (encoding/json's map behaviour), so the schema is
+// deterministic given deterministic values; StartUS is the offset from
+// the parent span's start (0 for the root), which keeps traces
+// self-contained without leaking wall-clock times.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"start_us"`
+	DurationUS int64          `json:"duration_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanJSON    `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its wire form.
+func (s *Span) JSON() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	return s.jsonFrom(s.start)
+}
+
+func (s *Span) jsonFrom(parentStart time.Time) *SpanJSON {
+	s.mu.Lock()
+	out := &SpanJSON{
+		Name:       s.name,
+		StartUS:    s.start.Sub(parentStart).Microseconds(),
+		DurationUS: s.duration.Microseconds(),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Val
+		}
+	}
+	children := s.children
+	start := s.start
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.jsonFrom(start))
+	}
+	return out
+}
+
+// MarshalJSON lets a *Span drop straight into a JSON response.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.JSON())
+}
+
+// ZeroTimes recursively clears StartUS and DurationUS, leaving only
+// structure and attributes — what golden tests compare, since real
+// timings are never reproducible.
+func (j *SpanJSON) ZeroTimes() {
+	if j == nil {
+		return
+	}
+	j.StartUS, j.DurationUS = 0, 0
+	for _, c := range j.Children {
+		c.ZeroTimes()
+	}
+}
+
+// SortChildren orders each child list by name (stable), for tests that
+// assert on trees built by parallel workers where attach order races.
+func (j *SpanJSON) SortChildren() {
+	if j == nil {
+		return
+	}
+	sort.SliceStable(j.Children, func(a, b int) bool { return j.Children[a].Name < j.Children[b].Name })
+	for _, c := range j.Children {
+		c.SortChildren()
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import "sync"
+
+// Ring is a bounded, concurrency-safe buffer of recent trace roots.
+// The serving layer keeps one and exposes it at /debug/traces; when
+// full, the oldest trace is overwritten.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Span
+	next int
+	n    uint64
+}
+
+// NewRing returns a ring holding at most capacity traces (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]*Span, capacity)}
+}
+
+// Add records a finished trace (nil spans are ignored).
+func (r *Ring) Add(s *Span) {
+	if r == nil || s == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Span, 0, len(r.buf))
+	for i := 1; i <= len(r.buf); i++ {
+		s := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len reports how many traces are currently retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.buf {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Total reports how many traces have ever been added.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

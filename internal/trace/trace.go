@@ -1,0 +1,227 @@
+// Package trace is a dependency-free per-run span tracer for the
+// engine and the serving layer: a Span is a named, timed tree node
+// with key/value attributes, built cooperatively by the code paths a
+// run flows through (parse, DFA compile, pattern hops, SDMC kernel
+// invocations, accumulator phases, storage ops).
+//
+// The design point is near-zero cost when tracing is off: every method
+// is nil-receiver-safe, so call sites hold a possibly-nil *Span and
+// pay one predictable branch per phase boundary — no allocation, no
+// interface boxing, no time.Now. Tracing is opt-in per run: callers
+// build a root with New, thread it through a context with NewContext,
+// and the engine picks it up with FromContext; a context without a
+// span traces nothing.
+//
+// Spans are written by the goroutine that starts them; attaching a
+// child to its parent and setting attributes are the only
+// cross-goroutine operations (parallel SDMC workers attach kernel
+// spans to one hop span) and are mutex-guarded. Reading (JSON, Render,
+// Find) is meant for finished spans.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute on a span. Values are the small set
+// JSON handles natively (string, int64, bool, float64).
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Span is one timed node of a trace tree.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	duration time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// New starts a root span. The caller owns it: End it when the traced
+// operation completes, then render, marshal or ring-buffer it.
+func New(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Start begins a child span. On a nil receiver it returns nil, so an
+// untraced run threads nil spans through every call site for free.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End fixes the span's duration. The first End wins; a second call
+// (e.g. a deferred End after an explicit one on the happy path) is a
+// no-op, so error traces keep the duration observed at failure time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.duration = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, val)
+}
+
+// SetInt records an integer attribute.
+func (s *Span) SetInt(key string, val int64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, val)
+}
+
+// SetBool records a boolean attribute.
+func (s *Span) SetBool(key string, val bool) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, val)
+}
+
+// SetFloat records a float attribute.
+func (s *Span) SetFloat(key string, val float64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, val)
+}
+
+func (s *Span) setAttr(key string, val any) {
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Val = val
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Val: val})
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's fixed duration (0 before End or on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.duration
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Attr returns the value of the named attribute (nil, false if unset).
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return nil, false
+}
+
+// Children returns a copy of the span's child list, in attach order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// tree rooted at s (including s itself), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// FindAll returns every span named name in depth-first order.
+func (s *Span) FindAll(name string) []*Span {
+	if s == nil {
+		return nil
+	}
+	var out []*Span
+	if s.name == name {
+		out = append(out, s)
+	}
+	for _, c := range s.Children() {
+		out = append(out, c.FindAll(name)...)
+	}
+	return out
+}
+
+// StageTotals aggregates durations by span name over the whole tree
+// below (and including) s — the per-stage breakdown the slow-query log
+// records. A name occurring many times (hop, sdmc) sums.
+func (s *Span) StageTotals() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	s.stageInto(out)
+	return out
+}
+
+func (s *Span) stageInto(out map[string]time.Duration) {
+	if s == nil {
+		return
+	}
+	out[s.Name()] += s.Duration()
+	for _, c := range s.Children() {
+		c.stageInto(out)
+	}
+}

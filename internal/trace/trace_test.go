@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilReceiverSafety pins the package's core contract: every method
+// on a nil *Span (and nil *Ring) is a no-op, so untraced runs thread
+// nil through every call site without branching.
+func TestNilReceiverSafety(t *testing.T) {
+	var s *Span
+	if c := s.Start("child"); c != nil {
+		t.Fatalf("nil.Start returned %v, want nil", c)
+	}
+	s.End()
+	s.SetStr("k", "v")
+	s.SetInt("k", 1)
+	s.SetBool("k", true)
+	s.SetFloat("k", 1.5)
+	if s.Name() != "" || s.Duration() != 0 || s.Attrs() != nil || s.Children() != nil {
+		t.Fatal("nil span accessors must return zero values")
+	}
+	if _, ok := s.Attr("k"); ok {
+		t.Fatal("nil.Attr must report unset")
+	}
+	if s.Find("x") != nil || s.FindAll("x") != nil || s.JSON() != nil {
+		t.Fatal("nil span walkers must return nil")
+	}
+	var r *Ring
+	r.Add(New("x"))
+	if r.Snapshot() != nil || r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("nil ring must behave as empty")
+	}
+}
+
+// TestNilContextRoundTrip: NewContext with a nil span returns ctx
+// unchanged, and FromContext on a bare context yields nil.
+func TestNilContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := NewContext(ctx, nil); got != ctx {
+		t.Fatal("NewContext(ctx, nil) must return ctx unchanged")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on a bare context must be nil")
+	}
+	root := New("r")
+	if FromContext(NewContext(ctx, root)) != root {
+		t.Fatal("FromContext must return the span NewContext stored")
+	}
+}
+
+// TestEndFirstWins: a second End (the deferred one after an explicit
+// happy-path End) must not overwrite the first duration.
+func TestEndFirstWins(t *testing.T) {
+	s := New("op")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatalf("second End changed duration: %v -> %v", d, s.Duration())
+	}
+}
+
+// TestAttrDedupe: setting a key twice overwrites in place instead of
+// growing the list.
+func TestAttrDedupe(t *testing.T) {
+	s := New("op")
+	s.SetInt("rows", 1)
+	s.SetInt("rows", 2)
+	s.SetStr("kind", "counted")
+	if got := s.Attrs(); len(got) != 2 {
+		t.Fatalf("want 2 attrs after overwrite, got %v", got)
+	}
+	if v, ok := s.Attr("rows"); !ok || v.(int64) != 2 {
+		t.Fatalf("rows = %v, want 2", v)
+	}
+}
+
+func buildTree() *Span {
+	root := New("query")
+	root.SetStr("query", "Q")
+	p := root.Start("parse")
+	p.SetBool("cached", true)
+	p.End()
+	sel := root.Start("select")
+	h1 := sel.Start("hop")
+	h1.SetStr("kind", "adjacency")
+	h1.SetInt("rows_out", 4)
+	h1.End()
+	h2 := sel.Start("hop")
+	h2.SetStr("kind", "counted")
+	d := h2.Start("dfa")
+	d.SetBool("cached", false)
+	d.End()
+	h2.End()
+	sel.End()
+	root.End()
+	return root
+}
+
+// TestFindAndStageTotals exercises the tree walkers the server's
+// slow-query log and the e2e assertions rely on.
+func TestFindAndStageTotals(t *testing.T) {
+	root := buildTree()
+	if root.Find("dfa") == nil {
+		t.Fatal("Find missed a nested span")
+	}
+	if got := len(root.FindAll("hop")); got != 2 {
+		t.Fatalf("FindAll(hop) = %d, want 2", got)
+	}
+	totals := root.StageTotals()
+	for _, name := range []string{"query", "parse", "select", "hop", "dfa"} {
+		if _, ok := totals[name]; !ok {
+			t.Fatalf("StageTotals missing %q: %v", name, totals)
+		}
+	}
+	// The two hop spans must aggregate under one key.
+	if len(totals) != 5 {
+		t.Fatalf("StageTotals has %d entries, want 5: %v", len(totals), totals)
+	}
+}
+
+// TestJSONGolden pins the trace wire schema: structure, attr types and
+// key names are exactly what /debug/traces and ?trace=1 serve. Times
+// are zeroed (never reproducible); everything else must match byte for
+// byte.
+func TestJSONGolden(t *testing.T) {
+	j := buildTree().JSON()
+	j.ZeroTimes()
+	got, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"name":"query","start_us":0,"duration_us":0,` +
+		`"attrs":{"query":"Q"},"children":[` +
+		`{"name":"parse","start_us":0,"duration_us":0,"attrs":{"cached":true}},` +
+		`{"name":"select","start_us":0,"duration_us":0,"children":[` +
+		`{"name":"hop","start_us":0,"duration_us":0,"attrs":{"kind":"adjacency","rows_out":4}},` +
+		`{"name":"hop","start_us":0,"duration_us":0,"attrs":{"kind":"counted"},"children":[` +
+		`{"name":"dfa","start_us":0,"duration_us":0,"attrs":{"cached":false}}]}]}]}`
+	if string(got) != want {
+		t.Fatalf("trace JSON schema drifted\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestRenderGolden pins the EXPLAIN ANALYZE text shape (times zeroed
+// through the JSON round trip is not possible for Render, so this
+// builds spans whose durations are never set — End is skipped — and
+// asserts the full tree with 0.000ms everywhere).
+func TestRenderGolden(t *testing.T) {
+	root := New("query")
+	root.SetStr("query", "Q")
+	root.Start("parse").SetBool("cached", true)
+	sel := root.Start("select")
+	sel.Start("hop").SetStr("kind", "adjacency")
+	sel.Start("accum").SetInt("rows", 7)
+	var b strings.Builder
+	Render(&b, root)
+	const want = "query  (actual time=0.000ms)  query=Q\n" +
+		"├─ parse  (actual time=0.000ms)  cached=true\n" +
+		"└─ select  (actual time=0.000ms)\n" +
+		"   ├─ hop  (actual time=0.000ms)  kind=adjacency\n" +
+		"   └─ accum  (actual time=0.000ms)  rows=7\n"
+	if b.String() != want {
+		t.Fatalf("render drifted\n got:\n%s\nwant:\n%s", b.String(), want)
+	}
+	b.Reset()
+	Render(&b, nil)
+	if b.String() != "(no trace)\n" {
+		t.Fatalf("nil render = %q", b.String())
+	}
+}
+
+// TestRingEviction: the ring retains the newest traces, newest first,
+// and counts every add.
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	names := []string{"a", "b", "c", "d", "e"}
+	for _, n := range names {
+		r.Add(New(n))
+	}
+	r.Add(nil) // ignored
+	if r.Len() != 3 || r.Total() != 5 {
+		t.Fatalf("Len=%d Total=%d, want 3/5", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	got := make([]string, len(snap))
+	for i, s := range snap {
+		got[i] = s.Name()
+	}
+	want := []string{"e", "d", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentChildrenAndAttrs hammers the two cross-goroutine
+// operations (child attach, attr set) the parallel SDMC workers
+// perform, plus a concurrent JSON read — meaningful under -race.
+func TestConcurrentChildrenAndAttrs(t *testing.T) {
+	root := New("hop")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.Start("sdmc")
+				c.SetInt("src", int64(w*50+i))
+				c.End()
+				root.SetInt("last", int64(i))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := json.Marshal(root); err != nil {
+				t.Errorf("marshal during writes: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+	root.End()
+	if got := len(root.FindAll("sdmc")); got != 400 {
+		t.Fatalf("lost children: %d/400", got)
+	}
+}
