@@ -20,10 +20,12 @@
 // `-json BENCH_expand.json -suite expand` for the pattern-expansion
 // pipeline, `-json BENCH_storage.json -suite storage` for the
 // durability layer (snapshot codec MB/s, WAL append, recovery replay)
-// and `-json BENCH_trace.json -suite trace` for the tracing overhead
-// guard (disabled vs enabled runs plus span primitives), all committed
-// so the perf trajectory is tracked across PRs. An unknown -suite
-// fails immediately, before any table work.
+// `-json BENCH_trace.json -suite trace` for the tracing overhead
+// guard (disabled vs enabled runs plus span primitives) and
+// `-json BENCH_fusion.json -suite fusion` for the compiled ACCUM
+// kernels and multi-accumulator fusion, all committed so the perf
+// trajectory is tracked across PRs. An unknown -suite fails
+// immediately, before any table work.
 package main
 
 import (
@@ -48,7 +50,7 @@ func main() {
 	reps := flag.Int("reps", 5, "Appendix B repetitions per query (median reported)")
 	seed := flag.Int64("seed", 7, "generator seed")
 	jsonPath := flag.String("json", "", "write microbenchmarks (ns/op, allocs/op) as JSON to this file, e.g. BENCH_csr.json")
-	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand | storage | trace")
+	suite := flag.String("suite", "kernel", "which -json suite to run: kernel | server | expand | storage | trace | fusion")
 	flag.Parse()
 
 	// Validate the suite name up front, whether or not -json was given:
@@ -65,8 +67,10 @@ func main() {
 		jsonWrite = bench.WriteStorageJSON
 	case "trace":
 		jsonWrite = bench.WriteTraceJSON
+	case "fusion":
+		jsonWrite = bench.WriteFusionJSON
 	default:
-		log.Fatalf("unknown -suite %q (kernel|server|expand|storage|trace)", *suite)
+		log.Fatalf("unknown -suite %q (kernel|server|expand|storage|trace|fusion)", *suite)
 	}
 
 	sfList, err := parseFloats(*sfs)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"gsqlgo/internal/core"
@@ -101,6 +102,10 @@ func writeSuiteJSON(cases []benchCase, meta RunMeta, w, progress io.Writer) erro
 		if progress != nil {
 			fmt.Fprintf(progress, "  bench %s ...", c.name)
 		}
+		// Start each case from a settled heap: garbage carried over
+		// from a previous case's iterations otherwise bills its GC
+		// time to whichever case happens to trip the next cycle.
+		runtime.GC()
 		r := testing.Benchmark(c.fn)
 		m := Micro{
 			NsPerOp:     float64(r.NsPerOp()),

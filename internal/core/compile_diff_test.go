@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/value"
+)
+
+// buildCompileDiffGraph constructs a random digraph whose vertex type N
+// carries one attribute of every scalar kind the fast kernel
+// specializes (int score, float weight, bool flag, string name) and
+// whose edge type E carries an int attribute, so attribute-offset
+// resolution and every unboxed fold path get exercised.
+func buildCompileDiffGraph(n, edges int, seed int64) *graph.Graph {
+	s := graph.NewSchema()
+	if _, err := s.AddVertexType("N",
+		graph.AttrDef{Name: "name", Type: graph.AttrString},
+		graph.AttrDef{Name: "score", Type: graph.AttrInt},
+		graph.AttrDef{Name: "weight", Type: graph.AttrFloat},
+		graph.AttrDef{Name: "flag", Type: graph.AttrBool},
+	); err != nil {
+		panic(err)
+	}
+	if _, err := s.AddEdgeType("E", true, graph.AttrDef{Name: "w", Type: graph.AttrInt}); err != nil {
+		panic(err)
+	}
+	g := graph.New(s)
+	r := rand.New(rand.NewSource(seed))
+	ids := make([]graph.VID, n)
+	for i := range ids {
+		v, err := g.AddVertex("N", strconv.Itoa(i), map[string]value.Value{
+			"name":   value.NewString("n" + strconv.Itoa(i)),
+			"score":  value.NewInt(int64(r.Intn(20) - 5)),
+			"weight": value.NewFloat(float64(r.Intn(64)) / 4),
+			"flag":   value.NewBool(r.Intn(2) == 0),
+		})
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = v
+	}
+	for i := 0; i < edges; i++ {
+		a, b := ids[r.Intn(n)], ids[r.Intn(n)]
+		if a == b {
+			continue
+		}
+		if _, err := g.AddEdge("E", a, b, map[string]value.Value{
+			"w": value.NewInt(int64(r.Intn(10))),
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// compileDiffCorpus covers the compiled kernel's surface: every fast
+// accumulator kind, boxed targets, attribute and edge-attribute
+// offsets, conditionals and typed locals, POST-ACCUM with '=' and
+// prev-value reads, fusable block runs, multiplicity-bearing counted
+// hops, runtime errors, and the declared interpreter fallback.
+var compileDiffCorpus = []struct {
+	name string
+	src  string
+	// wantCompiled: at least one clause must take the kernel path on
+	// the compiling engine (false for the deliberate fallback).
+	wantCompiled bool
+}{
+	{"sums_attrs", `CREATE QUERY Q() {
+	  SumAccum<int> @@si;
+	  SumAccum<float> @@sf;
+	  SumAccum<int> @n;
+	  R = SELECT t FROM N:s -(E>:e)- N:t
+	      ACCUM @@si += s.score + e.w, @@sf += t.weight * 2.0, t.@n += s.score;
+	  PRINT @@si, @@sf;
+	  PRINT R[R.name, R.@n];
+	}`, true},
+	{"minmax_bool_where", `CREATE QUERY Q() {
+	  MinAccum<int> @@mn;
+	  MaxAccum<float> @@mx;
+	  OrAccum @@any;
+	  AndAccum @@all;
+	  MaxAccum<int> @best;
+	  R = SELECT t FROM N:s -(E>)- N:t
+	      WHERE s.score > 2
+	      ACCUM @@mn += s.score, @@mx += t.weight, @@any += t.flag,
+	            @@all += t.flag, t.@best += s.score;
+	  PRINT @@mn, @@mx, @@any, @@all;
+	  PRINT R[R.name, R.@best];
+	}`, true},
+	{"avg_case_local", `CREATE QUERY Q() {
+	  AvgAccum<float> @@avg;
+	  SumAccum<int> @@cnt;
+	  R = SELECT t FROM N:s -(E>)- N:t
+	      ACCUM int sc = s.score * 2,
+	            @@avg += sc + CASE WHEN t.flag THEN 1 ELSE 0 END,
+	            IF s.flag AND sc > 3 THEN @@cnt += 1 ELSE @@cnt += sc END;
+	  PRINT @@avg, @@cnt;
+	}`, true},
+	{"post_assign_prev", `CREATE QUERY Q() {
+	  SumAccum<int> @n;
+	  SumAccum<float> @r;
+	  SumAccum<float> @@tot;
+	  R = SELECT t FROM N:s -(E>)- N:t
+	      ACCUM t.@n += 1
+	      POST-ACCUM t.@r = t.@n * 0.5, @@tot += t.@r;
+	  PRINT @@tot;
+	  PRINT R[R.name, R.@n, R.@r];
+	}`, true},
+	{"fuse_two", `CREATE QUERY Q() {
+	  SumAccum<int> @@a;
+	  SumAccum<int> @@b;
+	  X = SELECT t FROM N:s -(E>)- N:t ACCUM @@a += s.score;
+	  Y = SELECT t FROM N:s -(E>)- N:t ACCUM @@b += t.score;
+	  PRINT @@a, @@b;
+	}`, true},
+	{"fuse_four_counted", `CREATE QUERY Q() {
+	  SumAccum<int> @@a;
+	  SumAccum<float> @@b;
+	  MinAccum<int> @@c;
+	  MaxAccum<int> @@d;
+	  A = SELECT t FROM N:s -(E>*1..2)- N:t ACCUM @@a += 1;
+	  B = SELECT t FROM N:s -(E>*1..2)- N:t ACCUM @@b += t.weight;
+	  C = SELECT t FROM N:s -(E>*1..2)- N:t ACCUM @@c += t.score;
+	  D = SELECT t FROM N:s -(E>*1..2)- N:t ACCUM @@d += s.score;
+	  PRINT @@a, @@b, @@c, @@d;
+	}`, true},
+	{"string_methods", `CREATE QUERY Q() {
+	  MaxAccum<string> @@last;
+	  SumAccum<int> @@deg;
+	  R = SELECT t FROM N:s -(E>)- N:t
+	      ACCUM @@last += t.name, @@deg += s.outdegree();
+	  PRINT @@last, @@deg;
+	}`, true},
+	{"err_wrong_op", `CREATE QUERY Q() {
+	  SumAccum<int> @@x;
+	  R = SELECT t FROM N:s -(E>)- N:t ACCUM @@x = 1;
+	  PRINT @@x;
+	}`, true},
+	{"err_type_mismatch", `CREATE QUERY Q() {
+	  SumAccum<int> @@x;
+	  R = SELECT t FROM N:s -(E>)- N:t ACCUM @@x += t.name;
+	  PRINT @@x;
+	}`, true},
+	{"size_fallback", `CREATE QUERY Q() {
+	  SumAccum<int> @@a;
+	  X = SELECT s FROM N:s;
+	  Y = SELECT t FROM N:s -(E>)- N:t ACCUM @@a += X.size();
+	  PRINT @@a;
+	}`, false},
+}
+
+// compileDiffSig flattens everything observable about a run — globals
+// (sorted), INTO tables (sorted), PRINT output in order, and the
+// RETURN table — so compiled and interpreted runs compare equal iff
+// they are bit-identical.
+func compileDiffSig(res *Result) string {
+	var sb strings.Builder
+	gnames := make([]string, 0, len(res.Globals))
+	for n := range res.Globals {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Fprintf(&sb, "@@%s=%v\n", n, res.Globals[n])
+	}
+	tnames := make([]string, 0, len(res.Tables))
+	for n := range res.Tables {
+		tnames = append(tnames, n)
+	}
+	sort.Strings(tnames)
+	for _, n := range tnames {
+		sb.WriteString(res.Tables[n].String())
+	}
+	for _, tbl := range res.Printed {
+		sb.WriteString(tbl.String())
+	}
+	if res.Returned != nil {
+		sb.WriteString(res.Returned.String())
+	}
+	return sb.String()
+}
+
+// runCompileDiff executes one (graph, query, workers) pair on both
+// engines and returns the pair of outcomes.
+func runCompileDiff(t *testing.T, g *graph.Graph, src string, workers int) (cRes, iRes *Result, cErr, iErr error) {
+	t.Helper()
+	mk := func(disable bool) (*Result, error) {
+		e := New(g, Options{Workers: workers, MinParallelRows: 1, DisableAccumCompile: disable})
+		if err := e.Install(src); err != nil {
+			t.Fatalf("install (disable=%v): %v", disable, err)
+		}
+		return e.Run("Q", nil)
+	}
+	cRes, cErr = mk(false)
+	iRes, iErr = mk(true)
+	return
+}
+
+// TestCompiledKernelsBitIdenticalToInterpreter is the compiled path's
+// core contract: over the corpus × 50 random graphs × worker counts
+// {1, 2, 8}, compiled results — globals, tables, prints, returns — and
+// error strings must be bit-identical to the tree-walking
+// interpreter's, including which of several racing shard errors a run
+// reports.
+func TestCompiledKernelsBitIdenticalToInterpreter(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := buildCompileDiffGraph(3+r.Intn(12), 4+r.Intn(28), seed)
+		for _, tc := range compileDiffCorpus {
+			for _, w := range []int{1, 2, 8} {
+				cRes, iRes, cErr, iErr := runCompileDiff(t, g, tc.src, w)
+				if (cErr == nil) != (iErr == nil) {
+					t.Fatalf("seed %d %s workers %d: error divergence: compiled=%v interpreted=%v",
+						seed, tc.name, w, cErr, iErr)
+				}
+				if cErr != nil {
+					if cErr.Error() != iErr.Error() {
+						t.Fatalf("seed %d %s workers %d: error text diverged:\ncompiled:    %v\ninterpreted: %v",
+							seed, tc.name, w, cErr, iErr)
+					}
+					continue
+				}
+				if cs, is := compileDiffSig(cRes), compileDiffSig(iRes); cs != is {
+					t.Fatalf("seed %d %s workers %d: results diverged\ncompiled:\n%s\ninterpreted:\n%s",
+						seed, tc.name, w, cs, is)
+				}
+				if iRes.Stats.AccumCompiledStmts != 0 {
+					t.Fatalf("%s: disabled engine reported compiled statements", tc.name)
+				}
+				if tc.wantCompiled && cRes.Stats.AccumCompiledStmts == 0 {
+					t.Fatalf("%s: expected the kernel path, got all-interpreted (stats %+v)",
+						tc.name, cRes.Stats)
+				}
+				if !tc.wantCompiled && cRes.Stats.AccumInterpretedStmts == 0 {
+					t.Fatalf("%s: expected the interpreter fallback to run", tc.name)
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledKernelCancellation drives an already-cancelled context
+// through both engines at every worker count: both must surface
+// ErrCancelled rather than partial results.
+func TestCompiledKernelCancellation(t *testing.T) {
+	g := buildCompileDiffGraph(10, 30, 7)
+	const src = `CREATE QUERY Q() {
+	  SumAccum<int> @@a;
+	  SumAccum<int> @n;
+	  R = SELECT t FROM N:s -(E>)- N:t ACCUM @@a += s.score, t.@n += 1;
+	  PRINT @@a;
+	}`
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, disable := range []bool{false, true} {
+		for _, w := range []int{1, 2, 8} {
+			e := New(g, Options{Workers: w, MinParallelRows: 1, DisableAccumCompile: disable})
+			if err := e.Install(src); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.RunCtx(ctx, "Q", nil); !errors.Is(err, ErrCancelled) {
+				t.Errorf("disable=%v workers=%d: want ErrCancelled, got %v", disable, w, err)
+			}
+		}
+	}
+}

@@ -55,6 +55,11 @@ type Options struct {
 	// tables). 0 selects a default; set 1 to force parallel expansion
 	// whenever Workers allows (differential tests do).
 	MinParallelRows int
+	// DisableAccumCompile turns off the compiled ACCUM/POST-ACCUM
+	// kernels and block fusion, forcing every clause through the
+	// tree-walking interpreter. Exists as the differential oracle and
+	// benchmark baseline.
+	DisableAccumCompile bool
 }
 
 // Engine installs and runs GSQL queries against one graph. An Engine
@@ -69,6 +74,10 @@ type Engine struct {
 	queries   map[string]*gsql.Query
 	dfaCache  map[string]*darpe.DFA
 	relTables map[string]*RelTable
+	// plans caches per-query compilation artifacts (compiled clause
+	// programs + fusion groups), built at Install alongside the DFA
+	// cache.
+	plans map[string]*queryPlan
 
 	// counts caches single-source SDMC results across runs (nil when
 	// disabled); it carries its own lock and epoch guard.
@@ -82,6 +91,7 @@ func New(g *graph.Graph, opts Options) *Engine {
 		opts:     opts,
 		queries:  make(map[string]*gsql.Query),
 		dfaCache: make(map[string]*darpe.DFA),
+		plans:    make(map[string]*queryPlan),
 		counts:   newCountCache(g, opts.CountCacheSize),
 	}
 }
@@ -110,6 +120,10 @@ func (e *Engine) Install(src string) error {
 	}
 	for _, q := range f.Queries {
 		e.queries[q.Name] = q
+		// Compile the ACCUM/POST-ACCUM kernels and fusion groups now,
+		// once, so runs pay only the cheap per-clause bind step.
+		// Compilation is total: uncovered clauses stay interpreted.
+		e.plans[q.Name] = compileQuery(e, q)
 	}
 	return nil
 }
@@ -229,6 +243,15 @@ type RunStats struct {
 	// ExpandShards counts the shards FROM-clause hop expansion was
 	// split into, summed over hops (1 per hop when serial).
 	ExpandShards int64
+	// AccumCompiledStmts / AccumInterpretedStmts count ACCUM and
+	// POST-ACCUM statements executed through the compiled kernels vs
+	// the tree-walking fallback, per clause execution (a clause run
+	// inside a loop counts each iteration).
+	AccumCompiledStmts    int64
+	AccumInterpretedStmts int64
+	// FusionBlocksFused counts SELECT blocks that ran as part of a
+	// fused group (one shared traversal) instead of standalone.
+	FusionBlocksFused int64
 }
 
 // Run executes an installed query with the given arguments.
@@ -254,6 +277,7 @@ func (e *Engine) RunCtx(ctx context.Context, name string, args map[string]value.
 	psp.SetBool("cached", true)
 	e.mu.Lock()
 	q, ok := e.queries[name]
+	plan := e.plans[name]
 	e.mu.Unlock()
 	psp.End()
 	if !ok {
@@ -271,6 +295,9 @@ func (e *Engine) RunCtx(ctx context.Context, name string, args map[string]value.
 	}
 	rs.ctx = ctx
 	rs.done = ctx.Done()
+	if !e.opts.DisableAccumCompile {
+		rs.plan = plan
+	}
 	if sp != nil {
 		bsp.SetInt("params", int64(len(rs.params)))
 		sp.SetStr("semantics", rs.semantics.String())

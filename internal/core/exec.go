@@ -11,12 +11,24 @@ import (
 // execStmts runs a statement list; returned reports an executed
 // RETURN.
 func (rs *runState) execStmts(stmts []gsql.Stmt) (bool, error) {
-	for _, s := range stmts {
+	for i := 0; i < len(stmts); i++ {
+		s := stmts[i]
 		// Statement boundaries are the coarse cancellation
 		// checkpoints; WHILE/FOREACH bodies pass through here every
 		// iteration, so unbounded control flow stays cancellable.
 		if err := rs.checkCancel(); err != nil {
 			return false, err
+		}
+		// A statement opening a fused run executes the whole group —
+		// one traversal feeding every block — and skips its members.
+		if rs.plan != nil {
+			if g, ok := rs.plan.fusion[s]; ok {
+				if err := rs.runFusedGroup(g); err != nil {
+					return false, err
+				}
+				i += len(g.stmts) - 1
+				continue
+			}
 		}
 		returned, err := rs.execStmt(s)
 		if err != nil {

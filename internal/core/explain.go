@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"gsqlgo/internal/accum"
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/match"
@@ -17,9 +18,13 @@ import (
 func (e *Engine) Explain(name string) (string, error) {
 	e.mu.Lock()
 	q, ok := e.queries[name]
+	plan := e.plans[name]
 	e.mu.Unlock()
 	if !ok {
 		return "", fmt.Errorf("core: %w: %q", ErrUnknownQuery, name)
+	}
+	if e.opts.DisableAccumCompile {
+		plan = nil // render what will actually run: interpreter only
 	}
 	var sb strings.Builder
 	sem := e.opts.Semantics
@@ -57,18 +62,26 @@ func (e *Engine) Explain(name string) (string, error) {
 		}
 		sb.WriteString(")\n")
 	}
-	e.explainStmts(&sb, q.Stmts, sem, "  ")
+	e.explainStmts(&sb, q.Stmts, plan, sem, "  ")
 	return sb.String(), nil
 }
 
-func (e *Engine) explainStmts(sb *strings.Builder, stmts []gsql.Stmt, sem match.Semantics, indent string) {
+func (e *Engine) explainStmts(sb *strings.Builder, stmts []gsql.Stmt, plan *queryPlan, sem match.Semantics, indent string) {
 	for _, s := range stmts {
+		// A statement opening a fused run announces the shared
+		// traversal; its member blocks render beneath it.
+		if plan != nil {
+			if g, ok := plan.fusion[s]; ok {
+				fmt.Fprintf(sb, "%sFUSED: %d SELECT blocks share one traversal (%d ACCUM statement(s), one pass)\n",
+					indent, len(g.sels), g.nstmts)
+			}
+		}
 		switch n := s.(type) {
 		case *gsql.AssignStmt:
 			switch rhs := n.Rhs.(type) {
 			case *gsql.SelectExpr:
 				fmt.Fprintf(sb, "%s%s = SELECT\n", indent, n.Name)
-				e.explainSelect(sb, rhs, sem, indent+"  ")
+				e.explainSelect(sb, rhs, plan, sem, indent+"  ")
 			case *gsql.VSetLit:
 				fmt.Fprintf(sb, "%s%s = vertex set {%s}\n", indent, n.Name, strings.Join(rhs.Types, ", "))
 			case *gsql.SetOpExpr:
@@ -78,7 +91,7 @@ func (e *Engine) explainStmts(sb *strings.Builder, stmts []gsql.Stmt, sem match.
 			}
 		case *gsql.SelectStmt:
 			fmt.Fprintf(sb, "%sSELECT\n", indent)
-			e.explainSelect(sb, n.Sel, sem, indent+"  ")
+			e.explainSelect(sb, n.Sel, plan, sem, indent+"  ")
 		case *gsql.AccAssignStmt:
 			fmt.Fprintf(sb, "%sglobal accumulator update (%s)\n", indent, n.Op)
 		case *gsql.WhileStmt:
@@ -87,18 +100,18 @@ func (e *Engine) explainStmts(sb *strings.Builder, stmts []gsql.Stmt, sem match.
 				limit = " with iteration cap"
 			}
 			fmt.Fprintf(sb, "%sWHILE loop%s\n", indent, limit)
-			e.explainStmts(sb, n.Body, sem, indent+"  ")
+			e.explainStmts(sb, n.Body, plan, sem, indent+"  ")
 		case *gsql.IfStmt:
 			fmt.Fprintf(sb, "%sIF/THEN", indent)
 			if len(n.Else) > 0 {
 				sb.WriteString("/ELSE")
 			}
 			sb.WriteString("\n")
-			e.explainStmts(sb, n.Then, sem, indent+"  ")
-			e.explainStmts(sb, n.Else, sem, indent+"  ")
+			e.explainStmts(sb, n.Then, plan, sem, indent+"  ")
+			e.explainStmts(sb, n.Else, plan, sem, indent+"  ")
 		case *gsql.ForeachStmt:
 			fmt.Fprintf(sb, "%sFOREACH %s\n", indent, n.Var)
-			e.explainStmts(sb, n.Body, sem, indent+"  ")
+			e.explainStmts(sb, n.Body, plan, sem, indent+"  ")
 		case *gsql.PrintStmt:
 			fmt.Fprintf(sb, "%sPRINT (%d item(s))\n", indent, len(n.Items))
 		case *gsql.ReturnStmt:
@@ -107,7 +120,7 @@ func (e *Engine) explainStmts(sb *strings.Builder, stmts []gsql.Stmt, sem match.
 	}
 }
 
-func (e *Engine) explainSelect(sb *strings.Builder, sel *gsql.SelectExpr, sem match.Semantics, indent string) {
+func (e *Engine) explainSelect(sb *strings.Builder, sel *gsql.SelectExpr, plan *queryPlan, sem match.Semantics, indent string) {
 	for pi := range sel.From {
 		pat := &sel.From[pi]
 		fmt.Fprintf(sb, "%sseed %s as %q\n", indent, pat.Src.Name, pat.Src.Alias)
@@ -147,12 +160,25 @@ func (e *Engine) explainSelect(sb *strings.Builder, sel *gsql.SelectExpr, sem ma
 	if sel.Where != nil {
 		fmt.Fprintf(sb, "%sWHERE filter\n", indent)
 	}
+	var cs *compiledSelect
+	if plan != nil {
+		cs = plan.selects[sel]
+	}
 	if len(sel.Accum) > 0 {
-		fmt.Fprintf(sb, "%sACCUM %d statement(s)  [snapshot map/reduce, parallel, multiplicity shortcut %s]\n",
-			indent, len(sel.Accum), onOff(!e.opts.NoMultiplicityShortcut))
+		mode := "interpreted"
+		if cs != nil && cs.acc != nil {
+			mode = fmt.Sprintf("compiled kernel (%d fast / %d boxed target(s), %d resolved attr offset(s))",
+				fastTargets(cs.acc), boxedTargets(cs.acc), cs.acc.attrOffsets)
+		}
+		fmt.Fprintf(sb, "%sACCUM %d statement(s)  [%s, snapshot map/reduce, parallel, multiplicity shortcut %s]\n",
+			indent, len(sel.Accum), mode, onOff(!e.opts.NoMultiplicityShortcut))
 	}
 	if len(sel.PostAccum) > 0 {
-		fmt.Fprintf(sb, "%sPOST-ACCUM %d statement(s)  [once per distinct vertex]\n", indent, len(sel.PostAccum))
+		mode := "interpreted"
+		if cs != nil && cs.post != nil {
+			mode = fmt.Sprintf("compiled (%d resolved attr offset(s))", cs.post.attrOffsets)
+		}
+		fmt.Fprintf(sb, "%sPOST-ACCUM %d statement(s)  [%s, once per distinct vertex]\n", indent, len(sel.PostAccum), mode)
 	}
 	if len(sel.GroupBy) > 0 {
 		if sel.GroupingSets != nil {
@@ -180,4 +206,25 @@ func onOff(b bool) string {
 		return "on"
 	}
 	return "off"
+}
+
+// fastTargets / boxedTargets count a program's distinct accumulator
+// write targets on the unboxed vs boxed delta path.
+func fastTargets(p *kprogram) int {
+	n := 0
+	for i := range p.gwrites {
+		if p.gwrites[i].fast != accum.FastNone {
+			n++
+		}
+	}
+	for i := range p.vwrites {
+		if p.vwrites[i].fast != accum.FastNone {
+			n++
+		}
+	}
+	return n
+}
+
+func boxedTargets(p *kprogram) int {
+	return len(p.gwrites) + len(p.vwrites) - fastTargets(p)
 }

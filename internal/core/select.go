@@ -39,23 +39,48 @@ func (rs *runState) runSelect(sel *gsql.SelectExpr, assignTo string) error {
 	if len(sel.Accum) > 0 {
 		asp := sp.Start("accum")
 		asp.SetInt("rows", int64(len(bt.rows)))
-		err := rs.execAccumClause(sel.Accum, bt, asp)
+		var err error
+		if cs := rs.compiledSel(sel); cs != nil && cs.acc != nil {
+			asp.SetBool("compiled", true)
+			rs.res.Stats.AccumCompiledStmts += int64(len(sel.Accum))
+			err = rs.execAccumKernels([]*kprogram{cs.acc}, bt, asp)
+		} else {
+			asp.SetBool("compiled", false)
+			rs.res.Stats.AccumInterpretedStmts += int64(len(sel.Accum))
+			err = rs.execAccumClause(sel.Accum, bt, asp)
+		}
 		asp.End()
 		if err != nil {
 			return fmt.Errorf("ACCUM: %w", err)
 		}
 	}
+	return rs.runPostAndOutputs(sel, bt, assignTo, sp)
+}
+
+// runPostAndOutputs runs the POST-ACCUM clause (compiled or
+// interpreted) and the block's outputs — the per-block tail shared by
+// the sequential path and fused groups.
+func (rs *runState) runPostAndOutputs(sel *gsql.SelectExpr, bt *bindingTable, assignTo string, sp *trace.Span) error {
 	if len(sel.PostAccum) > 0 {
 		psp := sp.Start("post_accum")
 		psp.SetInt("statements", int64(len(sel.PostAccum)))
-		err := rs.execPostAccumClause(sel.PostAccum, bt)
+		var err error
+		if cs := rs.compiledSel(sel); cs != nil && cs.post != nil {
+			psp.SetBool("compiled", true)
+			rs.res.Stats.AccumCompiledStmts += int64(len(sel.PostAccum))
+			err = rs.execPostAccumCompiled(cs.post, sel.PostAccum, bt)
+		} else {
+			psp.SetBool("compiled", false)
+			rs.res.Stats.AccumInterpretedStmts += int64(len(sel.PostAccum))
+			err = rs.execPostAccumClause(sel.PostAccum, bt)
+		}
 		psp.End()
 		if err != nil {
 			return fmt.Errorf("POST-ACCUM: %w", err)
 		}
 	}
 	osp := sp.Start("output")
-	err = rs.emitOutputs(sel, bt, assignTo)
+	err := rs.emitOutputs(sel, bt, assignTo)
 	osp.End()
 	return err
 }

@@ -44,6 +44,11 @@ type runState struct {
 	globals map[string]accum.Accumulator
 	vaccs   map[string]*vaccStore
 
+	// plan holds the query's compiled clause programs and fusion
+	// groups (nil when compilation is disabled: every clause then runs
+	// interpreted).
+	plan *queryPlan
+
 	res *Result
 }
 

@@ -221,6 +221,24 @@ func (g *Graph) VertexKey(v VID) string { return g.vkeys[v] }
 // VertexTypeOf returns the type of a vertex.
 func (g *Graph) VertexTypeOf(v VID) *VertexType { return g.Schema.vertexTypes[g.vtype[v]] }
 
+// VertexTypeID returns the schema index of a vertex's type — the key
+// compiled accumulator kernels use to index pre-resolved attribute
+// offset tables without touching the schema's name maps.
+func (g *Graph) VertexTypeID(v VID) int { return int(g.vtype[v]) }
+
+// VertexAttrAt returns a vertex attribute by pre-resolved column
+// offset (see VertexType.AttrIndex). The offset must be valid for the
+// vertex's type; compiled kernels guarantee that by resolving offsets
+// per type id at install time.
+func (g *Graph) VertexAttrAt(v VID, i int) value.Value { return g.vattrs[v][i] }
+
+// VertexAttrIntAt / VertexAttrFloatAt read a pre-resolved column as a
+// machine scalar without materializing a Value copy; ok is false when
+// the stored kind differs (compiled kernels then fall back to their
+// boxed path).
+func (g *Graph) VertexAttrIntAt(v VID, i int) (int64, bool)     { return g.vattrs[v][i].TryInt() }
+func (g *Graph) VertexAttrFloatAt(v VID, i int) (float64, bool) { return g.vattrs[v][i].TryFloat() }
+
 // VerticesOfType returns all vertices of the named type (nil if the
 // type is unknown). The returned slice must not be mutated.
 func (g *Graph) VerticesOfType(typeName string) []VID {
@@ -263,6 +281,19 @@ func (g *Graph) SetVertexAttr(v VID, name string, val value.Value) error {
 
 // EdgeTypeOf returns the type of an edge.
 func (g *Graph) EdgeTypeOf(e EID) *EdgeType { return g.Schema.edgeTypes[g.etype[e]] }
+
+// EdgeTypeID returns the schema index of an edge's type (the edge
+// counterpart of VertexTypeID).
+func (g *Graph) EdgeTypeID(e EID) int { return int(g.etype[e]) }
+
+// EdgeAttrAt returns an edge attribute by pre-resolved column offset
+// (the edge counterpart of VertexAttrAt).
+func (g *Graph) EdgeAttrAt(e EID, i int) value.Value { return g.eattrs[e][i] }
+
+// EdgeAttrIntAt / EdgeAttrFloatAt are the edge counterparts of the
+// typed vertex column reads.
+func (g *Graph) EdgeAttrIntAt(e EID, i int) (int64, bool)     { return g.eattrs[e][i].TryInt() }
+func (g *Graph) EdgeAttrFloatAt(e EID, i int) (float64, bool) { return g.eattrs[e][i].TryFloat() }
 
 // EdgeEndpoints returns the (source, destination) pair of an edge as
 // stored; for undirected edges the order is insertion order.

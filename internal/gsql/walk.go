@@ -1,0 +1,103 @@
+package gsql
+
+// WalkExpr calls fn on e and every expression nested inside it,
+// depth-first, parents before children. A nil e is a no-op. SelectExpr
+// operands (the S = SELECT form nested in expressions) are descended
+// into via WalkSelectExpr so conservative analyses (the compile-stage
+// fusion legality checks) see every identifier and accumulator
+// reference a block can possibly touch.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *Lit, *Ident, *GlobalAccRef, *VSetLit:
+	case *VertexAccRef:
+		WalkExpr(n.Vertex, fn)
+	case *AttrRef:
+		WalkExpr(n.Obj, fn)
+	case *Call:
+		WalkExpr(n.Recv, fn)
+		for _, a := range n.Args {
+			WalkExpr(a, fn)
+		}
+	case *Binary:
+		WalkExpr(n.L, fn)
+		WalkExpr(n.R, fn)
+	case *Unary:
+		WalkExpr(n.X, fn)
+	case *TupleExpr:
+		for _, sub := range n.Elems {
+			WalkExpr(sub, fn)
+		}
+	case *ArrowTuple:
+		for _, sub := range n.Keys {
+			WalkExpr(sub, fn)
+		}
+		for _, sub := range n.Vals {
+			WalkExpr(sub, fn)
+		}
+	case *SetOpExpr:
+		WalkExpr(n.L, fn)
+		WalkExpr(n.R, fn)
+	case *CaseExpr:
+		for _, arm := range n.Whens {
+			WalkExpr(arm.Cond, fn)
+			WalkExpr(arm.Then, fn)
+		}
+		WalkExpr(n.Else, fn)
+	case *SelectExpr:
+		WalkSelectExpr(n, fn)
+	}
+}
+
+// WalkAccStmt calls fn on every expression of an ACCUM / POST-ACCUM
+// statement, recursing through conditional branches.
+func WalkAccStmt(st *AccStmt, fn func(Expr)) {
+	if st == nil {
+		return
+	}
+	if st.Cond != nil {
+		WalkExpr(st.Cond, fn)
+		for i := range st.Then {
+			WalkAccStmt(&st.Then[i], fn)
+		}
+		for i := range st.Else {
+			WalkAccStmt(&st.Else[i], fn)
+		}
+		return
+	}
+	WalkExpr(st.Lhs, fn)
+	WalkExpr(st.Rhs, fn)
+}
+
+// WalkSelectExpr calls fn on every expression appearing anywhere in a
+// SELECT block: outputs, WHERE, ACCUM, POST-ACCUM, GROUP BY, HAVING,
+// ORDER BY and LIMIT. The SelectExpr node itself is not passed to fn
+// (WalkExpr does that when the block appears as an operand).
+func WalkSelectExpr(sel *SelectExpr, fn func(Expr)) {
+	if sel == nil {
+		return
+	}
+	for _, out := range sel.Outputs {
+		for _, item := range out.Items {
+			WalkExpr(item.Expr, fn)
+		}
+	}
+	WalkExpr(sel.Where, fn)
+	for i := range sel.Accum {
+		WalkAccStmt(&sel.Accum[i], fn)
+	}
+	for i := range sel.PostAccum {
+		WalkAccStmt(&sel.PostAccum[i], fn)
+	}
+	for _, g := range sel.GroupBy {
+		WalkExpr(g, fn)
+	}
+	WalkExpr(sel.Having, fn)
+	for _, k := range sel.OrderBy {
+		WalkExpr(k.Expr, fn)
+	}
+	WalkExpr(sel.Limit, fn)
+}

@@ -151,6 +151,10 @@ type Server struct {
 	mSDMCRuns    *metrics.Counter // gsqld_expand_sdmc_runs_total
 	mShards      *metrics.Counter // gsqld_expand_shards_total
 
+	mAccumCompiled    *metrics.Counter // gsqld_accum_compiled_stmts_total
+	mAccumInterpreted *metrics.Counter // gsqld_accum_interpreted_stmts_total
+	mFusedBlocks      *metrics.Counter // gsqld_fusion_blocks_fused_total
+
 	mWALRecords  *metrics.Counter // gsqld_storage_wal_records_total
 	mWALBytes    *metrics.Counter // gsqld_storage_wal_bytes_total
 	mCheckpoints *metrics.Counter // gsqld_storage_checkpoints_total
@@ -196,6 +200,12 @@ func New(cfg Config) *Server {
 		"Single-source SDMC count runs (BFS or enumeration) executed.")
 	s.mShards = s.reg.Counter("gsqld_expand_shards_total",
 		"Shards FROM-clause hop expansion was split into, summed over hops.")
+	s.mAccumCompiled = s.reg.Counter("gsqld_accum_compiled_stmts_total",
+		"ACCUM/POST-ACCUM statements executed on the compiled kernel path.")
+	s.mAccumInterpreted = s.reg.Counter("gsqld_accum_interpreted_stmts_total",
+		"ACCUM/POST-ACCUM statements executed by the tree-walking interpreter.")
+	s.mFusedBlocks = s.reg.Counter("gsqld_fusion_blocks_fused_total",
+		"SELECT blocks executed inside a fused group sharing one traversal.")
 	s.mWALRecords = s.reg.Counter("gsqld_storage_wal_records_total",
 		"Mutation records appended to the write-ahead log.")
 	s.mWALBytes = s.reg.Counter("gsqld_storage_wal_bytes_total",
@@ -308,12 +318,15 @@ type runResponse struct {
 }
 
 type runStatsJSON struct {
-	BindingRows      int64 `json:"binding_rows"`
-	Selects          int64 `json:"selects"`
-	CountCacheHits   int64 `json:"count_cache_hits"`
-	CountCacheMisses int64 `json:"count_cache_misses"`
-	SDMCRuns         int64 `json:"sdmc_runs"`
-	ExpandShards     int64 `json:"expand_shards"`
+	BindingRows           int64 `json:"binding_rows"`
+	Selects               int64 `json:"selects"`
+	CountCacheHits        int64 `json:"count_cache_hits"`
+	CountCacheMisses      int64 `json:"count_cache_misses"`
+	SDMCRuns              int64 `json:"sdmc_runs"`
+	ExpandShards          int64 `json:"expand_shards"`
+	AccumCompiledStmts    int64 `json:"accum_compiled_stmts"`
+	AccumInterpretedStmts int64 `json:"accum_interpreted_stmts"`
+	FusionBlocksFused     int64 `json:"fusion_blocks_fused"`
 }
 
 type queryInfo struct {
@@ -550,6 +563,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.mCacheMisses.Add(uint64(res.Stats.CountCacheMisses))
 	s.mSDMCRuns.Add(uint64(res.Stats.SDMCRuns))
 	s.mShards.Add(uint64(res.Stats.ExpandShards))
+	s.mAccumCompiled.Add(uint64(res.Stats.AccumCompiledStmts))
+	s.mAccumInterpreted.Add(uint64(res.Stats.AccumInterpretedStmts))
+	s.mFusedBlocks.Add(uint64(res.Stats.FusionBlocksFused))
 
 	g := s.eng.Graph()
 	resp := runResponse{
@@ -557,12 +573,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		RequestID: requestID(r.Context()),
 		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
 		Stats: runStatsJSON{
-			BindingRows:      res.Stats.BindingRows,
-			Selects:          res.Stats.Selects,
-			CountCacheHits:   res.Stats.CountCacheHits,
-			CountCacheMisses: res.Stats.CountCacheMisses,
-			SDMCRuns:         res.Stats.SDMCRuns,
-			ExpandShards:     res.Stats.ExpandShards,
+			BindingRows:           res.Stats.BindingRows,
+			Selects:               res.Stats.Selects,
+			CountCacheHits:        res.Stats.CountCacheHits,
+			CountCacheMisses:      res.Stats.CountCacheMisses,
+			SDMCRuns:              res.Stats.SDMCRuns,
+			ExpandShards:          res.Stats.ExpandShards,
+			AccumCompiledStmts:    res.Stats.AccumCompiledStmts,
+			AccumInterpretedStmts: res.Stats.AccumInterpretedStmts,
+			FusionBlocksFused:     res.Stats.FusionBlocksFused,
 		},
 	}
 	if len(res.Tables) > 0 {

@@ -407,3 +407,55 @@ func TestServerExpandMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestServerAccumCompileMetrics: the compiled-kernel and fusion
+// counters surface in both the per-run stats JSON and /metrics — a
+// fusable query reports compiled statements plus fused blocks, while a
+// clause the compiler declines reports interpreted statements.
+func TestServerAccumCompileMetrics(t *testing.T) {
+	s := salesServer(t, Config{})
+	const fusedSrc = `CREATE QUERY Fused () FOR GRAPH SalesGraph {
+  SumAccum<int> @@a;
+  SumAccum<int> @@b;
+  X = SELECT t FROM Customer:s -(Likes>)- Product:t ACCUM @@a += 1;
+  Y = SELECT t FROM Customer:s -(Likes>)- Product:t ACCUM @@b += 1;
+}`
+	const interpSrc = `CREATE QUERY Interp () FOR GRAPH SalesGraph {
+  SumAccum<int> @@a;
+  X = SELECT s FROM Customer:s;
+  Y = SELECT t FROM Customer:s -(Likes>)- Product:t ACCUM @@a += X.size();
+}`
+	for _, src := range []string{fusedSrc, interpSrc} {
+		if w := do(s, "POST", "/queries", src); w.Code != http.StatusCreated {
+			t.Fatalf("install: %d %s", w.Code, w.Body)
+		}
+	}
+	w := do(s, "POST", "/queries/Fused/run", "{}")
+	if w.Code != http.StatusOK {
+		t.Fatalf("fused run: %d %s", w.Code, w.Body)
+	}
+	fused := decode[runResponse](t, w)
+	if fused.Stats.AccumCompiledStmts != 2 || fused.Stats.FusionBlocksFused != 2 ||
+		fused.Stats.AccumInterpretedStmts != 0 {
+		t.Fatalf("fused run stats = %+v, want 2 compiled stmts, 2 fused blocks", fused.Stats)
+	}
+	w = do(s, "POST", "/queries/Interp/run", "{}")
+	if w.Code != http.StatusOK {
+		t.Fatalf("interp run: %d %s", w.Code, w.Body)
+	}
+	interp := decode[runResponse](t, w)
+	if interp.Stats.AccumInterpretedStmts != 1 || interp.Stats.FusionBlocksFused != 0 {
+		t.Fatalf("interp run stats = %+v, want 1 interpreted stmt, 0 fused", interp.Stats)
+	}
+
+	body := do(s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		fmt.Sprintf("gsqld_accum_compiled_stmts_total %d", fused.Stats.AccumCompiledStmts+interp.Stats.AccumCompiledStmts),
+		fmt.Sprintf("gsqld_accum_interpreted_stmts_total %d", interp.Stats.AccumInterpretedStmts),
+		fmt.Sprintf("gsqld_fusion_blocks_fused_total %d", fused.Stats.FusionBlocksFused),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -248,6 +248,26 @@ func (v Value) AsInt() (int64, bool) {
 	return 0, false
 }
 
+// TryInt returns the integer payload iff the kind is exactly int — no
+// coercion (AsInt truncates floats; exact fold paths must not). The
+// pointer receiver lets callers read a stored value in place without
+// copying the full struct.
+func (v *Value) TryInt() (int64, bool) {
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return v.i, true
+}
+
+// TryFloat returns the float payload iff the kind is exactly float —
+// the strict counterpart of AsFloat.
+func (v *Value) TryFloat() (float64, bool) {
+	if v.kind != KindFloat {
+		return 0, false
+	}
+	return v.f, true
+}
+
 // Truthy reports whether the value is considered true in a condition:
 // booleans by payload, numbers by non-zero, strings by non-empty, and
 // null as false.
