@@ -25,6 +25,20 @@
 // only seed the very first boot). Without it everything is in-memory,
 // as before.
 //
+// A durable gsqld is automatically a replication leader: followers
+// bootstrap from GET /replication/snapshot and tail GET
+// /replication/wal. Start a read replica with
+//
+//	gsqld -follow http://leader:8844 -data-dir /var/lib/gsqld-replica
+//
+// The follower bootstraps from the leader's latest snapshot (or
+// recovers its local copy and resumes tailing), applies shipped WAL
+// records under the same writer lock mutations would take, serves
+// installed read queries throughout, and answers 403 on mutation and
+// checkpoint routes. -wal-retain raises how many WAL generations a
+// leader keeps so slow followers can tail across checkpoints instead
+// of re-bootstrapping.
+//
 // SIGINT/SIGTERM trigger graceful shutdown: the server stops admitting
 // work (503), drains in-flight runs, checkpoints the store (when one
 // is attached), then exits.
@@ -48,6 +62,7 @@ import (
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/ldbc"
 	"gsqlgo/internal/match"
+	"gsqlgo/internal/replication"
 	"gsqlgo/internal/server"
 	"gsqlgo/internal/storage"
 )
@@ -60,7 +75,9 @@ func main() {
 	slowMs := flag.Int64("slow-query-ms", 0, "slow-query log threshold in ms (0 = off); arming it traces every run")
 	traceRing := flag.Int("trace-ring", 0, "how many recent traces /debug/traces retains (0 = default 64)")
 	dataDir := flag.String("data-dir", "", "durable store directory (snapshots + WAL); recovered on start, seeded from -data/-builtin on first boot")
-	fsync := flag.Bool("fsync", false, "fsync the WAL after every mutation (durable against power loss, not just crashes)")
+	fsync := flag.Bool("fsync", false, "fsync the WAL after every mutation (durable against power loss, not just crashes); concurrent mutations share flushes (group commit)")
+	walRetain := flag.Int("wal-retain", 0, "snapshot/WAL generations to keep (0 = default 2); raise on a leader so slow followers keep tailing across checkpoints")
+	follow := flag.String("follow", "", "run as a read replica of the leader at this base URL (requires -data-dir; mutation routes answer 403)")
 	data := flag.String("data", "", "directory with schema.json and CSV files (from snbgen or DumpCSV)")
 	builtin := flag.String("builtin", "", "built-in graph: diamond:N | sales | snb:SF | g1 | g2 | linkgraph:N")
 	queryFile := flag.String("query", "", "optional GSQL source file to pre-install at startup")
@@ -86,13 +103,31 @@ func main() {
 
 	var g *graph.Graph
 	var store *storage.Store
-	if *dataDir != "" {
+	var follower *replication.Follower
+	if *follow != "" {
+		if *dataDir == "" {
+			fatal("starting follower", fmt.Errorf("-follow requires -data-dir for the replica's local store"))
+		}
+		fw, err := replication.OpenFollower(context.Background(), replication.FollowerConfig{
+			LeaderURL: strings.TrimRight(*follow, "/"),
+			Dir:       *dataDir,
+			Fsync:     *fsync,
+			Retain:    *walRetain,
+			Logger:    logger,
+		})
+		if err != nil {
+			fatal("opening follower", err)
+		}
+		follower = fw
+		g = fw.Graph()
+	} else if *dataDir != "" {
 		// Lazy init: -data/-builtin only matter when the directory holds
 		// no store yet; recovery wins otherwise, and a recovered boot
 		// does not even require them.
 		st, err := storage.Open(*dataDir, storage.Options{
-			Fsync: *fsync,
-			Init:  func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
+			Fsync:  *fsync,
+			Retain: *walRetain,
+			Init:   func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
 		})
 		if err != nil {
 			fatal("opening store", err)
@@ -132,6 +167,7 @@ func main() {
 	srv := server.New(server.Config{
 		Engine:             eng,
 		Store:              store,
+		Follower:           follower,
 		DefaultTimeout:     *defTimeout,
 		MaxTimeout:         *maxTimeout,
 		MaxConcurrent:      *maxConcurrent,
@@ -142,6 +178,21 @@ func main() {
 	})
 	srv.PublishExpvar("gsqld")
 
+	// The follower's tail loop starts only after the server exists: its
+	// applies take the server's writer lock, a re-bootstrap repoints the
+	// engine at the swapped store's graph, and its lifecycle spans land
+	// in the server's trace ring.
+	replDone := make(chan error, 1)
+	var replCancel context.CancelFunc
+	if follower != nil {
+		follower.Bind(srv.ReplicationLock(),
+			func(st *storage.Store) { eng.SetGraph(st.Graph()) },
+			srv.AddTrace)
+		var replCtx context.Context
+		replCtx, replCancel = context.WithCancel(context.Background())
+		go func() { replDone <- follower.Run(replCtx) }()
+	}
+
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, logger)
 	}
@@ -151,13 +202,18 @@ func main() {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("gsqld listening", "addr", *addr,
 		"vertices", g.NumVertices(), "workers", eng.Workers(),
-		"slow_query_ms", *slowMs, "debug_addr", *debugAddr)
+		"follow", *follow, "slow_query_ms", *slowMs, "debug_addr", *debugAddr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
 		fatal("serving", err)
+	case err := <-replDone:
+		// Run only returns on cancellation (nil, and nobody cancelled
+		// yet) or a fatal divergence — serving a silently stale replica
+		// is worse than dying loudly.
+		fatal("replication", err)
 	case s := <-sig:
 		logger.Info("signal received, draining", "signal", s.String(), "drain_wait", *drainWait)
 	}
@@ -168,6 +224,16 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Warn("http shutdown", "error", err)
+	}
+	if follower != nil {
+		replCancel()
+		select {
+		case <-replDone:
+		case <-ctx.Done():
+		}
+		if err := follower.Close(); err != nil {
+			logger.Warn("closing follower store", "error", err)
+		}
 	}
 	if store != nil {
 		if err := store.Close(); err != nil {

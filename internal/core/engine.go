@@ -99,6 +99,22 @@ func New(g *graph.Graph, opts Options) *Engine {
 // Graph returns the engine's graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
+// SetGraph repoints the engine at a different graph and resets the
+// graph-bound caches (the SDMC count cache; the DFA cache, compiled
+// plans and relational tables survive — they depend on query text and
+// schema, not graph contents). The replication follower uses it after
+// a snapshot re-bootstrap replaces its store; the new graph must carry
+// the same schema as the old one, since installed queries were
+// validated against it. The caller must serialize SetGraph against
+// running queries the same way it serializes graph mutation (the
+// serving layer's writer lock).
+func (e *Engine) SetGraph(g *graph.Graph) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.g = g
+	e.counts = newCountCache(g, e.opts.CountCacheSize)
+}
+
 // Install parses GSQL source and registers its queries (the CREATE
 // QUERY / INSTALL QUERY workflow collapsed into one step).
 func (e *Engine) Install(src string) error {

@@ -1,0 +1,506 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
+	"gsqlgo/internal/trace"
+)
+
+// FollowerConfig configures a read replica.
+type FollowerConfig struct {
+	// LeaderURL is the leader's base URL (e.g. http://leader:8080).
+	// Required.
+	LeaderURL string
+	// Dir is the follower's own store directory. A directory that
+	// already holds a store is recovered and tailing resumes from its
+	// position; an empty one bootstraps from the leader's snapshot.
+	Dir string
+	// Fsync and Retain configure the follower's local store exactly as
+	// they would a leader's.
+	Fsync  bool
+	Retain int
+	// Client performs the HTTP requests (default http.DefaultClient;
+	// its Timeout must exceed PollWait or every long-poll times out).
+	Client *http.Client
+	// Logger receives lifecycle records (default slog.Default()).
+	Logger *slog.Logger
+	// PollWait is the long-poll wait requested from the leader when
+	// caught up (default 10s).
+	PollWait time.Duration
+	// MaxChunk caps the bytes requested per WAL fetch (default: the
+	// store's 1 MiB chunk default).
+	MaxChunk int
+	// Backoff and MaxBackoff bound the reconnect backoff after a fetch
+	// failure (defaults 100ms and 5s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 10 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	return c
+}
+
+// FollowerStats is a snapshot of a follower's replication counters and
+// lag gauges.
+type FollowerStats struct {
+	RecordsApplied uint64
+	BytesApplied   uint64
+	Bootstraps     uint64
+	Reconnects     uint64
+	// LagRecords/LagBytes measure distance behind the leader as of the
+	// last fetch. Exact while follower and leader share a WAL segment;
+	// across a rotation the follower only knows the leader's active
+	// segment, so the value is a lower bound until it catches up to the
+	// same generation.
+	LagRecords int64
+	LagBytes   int64
+}
+
+// Follower tails a leader's WAL into its own store and keeps a local
+// graph bit-identical to the leader's at its applied position. See the
+// package comment for the protocol; the one structural invariant worth
+// restating is that the follower's store mirrors the leader's file
+// layout, so its replication position IS the store's recovered
+// position — restarts resume tailing with no separate position file.
+type Follower struct {
+	cfg FollowerConfig
+	log *slog.Logger
+
+	// mu guards store against the swap a re-bootstrap performs. The
+	// serving layer's writer lock (Bind) serializes apply against
+	// queries; this narrower lock only protects the pointer.
+	mu    sync.Mutex
+	store *storage.Store
+
+	// lock, onSwap, onTrace are supplied by the serving layer via Bind.
+	lock    sync.Locker
+	onSwap  func(*storage.Store)
+	onTrace func(*trace.Span)
+
+	nRecords    atomic.Uint64
+	nBytes      atomic.Uint64
+	nBootstraps atomic.Uint64
+	nReconnects atomic.Uint64
+	lagRecords  atomic.Int64
+	lagBytes    atomic.Int64
+}
+
+// OpenFollower opens (or bootstraps) a follower. When dir already
+// holds a store it is recovered locally — the leader is not contacted
+// until Run. Otherwise the leader's latest snapshot is fetched and
+// installed, which requires the leader to be reachable.
+func OpenFollower(ctx context.Context, cfg FollowerConfig) (*Follower, error) {
+	cfg = cfg.withDefaults()
+	if cfg.LeaderURL == "" {
+		return nil, errors.New("replication: FollowerConfig.LeaderURL is required")
+	}
+	f := &Follower{cfg: cfg, log: cfg.Logger, lock: noopLocker{}}
+	has, err := storage.HasStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !has {
+		if err := f.fetchAndInstallSnapshot(ctx); err != nil {
+			return nil, err
+		}
+	}
+	st, err := storage.Open(cfg.Dir, f.storeOptions())
+	if err != nil {
+		return nil, err
+	}
+	f.store = st
+	seq, off := st.Position()
+	f.log.Info("replication: follower open",
+		"dir", cfg.Dir, "leader", cfg.LeaderURL,
+		"seq", seq, "off", off, "resumed", has)
+	return f, nil
+}
+
+func (f *Follower) storeOptions() storage.Options {
+	return storage.Options{
+		// Init is nil on purpose: a follower's store always starts from
+		// an installed snapshot; initializing an empty graph locally
+		// would fabricate state the leader never had.
+		Fsync:  f.cfg.Fsync,
+		Retain: f.cfg.Retain,
+	}
+}
+
+type noopLocker struct{}
+
+func (noopLocker) Lock()   {}
+func (noopLocker) Unlock() {}
+
+// Bind hands the follower the serving layer's coupling points: lock is
+// held exclusively around every record apply and store swap (pass the
+// server's graph RWMutex so queries never observe a half-applied
+// batch), onSwap is called — under that lock — when a re-bootstrap
+// replaces the store, and onTrace receives the span of each bootstrap
+// and segment rotation (nil callbacks are fine). Call before Run.
+func (f *Follower) Bind(lock sync.Locker, onSwap func(*storage.Store), onTrace func(*trace.Span)) {
+	if lock != nil {
+		f.lock = lock
+	}
+	f.onSwap = onSwap
+	f.onTrace = onTrace
+}
+
+// Store returns the follower's current store. After Run has started,
+// the pointer is only stable while the Bind lock is held (re-bootstrap
+// swaps it).
+func (f *Follower) Store() *storage.Store {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.store
+}
+
+// Graph returns the follower's current graph (same stability caveat as
+// Store).
+func (f *Follower) Graph() *graph.Graph { return f.Store().Graph() }
+
+// Stats snapshots the follower's counters and lag gauges.
+func (f *Follower) Stats() FollowerStats {
+	return FollowerStats{
+		RecordsApplied: f.nRecords.Load(),
+		BytesApplied:   f.nBytes.Load(),
+		Bootstraps:     f.nBootstraps.Load(),
+		Reconnects:     f.nReconnects.Load(),
+		LagRecords:     f.lagRecords.Load(),
+		LagBytes:       f.lagBytes.Load(),
+	}
+}
+
+// Position returns the follower's applied replication position.
+func (f *Follower) Position() (seq uint64, off int64) {
+	return f.Store().Position()
+}
+
+// Close closes the follower's store. Call after Run has returned.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.store == nil {
+		return nil
+	}
+	err := f.store.Close()
+	f.store = nil
+	return err
+}
+
+// Run tails the leader until ctx is cancelled (returns nil) or the
+// follower hits a non-recoverable divergence (returns the error).
+// Fetch failures reconnect with exponential backoff; a 410 from the
+// leader triggers a snapshot re-bootstrap.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.cfg.Backoff
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		err := f.tailOnce(ctx)
+		switch {
+		case err == nil:
+			backoff = f.cfg.Backoff
+		case errors.Is(err, errPositionGone):
+			f.log.Warn("replication: position pruned by leader, re-bootstrapping")
+			if err := f.rebootstrap(ctx); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				f.log.Error("replication: re-bootstrap failed", "err", err)
+				f.nReconnects.Add(1)
+				if !sleepCtx(ctx, backoff) {
+					return nil
+				}
+				backoff = min(backoff*2, f.cfg.MaxBackoff)
+			} else {
+				backoff = f.cfg.Backoff
+			}
+		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+			return nil
+		case isFatal(err):
+			f.log.Error("replication: fatal", "err", err)
+			return err
+		default:
+			f.log.Warn("replication: fetch failed, retrying",
+				"err", err, "backoff", backoff)
+			f.nReconnects.Add(1)
+			if !sleepCtx(ctx, backoff) {
+				return nil
+			}
+			backoff = min(backoff*2, f.cfg.MaxBackoff)
+		}
+	}
+}
+
+// errPositionGone is the internal signal for a leader 410.
+var errPositionGone = errors.New("replication: leader no longer serves this position")
+
+// fatalError marks divergence the tail loop cannot retry its way out
+// of (a record that fails to apply): retrying would re-apply the same
+// bytes to the same state. Run surfaces it to the caller.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+func isFatal(err error) bool {
+	var fe *fatalError
+	return errors.As(err, &fe)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// tailOnce fetches one WAL chunk at the current position and applies
+// it. Returns nil when progress was made or the poll simply came back
+// empty; errPositionGone on a leader 410.
+func (f *Follower) tailOnce(ctx context.Context) error {
+	st := f.Store()
+	seq, off := st.Position()
+	url := fmt.Sprintf("%s/replication/wal?seq=%d&from=%d&wait_ms=%d",
+		f.cfg.LeaderURL, seq, off, f.cfg.PollWait.Milliseconds())
+	if f.cfg.MaxChunk > 0 {
+		url += fmt.Sprintf("&max_bytes=%d", f.cfg.MaxChunk)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, resp.Body)
+		return errPositionGone
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replication: leader answered %s: %s", resp.Status, body)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	payloads, err := DecodeFrames(data)
+	if err != nil {
+		// The transfer is damaged, not the position: drop the chunk and
+		// re-fetch from the same offset.
+		return err
+	}
+	nextSeq, _ := strconv.ParseUint(resp.Header.Get(HdrNextSeq), 10, 64)
+
+	if len(payloads) > 0 || nextSeq != 0 {
+		if err := f.apply(st, payloads, nextSeq); err != nil {
+			return err
+		}
+	}
+	f.updateLag(st, resp.Header)
+	return nil
+}
+
+// apply replays one chunk's records into the follower's graph under
+// the serving layer's writer lock, then rotates to nextSeq if the
+// chunk exhausted a sealed segment. Applying goes through the store's
+// mutation-observer path, so every record is re-logged to the
+// follower's own WAL — byte-identical frames, since record encoding is
+// deterministic — which is what persists the replication position.
+func (f *Follower) apply(st *storage.Store, payloads [][]byte, nextSeq uint64) error {
+	f.lock.Lock()
+	defer f.lock.Unlock()
+	g := st.Graph()
+	var bytes int
+	for i, p := range payloads {
+		if err := storage.ApplyRecord(g, p); err != nil {
+			// Divergence or corruption the CRC could not see; retrying
+			// the same bytes cannot succeed.
+			return &fatalError{fmt.Errorf("replication: applying record %d of chunk: %w", i, err)}
+		}
+		bytes += 8 + len(p)
+	}
+	f.nRecords.Add(uint64(len(payloads)))
+	f.nBytes.Add(uint64(bytes))
+	if nextSeq != 0 {
+		span := trace.New("replication.rotate")
+		err := st.AdvanceSegment(nextSeq)
+		span.SetStr("seq", strconv.FormatUint(nextSeq, 10))
+		span.End()
+		if f.onTrace != nil {
+			f.onTrace(span)
+		}
+		if err != nil {
+			return &fatalError{fmt.Errorf("replication: rotating to segment %d: %w", nextSeq, err)}
+		}
+		f.log.Info("replication: rotated segment", "seq", nextSeq)
+	}
+	return nil
+}
+
+// updateLag refreshes the lag gauges from the leader position headers
+// of the response just processed.
+func (f *Follower) updateLag(st *storage.Store, h http.Header) {
+	leaderSeq, err1 := strconv.ParseUint(h.Get(HdrLeaderSeq), 10, 64)
+	leaderOff, err2 := strconv.ParseInt(h.Get(HdrLeaderOff), 10, 64)
+	leaderRecs, err3 := strconv.ParseUint(h.Get(HdrLeaderRecords), 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return
+	}
+	mySeq, myOff := st.Position()
+	if leaderSeq == mySeq {
+		f.lagRecords.Store(int64(leaderRecs) - int64(st.ActiveRecords()))
+		f.lagBytes.Store(leaderOff - myOff)
+		return
+	}
+	// Different segments: the leader's active-segment counters alone are
+	// a lower bound on the distance (sealed segments in between aren't
+	// visible from one response). The gauge converges to exact as soon
+	// as the follower reaches the leader's generation.
+	f.lagRecords.Store(int64(leaderRecs))
+	f.lagBytes.Store(leaderOff - storage.WALHeaderSize)
+}
+
+// ---- bootstrap -------------------------------------------------------------
+
+// fetchSnapshot downloads the leader's newest snapshot.
+func (f *Follower) fetchSnapshot(ctx context.Context) (seq uint64, data []byte, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.cfg.LeaderURL+"/replication/snapshot", nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, nil, fmt.Errorf("replication: snapshot fetch: leader answered %s: %s", resp.Status, body)
+	}
+	seq, err = strconv.ParseUint(resp.Header.Get(HdrSeq), 10, 64)
+	if err != nil || seq == 0 {
+		return 0, nil, fmt.Errorf("replication: snapshot response missing %s", HdrSeq)
+	}
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, data, nil
+}
+
+// fetchAndInstallSnapshot bootstraps an empty directory from the
+// leader (initial open only; re-bootstrap of a live follower is
+// rebootstrap's job).
+func (f *Follower) fetchAndInstallSnapshot(ctx context.Context) error {
+	span := trace.New("replication.bootstrap")
+	defer func() {
+		span.End()
+		if f.onTrace != nil {
+			f.onTrace(span)
+		}
+	}()
+	seq, data, err := f.fetchSnapshot(ctx)
+	if err != nil {
+		span.SetStr("error", err.Error())
+		return err
+	}
+	span.SetStr("seq", strconv.FormatUint(seq, 10))
+	if err := storage.WriteBootstrapSnapshot(f.cfg.Dir, seq, data); err != nil {
+		span.SetStr("error", err.Error())
+		return err
+	}
+	f.nBootstraps.Add(1)
+	f.log.Info("replication: bootstrapped from leader snapshot",
+		"seq", seq, "bytes", len(data))
+	return nil
+}
+
+// rebootstrap discards the follower's store and rebuilds it from the
+// leader's newest snapshot — the recovery path when the follower's
+// position aged past the leader's retention. The snapshot downloads
+// outside the serving lock (it can be large); the destructive part —
+// close, wipe, install, reopen, swap — runs under it, and onSwap lets
+// the serving layer repoint its engine at the new graph before reads
+// resume.
+func (f *Follower) rebootstrap(ctx context.Context) error {
+	span := trace.New("replication.rebootstrap")
+	defer func() {
+		span.End()
+		if f.onTrace != nil {
+			f.onTrace(span)
+		}
+	}()
+	seq, data, err := f.fetchSnapshot(ctx)
+	if err != nil {
+		span.SetStr("error", err.Error())
+		return err
+	}
+	span.SetStr("seq", strconv.FormatUint(seq, 10))
+
+	f.lock.Lock()
+	defer f.lock.Unlock()
+	f.mu.Lock()
+	old := f.store
+	f.mu.Unlock()
+	if err := old.Close(); err != nil {
+		f.log.Warn("replication: closing store for re-bootstrap", "err", err)
+	}
+	if err := storage.WipeStore(f.cfg.Dir); err != nil {
+		return &fatalError{fmt.Errorf("replication: wiping store for re-bootstrap: %w", err)}
+	}
+	if err := storage.WriteBootstrapSnapshot(f.cfg.Dir, seq, data); err != nil {
+		return &fatalError{fmt.Errorf("replication: installing bootstrap snapshot: %w", err)}
+	}
+	st, err := storage.Open(f.cfg.Dir, f.storeOptions())
+	if err != nil {
+		return &fatalError{fmt.Errorf("replication: reopening store after re-bootstrap: %w", err)}
+	}
+	f.mu.Lock()
+	f.store = st
+	f.mu.Unlock()
+	if f.onSwap != nil {
+		f.onSwap(st)
+	}
+	f.nBootstraps.Add(1)
+	f.lagRecords.Store(0)
+	f.lagBytes.Store(0)
+	f.log.Info("replication: re-bootstrapped", "seq", seq, "bytes", len(data))
+	return nil
+}

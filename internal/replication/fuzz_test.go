@@ -1,0 +1,108 @@
+package replication
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
+)
+
+// frame builds one wire frame around payload.
+func frame(payload []byte) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// FuzzReplicationFrameDecode is the wire-framing fuzz target: for
+// arbitrary chunk bytes, DecodeFrames must never panic and must either
+// return payloads that re-encode to exactly the input (the wire is a
+// pure concatenation of frames) or fail with the typed ErrBadFrame.
+// Anything else means the follower trusted bytes off the network.
+func FuzzReplicationFrameDecode(f *testing.F) {
+	// Realistic seed: actual WAL frames from a live store.
+	h := fuzzLeaderChunk(f)
+	f.Add(h)
+	f.Add([]byte{})
+	f.Add(frame(nil))                                   // zero-length payload
+	f.Add(frame([]byte{1}))                             // minimal record-ish
+	f.Add(append(frame([]byte("ab")), h...))            // synthetic + real
+	f.Add(append([]byte(nil), h[:len(h)-1]...))         // torn tail
+	f.Add(append([]byte{0x00}, h...))                   // shifted off boundary
+	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<30)) // absurd length, no body
+	for _, pos := range []int{0, 4, 8, len(h) / 2} {
+		if pos < len(h) {
+			mut := append([]byte(nil), h...)
+			mut[pos] ^= 0x01
+			f.Add(mut)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, err := DecodeFrames(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("DecodeFrames: non-ErrBadFrame failure %v", err)
+			}
+			if payloads != nil {
+				t.Fatal("DecodeFrames returned payloads alongside an error")
+			}
+			return
+		}
+		// Success must mean the input was exactly a frame concatenation:
+		// re-framing the payloads reproduces the input byte for byte.
+		var re []byte
+		for _, p := range payloads {
+			re = append(re, frame(p)...)
+		}
+		if len(re) != len(data) || (len(data) > 0 && !equal(re, data)) {
+			t.Fatalf("decode/re-encode mismatch: %d bytes in, %d bytes out", len(data), len(re))
+		}
+	})
+}
+
+func equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fuzzLeaderChunk produces genuine WAL chunk bytes by running a few
+// mutations through a real store and reading them back through the
+// shipping API.
+func fuzzLeaderChunk(f *testing.F) []byte {
+	f.Helper()
+	st, err := storage.Open(f.TempDir(), storage.Options{
+		Init: func() (*graph.Graph, error) { return graph.New(testSchema(f)), nil },
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer st.Close()
+	g := st.Graph()
+	for i, key := range []string{"ada", "bob", "eve"} {
+		if _, err := g.AddVertex("Person", key, nil); err != nil {
+			f.Fatal(err)
+		}
+		if i > 0 {
+			if _, err := g.AddEdge("Knows", 0, 1, nil); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	seq, _ := st.Position()
+	chunk, err := st.ReadWALChunk(seq, storage.WALHeaderSize, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return chunk.Data
+}

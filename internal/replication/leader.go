@@ -1,0 +1,155 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"gsqlgo/internal/storage"
+)
+
+// Leader serves a store's WAL to followers. It is a pure read-side
+// view: it never mutates the store, so it can sit on the same mux as
+// the query routes of a live gsqld without extra locking — every read
+// goes through the store's own position accounting.
+type Leader struct {
+	store *storage.Store
+	log   *slog.Logger
+
+	// maxWait bounds how long a /replication/wal long-poll parks before
+	// answering empty (the client re-polls). Bounded so a leader drain
+	// never waits on parked followers longer than this.
+	maxWait time.Duration
+
+	nSnapshots atomic.Uint64
+	nChunks    atomic.Uint64
+	nBytes     atomic.Uint64
+}
+
+// NewLeader wraps store as a replication leader. logger may be nil.
+func NewLeader(store *storage.Store, logger *slog.Logger) *Leader {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Leader{store: store, log: logger, maxWait: 30 * time.Second}
+}
+
+// Register mounts the replication routes on mux.
+func (l *Leader) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /replication/snapshot", l.handleSnapshot)
+	mux.HandleFunc("GET /replication/wal", l.handleWAL)
+	mux.HandleFunc("GET /replication/status", l.handleStatus)
+}
+
+// setLeaderPosition stamps the leader's live position on every
+// response so followers account lag from the data path itself.
+func (l *Leader) setLeaderPosition(h http.Header) {
+	seq, off := l.store.Position()
+	h.Set(HdrLeaderSeq, strconv.FormatUint(seq, 10))
+	h.Set(HdrLeaderOff, strconv.FormatInt(off, 10))
+	h.Set(HdrLeaderRecords, strconv.FormatUint(l.store.ActiveRecords(), 10))
+}
+
+// handleSnapshot serves the newest decodable snapshot generation.
+func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	seq, data, err := l.store.BootstrapSnapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	l.nSnapshots.Add(1)
+	l.log.Info("replication: snapshot served",
+		"seq", seq, "bytes", len(data), "remote", r.RemoteAddr)
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HdrSeq, strconv.FormatUint(seq, 10))
+	l.setLeaderPosition(h)
+	w.Write(data)
+}
+
+// handleWAL serves complete frames of segment ?seq= from byte offset
+// ?from=. When the position is caught up it parks up to ?wait_ms=
+// (clamped to the leader's bound) for new appends before answering
+// empty. A position the store no longer serves — pruned segment,
+// offset past the end, bytes that do not frame — is 410 Gone: the
+// follower must re-bootstrap.
+func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seq, err1 := strconv.ParseUint(q.Get("seq"), 10, 64)
+	from, err2 := strconv.ParseInt(q.Get("from"), 10, 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "replication: seq and from are required integers", http.StatusBadRequest)
+		return
+	}
+	maxBytes := 0
+	if v := q.Get("max_bytes"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			maxBytes = n
+		}
+	}
+	var wait time.Duration
+	if v := q.Get("wait_ms"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			wait = min(time.Duration(n)*time.Millisecond, l.maxWait)
+		}
+	}
+
+	deadline := time.Now().Add(wait)
+	var chunk storage.WALChunk
+	for {
+		// Grab the notify channel before reading: an append between the
+		// read and the park closes this channel, so the park wakes
+		// instead of sleeping through the new frames.
+		notify := l.store.WALNotify()
+		chunk, err1 = l.store.ReadWALChunk(seq, from, maxBytes)
+		if err1 != nil {
+			if errors.Is(err1, storage.ErrSegmentGone) {
+				l.log.Warn("replication: position gone",
+					"seq", seq, "from", from, "remote", r.RemoteAddr, "err", err1)
+				http.Error(w, err1.Error(), http.StatusGone)
+				return
+			}
+			http.Error(w, err1.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(chunk.Data) > 0 || chunk.NextSeq != 0 || wait <= 0 || !time.Now().Before(deadline) {
+			break
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-notify:
+			timer.Stop()
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+
+	l.nChunks.Add(1)
+	l.nBytes.Add(uint64(len(chunk.Data)))
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set(HdrSeq, strconv.FormatUint(seq, 10))
+	h.Set(HdrFrom, strconv.FormatInt(from, 10))
+	h.Set(HdrSegEnd, strconv.FormatInt(chunk.SegEnd, 10))
+	if chunk.NextSeq != 0 {
+		h.Set(HdrNextSeq, strconv.FormatUint(chunk.NextSeq, 10))
+	}
+	l.setLeaderPosition(h)
+	w.Write(chunk.Data)
+}
+
+// handleStatus reports the leader's position as JSON — a cheap probe
+// for operators and the CI smoke test (followers use response headers
+// on the data path instead).
+func (l *Leader) handleStatus(w http.ResponseWriter, r *http.Request) {
+	seq, off := l.store.Position()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"seq":%d,"off":%d,"records":%d,"snapshots_served":%d,"chunks_served":%d,"bytes_served":%d}`+"\n",
+		seq, off, l.store.ActiveRecords(), l.nSnapshots.Load(), l.nChunks.Load(), l.nBytes.Load())
+}

@@ -1,0 +1,75 @@
+// Package replication turns one durable gsqld into a writer with N
+// read replicas — WAL shipping over HTTP, the cheapest credible path
+// from the single-node engine into distribution, and the shape in
+// which installed-query serving actually scales to heavy read traffic:
+// one leader takes mutations, followers tail its log and serve
+// queries.
+//
+// The protocol has two legs, both served by the leader next to its
+// ordinary query routes:
+//
+//	GET /replication/snapshot
+//	    The newest snapshot generation that decodes cleanly, raw
+//	    bytes, with X-Replication-Seq naming the generation. A
+//	    follower installs it as its own generation and tails the
+//	    matching WAL segment from its first record.
+//
+//	GET /replication/wal?seq=N&from=OFF&wait_ms=W&max_bytes=B
+//	    Complete CRC-framed WAL records of segment N starting at byte
+//	    offset OFF — the exact bytes the leader's log holds, so the
+//	    follower re-verifies every checksum and appends the identical
+//	    frames to its own log. When nothing new is available the
+//	    request long-polls up to wait_ms. Response headers carry the
+//	    leader's live position for lag accounting, and 410 Gone means
+//	    the position aged past the leader's retention: the follower's
+//	    only safe move is a fresh snapshot bootstrap.
+//
+// The follower (gsqld -follow <leader-url>) mirrors the leader's file
+// layout in its own -data-dir: the bootstrap snapshot becomes its
+// generation-S snapshot, shipped frames are re-applied through the
+// storage observer (which appends byte-identical frames to a local
+// wal-S), and when the leader seals a segment the follower rotates to
+// the same generation number. Its replication position is therefore
+// never tracked separately — it IS the store's recovered (segment,
+// offset), so a follower restart resumes tailing exactly where the
+// crash truncated its log, surviving torn tails the same way leader
+// recovery does.
+//
+// Replication is asynchronous: an acknowledged leader write reaches
+// followers on the next poll, and a leader crash that loses an
+// un-fsynced WAL tail can leave a follower ahead of the restarted
+// leader — the leader detects the impossible position and answers 410,
+// and the follower re-bootstraps. Run leaders with -fsync when that
+// window matters.
+package replication
+
+import "errors"
+
+// ErrReadOnly reports a mutation attempted against a follower. The
+// serving layer maps it to HTTP 403: followers apply the leader's log
+// and nothing else, so /graph/* and /admin/checkpoint writes belong on
+// the leader.
+var ErrReadOnly = errors.New("replication: follower is read-only")
+
+// Wire header names. Every /replication/wal response carries the
+// leader's live position (leader-seq/off/records) so followers can
+// account lag without a second round trip.
+const (
+	// HdrSeq is the snapshot generation (snapshot responses) or the
+	// requested segment (WAL responses).
+	HdrSeq = "X-Replication-Seq"
+	// HdrFrom echoes the requested byte offset of a WAL read.
+	HdrFrom = "X-Replication-From"
+	// HdrSegEnd is the requested segment's end offset at serve time.
+	HdrSegEnd = "X-Replication-Segment-End"
+	// HdrNextSeq, when present, tells the follower the requested
+	// segment is sealed and exhausted; tail this generation next.
+	HdrNextSeq = "X-Replication-Next-Seq"
+	// HdrLeaderSeq / HdrLeaderOff are the leader's active position.
+	HdrLeaderSeq = "X-Replication-Leader-Seq"
+	HdrLeaderOff = "X-Replication-Leader-Off"
+	// HdrLeaderRecords is how many records the leader's active segment
+	// holds — with the follower's own in-segment record count, the
+	// exact record lag whenever both sit on the same segment.
+	HdrLeaderRecords = "X-Replication-Leader-Records"
+)

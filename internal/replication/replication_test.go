@@ -1,0 +1,413 @@
+package replication
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
+	"gsqlgo/internal/value"
+)
+
+func testSchema(t testing.TB) *graph.Schema {
+	t.Helper()
+	s := graph.NewSchema()
+	if _, err := s.AddVertexType("Person",
+		graph.AttrDef{Name: "name", Type: graph.AttrString},
+		graph.AttrDef{Name: "age", Type: graph.AttrInt},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("Knows", true, graph.AttrDef{Name: "since", Type: graph.AttrInt}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// leaderHarness is a live leader: a durable store plus an httptest
+// server exposing the replication routes, and a writer-lock mimicking
+// the serving layer's discipline so tests can mutate while chunks are
+// being served.
+type leaderHarness struct {
+	t     *testing.T
+	store *storage.Store
+	srv   *httptest.Server
+	mu    sync.Mutex
+	added int
+}
+
+func newLeaderHarness(t *testing.T, opts storage.Options) *leaderHarness {
+	t.Helper()
+	opts.Init = func() (*graph.Graph, error) { return graph.New(testSchema(t)), nil }
+	st, err := storage.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	NewLeader(st, nil).Register(mux)
+	srv := httptest.NewServer(mux)
+	h := &leaderHarness{t: t, store: st, srv: srv}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	return h
+}
+
+// addPeople appends n Person vertices (and a Knows edge every third)
+// through the leader's observer path.
+func (h *leaderHarness) addPeople(n int) {
+	h.t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	g := h.store.Graph()
+	for i := 0; i < n; i++ {
+		id := h.added
+		h.added++
+		v, err := g.AddVertex("Person", fmt.Sprintf("p%06d", id), map[string]value.Value{
+			"name": value.NewString(fmt.Sprintf("Person %d", id)),
+			"age":  value.NewInt(int64(20 + id%60)),
+		})
+		if err != nil {
+			h.t.Fatalf("AddVertex %d: %v", id, err)
+		}
+		if id%3 == 2 {
+			if _, err := g.AddEdge("Knows", v-1, v, map[string]value.Value{
+				"since": value.NewInt(int64(2000 + id)),
+			}); err != nil {
+				h.t.Fatalf("AddEdge at %d: %v", id, err)
+			}
+		}
+	}
+}
+
+func (h *leaderHarness) checkpoint() {
+	h.t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.store.Checkpoint(); err != nil {
+		h.t.Fatalf("leader checkpoint: %v", err)
+	}
+}
+
+func (h *leaderHarness) sig() []byte {
+	h.t.Helper()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	data, err := storage.EncodeSnapshot(h.store.Graph())
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return data
+}
+
+func followerConfig(h *leaderHarness, dir string) FollowerConfig {
+	return FollowerConfig{
+		LeaderURL: h.srv.URL,
+		Dir:       dir,
+		PollWait:  50 * time.Millisecond,
+		Backoff:   5 * time.Millisecond,
+	}
+}
+
+// runFollower starts fw.Run and returns a stop func that cancels it
+// and waits for the loop to exit.
+func runFollower(t *testing.T, fw *Follower) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fw.Run(ctx) }()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("follower Run: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("follower Run did not stop")
+			}
+		})
+	}
+}
+
+// waitCaughtUp polls until the follower's position equals the leader's
+// current position (which must be quiescent by then).
+func waitCaughtUp(t *testing.T, h *leaderHarness, fw *Follower) {
+	t.Helper()
+	wantSeq, wantOff := h.store.Position()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		seq, off := fw.Position()
+		if seq == wantSeq && off == wantOff {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at (%d, %d), leader at (%d, %d)", seq, off, wantSeq, wantOff)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func followerSig(t *testing.T, fw *Follower) []byte {
+	t.Helper()
+	data, err := storage.EncodeSnapshot(fw.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestFollowerBootstrapAndTail: bootstrap from a non-empty leader,
+// tail live appends across a checkpoint rotation, converge to a
+// bit-identical graph — and because the follower re-logs what it
+// applies, its sealed WAL segment is byte-identical to the leader's.
+func TestFollowerBootstrapAndTail(t *testing.T) {
+	h := newLeaderHarness(t, storage.Options{Retain: 8})
+	h.addPeople(100) // pre-bootstrap history in the WAL, not the snapshot
+
+	dir := t.TempDir()
+	fw, err := OpenFollower(context.Background(), followerConfig(h, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	stop := runFollower(t, fw)
+	defer stop()
+
+	h.addPeople(150)
+	h.checkpoint() // forces a rotation the follower must mirror
+	h.addPeople(50)
+	waitCaughtUp(t, h, fw)
+
+	if got, want := followerSig(t, fw), h.sig(); !bytes.Equal(got, want) {
+		t.Fatal("follower graph signature diverged from leader")
+	}
+	st := fw.Stats()
+	if st.RecordsApplied == 0 || st.BytesApplied == 0 {
+		t.Fatalf("stats show no applied work: %+v", st)
+	}
+	if st.LagRecords != 0 || st.LagBytes != 0 {
+		t.Fatalf("caught-up lag gauges nonzero: %+v", st)
+	}
+
+	// Byte-identical re-logging: the sealed pre-checkpoint segment must
+	// match the leader's file exactly.
+	leaderSeq, _ := h.store.Position()
+	sealed := leaderSeq - 1
+	lb, err := os.ReadFile(filepath.Join(h.store.Dir(), fmt.Sprintf("wal-%08d.wal", sealed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("wal-%08d.wal", sealed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, fb) {
+		t.Fatalf("sealed segment %d differs between leader (%d bytes) and follower (%d bytes)",
+			sealed, len(lb), len(fb))
+	}
+}
+
+// TestFollowerRestartResumes: stop a follower mid-history — including
+// a simulated crash that tears its active WAL tail — and prove the
+// reopened follower resumes from its recovered position instead of
+// re-bootstrapping, then converges.
+func TestFollowerRestartResumes(t *testing.T) {
+	h := newLeaderHarness(t, storage.Options{Retain: 8})
+	h.addPeople(120)
+
+	dir := t.TempDir()
+	fw, err := OpenFollower(context.Background(), followerConfig(h, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := runFollower(t, fw)
+	waitCaughtUp(t, h, fw)
+	stop()
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash simulation: tear the last frame of the follower's active
+	// WAL, as a kill mid-append would. Recovery must truncate back to a
+	// frame boundary — which is a valid leader position — and tailing
+	// must re-fetch exactly the torn-off records.
+	seq, off := h.store.Position()
+	walPath := filepath.Join(dir, fmt.Sprintf("wal-%08d.wal", seq))
+	if err := os.Truncate(walPath, off-3); err != nil {
+		t.Fatal(err)
+	}
+
+	h.addPeople(80)
+
+	fw2, err := OpenFollower(context.Background(), followerConfig(h, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw2.Close()
+	if got := fw2.Stats().Bootstraps; got != 0 {
+		t.Fatalf("restart bootstrapped %d times, want 0 (resume)", got)
+	}
+	if rseq, roff := fw2.Position(); rseq != seq || roff >= off {
+		t.Fatalf("recovered position (%d, %d), want segment %d below torn offset %d", rseq, roff, seq, off)
+	}
+	stop2 := runFollower(t, fw2)
+	defer stop2()
+	waitCaughtUp(t, h, fw2)
+	if got, want := followerSig(t, fw2), h.sig(); !bytes.Equal(got, want) {
+		t.Fatal("resumed follower diverged from leader")
+	}
+}
+
+// TestFollowerRebootstrapsWhenPruned: a follower parked far behind a
+// leader with default retention finds its segment pruned (410) and
+// must re-bootstrap — wiping its store, installing the fresh snapshot,
+// swapping the graph (onSwap observes the new store), and converging.
+func TestFollowerRebootstrapsWhenPruned(t *testing.T) {
+	h := newLeaderHarness(t, storage.Options{}) // default retention: 2
+	h.addPeople(40)
+
+	dir := t.TempDir()
+	fw, err := OpenFollower(context.Background(), followerConfig(h, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+
+	// While the follower is NOT running, age its position out of the
+	// leader's retention: each checkpoint rotates, and two rotations
+	// later generation 1 is gone.
+	for i := 0; i < 4; i++ {
+		h.addPeople(25)
+		h.checkpoint()
+	}
+	if _, err := h.store.ReadWALChunk(1, storage.WALHeaderSize, 0); !errors.Is(err, storage.ErrSegmentGone) {
+		t.Fatalf("leader still serves generation 1: %v", err)
+	}
+
+	var swapped atomic64
+	fw.Bind(nil, func(st *storage.Store) { swapped.add(1) }, nil)
+	stop := runFollower(t, fw)
+	defer stop()
+	waitCaughtUp(t, h, fw)
+
+	if got, want := followerSig(t, fw), h.sig(); !bytes.Equal(got, want) {
+		t.Fatal("re-bootstrapped follower diverged from leader")
+	}
+	if got := fw.Stats().Bootstraps; got < 1 {
+		t.Fatalf("Bootstraps = %d, want >= 1", got)
+	}
+	if swapped.load() < 1 {
+		t.Fatal("onSwap never observed the store swap")
+	}
+}
+
+// atomic64 avoids importing sync/atomic just for one counter in tests
+// while keeping the callback race-safe.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+// TestFollowerReconnectsAfterLeaderOutage: killing the leader's
+// listener mid-tail produces fetch errors, not follower death; when a
+// new listener serves the same store, tailing resumes and the
+// reconnect counter shows the outage.
+func TestFollowerReconnectsAfterLeaderOutage(t *testing.T) {
+	h := newLeaderHarness(t, storage.Options{Retain: 8})
+	h.addPeople(30)
+
+	fw, err := OpenFollower(context.Background(), followerConfig(h, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	stop := runFollower(t, fw)
+	defer stop()
+	waitCaughtUp(t, h, fw)
+
+	// Replace the listener at a new address and point a fresh config at
+	// it by rebinding through the harness URL swap: simplest is to kill
+	// the server, let the follower accumulate reconnects, then restart
+	// on the same address.
+	addr := h.srv.Listener.Addr().String()
+	h.srv.CloseClientConnections()
+	h.srv.Close()
+	h.addPeople(20)
+	deadline := time.Now().Add(5 * time.Second)
+	for fw.Stats().Reconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no reconnect attempts recorded during outage")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ln, err := listenOn(addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	mux := http.NewServeMux()
+	NewLeader(h.store, nil).Register(mux)
+	srv2 := &http.Server{Handler: mux}
+	go srv2.Serve(ln)
+	t.Cleanup(func() { srv2.Close() })
+
+	waitCaughtUp(t, h, fw)
+	if got, want := followerSig(t, fw), h.sig(); !bytes.Equal(got, want) {
+		t.Fatal("follower diverged across leader outage")
+	}
+}
+
+func listenOn(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// TestDecodeFramesRejectsDamage: wire-level validation — whole valid
+// chunks decode, anything torn or bit-flipped is ErrBadFrame, and no
+// partial result leaks.
+func TestDecodeFramesRejectsDamage(t *testing.T) {
+	h := newLeaderHarness(t, storage.Options{})
+	h.addPeople(10)
+	seq, off := h.store.Position()
+	chunk, err := h.store.ReadWALChunk(seq, storage.WALHeaderSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(len(chunk.Data)) + storage.WALHeaderSize; got != off {
+		t.Fatalf("chunk covers %d bytes, leader watermark %d", got, off)
+	}
+	payloads, err := DecodeFrames(chunk.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) == 0 {
+		t.Fatal("no frames decoded from a populated chunk")
+	}
+
+	for name, mutate := range map[string]func([]byte) []byte{
+		"torn tail":    func(b []byte) []byte { return b[:len(b)-3] },
+		"flipped byte": func(b []byte) []byte { b[len(b)/2] ^= 0x08; return b },
+		"leading junk": func(b []byte) []byte { return append([]byte{0xFF, 0xEE}, b...) },
+	} {
+		data := mutate(append([]byte(nil), chunk.Data...))
+		if got, err := DecodeFrames(data); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: got %d payloads, err %v; want ErrBadFrame", name, len(got), err)
+		}
+	}
+	if got, err := DecodeFrames(nil); err != nil || got != nil {
+		t.Errorf("empty chunk: got %v, %v; want nil, nil", got, err)
+	}
+}

@@ -1,0 +1,35 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+
+	"gsqlgo/internal/storage"
+)
+
+// ErrBadFrame reports a shipped WAL chunk that does not parse as a
+// sequence of whole, CRC-valid frames. Unlike WAL recovery — where a
+// torn tail is expected and silently truncated — the wire carries only
+// bytes the leader already validated, so any framing error here means
+// the transfer or the peer is broken and the follower should drop the
+// chunk and re-fetch. Match with errors.Is; always returned wrapped.
+var ErrBadFrame = errors.New("replication: bad WAL frame on the wire")
+
+// DecodeFrames splits a shipped WAL chunk into its record payloads,
+// re-verifying each frame's length and CRC. The returned slices alias
+// data. An empty chunk decodes to nil; any torn, oversized or
+// checksum-failing frame fails the whole chunk with ErrBadFrame —
+// frames before the bad one are not returned, because applying half a
+// chunk and refetching the rest would double-apply on retry.
+func DecodeFrames(data []byte) ([][]byte, error) {
+	var payloads [][]byte
+	for off := 0; off < len(data); {
+		payload, n, err := storage.ParseFrame(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: offset %d of %d: %v", ErrBadFrame, off, len(data), err)
+		}
+		payloads = append(payloads, payload)
+		off += n
+	}
+	return payloads, nil
+}

@@ -165,7 +165,7 @@ func valueJSON(g *graph.Graph, v value.Value) any {
 
 // tableJSON is the wire form of a result table.
 type tableJSON struct {
-	Name string  `json:"name,omitempty"`
+	Name string   `json:"name,omitempty"`
 	Cols []string `json:"cols"`
 	Rows [][]any  `json:"rows"`
 }

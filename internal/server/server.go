@@ -32,6 +32,7 @@ import (
 	"gsqlgo/internal/graph"
 	"gsqlgo/internal/gsql"
 	"gsqlgo/internal/metrics"
+	"gsqlgo/internal/replication"
 	"gsqlgo/internal/storage"
 	"gsqlgo/internal/trace"
 )
@@ -47,7 +48,21 @@ type Config struct {
 	// rotates it, Shutdown checkpoints it after the drain, and the
 	// gsqld_storage_* metrics reflect its counters. Nil serves the
 	// graph purely in memory (mutation routes still work, unlogged).
+	// A server with a Store and no Follower also serves the
+	// /replication/* routes, so any durable gsqld can act as a
+	// replication leader.
 	Store *storage.Store
+
+	// Follower, when set, puts the server in read replica mode: the
+	// engine's graph is the follower's, mutation and checkpoint routes
+	// answer 403 (replication.ErrReadOnly), Shutdown skips the drain
+	// checkpoint (a follower's generations must keep mirroring the
+	// leader's), and the gsqld_replication_* metrics reflect the
+	// follower's counters and lag gauges. Leave Store nil; storage
+	// metrics come from the follower's own store. The caller binds the
+	// follower to the server (Follower.Bind with ReplicationLock and
+	// AddTrace) and runs its tail loop.
+	Follower *replication.Follower
 
 	// DefaultTimeout caps a run when the request does not ask for a
 	// deadline (default 30s).
@@ -139,6 +154,9 @@ type Server struct {
 	storageMu   sync.Mutex    // guards lastStorage delta-sync
 	lastStorage storage.Stats // counters already folded into the registry
 
+	replMu   sync.Mutex                // guards lastRepl delta-sync
+	lastRepl replication.FollowerStats // counters already folded into the registry
+
 	mRuns      *metrics.CounterVec   // gsqld_query_runs_total{query,status}
 	mLatency   *metrics.HistogramVec // gsqld_query_latency_seconds{query}
 	mRows      *metrics.HistogramVec // gsqld_query_binding_rows{query}
@@ -162,6 +180,14 @@ type Server struct {
 
 	mTracedRuns  *metrics.Counter // gsqld_traced_runs_total
 	mSlowQueries *metrics.Counter // gsqld_slow_queries_total
+
+	// Follower-mode metrics (registered only when cfg.Follower is set).
+	mReplApplied    *metrics.Counter // gsqld_replication_records_applied_total
+	mReplBytes      *metrics.Counter // gsqld_replication_bytes_total
+	mReplBootstraps *metrics.Counter // gsqld_replication_bootstraps_total
+	mReplReconnects *metrics.Counter // gsqld_replication_reconnects_total
+	mReplLagRecords *metrics.Gauge   // gsqld_replication_lag_records
+	mReplLagBytes   *metrics.Gauge   // gsqld_replication_lag_bytes
 }
 
 // New builds a Server over cfg.Engine. It panics if Engine is nil.
@@ -218,8 +244,23 @@ func New(cfg Config) *Server {
 		"Runs executed with a span trace attached (?trace=1 or slow-query log).")
 	s.mSlowQueries = s.reg.Counter("gsqld_slow_queries_total",
 		"Runs at or above the slow-query threshold.")
+	if cfg.Follower != nil {
+		s.mReplApplied = s.reg.Counter("gsqld_replication_records_applied_total",
+			"WAL records shipped from the leader and applied locally.")
+		s.mReplBytes = s.reg.Counter("gsqld_replication_bytes_total",
+			"WAL bytes shipped from the leader and applied, frames included.")
+		s.mReplBootstraps = s.reg.Counter("gsqld_replication_bootstraps_total",
+			"Snapshot bootstraps (initial and after falling past leader retention).")
+		s.mReplReconnects = s.reg.Counter("gsqld_replication_reconnects_total",
+			"Tail-loop reconnects after a failed or rejected leader fetch.")
+		s.mReplLagRecords = s.reg.Gauge("gsqld_replication_lag_records",
+			"Records behind the leader at the last fetch (lower bound across a segment rotation).")
+		s.mReplLagBytes = s.reg.Gauge("gsqld_replication_lag_bytes",
+			"WAL bytes behind the leader at the last fetch (lower bound across a segment rotation).")
+	}
 	s.registerBuildInfo()
 	s.syncStorageMetrics() // fold in recovery/initial-persist counts from Open
+	s.syncReplicationMetrics()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleInstall)
@@ -232,6 +273,12 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.Store != nil && cfg.Follower == nil {
+		// Any durable non-follower gsqld can lead: the replication
+		// routes are read-only views of the store, safe to expose
+		// unconditionally next to the query routes.
+		replication.NewLeader(cfg.Store, s.log).Register(mux)
+	}
 	s.mux = mux
 	s.root = s.withRequestID(mux)
 	return s
@@ -246,6 +293,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.root.Serv
 
 // Registry exposes the metrics registry (tests, expvar publication).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// ReplicationLock exposes the graph RWMutex for a follower to bind
+// (replication.Follower.Bind takes its writer side, so shipped records
+// apply with the same exclusion the mutation routes get).
+func (s *Server) ReplicationLock() *sync.RWMutex { return &s.gmu }
+
+// AddTrace retains a span in the /debug/traces ring — the follower's
+// bootstrap and rotation spans land next to query and mutation traces.
+func (s *Server) AddTrace(sp *trace.Span) { s.ring.Add(sp) }
+
+// store returns the store whose counters the storage metrics reflect:
+// the configured one, or in follower mode the follower's current store
+// (which a re-bootstrap may have replaced since the last call).
+func (s *Server) store() *storage.Store {
+	if s.cfg.Follower != nil {
+		return s.cfg.Follower.Store()
+	}
+	return s.cfg.Store
+}
 
 // PublishExpvar publishes the registry under name in the process-wide
 // expvar namespace, so GET /debug/vars includes the gsqld metrics next
@@ -276,7 +342,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.log.Error("shutdown drain timed out", "waited", time.Since(start))
 		return fmt.Errorf("server: shutdown: %w", ctx.Err())
 	}
-	if s.cfg.Store != nil {
+	// A follower never checkpoints on its own: its snapshot/WAL
+	// generations must keep mirroring the leader's, and its position is
+	// already continuously durable (every applied record is re-logged).
+	if s.cfg.Store != nil && s.cfg.Follower == nil {
 		s.gmu.Lock()
 		err := s.cfg.Store.Checkpoint()
 		s.gmu.Unlock()
@@ -285,7 +354,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 	}
 	s.log.Info("drained", "waited", time.Since(start),
-		"checkpointed", s.cfg.Store != nil)
+		"checkpointed", s.cfg.Store != nil && s.cfg.Follower == nil)
 	return nil
 }
 
@@ -364,6 +433,8 @@ func httpStatus(err error) (int, string) {
 		return http.StatusRequestTimeout, "cancelled"
 	case errors.Is(err, core.ErrOverload):
 		return http.StatusTooManyRequests, "overload"
+	case errors.Is(err, replication.ErrReadOnly):
+		return http.StatusForbidden, "read_only"
 	}
 	return http.StatusInternalServerError, "internal"
 }
@@ -390,6 +461,16 @@ func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	s.mRejected.With("draining").Inc()
 	writeJSON(w, http.StatusServiceUnavailable,
 		errorResponse{Error: "server is draining", Code: "draining"})
+	return true
+}
+
+// rejectReadOnly 403s mutation routes on a follower.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	if s.cfg.Follower == nil {
+		return false
+	}
+	s.mRejected.With("read_only").Inc()
+	writeError(w, fmt.Errorf("%w (mutate the leader instead)", replication.ErrReadOnly))
 	return true
 }
 
@@ -421,7 +502,13 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %w", core.ErrParse, err))
 		return
 	}
-	if err := s.eng.Install(src); err != nil {
+	// Install validates queries against the graph's schema — a read of
+	// the graph pointer, which a follower re-bootstrap swaps under the
+	// writer side of this lock.
+	s.gmu.RLock()
+	err = s.eng.Install(src)
+	s.gmu.RUnlock()
+	if err != nil {
 		writeError(w, err)
 		return
 	}
@@ -490,12 +577,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	args, err := decodeParams(s.eng.Graph(), specs, req.Params)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: err.Error(), Code: "bad_params"})
-		return
-	}
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMs > 0 {
 		timeout = min(time.Duration(req.TimeoutMs)*time.Millisecond, s.cfg.MaxTimeout)
@@ -527,15 +608,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		ctx = trace.NewContext(ctx, root)
 		s.mTracedRuns.Inc()
 	}
+	// Everything that reads the graph — parameter decoding (vertex
+	// params resolve keys), execution, and response rendering (tables
+	// hold VIDs that render as keys) — happens under one shared section,
+	// so a follower applying shipped records or swapping its store on
+	// re-bootstrap can never race a run's reads.
 	start := time.Now()
 	s.gmu.RLock()
+	args, err := decodeParams(s.eng.Graph(), specs, req.Params)
+	if err != nil {
+		s.gmu.RUnlock()
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: err.Error(), Code: "bad_params"})
+		return
+	}
 	res, err := s.eng.RunCtx(ctx, name, args)
-	s.gmu.RUnlock()
 	elapsed := time.Since(start)
 	root.End()
 	s.mLatency.With(name).Observe(elapsed.Seconds())
 	slow := s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold
 	if err != nil {
+		s.gmu.RUnlock()
 		status := "error"
 		if errors.Is(err, core.ErrCancelled) {
 			status = "cancelled"
@@ -596,6 +689,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if res.Returned != nil {
 		resp.Returned = toTableJSON(g, res.Returned)
 	}
+	s.gmu.RUnlock()
 	if wantTrace {
 		resp.Trace = root
 	}
@@ -604,6 +698,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.syncStorageMetrics()
+	s.syncReplicationMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }
@@ -615,8 +710,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// instance is on its way out (runs still in flight complete).
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	role := "standalone"
+	switch {
+	case s.cfg.Follower != nil:
+		role = "follower"
+	case s.cfg.Store != nil:
+		role = "leader"
+	}
 	writeJSON(w, code, map[string]string{
 		"status":  status,
+		"role":    role,
 		"version": s.buildVersion,
 		"commit":  s.buildCommit,
 	})

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gsqlgo/internal/graph"
+	"gsqlgo/internal/storage"
 	"gsqlgo/internal/trace"
 	"gsqlgo/internal/value"
 )
@@ -150,7 +151,7 @@ func readMutationBody(w http.ResponseWriter, r *http.Request, into any) bool {
 // with the assigned id. Duplicate (type,key) is 409. When a store is
 // attached the insert hits the WAL before the response is written.
 func (s *Server) handleAddVertex(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectReadOnly(w) {
 		return
 	}
 	var req addVertexRequest
@@ -187,7 +188,7 @@ func (s *Server) handleAddVertex(w http.ResponseWriter, r *http.Request) {
 // {"type","src":{"type","key"},"dst":{...},"attrs"} → 201 with the
 // assigned id. Unknown endpoints are 404.
 func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectReadOnly(w) {
 		return
 	}
 	var req addEdgeRequest
@@ -278,7 +279,7 @@ func (s *Server) traceMutation(r *http.Request, op string) func(err error) {
 // gmu with readers (a checkpoint is a consistent read of the graph);
 // only mutations are excluded.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectReadOnly(w) {
 		return
 	}
 	st := s.cfg.Store
@@ -323,19 +324,48 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // syncStorageMetrics folds the store's monotonic counters into the
 // registry by delta (the registry has no callback gauges, and the
 // counters must also reflect WAL records written by gsql replays
-// outside any handler).
+// outside any handler). In follower mode the store is the follower's
+// current one, and a re-bootstrap replaces it with a fresh store whose
+// counters restart from zero — a counter that went backwards marks
+// that swap, and the delta baseline resets with it.
 func (s *Server) syncStorageMetrics() {
-	st := s.cfg.Store
+	st := s.store()
 	if st == nil {
 		return
 	}
 	now := st.Stats()
 	s.storageMu.Lock()
 	last := s.lastStorage
+	if now.WALRecords < last.WALRecords || now.WALBytes < last.WALBytes ||
+		now.Checkpoints < last.Checkpoints || now.Recoveries < last.Recoveries {
+		last = storage.Stats{}
+	}
 	s.lastStorage = now
 	s.storageMu.Unlock()
 	s.mWALRecords.Add(now.WALRecords - last.WALRecords)
 	s.mWALBytes.Add(now.WALBytes - last.WALBytes)
 	s.mCheckpoints.Add(now.Checkpoints - last.Checkpoints)
 	s.mRecoveries.Add(now.Recoveries - last.Recoveries)
+}
+
+// syncReplicationMetrics folds the follower's counters into the
+// registry and refreshes the lag gauges (no-op outside follower mode).
+// Follower counters live on the Follower, not its store, so they never
+// reset across a re-bootstrap.
+func (s *Server) syncReplicationMetrics() {
+	fw := s.cfg.Follower
+	if fw == nil {
+		return
+	}
+	now := fw.Stats()
+	s.replMu.Lock()
+	last := s.lastRepl
+	s.lastRepl = now
+	s.replMu.Unlock()
+	s.mReplApplied.Add(now.RecordsApplied - last.RecordsApplied)
+	s.mReplBytes.Add(now.BytesApplied - last.BytesApplied)
+	s.mReplBootstraps.Add(now.Bootstraps - last.Bootstraps)
+	s.mReplReconnects.Add(now.Reconnects - last.Reconnects)
+	s.mReplLagRecords.Set(now.LagRecords)
+	s.mReplLagBytes.Set(now.LagBytes)
 }

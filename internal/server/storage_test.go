@@ -109,9 +109,9 @@ func TestServerMutationsSurviveRestart(t *testing.T) {
 	}
 	for _, e := range [][2]string{{"ada", "bob"}, {"bob", "cyd"}} {
 		resp, body := postJSON(t, ts.URL+"/graph/edges", map[string]any{
-			"type": "Knows",
-			"src":  map[string]string{"type": "Person", "key": e[0]},
-			"dst":  map[string]string{"type": "Person", "key": e[1]},
+			"type":  "Knows",
+			"src":   map[string]string{"type": "Person", "key": e[0]},
+			"dst":   map[string]string{"type": "Person", "key": e[1]},
 			"attrs": map[string]any{"since": 2020},
 		})
 		if resp.StatusCode != http.StatusCreated {
@@ -288,9 +288,9 @@ func TestConcurrentMutationsAndRuns(t *testing.T) {
 		go func(w int) {
 			for i := 0; i < perWorker; i++ {
 				resp, body := postJSON(t, ts.URL+"/graph/edges", map[string]any{
-					"type": "Knows",
-					"src":  map[string]string{"type": "Person", "key": "seed"},
-					"dst":  map[string]string{"type": "Person", "key": "seed"},
+					"type":  "Knows",
+					"src":   map[string]string{"type": "Person", "key": "seed"},
+					"dst":   map[string]string{"type": "Person", "key": "seed"},
 					"attrs": map[string]any{"since": i},
 				})
 				if resp.StatusCode != http.StatusCreated {

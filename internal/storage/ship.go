@@ -1,0 +1,258 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Read-side API for WAL shipping. A replication leader serves two
+// things: the snapshot that opens the current generation (follower
+// bootstrap) and position-addressed reads of WAL frames (follower
+// tailing). Positions are (segment sequence, byte offset) pairs; every
+// boundary the writer ever exposes — Position(), segment ends, chunk
+// ends — is a frame boundary, so a follower resuming from a recovered
+// position always lands on the start of a record.
+
+// ErrSegmentGone reports a WAL read position the store can no longer
+// serve: the segment was pruned past the retention floor, the offset
+// lies beyond the segment's end (a follower ahead of a leader that
+// lost un-synced tail in a crash), or the frames at that position do
+// not parse (offset off a frame boundary, or leader-side bit rot —
+// either way the position is useless and the follower's only safe move
+// is a fresh snapshot bootstrap). Match with errors.Is; always
+// returned wrapped.
+var ErrSegmentGone = errors.New("storage: WAL position not retained")
+
+// WALHeaderSize is the byte offset of the first record in every WAL
+// segment — the position a follower tails a fresh generation from.
+const WALHeaderSize = int64(len(walMagic))
+
+// WALChunk is one position-addressed read of WAL frames.
+type WALChunk struct {
+	// Data holds zero or more complete frames starting at the
+	// requested offset (never a partial frame).
+	Data []byte
+	// SegEnd is the segment's end offset at read time: its final size
+	// for a sealed segment, the append watermark for the active one.
+	SegEnd int64
+	// Sealed reports that the segment is no longer the active one —
+	// its SegEnd is final.
+	Sealed bool
+	// NextSeq is the generation to tail next. Nonzero exactly when the
+	// read exhausted a sealed segment (from+len(Data) == SegEnd):
+	// rotation numbers generations densely, so it is always seq+1.
+	NextSeq uint64
+}
+
+// ReadWALChunk reads up to maxBytes of complete frames from segment
+// seq starting at byte offset from (maxBytes <= 0 picks a default of
+// 1 MiB; a single frame larger than the budget is served whole). It
+// never serves bytes past the append watermark, so a concurrent
+// appender can not expose a half-written frame. Reads from positions
+// the store cannot serve fail with ErrSegmentGone.
+func (s *Store) ReadWALChunk(seq uint64, from int64, maxBytes int) (WALChunk, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	s.mu.Lock()
+	active, activeEnd := s.seq, s.walOff
+	s.mu.Unlock()
+	if seq > active || seq == 0 {
+		return WALChunk{}, fmt.Errorf("%w: segment %d (active is %d)", ErrSegmentGone, seq, active)
+	}
+	chunk := WALChunk{Sealed: seq < active, SegEnd: activeEnd}
+	f, err := os.Open(filepath.Join(s.dir, walName(seq)))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return WALChunk{}, fmt.Errorf("%w: segment %d pruned", ErrSegmentGone, seq)
+		}
+		return WALChunk{}, err
+	}
+	defer f.Close()
+	if chunk.Sealed {
+		st, err := f.Stat()
+		if err != nil {
+			return WALChunk{}, err
+		}
+		chunk.SegEnd = st.Size()
+	}
+	if from < WALHeaderSize || from > chunk.SegEnd {
+		return WALChunk{}, fmt.Errorf("%w: offset %d outside segment %d (end %d)", ErrSegmentGone, from, seq, chunk.SegEnd)
+	}
+	if from == chunk.SegEnd {
+		if chunk.Sealed {
+			chunk.NextSeq = seq + 1
+		}
+		return chunk, nil
+	}
+	want := chunk.SegEnd - from
+	if want > int64(maxBytes) {
+		want = int64(maxBytes)
+	}
+	buf := make([]byte, want)
+	if _, err := io.ReadFull(io.NewSectionReader(f, from, want), buf); err != nil {
+		return WALChunk{}, fmt.Errorf("storage: reading %s at %d: %w", walName(seq), from, err)
+	}
+	// Trim to the last complete frame in the window, validating CRCs on
+	// the way out — a leader never ships bytes it cannot vouch for.
+	valid := 0
+	for valid < len(buf) {
+		_, n, err := ParseFrame(buf[valid:])
+		if err != nil {
+			if valid == 0 {
+				if first := s.readWholeFrame(f, from, chunk.SegEnd); first != nil {
+					chunk.Data = first
+					return chunk, nil
+				}
+				return WALChunk{}, fmt.Errorf("%w: no frame at segment %d offset %d", ErrSegmentGone, seq, from)
+			}
+			break
+		}
+		valid += n
+	}
+	chunk.Data = buf[:valid]
+	if chunk.Sealed && from+int64(valid) == chunk.SegEnd {
+		chunk.NextSeq = seq + 1
+	}
+	return chunk, nil
+}
+
+// readWholeFrame handles a frame bigger than the chunk budget: read
+// its header, then the exact frame, bounded by the segment end. Nil
+// when the bytes at from do not form a complete valid frame.
+func (s *Store) readWholeFrame(f *os.File, from, segEnd int64) []byte {
+	var hdr [8]byte
+	if _, err := io.ReadFull(io.NewSectionReader(f, from, 8), hdr[:]); err != nil {
+		return nil
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[:]))
+	if plen > maxWALRecord || from+8+plen > segEnd {
+		return nil
+	}
+	buf := make([]byte, 8+plen)
+	if _, err := io.ReadFull(io.NewSectionReader(f, from, 8+plen), buf); err != nil {
+		return nil
+	}
+	if _, _, err := ParseFrame(buf); err != nil {
+		return nil
+	}
+	return buf
+}
+
+// BootstrapSnapshot returns the newest snapshot generation that decodes
+// cleanly, at or below the current one, together with its raw bytes. A
+// follower bootstraps by installing these bytes as its own generation
+// seq and tailing wal-seq from WALHeaderSize. Validation matters: the
+// file is read back and decoded before serving, so a bit-rotted
+// snapshot falls back a generation here instead of failing on every
+// follower that downloads it.
+func (s *Store) BootstrapSnapshot() (seq uint64, data []byte, err error) {
+	s.mu.Lock()
+	top := s.seq
+	s.mu.Unlock()
+	snaps, _, err := scanDir(s.dir)
+	if err != nil {
+		return 0, nil, err
+	}
+	var lastErr error
+	for i := len(snaps) - 1; i >= 0; i-- {
+		if snaps[i] > top {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, snapName(snaps[i])))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, err := DecodeSnapshot(data); err != nil {
+			lastErr = err
+			continue
+		}
+		return snaps[i], data, nil
+	}
+	return 0, nil, fmt.Errorf("storage: no servable snapshot in %s: %w", s.dir, lastErr)
+}
+
+// WriteBootstrapSnapshot installs downloaded snapshot bytes as
+// generation seq of the store directory dir (atomic temp+rename, like
+// SaveSnapshot), after verifying they decode — a follower never
+// installs bytes it could not recover from. The caller opens the
+// directory with Open afterwards, which replays (or creates) wal-seq
+// next to it.
+func WriteBootstrapSnapshot(dir string, seq uint64, data []byte) error {
+	if seq == 0 {
+		return fmt.Errorf("storage: bootstrap snapshot needs a nonzero generation")
+	}
+	if _, err := DecodeSnapshot(data); err != nil {
+		return fmt.Errorf("storage: bootstrap snapshot does not decode: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, snapName(seq))
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// HasStore reports whether dir already holds store files (any snapshot
+// generation). A follower uses it to decide between recovering its
+// local state and bootstrapping from the leader.
+func HasStore(dir string) (bool, error) {
+	snaps, _, err := scanDir(dir)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return len(snaps) > 0, nil
+}
+
+// WipeStore removes every snapshot and WAL file from dir (used by a
+// follower re-bootstrapping after its position aged out of the
+// leader's retention). Other files are left alone.
+func WipeStore(dir string) error {
+	snaps, wals, err := scanDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, q := range snaps {
+		if err := os.Remove(filepath.Join(dir, snapName(q))); err != nil {
+			return err
+		}
+	}
+	for _, q := range wals {
+		if err := os.Remove(filepath.Join(dir, walName(q))); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsqlgo/internal/graph"
+)
+
+// openHistoryStore opens a store and applies the first n history
+// mutations through the observer path, checkpointing after every
+// checkpointEvery mutations (0 = never).
+func openHistoryStore(t *testing.T, dir string, opts Options, n, checkpointEvery int) *Store {
+	t.Helper()
+	opts.Init = emptyInit(t)
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range mutationHistory()[:n] {
+		if err := m(st.Graph()); err != nil {
+			t.Fatalf("history[%d]: %v", i, err)
+		}
+		if checkpointEvery > 0 && (i+1)%checkpointEvery == 0 {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after history[%d]: %v", i, err)
+			}
+		}
+	}
+	return st
+}
+
+// tailStore replays a leader store's WAL through the shipping API —
+// ReadWALChunk from (startSeq, WALHeaderSize), following NextSeq
+// across sealed segments — onto g, returning the records applied.
+// maxBytes is deliberately tiny in callers so multi-chunk and
+// chunk-boundary paths get exercised.
+func tailStore(t *testing.T, st *Store, g *graph.Graph, startSeq uint64, maxBytes int) int {
+	t.Helper()
+	seq, from := startSeq, WALHeaderSize
+	leaderSeq, leaderOff := st.Position()
+	records := 0
+	for {
+		chunk, err := st.ReadWALChunk(seq, from, maxBytes)
+		if err != nil {
+			t.Fatalf("ReadWALChunk(%d, %d): %v", seq, from, err)
+		}
+		data := chunk.Data
+		for len(data) > 0 {
+			payload, n, err := ParseFrame(data)
+			if err != nil {
+				t.Fatalf("ParseFrame at (%d, %d): %v", seq, from, err)
+			}
+			if err := ApplyRecord(g, payload); err != nil {
+				t.Fatalf("ApplyRecord at (%d, %d): %v", seq, from, err)
+			}
+			data = data[n:]
+			from += int64(n)
+			records++
+		}
+		if chunk.NextSeq != 0 {
+			seq, from = chunk.NextSeq, WALHeaderSize
+			continue
+		}
+		if seq == leaderSeq && from == leaderOff {
+			return records
+		}
+		if len(chunk.Data) == 0 {
+			t.Fatalf("tail stalled at (%d, %d), leader at (%d, %d)", seq, from, leaderSeq, leaderOff)
+		}
+	}
+}
+
+// TestRetainKeepsGenerationsForTailers is the retention-bugfix
+// satellite at the storage level: with Options.Retain raised, a slow
+// follower that is still on generation 1 can tail the entire history
+// across several checkpoints and reach a bit-identical graph; with the
+// default retention the same read cleanly fails with ErrSegmentGone
+// (re-bootstrap), never with garbage.
+func TestRetainKeepsGenerationsForTailers(t *testing.T) {
+	n := len(mutationHistory())
+
+	// Retain: 8 comfortably covers every generation the 5 checkpoints
+	// create — the slow follower tails from the very beginning.
+	leader := openHistoryStore(t, t.TempDir(), Options{Retain: 8}, n, 5)
+	defer leader.Close()
+	follower := graph.New(testSchema(t))
+	got := tailStore(t, leader, follower, 1, 64) // tiny chunks on purpose
+	if got != n {
+		t.Fatalf("tailed %d records, want %d", got, n)
+	}
+	if !bytes.Equal(graphSig(t, follower), graphSig(t, leader.Graph())) {
+		t.Fatal("follower graph signature diverged from leader")
+	}
+
+	// Default retention prunes generation 1 after a few checkpoints; a
+	// follower parked there must get the typed gone error.
+	pruned := openHistoryStore(t, t.TempDir(), Options{}, n, 5)
+	defer pruned.Close()
+	if _, err := pruned.ReadWALChunk(1, WALHeaderSize, 0); !errors.Is(err, ErrSegmentGone) {
+		t.Fatalf("pruned segment read: got %v, want ErrSegmentGone", err)
+	}
+}
+
+// TestReadWALChunkPositionValidation: every way a position can be
+// unservable answers ErrSegmentGone, and chunk reads never serve a
+// partial frame.
+func TestReadWALChunkPositionValidation(t *testing.T) {
+	st := openHistoryStore(t, t.TempDir(), Options{}, 10, 0)
+	defer st.Close()
+	seq, off := st.Position()
+
+	for _, tc := range []struct {
+		name string
+		seq  uint64
+		from int64
+	}{
+		{"future segment", seq + 1, WALHeaderSize},
+		{"segment zero", 0, WALHeaderSize},
+		{"offset before header", seq, 0},
+		{"offset past end", seq, off + 1},
+		{"offset off a frame boundary", seq, WALHeaderSize + 1},
+	} {
+		if _, err := st.ReadWALChunk(tc.seq, tc.from, 0); !errors.Is(err, ErrSegmentGone) {
+			t.Errorf("%s: got %v, want ErrSegmentGone", tc.name, err)
+		}
+	}
+
+	// At the watermark: a valid empty read, not an error.
+	chunk, err := st.ReadWALChunk(seq, off, 0)
+	if err != nil || len(chunk.Data) != 0 || chunk.NextSeq != 0 {
+		t.Fatalf("read at watermark: chunk %+v, err %v", chunk, err)
+	}
+
+	// A maxBytes smaller than the first frame still serves that frame
+	// whole rather than stalling the tail forever.
+	chunk, err = st.ReadWALChunk(seq, WALHeaderSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParseFrame(chunk.Data); err != nil {
+		t.Fatalf("oversized-frame read is not a whole frame: %v", err)
+	}
+}
+
+// TestBootstrapSnapshotFallsBackPastBitRot mirrors recovery's
+// corruption fallback on the serving side: a flipped byte in the
+// newest snapshot must push BootstrapSnapshot to the older decodable
+// generation, never serve bytes that will fail on every follower.
+func TestBootstrapSnapshotFallsBackPastBitRot(t *testing.T) {
+	dir := t.TempDir()
+	st := openHistoryStore(t, dir, Options{}, 12, 6) // generations 1..3
+	defer st.Close()
+	topSeq, _, err := st.BootstrapSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topSeq != 3 {
+		t.Fatalf("newest bootstrap generation = %d, want 3", topSeq)
+	}
+	path := filepath.Join(dir, snapName(3))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seq, snap, err := st.BootstrapSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("bootstrap fell back to generation %d, want 2", seq)
+	}
+	if _, err := DecodeSnapshot(snap); err != nil {
+		t.Fatalf("served snapshot does not decode: %v", err)
+	}
+}
+
+// TestWriteBootstrapSnapshotRoundTrip: installed bytes open as a
+// working store; garbage is rejected before touching the directory.
+func TestWriteBootstrapSnapshotRoundTrip(t *testing.T) {
+	leader := openHistoryStore(t, t.TempDir(), Options{}, 15, 0)
+	defer leader.Close()
+	seq, data, err := leader.BootstrapSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := WriteBootstrapSnapshot(dir, 0, data); err == nil {
+		t.Fatal("WriteBootstrapSnapshot accepted generation 0")
+	}
+	if err := WriteBootstrapSnapshot(dir, seq, []byte("junk")); err == nil {
+		t.Fatal("WriteBootstrapSnapshot accepted undecodable bytes")
+	}
+	if has, err := HasStore(dir); err != nil || has {
+		t.Fatalf("HasStore after rejected installs = (%v, %v), want (false, nil)", has, err)
+	}
+	if err := WriteBootstrapSnapshot(dir, seq, data); err != nil {
+		t.Fatal(err)
+	}
+	if has, err := HasStore(dir); err != nil || !has {
+		t.Fatalf("HasStore after install = (%v, %v), want (true, nil)", has, err)
+	}
+	st, err := Open(dir, Options{}) // no Init: the snapshot is the seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if gotSeq, _ := st.Position(); gotSeq != seq {
+		t.Fatalf("installed store opened at generation %d, want %d", gotSeq, seq)
+	}
+	// The snapshot encoding is canonical, so the installed store's
+	// graph signature equals the leader's snapshot bytes.
+	if !bytes.Equal(graphSig(t, st.Graph()), data) {
+		t.Fatal("installed graph signature differs from bootstrap snapshot")
+	}
+	if err := WipeStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := HasStore(dir); has {
+		t.Fatal("HasStore true after WipeStore")
+	}
+}

@@ -22,9 +22,31 @@ type Options struct {
 	Init func() (*graph.Graph, error)
 	// Fsync, when set, fsyncs the WAL after every append, making each
 	// mutation durable against power loss rather than only against
-	// process crash. Off by default: the paper's serving workloads are
-	// read-heavy, and Checkpoint/Close always sync.
+	// process crash. Concurrent appenders share fsyncs (group commit):
+	// the first caller into the sync path flushes once for every frame
+	// written so far, and the cohort that queued up behind it is
+	// covered by the next flush. Off by default: the paper's serving
+	// workloads are read-heavy, and Checkpoint/Close always sync.
 	Fsync bool
+	// Retain is how many snapshot/WAL generations Checkpoint keeps on
+	// disk, minimum (and default) 2 — enough for recovery to fall back
+	// across one snapshot's bit rot. Raise it on a replication leader
+	// so slow followers can keep tailing across checkpoints instead of
+	// finding their segment pruned and re-bootstrapping.
+	Retain int
+
+	// syncEveryAppend restores the pre-group-commit behavior (one
+	// fsync per append, performed under the store mutex). Unexported:
+	// it exists only so the group-commit benchmark can measure the
+	// baseline it replaced.
+	syncEveryAppend bool
+}
+
+func (o Options) retain() uint64 {
+	if o.Retain < 2 {
+		return 2
+	}
+	return uint64(o.Retain)
 }
 
 // Store couples a live graph with its durable representation. All
@@ -37,18 +59,40 @@ type Store struct {
 	opts Options
 	g    *graph.Graph
 
-	mu        sync.Mutex // guards wal, seq, closed, failed
+	mu        sync.Mutex // guards wal, seq, walOff, walRecs, notify, closed, failed
 	wal       *walWriter
 	seq       uint64
+	walOff    int64  // end offset of the active segment (header + frames)
+	walRecs   uint64 // records in the active segment (replayed + appended)
+	notify    chan struct{}
 	closed    bool
 	failed    error // sticky first append failure; poisons later mutations
 	recovered bool
+
+	gc walSyncState // group-commit state for Options.Fsync
 
 	nWALRecords atomic.Uint64
 	nWALBytes   atomic.Uint64
 	nCheckpts   atomic.Uint64
 	nRecoveries atomic.Uint64
 	nReplayed   atomic.Uint64
+}
+
+// walSyncState is the group-commit ledger: which segment the sync
+// watermark belongs to, how far it has been flushed, and whether a
+// flush is in flight. Appenders record their frame's end offset as
+// pending, and whoever finds no flush in flight performs one fsync
+// that covers every pending byte — concurrent appenders under -fsync
+// share flushes instead of queueing one disk barrier each.
+type walSyncState struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       *os.File // active segment's file (mirrors Store.wal under gc.mu)
+	seq     uint64   // segment the watermark refers to
+	synced  int64    // durable end offset within seq
+	pending int64    // highest offset any appender has asked to be synced
+	syncing bool
+	err     error // sticky fsync failure
 }
 
 func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.gsnap", seq) }
@@ -86,7 +130,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts}
+	s := &Store{dir: dir, opts: opts, notify: make(chan struct{})}
+	s.gc.cond = sync.NewCond(&s.gc.mu)
 	if len(snaps) == 0 {
 		if len(wals) > 0 {
 			return nil, fmt.Errorf("%w: %s has WAL files but no snapshot to replay them onto", ErrCorrupt, dir)
@@ -97,6 +142,10 @@ func Open(dir string, opts Options) (*Store, error) {
 	} else if err := s.recover(snaps, wals); err != nil {
 		return nil, err
 	}
+	s.gc.f = s.wal.f
+	s.gc.seq = s.seq
+	s.gc.synced = s.walOff // createWAL/openWAL both end with an fsync
+	s.gc.pending = s.walOff
 	s.g.SetObserver(s)
 	return s, nil
 }
@@ -118,11 +167,12 @@ func (s *Store) initFresh() error {
 	if err := SaveSnapshot(filepath.Join(s.dir, snapName(1)), g); err != nil {
 		return err
 	}
-	wal, err := createWAL(filepath.Join(s.dir, walName(1)), s.opts.Fsync)
+	wal, err := createWAL(filepath.Join(s.dir, walName(1)))
 	if err != nil {
 		return err
 	}
 	s.wal = wal
+	s.walOff = int64(len(walMagic))
 	s.nCheckpts.Add(1)
 	return nil
 }
@@ -182,12 +232,14 @@ func (s *Store) recover(snaps, wals []uint64) error {
 			activeScan = scan
 		}
 	}
-	wal, err := openWAL(filepath.Join(s.dir, walName(active)), activeScan.validLen, s.opts.Fsync)
+	wal, validLen, err := openWAL(filepath.Join(s.dir, walName(active)), activeScan.validLen)
 	if err != nil {
 		return err
 	}
 	s.wal = wal
 	s.seq = active
+	s.walOff = validLen
+	s.walRecs = uint64(activeScan.records)
 	s.recovered = true
 	s.nRecoveries.Add(1)
 	return nil
@@ -201,6 +253,40 @@ func (s *Store) Dir() string { return s.dir }
 
 // Recovered reports whether Open found and recovered existing state.
 func (s *Store) Recovered() bool { return s.recovered }
+
+// Position returns the store's replication position: the active WAL
+// segment and the byte offset just past its last complete record. A
+// follower that has applied everything up to an identical position
+// holds an identical graph.
+func (s *Store) Position() (seq uint64, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq, s.walOff
+}
+
+// ActiveRecords returns how many records the active WAL segment holds
+// (records replayed into it at recovery plus records appended since).
+func (s *Store) ActiveRecords() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecs
+}
+
+// WALNotify returns a channel that is closed on the next WAL append or
+// segment rotation — the long-poll coupling point for replication
+// tailers. Callers grab the channel, re-check the position, and only
+// then block on it.
+func (s *Store) WALNotify() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notify
+}
+
+// notifyLocked wakes WAL watchers. Caller holds s.mu.
+func (s *Store) notifyLocked() {
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
 
 // Stats returns a snapshot of the store's monotonic counters.
 func (s *Store) Stats() Stats {
@@ -244,11 +330,13 @@ func (s *Store) OnSetVertexAttr(v graph.VID, name string, val value.Value) error
 
 func (s *Store) logAppend(payload []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.failed != nil {
-		return s.failed
+		err := s.failed
+		s.mu.Unlock()
+		return err
 	}
 	if s.closed {
+		s.mu.Unlock()
 		return errors.New("storage: store is closed")
 	}
 	n, err := s.wal.append(payload)
@@ -257,19 +345,89 @@ func (s *Store) logAppend(payload []byte) error {
 		// accepting further mutations would interleave good records
 		// after a torn middle. Recovery on restart truncates cleanly.
 		s.failed = fmt.Errorf("storage: WAL append: %w", err)
-		return s.failed
+		err = s.failed
+		s.mu.Unlock()
+		return err
 	}
+	s.walOff += int64(n)
+	s.walRecs++
 	s.nWALRecords.Add(1)
 	s.nWALBytes.Add(uint64(n))
+	s.notifyLocked()
+	if s.opts.Fsync && s.opts.syncEveryAppend {
+		// Benchmark baseline: one barrier per append, serialized under
+		// the store mutex — what group commit replaced.
+		if err := s.wal.sync(); err != nil {
+			s.failed = fmt.Errorf("storage: WAL fsync: %w", err)
+			err = s.failed
+			s.mu.Unlock()
+			return err
+		}
+		s.mu.Unlock()
+		return nil
+	}
+	seq, end := s.seq, s.walOff
+	s.mu.Unlock()
+	if !s.opts.Fsync {
+		return nil
+	}
+	if err := s.syncWAL(seq, end); err != nil {
+		s.mu.Lock()
+		if s.failed == nil {
+			s.failed = err
+		}
+		s.mu.Unlock()
+		return err
+	}
 	return nil
+}
+
+// syncWAL blocks until byte offset end of segment seq is durable —
+// the group-commit core. The frame at (seq, end) was already written
+// under s.mu, so the file holds every byte this call is asked to
+// flush. Whoever arrives while no flush is in flight performs one
+// fsync covering all currently-pending offsets; everyone else waits
+// and re-checks the watermark. A rotation advancing gc.seq past seq
+// means the old segment was fully synced by Checkpoint — durable too.
+func (s *Store) syncWAL(seq uint64, end int64) error {
+	gc := &s.gc
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	if gc.seq == seq && end > gc.pending {
+		gc.pending = end
+	}
+	for {
+		if gc.err != nil {
+			return gc.err
+		}
+		if gc.seq > seq || (gc.seq == seq && gc.synced >= end) {
+			return nil
+		}
+		if gc.syncing {
+			gc.cond.Wait()
+			continue
+		}
+		f, goal := gc.f, gc.pending
+		gc.syncing = true
+		gc.mu.Unlock()
+		err := f.Sync()
+		gc.mu.Lock()
+		gc.syncing = false
+		if err != nil {
+			gc.err = fmt.Errorf("storage: WAL fsync: %w", err)
+		} else if gc.seq == seq && goal > gc.synced {
+			gc.synced = goal
+		}
+		gc.cond.Broadcast()
+	}
 }
 
 // ---- checkpoint / close ---------------------------------------------------
 
 // Checkpoint writes a fresh snapshot of the current graph, rotates to a
-// new WAL generation, and prunes files older than the previous
-// generation (two generations are retained so recovery can fall back
-// across one snapshot's bit rot). Must not run concurrently with graph
+// new WAL generation, and prunes generations older than the retention
+// floor (Options.Retain, default 2, so recovery can fall back across
+// one snapshot's bit rot). Must not run concurrently with graph
 // mutations (see Store).
 func (s *Store) Checkpoint() error {
 	s.mu.Lock()
@@ -280,12 +438,39 @@ func (s *Store) Checkpoint() error {
 	if s.failed != nil {
 		return s.failed
 	}
-	newSeq := s.seq + 1
+	return s.checkpointTo(s.seq + 1)
+}
+
+// AdvanceSegment rotates a replica store to the leader's next WAL
+// generation: it snapshots the current graph as generation newSeq and
+// starts an empty wal-newSeq, exactly what the leader's own Checkpoint
+// produced at this point in the log — so the replica's files mirror
+// the leader's layout and its recovery-derived Position stays a valid
+// leader position. newSeq must exceed the current generation. Like
+// Checkpoint, it must not run concurrently with graph mutations.
+func (s *Store) AdvanceSegment(newSeq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("storage: store is closed")
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if newSeq <= s.seq {
+		return fmt.Errorf("storage: AdvanceSegment to %d from %d: generations only grow", newSeq, s.seq)
+	}
+	return s.checkpointTo(newSeq)
+}
+
+// checkpointTo writes snapshot newSeq, rotates the WAL to wal-newSeq,
+// and prunes history past the retention floor. Caller holds s.mu.
+func (s *Store) checkpointTo(newSeq uint64) error {
 	snapPath := filepath.Join(s.dir, snapName(newSeq))
 	if err := SaveSnapshot(snapPath, s.g); err != nil {
 		return err
 	}
-	wal, err := createWAL(filepath.Join(s.dir, walName(newSeq)), s.opts.Fsync)
+	wal, err := createWAL(filepath.Join(s.dir, walName(newSeq)))
 	if err != nil {
 		// Roll back the snapshot so recovery never prefers a generation
 		// whose log the still-active old WAL is quietly outrunning.
@@ -298,12 +483,33 @@ func (s *Store) Checkpoint() error {
 		os.Remove(snapPath)
 		return err
 	}
+	// Swap under the group-commit lock: wait out any in-flight fsync on
+	// the old file before closing it, then advance the watermark so
+	// appenders still waiting on the old segment see gc.seq move past
+	// them (their bytes were covered by the sync above).
+	gc := &s.gc
+	gc.mu.Lock()
+	for gc.syncing {
+		gc.cond.Wait()
+	}
 	s.wal.close()
 	s.wal = wal
-	oldSeq := s.seq
 	s.seq = newSeq
-	s.pruneBelow(oldSeq)
+	s.walOff = int64(len(walMagic))
+	s.walRecs = 0
+	gc.f = wal.f
+	gc.seq = newSeq
+	gc.synced = s.walOff
+	gc.pending = s.walOff
+	gc.cond.Broadcast()
+	gc.mu.Unlock()
+	keep := uint64(1)
+	if retain := s.opts.retain(); newSeq > retain {
+		keep = newSeq - retain + 1
+	}
+	s.pruneBelow(keep)
 	s.nCheckpts.Add(1)
+	s.notifyLocked()
 	return nil
 }
 
@@ -337,7 +543,23 @@ func (s *Store) Close() error {
 	}
 	s.closed = true
 	s.g.SetObserver(nil)
+	gc := &s.gc
+	gc.mu.Lock()
+	for gc.syncing {
+		gc.cond.Wait()
+	}
+	gc.mu.Unlock()
 	err := s.wal.sync()
+	if err == nil {
+		// Late syncWAL stragglers see their bytes durable instead of
+		// racing an fsync against the close below.
+		gc.mu.Lock()
+		if gc.seq == s.seq && s.walOff > gc.synced {
+			gc.synced = s.walOff
+		}
+		gc.cond.Broadcast()
+		gc.mu.Unlock()
+	}
 	if cerr := s.wal.close(); err == nil {
 		err = cerr
 	}

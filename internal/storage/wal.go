@@ -209,20 +209,56 @@ func replayWAL(path string, g *graph.Graph) (walScan, error) {
 	return scan, nil
 }
 
+// ---- frame parsing (exported for replication) -----------------------------
+
+// ParseFrame reads the first WAL frame of b and returns its payload
+// and total encoded size (header + payload). It fails when the frame
+// is incomplete (fewer bytes than the header promises) or its CRC does
+// not match — both wrapped in ErrCorrupt, because the callers that use
+// it (the replication wire, chunk trimming) only ever hand it byte
+// ranges that are supposed to hold whole intact frames; torn-tail
+// tolerance is WAL recovery's business, not ParseFrame's.
+func ParseFrame(b []byte) (payload []byte, size int, err error) {
+	if len(b) < 8 {
+		return nil, 0, fmt.Errorf("%w: short frame header (%d bytes)", ErrCorrupt, len(b))
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	sum := binary.LittleEndian.Uint32(b[4:])
+	if plen > maxWALRecord {
+		return nil, 0, fmt.Errorf("%w: frame length %d exceeds limit", ErrCorrupt, plen)
+	}
+	if len(b)-8 < plen {
+		return nil, 0, fmt.Errorf("%w: frame truncated (%d of %d payload bytes)", ErrCorrupt, len(b)-8, plen)
+	}
+	payload = b[8 : 8+plen]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, 0, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return payload, 8 + plen, nil
+}
+
+// ApplyRecord decodes one CRC-valid WAL record payload and applies it
+// to g. Exported for the replication follower, which receives shipped
+// frames and applies them through the same path recovery uses; when g
+// carries a mutation observer the apply is re-logged, which is exactly
+// how a follower persists its copy of the leader's log.
+func ApplyRecord(g *graph.Graph, payload []byte) error {
+	return applyRecord(g, payload)
+}
+
 // ---- writer ---------------------------------------------------------------
 
 // walWriter appends framed records to an open WAL file. Each record is
 // written with a single Write call so the kernel sees whole frames;
-// durability beyond the OS cache is governed by the fsync flag (every
-// append) and sync() (checkpoint/close).
+// durability beyond the OS cache is the Store's business — per-append
+// group commit under Options.Fsync, sync() at checkpoint/close.
 type walWriter struct {
-	f     *os.File
-	fsync bool
+	f *os.File
 }
 
 // createWAL creates a fresh log at path (failing if one exists — the
 // rotation scheme never reuses a sequence number) and syncs its header.
-func createWAL(path string, fsync bool) (*walWriter, error) {
+func createWAL(path string) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, err
@@ -235,47 +271,47 @@ func createWAL(path string, fsync bool) (*walWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	return &walWriter{f: f, fsync: fsync}, nil
+	return &walWriter{f: f}, nil
 }
 
 // openWAL opens an existing log for appending after recovery truncated
 // it to validLen (which includes the magic header). A log whose header
 // never made it to disk is rebuilt in place.
-func openWAL(path string, validLen int64, fsync bool) (*walWriter, error) {
+func openWAL(path string, validLen int64) (*walWriter, int64, error) {
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	if st.Size() < int64(len(walMagic)) {
 		if err := f.Truncate(0); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 		validLen = int64(len(walMagic))
 	} else if st.Size() > validLen {
 		if err := f.Truncate(validLen); err != nil {
 			f.Close()
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if _, err := f.Seek(validLen, 0); err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return nil, err
+		return nil, 0, err
 	}
-	return &walWriter{f: f, fsync: fsync}, nil
+	return &walWriter{f: f}, validLen, nil
 }
 
 // append frames and writes one record payload, returning the bytes
@@ -287,11 +323,6 @@ func (w *walWriter) append(payload []byte) (int, error) {
 	frame = append(frame, payload...)
 	if _, err := w.f.Write(frame); err != nil {
 		return 0, err
-	}
-	if w.fsync {
-		if err := w.f.Sync(); err != nil {
-			return 0, err
-		}
 	}
 	return len(frame), nil
 }
