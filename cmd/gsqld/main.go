@@ -125,9 +125,14 @@ func main() {
 		// no store yet; recovery wins otherwise, and a recovered boot
 		// does not even require them.
 		st, err := storage.Open(*dataDir, storage.Options{
-			Fsync:  *fsync,
-			Retain: *walRetain,
-			Init:   func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
+			Fsync: *fsync,
+			// The server fsyncs after releasing its writer mutex
+			// (Store.WaitDurable), so concurrent mutations share
+			// group-commit cohorts instead of holding the lock across
+			// disk barriers.
+			DeferSync: true,
+			Retain:    *walRetain,
+			Init:      func() (*graph.Graph, error) { return loadGraph(*data, *builtin) },
 		})
 		if err != nil {
 			fatal("opening store", err)

@@ -27,6 +27,10 @@ type Micro struct {
 	// MBPerS is throughput for cases that declare a payload size via
 	// b.SetBytes (the storage codec suite); zero elsewhere.
 	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// Extra carries custom per-case metrics reported via
+	// b.ReportMetric — the mixed read/write cases use it for reader
+	// latency percentiles (p50-ns, p99-ns).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // microSuite mirrors the allocation-sensitive benchmarks of
@@ -114,6 +118,12 @@ func writeSuiteJSON(cases []benchCase, meta RunMeta, w, progress io.Writer) erro
 		}
 		if r.Bytes > 0 && r.T > 0 {
 			m.MBPerS = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		if len(r.Extra) > 0 {
+			m.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				m.Extra[k] = v
+			}
 		}
 		rep.Benchmarks[c.name] = m
 		if progress != nil {

@@ -5,8 +5,11 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"gsqlgo/internal/core"
 	"gsqlgo/internal/graph"
@@ -110,9 +113,113 @@ func serverSuite() []benchCase {
 	}
 }
 
+// mixedReadCase builds one MVCC mixed-workload case: b.N runs of the
+// installed recommender through the full serving path while `writers`
+// goroutines hammer vertex and edge inserts through the mutation
+// routes for the whole measured window. Reader latency percentiles
+// land in the result's Extra metrics (p50-ns, p99-ns); with snapshot
+// reads the withWriters p99 must sit within a small factor of the
+// noWriters baseline — writers never block the query path. Each case
+// builds a private server so writer-grown graphs never leak into
+// other cases' measurements.
+func mixedReadCase(writers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := graph.BuildSalesGraph(graph.SalesGraphConfig{
+			Customers: 200, Products: 60, Sales: 3000, Likes: 4000, Seed: 42,
+		})
+		// Low enough that sustained writers fold mid-measurement: the
+		// numbers include re-base hiccups, not just pure append load.
+		g.SetFoldThreshold(256)
+		eng := core.New(g, core.Options{})
+		if err := eng.Install(recommenderSrc); err != nil {
+			panic(err)
+		}
+		srv := server.New(server.Config{Engine: eng})
+		doReq := func(method, path, body string) int {
+			req := httptest.NewRequest(method, path, strings.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			return w.Code
+		}
+		if code := doReq("POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":5}}`); code != http.StatusOK {
+			panic(fmt.Sprintf("prime run: HTTP %d", code))
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					// Writers grow a PRIVATE component (fresh customer +
+					// fresh product + a Likes edge between them): full
+					// epoch churn, snapshot publishes, folds, and CSR
+					// invalidation — without inflating the measured
+					// query's own result set, which would confound
+					// isolation cost with workload growth. Paced at an
+					// OLTP-ish rate so the graph stays comparable to the
+					// baseline across the measured window.
+					ck := fmt.Sprintf("w%d-%d", w, i)
+					pk := fmt.Sprintf("wp%d-%d", w, i)
+					if code := doReq("POST", "/graph/vertices",
+						fmt.Sprintf(`{"type":"Customer","key":%q}`, ck)); code != http.StatusCreated {
+						panic(fmt.Sprintf("writer insert: HTTP %d", code))
+					}
+					if code := doReq("POST", "/graph/vertices",
+						fmt.Sprintf(`{"type":"Product","key":%q,"attrs":{"category":"toy"}}`, pk)); code != http.StatusCreated {
+						panic(fmt.Sprintf("writer insert: HTTP %d", code))
+					}
+					if code := doReq("POST", "/graph/edges", fmt.Sprintf(
+						`{"type":"Likes","src":{"type":"Customer","key":%q},"dst":{"type":"Product","key":%q}}`,
+						ck, pk)); code != http.StatusCreated {
+						panic(fmt.Sprintf("writer edge: HTTP %d", code))
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}(w)
+		}
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			body := fmt.Sprintf(`{"params":{"c":"c%d","k":5}}`, i%200)
+			t0 := time.Now()
+			if code := doReq("POST", "/queries/TopKToys/run", body); code != http.StatusOK {
+				b.Fatalf("HTTP %d", code)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(p float64) float64 {
+			i := int(p * float64(len(lat)-1))
+			return float64(lat[i].Nanoseconds())
+		}
+		b.ReportMetric(pct(0.50), "p50-ns")
+		b.ReportMetric(pct(0.99), "p99-ns")
+	}
+}
+
+// mixedReadWriteCases pairs the no-writer baseline with the
+// under-writers measurement (the acceptance comparison for MVCC
+// snapshot reads).
+func mixedReadWriteCases() []benchCase {
+	return []benchCase{
+		{"Serve/mixedRead/noWriters", mixedReadCase(0)},
+		{"Serve/mixedRead/withWriters", mixedReadCase(2)},
+	}
+}
+
 // WriteServerJSON runs the serving-path benchmark suite and writes the
 // stamped Report to w (cmd/benchtables -json -suite server,
 // conventionally BENCH_server.json).
 func WriteServerJSON(meta RunMeta, w, progress io.Writer) error {
-	return writeSuiteJSON(serverSuite(), meta, w, progress)
+	return writeSuiteJSON(append(serverSuite(), mixedReadWriteCases()...), meta, w, progress)
 }

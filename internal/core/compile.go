@@ -453,19 +453,24 @@ func (c *compiler) attrExpr(n *gsql.AttrRef) *cexpr {
 		return nil
 	}
 	name := n.Name
-	g := c.e.g
-	vts := g.Schema.VertexTypes()
+	sch := c.e.Graph().Schema
+	vts := sch.VertexTypes()
 	offsV := make([]int, len(vts))
 	for i, vt := range vts {
 		offsV[i] = vt.AttrIndex(name)
 	}
-	ets := g.Schema.EdgeTypes()
+	ets := sch.EdgeTypes()
 	offsE := make([]int, len(ets))
 	for i, et := range ets {
 		offsE[i] = et.AttrIndex(name)
 	}
 	c.p.attrOffsets++
 	return dynExpr(func(k *kctx) (value.Value, error) {
+		// Data reads go through the RUN's pinned snapshot, never a graph
+		// captured at install time: the head mutates concurrently, and a
+		// follower re-bootstrap replaces it outright. Only the offset
+		// tables above are install-time (schemas are immutable per type).
+		g := k.rs.g
 		o, err := obj.fn(k)
 		if err != nil {
 			return value.Null, err
@@ -572,8 +577,8 @@ func (c *compiler) methodExpr(n *gsql.Call) *cexpr {
 	}
 	name := n.Name
 	ln := lower(name)
-	g := c.e.g
 	return dynExpr(func(k *kctx) (value.Value, error) {
+		g := k.rs.g // degrees/keys read the run's pinned snapshot
 		rv, err := recv.fn(k)
 		if err != nil {
 			return value.Null, err
@@ -835,10 +840,10 @@ func (c *compiler) numAttr(n *gsql.AttrRef) *numExpr {
 		return nil
 	}
 	name := n.Name
-	g := c.e.g
+	sch := c.e.Graph().Schema
 	var at graph.AttrType
 	seen := false
-	vts := g.Schema.VertexTypes()
+	vts := sch.VertexTypes()
 	offsV := make([]int, len(vts))
 	for i, vt := range vts {
 		offsV[i] = vt.AttrIndex(name)
@@ -850,7 +855,7 @@ func (c *compiler) numAttr(n *gsql.AttrRef) *numExpr {
 			at, seen = t, true
 		}
 	}
-	ets := g.Schema.EdgeTypes()
+	ets := sch.EdgeTypes()
 	offsE := make([]int, len(ets))
 	for i, et := range ets {
 		offsE[i] = et.AttrIndex(name)
@@ -870,6 +875,7 @@ func (c *compiler) numAttr(n *gsql.AttrRef) *numExpr {
 			ni := c.p.nameSlot(id.Name)
 			if at == graph.AttrFloat {
 				return &numExpr{isFloat: true, f: func(k *kctx) (float64, error) {
+					g := k.rs.g // attr reads hit the run's pinned snapshot
 					bn := &k.b.names[ni]
 					switch bn.kind {
 					case bnVert:
@@ -891,6 +897,7 @@ func (c *compiler) numAttr(n *gsql.AttrRef) *numExpr {
 				}}
 			}
 			return &numExpr{i: func(k *kctx) (int64, error) {
+				g := k.rs.g
 				bn := &k.b.names[ni]
 				switch bn.kind {
 				case bnVert:
@@ -913,6 +920,7 @@ func (c *compiler) numAttr(n *gsql.AttrRef) *numExpr {
 		}
 	}
 	read := func(k *kctx) (value.Value, error) {
+		g := k.rs.g
 		o, err := obj.fn(k)
 		if err != nil {
 			return value.Null, err

@@ -76,14 +76,22 @@ func (cc *countCache) syncEpochLocked() {
 	}
 }
 
-// get returns the cached counts for k, or nil on miss.
-func (cc *countCache) get(k countKey) *match.Counts {
+// get returns the cached counts for k, or nil on miss. epoch is the
+// epoch of the snapshot the caller is running against: under MVCC a
+// reader may be pinned on a snapshot older than the head the cache
+// tracks, and serving it counts computed at a newer topology would
+// break snapshot isolation — such lookups miss instead (and their puts
+// are dropped by the same epoch guard).
+func (cc *countCache) get(k countKey, epoch uint64) *match.Counts {
 	if cc == nil {
 		return nil
 	}
 	cc.mu.Lock()
 	defer cc.mu.Unlock()
 	cc.syncEpochLocked()
+	if epoch != cc.epoch {
+		return nil
+	}
 	el, ok := cc.items[k]
 	if !ok {
 		return nil

@@ -128,17 +128,17 @@ func TestCountCacheLRUCap(t *testing.T) {
 	if cc.len() != 2 {
 		t.Fatalf("cache len=%d, want cap 2", cc.len())
 	}
-	if cc.get(key(0)) != nil {
+	if cc.get(key(0), epoch) != nil {
 		t.Error("oldest entry survived past the cap")
 	}
-	if cc.get(key(1)) == nil || cc.get(key(2)) == nil {
+	if cc.get(key(1), epoch) == nil || cc.get(key(2), epoch) == nil {
 		t.Error("recent entries evicted")
 	}
 	// get refreshes recency: touching key 1 makes key 2 the eviction
 	// victim on the next insert.
-	cc.get(key(1))
+	cc.get(key(1), epoch)
 	cc.put(key(3), match.CountASP(g, d, 3), epoch)
-	if cc.get(key(2)) != nil || cc.get(key(1)) == nil {
+	if cc.get(key(2), epoch) != nil || cc.get(key(1), epoch) == nil {
 		t.Error("LRU recency not updated by get")
 	}
 	// A put under a stale epoch is dropped.
@@ -148,6 +148,55 @@ func TestCountCacheLRUCap(t *testing.T) {
 	cc.put(key(4), match.CountASP(g, d, 0), epoch)
 	if cc.len() != 0 {
 		t.Errorf("stale-epoch put inserted (len=%d); mutation must clear the cache", cc.len())
+	}
+}
+
+// TestCountCacheStaleSnapshotReader models an MVCC reader that pinned
+// a snapshot, then a writer published new topology before the reader
+// got to the cache. The reader's gets must miss (the cache now tracks
+// the newer head epoch — serving it those counts would be correct for
+// the head but wrong for its snapshot) and its puts must be dropped,
+// while a reader at the head epoch still caches normally.
+func TestCountCacheStaleSnapshotReader(t *testing.T) {
+	g := graph.BuildRandomMixedGraph(12, 30, 7)
+	cc := newCountCache(g, 16)
+	d := darpe.MustCompile("D1>*")
+	key := func(src graph.VID) countKey {
+		return countKey{d: d, sem: match.AllShortestPaths, src: src}
+	}
+
+	// A reader pins a snapshot, computes, but has not inserted yet.
+	snap := g.Snapshot()
+	staleEpoch := snap.Epoch()
+	staleCounts := match.CountASP(snap, d, 0)
+
+	// Writer publishes new topology; a head-epoch reader warms the
+	// cache for the new epoch.
+	if _, err := g.AddEdge("D1", 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	headEpoch := g.Epoch()
+	headCounts := match.CountASP(g, d, 0)
+	cc.put(key(0), headCounts, headEpoch)
+	if got := cc.get(key(0), headEpoch); got != headCounts {
+		t.Fatal("head-epoch reader must hit its own entry")
+	}
+
+	// The stale reader finishes after the publish: get misses even
+	// though the key exists, and its put is dropped.
+	if got := cc.get(key(0), staleEpoch); got != nil {
+		t.Fatal("stale-epoch get served a newer-epoch entry")
+	}
+	cc.put(key(1), staleCounts, staleEpoch)
+	if got := cc.get(key(1), headEpoch); got != nil {
+		t.Fatal("stale-epoch put was inserted")
+	}
+	// The head entry survives the stale reader's traffic.
+	if got := cc.get(key(0), headEpoch); got != headCounts {
+		t.Fatal("head entry lost after stale-reader traffic")
+	}
+	if cc.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", cc.len())
 	}
 }
 

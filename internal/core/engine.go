@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gsqlgo/internal/darpe"
 	"gsqlgo/internal/graph"
@@ -63,11 +64,15 @@ type Options struct {
 }
 
 // Engine installs and runs GSQL queries against one graph. An Engine
-// is safe for concurrent use: each Run owns its accumulator state, and
-// the shared catalog/caches are mutex-guarded (the graph itself must
-// not be mutated while queries run).
+// is safe for concurrent use: each Run owns its accumulator state, the
+// shared catalog/caches are mutex-guarded, and every run executes
+// against a pinned immutable graph snapshot (graph.Snapshot), so
+// queries proceed lock-free while the graph head is being mutated.
 type Engine struct {
-	g    *graph.Graph
+	// g holds the engine's graph head behind an atomic pointer so runs
+	// pinning a snapshot never race a concurrent SetGraph (the
+	// replication follower swaps graphs on re-bootstrap).
+	g    atomic.Pointer[graph.Graph]
 	opts Options
 
 	mu        sync.Mutex
@@ -86,18 +91,19 @@ type Engine struct {
 
 // New returns an engine over the graph.
 func New(g *graph.Graph, opts Options) *Engine {
-	return &Engine{
-		g:        g,
+	e := &Engine{
 		opts:     opts,
 		queries:  make(map[string]*gsql.Query),
 		dfaCache: make(map[string]*darpe.DFA),
 		plans:    make(map[string]*queryPlan),
 		counts:   newCountCache(g, opts.CountCacheSize),
 	}
+	e.g.Store(g)
+	return e
 }
 
-// Graph returns the engine's graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the engine's graph head.
+func (e *Engine) Graph() *graph.Graph { return e.g.Load() }
 
 // SetGraph repoints the engine at a different graph and resets the
 // graph-bound caches (the SDMC count cache; the DFA cache, compiled
@@ -105,13 +111,14 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // schema, not graph contents). The replication follower uses it after
 // a snapshot re-bootstrap replaces its store; the new graph must carry
 // the same schema as the old one, since installed queries were
-// validated against it. The caller must serialize SetGraph against
-// running queries the same way it serializes graph mutation (the
-// serving layer's writer lock).
+// validated against it. The swap is atomic: in-flight runs keep the
+// snapshot they pinned from the old graph and complete against it,
+// while new runs pin from the new head. The caller serializes SetGraph
+// against mutations (the serving layer's writer lock).
 func (e *Engine) SetGraph(g *graph.Graph) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.g = g
+	e.g.Store(g)
 	e.counts = newCountCache(g, e.opts.CountCacheSize)
 }
 
@@ -275,13 +282,25 @@ func (e *Engine) Run(name string, args map[string]value.Value) (*Result, error) 
 	return e.RunCtx(context.Background(), name, args)
 }
 
-// RunCtx executes an installed query under a context. Cancellation is
-// cooperative: the interpreter checks between statements, the parallel
-// ACCUM phase between binding batches, and the SDMC kernels inside
-// their BFS frontier loops, so a expired deadline stops in-flight work
-// (including spawned workers) instead of leaking it. A run stopped by
-// the context returns an error satisfying errors.Is(err, ErrCancelled).
+// RunCtx executes an installed query under a context against a
+// snapshot pinned at admission: the run observes the graph exactly as
+// of its first instruction no matter how many mutations commit while
+// it executes, and it never blocks (or is blocked by) the writer.
+// Cancellation is cooperative: the interpreter checks between
+// statements, the parallel ACCUM phase between binding batches, and
+// the SDMC kernels inside their BFS frontier loops, so a expired
+// deadline stops in-flight work (including spawned workers) instead of
+// leaking it. A run stopped by the context returns an error satisfying
+// errors.Is(err, ErrCancelled).
 func (e *Engine) RunCtx(ctx context.Context, name string, args map[string]value.Value) (*Result, error) {
+	return e.RunOn(ctx, e.Graph().Snapshot(), name, args)
+}
+
+// RunOn is RunCtx against a caller-pinned graph snapshot (or any
+// *graph.Graph the caller guarantees is stable for the duration of the
+// run). The serving layer uses it to pin one snapshot per request and
+// share it between parameter decoding, execution, and rendering.
+func (e *Engine) RunOn(ctx context.Context, g *graph.Graph, name string, args map[string]value.Value) (*Result, error) {
 	// One context lookup per run: sp is nil for untraced runs, and every
 	// span operation below degrades to a pointer test.
 	sp := trace.FromContext(ctx)
@@ -304,7 +323,7 @@ func (e *Engine) RunCtx(ctx context.Context, name string, args map[string]value.
 	}
 	// bind covers parameter coercion and accumulator declaration/init.
 	bsp := sp.Start("bind")
-	rs, err := newRunState(e, q, args)
+	rs, err := newRunState(e, g, q, args)
 	bsp.End()
 	if err != nil {
 		return nil, err

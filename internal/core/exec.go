@@ -77,7 +77,7 @@ func (rs *runState) execAssign(n *gsql.AssignStmt) error {
 		var ids []graph.VID
 		seen := map[graph.VID]bool{}
 		for _, tn := range rhs.Types {
-			vs := rs.e.g.VerticesOfType(tn)
+			vs := rs.g.VerticesOfType(tn)
 			if vs == nil {
 				return fmt.Errorf("unknown vertex type %q in vertex-set literal", tn)
 			}
@@ -312,7 +312,7 @@ func (rs *runState) printProjection(item gsql.PrintItem) (*Table, error) {
 func (rs *runState) vsetTable(name string, ids []graph.VID) *Table {
 	t := &Table{Name: name, Cols: []string{name}}
 	for _, v := range ids {
-		t.Rows = append(t.Rows, []value.Value{value.NewString(rs.e.g.VertexKey(v))})
+		t.Rows = append(t.Rows, []value.Value{value.NewString(rs.g.VertexKey(v))})
 	}
 	return t
 }

@@ -167,17 +167,17 @@ func (rs *runState) evalAttr(n *gsql.AttrRef, en *env) (value.Value, error) {
 	}
 	switch obj.Kind() {
 	case value.KindVertex:
-		v, ok := rs.e.g.VertexAttr(graph.VID(obj.VertexID()), n.Name)
+		v, ok := rs.g.VertexAttr(graph.VID(obj.VertexID()), n.Name)
 		if !ok {
 			return value.Null, fmt.Errorf("vertex type %s has no attribute %q",
-				rs.e.g.VertexTypeOf(graph.VID(obj.VertexID())).Name, n.Name)
+				rs.g.VertexTypeOf(graph.VID(obj.VertexID())).Name, n.Name)
 		}
 		return v, nil
 	case value.KindEdge:
-		v, ok := rs.e.g.EdgeAttr(graph.EID(obj.EdgeID()), n.Name)
+		v, ok := rs.g.EdgeAttr(graph.EID(obj.EdgeID()), n.Name)
 		if !ok {
 			return value.Null, fmt.Errorf("edge type %s has no attribute %q",
-				rs.e.g.EdgeTypeOf(graph.EID(obj.EdgeID())).Name, n.Name)
+				rs.g.EdgeTypeOf(graph.EID(obj.EdgeID())).Name, n.Name)
 		}
 		return v, nil
 	case value.KindMap:
@@ -341,7 +341,7 @@ func (rs *runState) evalMethod(n *gsql.Call, en *env) (value.Value, error) {
 	case "outdegree":
 		switch len(n.Args) {
 		case 0:
-			return value.NewInt(int64(rs.e.g.OutDegree(vid))), nil
+			return value.NewInt(int64(rs.g.OutDegree(vid))), nil
 		case 1:
 			et, err := rs.eval(n.Args[0], en)
 			if err != nil {
@@ -350,16 +350,16 @@ func (rs *runState) evalMethod(n *gsql.Call, en *env) (value.Value, error) {
 			if et.Kind() != value.KindString {
 				return value.Null, fmt.Errorf("outdegree edge type must be a string")
 			}
-			return value.NewInt(int64(rs.e.g.OutDegreeByType(vid, et.Str()))), nil
+			return value.NewInt(int64(rs.g.OutDegreeByType(vid, et.Str()))), nil
 		default:
 			return value.Null, fmt.Errorf("outdegree takes at most one argument")
 		}
 	case "degree":
-		return value.NewInt(int64(rs.e.g.Degree(vid))), nil
+		return value.NewInt(int64(rs.g.Degree(vid))), nil
 	case "type":
-		return value.NewString(rs.e.g.VertexTypeOf(vid).Name), nil
+		return value.NewString(rs.g.VertexTypeOf(vid).Name), nil
 	case "id":
-		return value.NewString(rs.e.g.VertexKey(vid)), nil
+		return value.NewString(rs.g.VertexKey(vid)), nil
 	case "vid":
 		// Graph-internal numeric id; handy as a total order for label
 		// propagation (WCC's component labels).

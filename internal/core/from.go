@@ -276,7 +276,7 @@ func (rs *runState) makeTargetFilter(ref gsql.StepRef) (targetFilter, error) {
 }
 
 func (rs *runState) makeNameFilter(name string) (targetFilter, error) {
-	g := rs.e.g
+	g := rs.g
 	if vt := g.Schema.VertexType(name); vt != nil {
 		want := vt.ID
 		return func(v graph.VID) bool { return g.VertexTypeOf(v).ID == want }, nil
@@ -456,7 +456,7 @@ func shardRows(nRows, workers int, fn func(lo, hi int) ([]bindingRow, error)) ([
 // expandSingleHop binds one edge traversal by adjacency expansion,
 // sharded over binding rows across the engine's workers.
 func (rs *runState) expandSingleHop(bt *bindingTable, hop *gsql.Hop, sym *darpe.Symbol, curCol, boundCol int, rebind bool, filter targetFilter, hsp *trace.Span) ([]bindingRow, error) {
-	g := rs.e.g
+	g := rs.g
 	var edgeCol = -1
 	if hop.EdgeAlias != "" {
 		edgeCol = bt.addEdgeAlias(hop.EdgeAlias)
@@ -547,7 +547,7 @@ type reach struct {
 // lists from the sparse Counts.Reached, and finally do the cheap
 // sharded row-expansion pass.
 func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, boundCol int, rebind bool, filter targetFilter, hsp *trace.Span) ([]bindingRow, error) {
-	g := rs.e.g
+	g := rs.g
 	dsp := hsp.Start("dfa")
 	d, dfaCached, err := rs.e.dfa(hop.DarpeText, hop.Darpe)
 	if err != nil {
@@ -572,13 +572,15 @@ func (rs *runState) expandCountedHop(bt *bindingTable, hop *gsql.Hop, curCol, bo
 	}
 
 	// Resolve counts: cache lookups, then kernel runs for the misses.
-	// The epoch is read before counting so a (disallowed, but possible)
-	// concurrent mutation drops the results instead of caching them.
+	// The epoch is the run's pinned snapshot epoch: lookups miss and
+	// puts are dropped when it differs from the cache's head epoch, so
+	// a reader pinned on an old snapshot neither sees newer counts nor
+	// pollutes the cache with stale ones.
 	epoch := g.Epoch()
 	counts := make([]*match.Counts, len(sources))
 	var missing []int
 	for i, src := range sources {
-		if c := rs.e.counts.get(countKey{d: d, sem: rs.semantics, src: src}); c != nil {
+		if c := rs.e.counts.get(countKey{d: d, sem: rs.semantics, src: src}, epoch); c != nil {
 			counts[i] = c
 		} else {
 			missing = append(missing, i)
@@ -665,7 +667,7 @@ const maxSDMCSpans = 16
 // order — the first failing source is the one the serial loop would
 // have failed on.
 func (rs *runState) countSources(hop *gsql.Hop, d *darpe.DFA, sources []graph.VID, missing []int, counts []*match.Counts, hsp *trace.Span) error {
-	g := rs.e.g
+	g := rs.g
 	// Span budget shared by the (possibly parallel) workers; spans
 	// attach to hsp concurrently, which Span.Start permits.
 	var spanBudget atomic.Int64

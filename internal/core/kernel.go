@@ -532,7 +532,7 @@ func (k *kctx) runAccInstrs(instrs []kinstr) error {
 					vid := graph.VID(vv.VertexID())
 					s := k.d.fastV[ins.slot]
 					if s == nil {
-						s = getVslab(k.rs.e.g.NumVertices())
+						s = getVslab(k.rs.g.NumVertices())
 						k.d.fastV[ins.slot] = s
 					}
 					if ins.rhsI != nil {
@@ -560,7 +560,7 @@ func (k *kctx) runAccInstrs(instrs []kinstr) error {
 			if ins.fast != accum.FastNone {
 				s := k.d.fastV[ins.slot]
 				if s == nil {
-					s = getVslab(k.rs.e.g.NumVertices())
+					s = getVslab(k.rs.g.NumVertices())
 					k.d.fastV[ins.slot] = s
 				}
 				if err := accum.FoldFast(ins.fast, s.cell(vid, ins.fast), ins.spec, v, k.mult); err != nil {

@@ -17,6 +17,10 @@ import (
 // accumulating result.
 type runState struct {
 	e *Engine
+	// g is the run's pinned graph snapshot: every graph read of the run
+	// goes through it, so the run observes one consistent epoch even
+	// while the head graph is being mutated concurrently.
+	g *graph.Graph
 	q *gsql.Query
 	// ctx/done drive cooperative cancellation. done is ctx.Done(),
 	// cached because it is polled in hot loops; nil (context.Background)
@@ -112,9 +116,10 @@ func (s *vaccStore) peekValue(v graph.VID) (value.Value, error) {
 	return s.initVal, nil
 }
 
-func newRunState(e *Engine, q *gsql.Query, args map[string]value.Value) (*runState, error) {
+func newRunState(e *Engine, g *graph.Graph, q *gsql.Query, args map[string]value.Value) (*runState, error) {
 	rs := &runState{
 		e:         e,
+		g:         g,
 		q:         q,
 		ctx:       context.Background(),
 		semantics: e.opts.Semantics,
@@ -186,7 +191,7 @@ func newRunState(e *Engine, q *gsql.Query, args map[string]value.Value) (*runSta
 			if _, dup := rs.vaccs[d.Name]; dup {
 				return nil, fmt.Errorf("duplicate accumulator @%s", d.Name)
 			}
-			store, err := newVaccStore(d.Spec, init, e.g.NumVertices())
+			store, err := newVaccStore(d.Spec, init, g.NumVertices())
 			if err != nil {
 				return nil, fmt.Errorf("declaring @%s: %w", d.Name, err)
 			}
@@ -264,8 +269,8 @@ func (rs *runState) vsetOrType(name string) ([]graph.VID, bool) {
 	if ids, ok := rs.vsets[name]; ok {
 		return ids, true
 	}
-	if rs.e.g.Schema.VertexType(name) != nil {
-		return rs.e.g.VerticesOfType(name), true
+	if rs.g.Schema.VertexType(name) != nil {
+		return rs.g.VerticesOfType(name), true
 	}
 	return nil, false
 }

@@ -111,7 +111,7 @@ func (v *validator) stmt(s gsql.Stmt) error {
 			return v.selectExpr(rhs)
 		case *gsql.VSetLit:
 			for _, tn := range rhs.Types {
-				if v.e.g.Schema.VertexType(tn) == nil {
+				if v.e.Graph().Schema.VertexType(tn) == nil {
 					return fmt.Errorf("vertex-set literal: unknown vertex type %q", tn)
 				}
 			}
@@ -186,7 +186,7 @@ func (v *validator) selectExpr(sel *gsql.SelectExpr) error {
 		for hi := range pat.Hops {
 			hop := &pat.Hops[hi]
 			for et := range darpe.EdgeTypes(hop.Darpe) {
-				if v.e.g.Schema.EdgeType(et) == nil {
+				if v.e.Graph().Schema.EdgeType(et) == nil {
 					return fmt.Errorf("pattern -(%s)-: unknown edge type %q", hop.DarpeText, et)
 				}
 			}
@@ -256,7 +256,7 @@ func (v *validator) selectExpr(sel *gsql.SelectExpr) error {
 
 // endpoint checks a pattern endpoint name is plausibly resolvable.
 func (v *validator) endpoint(name string) error {
-	if v.e.g.Schema.VertexType(name) != nil || v.names[name] {
+	if v.e.Graph().Schema.VertexType(name) != nil || v.names[name] {
 		return nil
 	}
 	if _, ok := v.e.relTable(name); ok {
@@ -344,7 +344,7 @@ func (v *validator) expr(e gsql.Expr, scope map[string]bool) error {
 			return nil
 		}
 		// Vertex types double as seeds occasionally referenced by name.
-		if v.e.g.Schema.VertexType(n.Name) != nil {
+		if v.e.Graph().Schema.VertexType(n.Name) != nil {
 			return nil
 		}
 		return fmt.Errorf("unknown identifier %q", n.Name)

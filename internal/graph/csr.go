@@ -8,20 +8,34 @@ import (
 // every half-edge of every vertex in one flat array, grouped by vertex
 // and, within a vertex, sorted by (Type, Dir). It exists for the hot
 // traversal kernels (the SDMC counter of internal/match): a flat array
-// walks sequentially through memory where the mutable [][]HalfEdge
-// adjacency chases one pointer per vertex, and the (Type, Dir) sort
-// lets a kernel resolve one DFA transition per segment instead of one
-// per half-edge.
+// walks sequentially through memory where per-vertex adjacency lists
+// chase one pointer per vertex, and the (Type, Dir) sort lets a kernel
+// resolve one DFA transition per segment instead of one per half-edge.
 //
-// A CSR is immutable once built and safe for concurrent readers. It is
-// a snapshot: mutating the graph after Freeze does not change an
-// already-obtained CSR, it only invalidates the graph's cached one so
-// the next Freeze rebuilds.
+// A CSR is immutable once built and safe for concurrent readers. Under
+// MVCC a CSR belongs to one snapshot horizon. To avoid rebuilding the
+// whole array on every mutation, a lineage keeps one canonical *base*
+// CSR built at the last fold point; a snapshot taken past the fold
+// point gets a *patched* CSR that shares the base arrays untouched and
+// adds dense ext arrays covering only the delta edges. Kernels iterate
+// base segments first, then (when HasExt reports true) ext segments —
+// the counts they produce are order-independent, so the split run is
+// equivalent to a canonical build.
 type CSR struct {
-	offsets []int32    // len V+1; halves[offsets[v]:offsets[v+1]] is v's adjacency
-	halves  []HalfEdge // all half-edges, grouped by vertex, (Type, Dir)-sorted per vertex
-	segOff  []int32    // len V+1; segs[segOff[v]:segOff[v+1]] are v's segments
+	offsets []int32    // len baseV+1; halves[offsets[v]:offsets[v+1]] is v's base adjacency
+	halves  []HalfEdge // base half-edges, grouped by vertex, (Type, Dir)-sorted per vertex
+	segOff  []int32    // len baseV+1; segs[segOff[v]:segOff[v+1]] are v's base segments
 	segs    []Seg      // per-vertex runs of equal (Type, Dir)
+
+	nV int // vertices in the snapshot this CSR serves (≥ baseV)
+
+	// Patched-CSR extension (nil for a canonical build): half-edges of
+	// edges inserted after the base horizon, laid out exactly like the
+	// base arrays but over all nV vertices.
+	extOff    []int32
+	extHalves []HalfEdge
+	extSegOff []int32
+	extSegs   []Seg
 }
 
 // Seg is one maximal run of half-edges of a single vertex sharing the
@@ -30,88 +44,234 @@ type CSR struct {
 type Seg struct {
 	Type  int16 // edge type id
 	Dir   Dir   // traversal direction
-	Start int32 // into the CSR's flat half-edge array
+	Start int32 // into the owning flat half-edge array (base or ext)
 	End   int32
 }
 
 // NumVertices returns the number of vertices in the snapshot.
-func (c *CSR) NumVertices() int { return len(c.offsets) - 1 }
+func (c *CSR) NumVertices() int { return c.nV }
 
 // NumHalfEdges returns the total number of half-edges.
-func (c *CSR) NumHalfEdges() int { return len(c.halves) }
+func (c *CSR) NumHalfEdges() int { return len(c.halves) + len(c.extHalves) }
 
-// Neighbors returns v's adjacency as a subslice of the flat array,
-// sorted by (Type, Dir). The slice must not be mutated.
-func (c *CSR) Neighbors(v VID) []HalfEdge { return c.halves[c.offsets[v]:c.offsets[v+1]] }
+// HasExt reports whether this CSR carries a delta extension (a patched
+// CSR); kernels then also walk ExtSegments.
+func (c *CSR) HasExt() bool { return c.extOff != nil }
 
-// Segments returns v's (Type, Dir) runs. The slice must not be
-// mutated.
-func (c *CSR) Segments(v VID) []Seg { return c.segs[c.segOff[v]:c.segOff[v+1]] }
+// Neighbors returns v's adjacency sorted by (Type, Dir). For a
+// canonical CSR this is a subslice of the flat array; for a patched
+// CSR with delta half-edges at v it allocates a concatenation. The
+// result must not be mutated.
+func (c *CSR) Neighbors(v VID) []HalfEdge {
+	var base []HalfEdge
+	if int(v) < len(c.offsets)-1 {
+		base = c.halves[c.offsets[v]:c.offsets[v+1]]
+	}
+	if c.extOff == nil {
+		return base
+	}
+	ext := c.extHalves[c.extOff[v]:c.extOff[v+1]]
+	if len(ext) == 0 {
+		return base
+	}
+	if len(base) == 0 {
+		return ext
+	}
+	out := make([]HalfEdge, 0, len(base)+len(ext))
+	return append(append(out, base...), ext...)
+}
 
-// HalfEdges returns the half-edges covered by one segment.
+// Segments returns v's (Type, Dir) runs over the base half-edges; use
+// HalfEdges to resolve them. The slice must not be mutated. Vertices
+// inserted after the base horizon have no base segments.
+func (c *CSR) Segments(v VID) []Seg {
+	if int(v) >= len(c.segOff)-1 {
+		return nil
+	}
+	return c.segs[c.segOff[v]:c.segOff[v+1]]
+}
+
+// HalfEdges returns the base half-edges covered by one base segment.
 func (c *CSR) HalfEdges(s Seg) []HalfEdge { return c.halves[s.Start:s.End] }
 
-// Freeze returns the CSR view of the graph, building it on first use
-// and caching it until the next topology mutation (AddVertex/AddEdge),
-// which invalidates the cache so a later Freeze rebuilds. Attribute
-// updates do not invalidate: the CSR holds topology only.
+// ExtSegments returns v's (Type, Dir) runs over the delta half-edges
+// of a patched CSR (nil for a canonical CSR); use ExtHalfEdges to
+// resolve them.
+func (c *CSR) ExtSegments(v VID) []Seg {
+	if c.extSegOff == nil {
+		return nil
+	}
+	return c.extSegs[c.extSegOff[v]:c.extSegOff[v+1]]
+}
+
+// ExtHalfEdges returns the delta half-edges covered by one ext
+// segment.
+func (c *CSR) ExtHalfEdges(s Seg) []HalfEdge { return c.extHalves[s.Start:s.End] }
+
+// Freeze returns the CSR for g's snapshot horizon, building it on
+// first use. The lineage caches two CSRs: the canonical base at the
+// last fold point and the most recently built snapshot CSR. A
+// snapshot at the fold point returns the base; a snapshot past it
+// returns a patched CSR (base arrays shared, delta edges in dense ext
+// arrays) built in O(delta); a snapshot pinned before the current fold
+// point — a long-running reader that outlived a fold — gets a private
+// canonical build.
 //
 // Freeze is safe to call from concurrent readers (the query path calls
-// it lazily); concurrent first calls may build the snapshot more than
-// once, which is wasteful but correct since all builds are identical.
-// As everywhere else, topology mutation must not race with queries.
+// it lazily); concurrent first calls may build the same snapshot CSR
+// more than once, which is wasteful but correct since all builds are
+// identical.
 func (g *Graph) Freeze() *CSR {
-	if c := g.frozen.Load(); c != nil {
-		return c
+	v := g.Snapshot() // the head freezes its current published horizon
+	sh := v.sh
+	nV, nE := len(v.vtype), len(v.etype)
+	if cc := sh.csr.Load(); cc != nil && cc.nV == nV && cc.nE == nE {
+		return cc.c
 	}
-	c := buildCSR(g)
-	g.frozen.Store(c)
+	bc := sh.base.Load()
+	if bc != nil && bc.nV == nV && bc.nE == nE {
+		return bc.c
+	}
+	fp := sh.fold.Load()
+	if bc == nil || bc.nV != len(fp.vtype) || bc.nE != len(fp.etype) {
+		// The fold point moved since the base was built (or it never
+		// was): rebuild the canonical base at the fold horizon.
+		bc = &csrCache{nV: len(fp.vtype), nE: len(fp.etype), c: buildCSR(fp)}
+		sh.base.Store(bc)
+		if bc.nV == nV && bc.nE == nE {
+			return bc.c
+		}
+	}
+	if nV < bc.nV || nE < bc.nE {
+		// Snapshot pinned before the fold point: private canonical
+		// build, not cached (the shared slots track newer horizons).
+		return buildCSR(v)
+	}
+	var c *CSR
+	if nE-bc.nE > bc.nE {
+		// The delta dominates the base (e.g. a freshly built graph that
+		// never folded): a canonical build reads faster than a patch.
+		c = buildCSR(v)
+	} else {
+		c = buildPatchedCSR(bc.c, bc.nE, v)
+	}
+	sh.csr.Store(&csrCache{nV: nV, nE: nE, c: c})
 	return c
 }
 
 func buildCSR(g *Graph) *CSR {
-	nV := len(g.adj)
+	nV := g.NumVertices()
 	c := &CSR{
 		offsets: make([]int32, nV+1),
 		segOff:  make([]int32, nV+1),
+		nV:      nV,
 	}
 	total := 0
-	for _, hs := range g.adj {
-		total += len(hs)
+	for v := 0; v < nV; v++ {
+		total += len(g.Neighbors(VID(v)))
 	}
 	c.halves = make([]HalfEdge, 0, total)
 	c.segs = make([]Seg, 0, nV) // ≥1 segment per non-isolated vertex
-	for v, hs := range g.adj {
+	for v := 0; v < nV; v++ {
 		start := len(c.halves)
-		c.halves = append(c.halves, hs...)
+		c.halves = append(c.halves, g.Neighbors(VID(v))...)
 		own := c.halves[start:]
-		slices.SortFunc(own, func(a, b HalfEdge) int {
-			if a.Type != b.Type {
-				return int(a.Type) - int(b.Type)
-			}
-			if a.Dir != b.Dir {
-				return int(a.Dir) - int(b.Dir)
-			}
-			if a.To != b.To { // deterministic layout: tie-break by endpoint, then edge
-				return int(a.To) - int(b.To)
-			}
-			return int(a.Edge) - int(b.Edge)
-		})
-		for i := 0; i < len(own); {
-			j := i + 1
-			for j < len(own) && own[j].Type == own[i].Type && own[j].Dir == own[i].Dir {
-				j++
-			}
-			c.segs = append(c.segs, Seg{
-				Type:  own[i].Type,
-				Dir:   own[i].Dir,
-				Start: int32(start + i),
-				End:   int32(start + j),
-			})
-			i = j
-		}
+		sortHalves(own)
+		appendSegs(&c.segs, own, start)
 		c.offsets[v+1] = int32(len(c.halves))
 		c.segOff[v+1] = int32(len(c.segs))
 	}
 	return c
+}
+
+// buildPatchedCSR layers the half-edges of edges [baseE, nE) over a
+// canonical base CSR. Cost is O(nV + delta): the base arrays are
+// shared by reference, only the dense ext offset/segment arrays and
+// the delta half-edges are allocated.
+func buildPatchedCSR(base *CSR, baseE int, v *Graph) *CSR {
+	nV, nE := len(v.vtype), len(v.etype)
+	c := &CSR{
+		offsets: base.offsets,
+		halves:  base.halves,
+		segOff:  base.segOff,
+		segs:    base.segs,
+		nV:      nV,
+	}
+	c.extOff = make([]int32, nV+1)
+	for e := baseE; e < nE; e++ {
+		et := v.Schema.edgeTypes[v.etype[e]]
+		s, d := v.esrc[e], v.edst[e]
+		c.extOff[s+1]++
+		if et.Directed || s != d {
+			c.extOff[d+1]++
+		}
+	}
+	for i := 1; i <= nV; i++ {
+		c.extOff[i] += c.extOff[i-1]
+	}
+	c.extHalves = make([]HalfEdge, c.extOff[nV])
+	cursor := make([]int32, nV)
+	copy(cursor, c.extOff[:nV])
+	put := func(at VID, h HalfEdge) {
+		c.extHalves[cursor[at]] = h
+		cursor[at]++
+	}
+	for e := baseE; e < nE; e++ {
+		et := v.Schema.edgeTypes[v.etype[e]]
+		s, d := v.esrc[e], v.edst[e]
+		id, tid := EID(e), int16(et.ID)
+		if et.Directed {
+			put(s, HalfEdge{To: d, Edge: id, Type: tid, Dir: DirOut})
+			put(d, HalfEdge{To: s, Edge: id, Type: tid, Dir: DirIn})
+		} else {
+			put(s, HalfEdge{To: d, Edge: id, Type: tid, Dir: DirUndir})
+			if s != d {
+				put(d, HalfEdge{To: s, Edge: id, Type: tid, Dir: DirUndir})
+			}
+		}
+	}
+	c.extSegOff = make([]int32, nV+1)
+	c.extSegs = make([]Seg, 0, 8)
+	for vv := 0; vv < nV; vv++ {
+		own := c.extHalves[c.extOff[vv]:c.extOff[vv+1]]
+		sortHalves(own)
+		appendSegs(&c.extSegs, own, int(c.extOff[vv]))
+		c.extSegOff[vv+1] = int32(len(c.extSegs))
+	}
+	return c
+}
+
+// sortHalves orders one vertex's half-edges canonically: by (Type,
+// Dir), then by endpoint and edge id for a deterministic layout.
+func sortHalves(own []HalfEdge) {
+	slices.SortFunc(own, func(a, b HalfEdge) int {
+		if a.Type != b.Type {
+			return int(a.Type) - int(b.Type)
+		}
+		if a.Dir != b.Dir {
+			return int(a.Dir) - int(b.Dir)
+		}
+		if a.To != b.To {
+			return int(a.To) - int(b.To)
+		}
+		return int(a.Edge) - int(b.Edge)
+	})
+}
+
+// appendSegs appends the (Type, Dir) runs of one sorted per-vertex
+// span to segs; start is the span's offset in its flat array.
+func appendSegs(segs *[]Seg, own []HalfEdge, start int) {
+	for i := 0; i < len(own); {
+		j := i + 1
+		for j < len(own) && own[j].Type == own[i].Type && own[j].Dir == own[i].Dir {
+			j++
+		}
+		*segs = append(*segs, Seg{
+			Type:  own[i].Type,
+			Dir:   own[i].Dir,
+			Start: int32(start + i),
+			End:   int32(start + j),
+		})
+		i = j
+	}
 }

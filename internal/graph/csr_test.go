@@ -8,9 +8,10 @@ import (
 )
 
 // csrInvariants checks the structural invariants of a CSR against the
-// mutable adjacency it was frozen from: same half-edge multiset per
-// vertex, (Type, Dir)-sorted layout, and segments that tile each
-// vertex's range exactly.
+// adjacency it was frozen from: same half-edge multiset per vertex,
+// (Type, Dir)-sorted layout within the base and ext spans, and
+// segments that tile each span exactly. It accepts both canonical and
+// patched (base + ext) CSRs.
 func csrInvariants(t *testing.T, g *Graph, c *CSR) {
 	t.Helper()
 	if c.NumVertices() != g.NumVertices() {
@@ -18,7 +19,7 @@ func csrInvariants(t *testing.T, g *Graph, c *CSR) {
 	}
 	totalHalves := 0
 	for v := 0; v < g.NumVertices(); v++ {
-		adj := g.adj[v]
+		adj := g.Neighbors(VID(v))
 		flat := c.Neighbors(VID(v))
 		totalHalves += len(flat)
 		if len(flat) != len(adj) {
@@ -36,37 +37,55 @@ func csrInvariants(t *testing.T, g *Graph, c *CSR) {
 				t.Fatalf("v%d: CSR half-edge %+v not in adjacency", v, h)
 			}
 		}
-		// Sortedness by (Type, Dir).
-		for i := 1; i < len(flat); i++ {
-			a, b := flat[i-1], flat[i]
-			if a.Type > b.Type || (a.Type == b.Type && a.Dir > b.Dir) {
-				t.Fatalf("v%d: CSR not (Type, Dir)-sorted at %d: %+v then %+v", v, i, a, b)
-			}
+		// Per-span checks: base, then the patched-CSR ext span if any.
+		type span struct {
+			name       string
+			halves     []HalfEdge
+			segs       []Seg
+			start, end int32
+			resolve    func(Seg) []HalfEdge
 		}
-		// Segments tile the vertex's range and are homogeneous.
-		segs := c.Segments(VID(v))
-		want := c.offsets[v]
-		for _, s := range segs {
-			if s.Start != want {
-				t.Fatalf("v%d: segment starts at %d, want %d", v, s.Start, want)
-			}
-			if s.End <= s.Start {
-				t.Fatalf("v%d: empty segment %+v", v, s)
-			}
-			for _, h := range c.HalfEdges(s) {
-				if h.Type != s.Type || h.Dir != s.Dir {
-					t.Fatalf("v%d: half-edge %+v in segment %+v", v, h, s)
+		spans := []span{}
+		if int(v) < len(c.offsets)-1 {
+			spans = append(spans, span{"base", c.halves[c.offsets[v]:c.offsets[v+1]], c.Segments(VID(v)), c.offsets[v], c.offsets[v+1], c.HalfEdges})
+		} else if len(c.Segments(VID(v))) != 0 {
+			t.Fatalf("v%d: beyond base horizon but has base segments", v)
+		}
+		if c.HasExt() {
+			spans = append(spans, span{"ext", c.extHalves[c.extOff[v]:c.extOff[v+1]], c.ExtSegments(VID(v)), c.extOff[v], c.extOff[v+1], c.ExtHalfEdges})
+		}
+		for _, sp := range spans {
+			// Sortedness by (Type, Dir) within the span.
+			for i := 1; i < len(sp.halves); i++ {
+				a, b := sp.halves[i-1], sp.halves[i]
+				if a.Type > b.Type || (a.Type == b.Type && a.Dir > b.Dir) {
+					t.Fatalf("v%d: %s span not (Type, Dir)-sorted at %d: %+v then %+v", v, sp.name, i, a, b)
 				}
 			}
-			want = s.End
-		}
-		if want != c.offsets[v+1] {
-			t.Fatalf("v%d: segments end at %d, vertex ends at %d", v, want, c.offsets[v+1])
-		}
-		// Adjacent segments differ (maximality).
-		for i := 1; i < len(segs); i++ {
-			if segs[i-1].Type == segs[i].Type && segs[i-1].Dir == segs[i].Dir {
-				t.Fatalf("v%d: segments %d and %d not maximal", v, i-1, i)
+			// Segments tile the span and are homogeneous.
+			want := sp.start
+			for _, s := range sp.segs {
+				if s.Start != want {
+					t.Fatalf("v%d: %s segment starts at %d, want %d", v, sp.name, s.Start, want)
+				}
+				if s.End <= s.Start {
+					t.Fatalf("v%d: empty %s segment %+v", v, sp.name, s)
+				}
+				for _, h := range sp.resolve(s) {
+					if h.Type != s.Type || h.Dir != s.Dir {
+						t.Fatalf("v%d: half-edge %+v in %s segment %+v", v, h, sp.name, s)
+					}
+				}
+				want = s.End
+			}
+			if want != sp.end {
+				t.Fatalf("v%d: %s segments end at %d, span ends at %d", v, sp.name, want, sp.end)
+			}
+			// Adjacent segments differ (maximality).
+			for i := 1; i < len(sp.segs); i++ {
+				if sp.segs[i-1].Type == sp.segs[i].Type && sp.segs[i-1].Dir == sp.segs[i].Dir {
+					t.Fatalf("v%d: %s segments %d and %d not maximal", v, sp.name, i-1, i)
+				}
 			}
 		}
 	}

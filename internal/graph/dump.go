@@ -164,10 +164,10 @@ func (g *Graph) dumpVertices(dir string, vt *VertexType) error {
 		return err
 	}
 	row := make([]string, len(header))
-	for _, v := range g.byType[vt.ID] {
+	for _, v := range g.VerticesOfType(vt.Name) {
 		row[0] = g.vkeys[v]
 		for i := range vt.Attrs {
-			row[i+1] = csvField(g.vattrs[v][i])
+			row[i+1] = csvField(g.VertexAttrAt(v, i))
 		}
 		if err := w.Write(row); err != nil {
 			return err

@@ -3,7 +3,6 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"gsqlgo/internal/value"
 )
@@ -58,74 +57,100 @@ type HalfEdge struct {
 	Dir  Dir   // traversal direction from the owning vertex
 }
 
-// Graph is an in-memory property graph. It is safe for concurrent
-// reads once loading has finished; mutation is not synchronized.
+// Graph is an in-memory property graph with MVCC snapshot reads. A
+// Graph value is either the mutable *head* of a lineage or an
+// immutable *snapshot view* of it (see Snapshot); both expose the same
+// read API. The head accepts mutations from one writer at a time
+// (external serialization required, e.g. the server's writer mutex)
+// and publishes a fresh snapshot after every applied mutation; any
+// number of readers may hold and read snapshots concurrently with the
+// writer, lock-free, and each snapshot observes exactly the mutations
+// published before it was taken — never a half-applied batch.
+//
+// Storage is append-only and structurally shared: a snapshot captures
+// slice-header prefixes plus visibility horizons rather than copying
+// data, so taking one is O(1) and holding one pins only the versions
+// it can see.
 type Graph struct {
 	Schema *Schema
 
-	vtype    []int16         // vertex type id per vertex
-	vattrs   [][]value.Value // attribute values per vertex
-	vkeys    []string        // primary key per vertex
-	keyIndex []map[string]VID
-	byType   [][]VID // vertices per vertex type
+	sh   *shared // the lineage hub; same object for head and all views
+	head bool    // true only for the mutable head
 
-	adj [][]HalfEdge
-
+	// Append-only columns. A view's visibility horizons are the header
+	// lengths themselves: len(vtype) vertices and len(etype) edges.
+	vtype  []int16     // vertex type id per vertex
+	vkeys  []string    // primary key per vertex
+	vattr  []*attrCell // version-chained attribute rows per vertex
+	adjc   []*adjCell  // atomic full-prefix adjacency per vertex
 	etype  []int16
 	esrc   []VID
 	edst   []VID
 	eattrs [][]value.Value
 
-	// frozen caches the CSR snapshot of adj (see Freeze); topology
-	// mutation clears it so the next Freeze rebuilds.
-	frozen atomic.Pointer[CSR]
-	// observer, when attached, is notified of every mutation after
-	// validation and before apply (see MutationObserver).
-	observer MutationObserver
+	// Schema-fixed shared indexes (one slot per vertex type, the outer
+	// slice never reallocates); reads filter by the view's vertex
+	// horizon.
+	keys   []*keyMap
+	byType []*vidList
 
-	// epoch counts topology mutations (AddVertex/AddEdge). Every
-	// topology-derived cache outside this package — most prominently
-	// the engine-level SDMC count cache in internal/core — stamps its
-	// entries with the epoch it observed and treats a mismatch as
-	// invalidation, exactly mirroring how mutation invalidates the
-	// frozen CSR. Attribute updates do not advance it: like the CSR,
-	// epoch-guarded caches hold topology-derived state only.
-	epoch atomic.Uint64
+	// Horizons. attrVer is the newest visible attribute version: the
+	// head keeps it equal to sh.attrSeq, a view freezes it at publish.
+	// epochAt is a view's pinned topology epoch (the head reads the
+	// live counter instead).
+	attrVer uint64
+	epochAt uint64
+
+	// observer, when attached, is notified of every mutation after
+	// validation and before apply (see MutationObserver). Head only.
+	observer MutationObserver
 }
 
-// New returns an empty graph over the given schema.
+// New returns an empty graph over the given schema: the mutable head
+// of a fresh lineage, with an empty snapshot already published.
 func New(s *Schema) *Graph {
-	g := &Graph{Schema: s}
-	g.keyIndex = make([]map[string]VID, len(s.vertexTypes))
-	g.byType = make([][]VID, len(s.vertexTypes))
-	for i := range g.keyIndex {
-		g.keyIndex[i] = make(map[string]VID)
+	g := &Graph{Schema: s, sh: &shared{}, head: true}
+	g.keys = make([]*keyMap, len(s.vertexTypes))
+	g.byType = make([]*vidList, len(s.vertexTypes))
+	for i := range g.keys {
+		g.keys[i] = &keyMap{}
+		g.byType[i] = &vidList{}
 	}
+	g.publish()
+	g.sh.fold.Store(g.sh.current.Load())
 	return g
 }
 
-// Epoch returns the current topology-mutation epoch. It advances on
-// every AddVertex/AddEdge — the same events that invalidate the frozen
-// CSR — so callers can stamp topology-derived caches with the epoch
-// they computed under and discard them when it moves. Attribute
-// updates (SetVertexAttr) leave the epoch unchanged.
-func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+// Epoch returns the topology-mutation epoch: the head reports the live
+// counter, a snapshot its pinned value. The epoch advances on every
+// AddVertex/AddEdge — the same events that re-base the CSR — so
+// callers can stamp topology-derived caches with the epoch they
+// computed under and discard them when it moves. Attribute updates
+// (SetVertexAttr) leave the epoch unchanged.
+func (g *Graph) Epoch() uint64 {
+	if g.head {
+		return g.sh.epoch.Load()
+	}
+	return g.epochAt
+}
 
-// NumVertices returns the number of vertices.
+// NumVertices returns the number of vertices visible to g.
 func (g *Graph) NumVertices() int { return len(g.vtype) }
 
-// NumEdges returns the number of edges.
+// NumEdges returns the number of edges visible to g.
 func (g *Graph) NumEdges() int { return len(g.etype) }
 
 // AddVertex inserts a vertex of the named type with the given primary
 // key and attributes. Missing attributes default to their type's zero
-// value; unknown attribute names or mistyped values are errors.
+// value; unknown attribute names or mistyped values are errors. Head
+// only; mutating a snapshot panics.
 func (g *Graph) AddVertex(typeName, key string, attrs map[string]value.Value) (VID, error) {
+	g.mutableOnly("AddVertex")
 	vt := g.Schema.VertexType(typeName)
 	if vt == nil {
 		return 0, fmt.Errorf("graph: unknown vertex type %q", typeName)
 	}
-	if _, dup := g.keyIndex[vt.ID][key]; dup {
+	if _, dup := g.keys[vt.ID].m.Load(key); dup {
 		return 0, fmt.Errorf("graph: %w: %s %q", ErrDuplicateKey, typeName, key)
 	}
 	row, err := buildAttrRow(vt.Attrs, vt.attrIdx, attrs, "vertex "+typeName)
@@ -138,20 +163,31 @@ func (g *Graph) AddVertex(typeName, key string, attrs map[string]value.Value) (V
 			return 0, fmt.Errorf("graph: persisting vertex %s %q: %w", typeName, key, err)
 		}
 	}
+	ac := &attrCell{}
+	ac.p.Store(&attrRow{vals: row})
 	g.vtype = append(g.vtype, int16(vt.ID))
-	g.vattrs = append(g.vattrs, row)
 	g.vkeys = append(g.vkeys, key)
-	g.adj = append(g.adj, nil)
-	g.keyIndex[vt.ID][key] = id
-	g.byType[vt.ID] = append(g.byType[vt.ID], id)
-	g.frozen.Store(nil)
-	g.epoch.Add(1)
+	g.vattr = append(g.vattr, ac)
+	g.adjc = append(g.adjc, &adjCell{})
+	g.keys[vt.ID].m.Store(key, id)
+	bl := g.byType[vt.ID]
+	var vs []VID
+	if p := bl.p.Load(); p != nil {
+		vs = *p
+	}
+	vs = append(vs, id)
+	bl.p.Store(&vs)
+	g.sh.epoch.Add(1)
+	g.publish()
+	g.maybeFold()
 	return id, nil
 }
 
 // AddEdge inserts an edge of the named type between two vertices. For
-// an undirected edge type the (src, dst) order is immaterial.
+// an undirected edge type the (src, dst) order is immaterial. Head
+// only; mutating a snapshot panics.
 func (g *Graph) AddEdge(typeName string, src, dst VID, attrs map[string]value.Value) (EID, error) {
+	g.mutableOnly("AddEdge")
 	et := g.Schema.EdgeType(typeName)
 	if et == nil {
 		return 0, fmt.Errorf("graph: unknown edge type %q", typeName)
@@ -174,17 +210,31 @@ func (g *Graph) AddEdge(typeName string, src, dst VID, attrs map[string]value.Va
 	g.edst = append(g.edst, dst)
 	g.eattrs = append(g.eattrs, row)
 	if et.Directed {
-		g.adj[src] = append(g.adj[src], HalfEdge{To: dst, Edge: id, Type: int16(et.ID), Dir: DirOut})
-		g.adj[dst] = append(g.adj[dst], HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirIn})
+		g.adjc[src].appendHalf(HalfEdge{To: dst, Edge: id, Type: int16(et.ID), Dir: DirOut})
+		g.adjc[dst].appendHalf(HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirIn})
 	} else {
-		g.adj[src] = append(g.adj[src], HalfEdge{To: dst, Edge: id, Type: int16(et.ID), Dir: DirUndir})
+		g.adjc[src].appendHalf(HalfEdge{To: dst, Edge: id, Type: int16(et.ID), Dir: DirUndir})
 		if src != dst {
-			g.adj[dst] = append(g.adj[dst], HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirUndir})
+			g.adjc[dst].appendHalf(HalfEdge{To: src, Edge: id, Type: int16(et.ID), Dir: DirUndir})
 		}
 	}
-	g.frozen.Store(nil)
-	g.epoch.Add(1)
+	g.sh.epoch.Add(1)
+	g.publish()
+	g.maybeFold()
 	return id, nil
+}
+
+// appendHalf appends one half-edge to a cell's full-prefix list. The
+// store publishes the longer header; readers holding the shorter
+// header never touch the appended slot, and a realloc leaves their
+// backing array intact.
+func (c *adjCell) appendHalf(h HalfEdge) {
+	var hs []HalfEdge
+	if p := c.p.Load(); p != nil {
+		hs = *p
+	}
+	hs = append(hs, h)
+	c.p.Store(&hs)
 }
 
 func buildAttrRow(defs []AttrDef, idx map[string]int, attrs map[string]value.Value, what string) ([]value.Value, error) {
@@ -205,14 +255,22 @@ func buildAttrRow(defs []AttrDef, idx map[string]int, attrs map[string]value.Val
 	return row, nil
 }
 
-// VertexByKey resolves a vertex by type name and primary key.
+// VertexByKey resolves a vertex by type name and primary key among the
+// vertices visible to g.
 func (g *Graph) VertexByKey(typeName, key string) (VID, bool) {
 	vt := g.Schema.VertexType(typeName)
 	if vt == nil {
 		return 0, false
 	}
-	id, ok := g.keyIndex[vt.ID][key]
-	return id, ok
+	x, ok := g.keys[vt.ID].m.Load(key)
+	if !ok {
+		return 0, false
+	}
+	id := x.(VID)
+	if int(id) >= len(g.vtype) {
+		return 0, false // inserted after this snapshot was taken
+	}
+	return id, true
 }
 
 // VertexKey returns the primary key of a vertex.
@@ -226,27 +284,48 @@ func (g *Graph) VertexTypeOf(v VID) *VertexType { return g.Schema.vertexTypes[g.
 // offset tables without touching the schema's name maps.
 func (g *Graph) VertexTypeID(v VID) int { return int(g.vtype[v]) }
 
+// attrRowOf returns the newest version of v's attribute row visible to
+// g. The chain always bottoms out at the insert row (ver 0), which is
+// visible to every view that can see the vertex at all.
+func (g *Graph) attrRowOf(v VID) []value.Value {
+	r := g.vattr[v].p.Load()
+	for r.ver > g.attrVer {
+		r = r.prev
+	}
+	return r.vals
+}
+
 // VertexAttrAt returns a vertex attribute by pre-resolved column
 // offset (see VertexType.AttrIndex). The offset must be valid for the
 // vertex's type; compiled kernels guarantee that by resolving offsets
 // per type id at install time.
-func (g *Graph) VertexAttrAt(v VID, i int) value.Value { return g.vattrs[v][i] }
+func (g *Graph) VertexAttrAt(v VID, i int) value.Value { return g.attrRowOf(v)[i] }
 
 // VertexAttrIntAt / VertexAttrFloatAt read a pre-resolved column as a
 // machine scalar without materializing a Value copy; ok is false when
 // the stored kind differs (compiled kernels then fall back to their
 // boxed path).
-func (g *Graph) VertexAttrIntAt(v VID, i int) (int64, bool)     { return g.vattrs[v][i].TryInt() }
-func (g *Graph) VertexAttrFloatAt(v VID, i int) (float64, bool) { return g.vattrs[v][i].TryFloat() }
+func (g *Graph) VertexAttrIntAt(v VID, i int) (int64, bool)     { return g.attrRowOf(v)[i].TryInt() }
+func (g *Graph) VertexAttrFloatAt(v VID, i int) (float64, bool) { return g.attrRowOf(v)[i].TryFloat() }
 
-// VerticesOfType returns all vertices of the named type (nil if the
-// type is unknown). The returned slice must not be mutated.
+// VerticesOfType returns all vertices of the named type visible to g
+// (nil if the type is unknown). The returned slice must not be
+// mutated.
 func (g *Graph) VerticesOfType(typeName string) []VID {
 	vt := g.Schema.VertexType(typeName)
 	if vt == nil {
 		return nil
 	}
-	return g.byType[vt.ID]
+	p := g.byType[vt.ID].p.Load()
+	if p == nil {
+		return nil
+	}
+	vs := *p
+	// VIDs ascend within the list, so visibility is suffix truncation.
+	for len(vs) > 0 && int(vs[len(vs)-1]) >= len(g.vtype) {
+		vs = vs[:len(vs)-1]
+	}
+	return vs
 }
 
 // VertexAttr returns the named attribute of a vertex.
@@ -256,11 +335,15 @@ func (g *Graph) VertexAttr(v VID, name string) (value.Value, bool) {
 	if i < 0 {
 		return value.Null, false
 	}
-	return g.vattrs[v][i], true
+	return g.attrRowOf(v)[i], true
 }
 
-// SetVertexAttr updates the named attribute of a vertex.
+// SetVertexAttr updates the named attribute of a vertex by prepending
+// a fresh version to its row chain; snapshots taken earlier keep
+// reading the version they pinned. Head only; mutating a snapshot
+// panics.
 func (g *Graph) SetVertexAttr(v VID, name string, val value.Value) error {
+	g.mutableOnly("SetVertexAttr")
 	vt := g.VertexTypeOf(v)
 	i := vt.AttrIndex(name)
 	if i < 0 {
@@ -275,7 +358,16 @@ func (g *Graph) SetVertexAttr(v VID, name string, val value.Value) error {
 			return fmt.Errorf("graph: persisting attribute %q of vertex %d: %w", name, v, err)
 		}
 	}
-	g.vattrs[v][i] = coerced
+	cell := g.vattr[v]
+	cur := cell.p.Load()
+	vals := make([]value.Value, len(cur.vals))
+	copy(vals, cur.vals)
+	vals[i] = coerced
+	ver := g.sh.attrSeq.Add(1)
+	cell.p.Store(&attrRow{vals: vals, ver: ver, prev: cur})
+	g.attrVer = ver
+	g.publish()
+	g.maybeFold()
 	return nil
 }
 
@@ -287,7 +379,8 @@ func (g *Graph) EdgeTypeOf(e EID) *EdgeType { return g.Schema.edgeTypes[g.etype[
 func (g *Graph) EdgeTypeID(e EID) int { return int(g.etype[e]) }
 
 // EdgeAttrAt returns an edge attribute by pre-resolved column offset
-// (the edge counterpart of VertexAttrAt).
+// (the edge counterpart of VertexAttrAt). Edge attributes are
+// immutable after insert, so no version chain is needed.
 func (g *Graph) EdgeAttrAt(e EID, i int) value.Value { return g.eattrs[e][i] }
 
 // EdgeAttrIntAt / EdgeAttrFloatAt are the edge counterparts of the
@@ -309,16 +402,30 @@ func (g *Graph) EdgeAttr(e EID, name string) (value.Value, bool) {
 	return g.eattrs[e][i], true
 }
 
-// Neighbors returns the adjacency list of a vertex: one HalfEdge per
-// incident edge, with the traversal direction seen from v. The slice
-// must not be mutated.
-func (g *Graph) Neighbors(v VID) []HalfEdge { return g.adj[v] }
+// Neighbors returns the adjacency list of a vertex visible to g: one
+// HalfEdge per incident edge, with the traversal direction seen from
+// v, in insertion order. The slice must not be mutated.
+func (g *Graph) Neighbors(v VID) []HalfEdge {
+	p := g.adjc[v].p.Load()
+	if p == nil {
+		return nil
+	}
+	hs := *p
+	// Edge ids ascend within a list, so a view's visibility is suffix
+	// truncation at its edge horizon. For the head (and any snapshot
+	// at the newest horizon) the loop exits immediately.
+	limit := EID(len(g.etype))
+	for len(hs) > 0 && hs[len(hs)-1].Edge >= limit {
+		hs = hs[:len(hs)-1]
+	}
+	return hs
+}
 
 // OutDegree returns the number of edges leaving v: outgoing directed
 // edges plus incident undirected edges (TigerGraph's outdegree()).
 func (g *Graph) OutDegree(v VID) int {
 	n := 0
-	for _, h := range g.adj[v] {
+	for _, h := range g.Neighbors(v) {
 		if h.Dir == DirOut || h.Dir == DirUndir {
 			n++
 		}
@@ -333,7 +440,7 @@ func (g *Graph) OutDegreeByType(v VID, edgeType string) int {
 		return 0
 	}
 	n := 0
-	for _, h := range g.adj[v] {
+	for _, h := range g.Neighbors(v) {
 		if int(h.Type) == et.ID && (h.Dir == DirOut || h.Dir == DirUndir) {
 			n++
 		}
@@ -342,4 +449,4 @@ func (g *Graph) OutDegreeByType(v VID, edgeType string) int {
 }
 
 // Degree returns the total number of incident half-edges of v.
-func (g *Graph) Degree(v VID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v VID) int { return len(g.Neighbors(v)) }

@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gsqlgo/internal/value"
+)
+
+// This file holds the MVCC machinery behind Graph: shared append-only
+// storage, per-vertex atomic cells, snapshot publication, and the fold
+// step that re-bases attribute version chains and the CSR.
+//
+// The design in one paragraph: a *Graph is a cheap view struct over
+// storage owned by a shared hub. Columns (vtype, vkeys, etype, esrc,
+// edst, eattrs, and the outer cell arrays) are append-only, so a view
+// is just the slice headers captured at publish time — a reader with a
+// header of length n never touches index ≥ n, and the single writer
+// only ever writes at index ≥ n of the same backing array (or into a
+// fresh backing after a realloc, which leaves the old one untouched).
+// The two places the old representation mutated in place — a vertex's
+// adjacency list header and its attribute row — become per-vertex
+// cells holding an atomic pointer to immutable state: adjacency cells
+// point at a full-prefix half-edge list (views trim by edge horizon),
+// attribute cells point at a version-chained row (views walk the chain
+// to the newest version at or below their attr horizon). After every
+// mutation the writer publishes a fresh view via one atomic pointer
+// store; Snapshot() is one atomic load. Once enough delta has
+// accumulated past the last fold point, the writer folds: attribute
+// chains are cut (new cells, so pinned readers keep their versions)
+// and the fold point moves, which re-bases the patched CSR that
+// Freeze() builds for post-fold snapshots.
+
+// DefaultFoldThreshold is the number of delta records (vertices +
+// edges + attribute sets since the last fold point) that triggers an
+// automatic fold. See Graph.SetFoldThreshold.
+const DefaultFoldThreshold = 4096
+
+// shared is the hub owned by one Graph lineage: the head and every
+// snapshot view of it point at the same shared.
+type shared struct {
+	// epoch counts topology mutations; attrSeq counts attribute sets.
+	// Together with the fold point they define how much delta the
+	// current head carries.
+	epoch   atomic.Uint64
+	attrSeq atomic.Uint64
+
+	// current is the most recently published snapshot view.
+	current atomic.Pointer[Graph]
+
+	// fold is the snapshot view captured at the last fold point; the
+	// base CSR is built at exactly its horizons so newer snapshots can
+	// patch instead of rebuild.
+	fold  atomic.Pointer[Graph]
+	folds atomic.Uint64
+
+	// foldThreshold: 0 means DefaultFoldThreshold, < 0 disables
+	// automatic folds (tests fold manually).
+	foldThreshold atomic.Int64
+
+	// csr caches the most recently built snapshot CSR (any horizon);
+	// base caches the canonical CSR at the fold point.
+	csr  atomic.Pointer[csrCache]
+	base atomic.Pointer[csrCache]
+}
+
+func (sh *shared) threshold() int64 {
+	t := sh.foldThreshold.Load()
+	if t == 0 {
+		return DefaultFoldThreshold
+	}
+	return t
+}
+
+// csrCache pairs a built CSR with the exact horizons it covers.
+type csrCache struct {
+	nV, nE int
+	c      *CSR
+}
+
+// adjCell is one vertex's adjacency slot. The pointed-at list is the
+// full head-side prefix; views trim trailing half-edges whose Edge id
+// is at or beyond their edge horizon (edge ids ascend within a list,
+// so visibility is a suffix truncation). The cell is a pointer-sized
+// struct (rather than an inline atomic in the outer slice) so the
+// outer array can be appended to and copied without tripping vet's
+// copylocks check.
+type adjCell struct {
+	p atomic.Pointer[[]HalfEdge]
+}
+
+// attrCell is one vertex's attribute slot: an atomic pointer to the
+// newest version of its row. Older versions hang off prev; a view
+// walks the chain until it finds a version at or below its attribute
+// horizon. Rows are immutable once stored.
+type attrCell struct {
+	p atomic.Pointer[attrRow]
+}
+
+type attrRow struct {
+	vals []value.Value // the row's attribute values, immutable once stored
+	ver  uint64        // attrSeq at which this version was set (0 for the insert row)
+	prev *attrRow      // next-older version, nil once folded
+}
+
+// keyMap is one vertex type's primary-key index. sync.Map fits the
+// single-writer/many-reader discipline exactly: the writer Stores on
+// insert, readers Load lock-free and filter by vertex horizon.
+type keyMap struct {
+	m sync.Map // string key -> VID
+}
+
+// vidList is one vertex type's by-type index: an atomic pointer to the
+// full-prefix ascending VID list; views trim by vertex horizon.
+type vidList struct {
+	p atomic.Pointer[[]VID]
+}
+
+// Snapshot returns an immutable view of the graph as of the last
+// published mutation. The view is itself a *Graph — every read method
+// works on it unchanged — but it is frozen: its contents never change
+// no matter how the head graph is mutated afterwards, its Epoch() is
+// pinned, and mutating it panics. Snapshots are cheap (one atomic
+// load; the view struct is shared, not copied) and safe to hold for
+// arbitrarily long. Calling Snapshot on a snapshot returns it
+// unchanged.
+func (g *Graph) Snapshot() *Graph {
+	if !g.head {
+		return g
+	}
+	return g.sh.current.Load()
+}
+
+// IsSnapshot reports whether g is an immutable snapshot view rather
+// than the mutable head.
+func (g *Graph) IsSnapshot() bool { return !g.head }
+
+// publish captures the head's current slice headers and horizons as a
+// fresh immutable view and makes it the lineage's current snapshot.
+// Called by the writer after every applied mutation.
+func (g *Graph) publish() {
+	v := *g
+	v.head = false
+	v.observer = nil
+	v.epochAt = g.sh.epoch.Load()
+	g.sh.current.Store(&v)
+}
+
+// MVCCStats is a point-in-time summary of the lineage's MVCC state,
+// read lock-free from the head (or any snapshot).
+type MVCCStats struct {
+	Epoch        uint64 // topology mutations applied
+	AttrSets     uint64 // attribute sets applied
+	Folds        uint64 // folds performed
+	DeltaRecords uint64 // mutations since the last fold point
+	BaseVertices int    // vertex horizon of the fold point
+	BaseEdges    int    // edge horizon of the fold point
+}
+
+// MVCCStats returns current MVCC counters for the graph's lineage.
+func (g *Graph) MVCCStats() MVCCStats {
+	sh := g.sh
+	st := MVCCStats{
+		Epoch:    sh.epoch.Load(),
+		AttrSets: sh.attrSeq.Load(),
+		Folds:    sh.folds.Load(),
+	}
+	if fp := sh.fold.Load(); fp != nil {
+		st.DeltaRecords = (st.Epoch - fp.epochAt) + (st.AttrSets - fp.attrVer)
+		st.BaseVertices = len(fp.vtype)
+		st.BaseEdges = len(fp.etype)
+	}
+	return st
+}
+
+// SetFoldThreshold tunes when the writer folds accumulated deltas into
+// a fresh base: after any mutation that leaves at least n delta
+// records (vertices + edges + attribute sets since the last fold
+// point), the mutation folds before returning. n == 0 restores
+// DefaultFoldThreshold; n < 0 disables automatic folds entirely
+// (Fold may still be called explicitly).
+func (g *Graph) SetFoldThreshold(n int) {
+	if n == 0 {
+		g.sh.foldThreshold.Store(0)
+		return
+	}
+	g.sh.foldThreshold.Store(int64(n))
+}
+
+// deltaRecords returns the mutation count since the last fold point.
+func (g *Graph) deltaRecords() uint64 {
+	fp := g.sh.fold.Load()
+	return (g.sh.epoch.Load() - fp.epochAt) + (g.sh.attrSeq.Load() - fp.attrVer)
+}
+
+func (g *Graph) maybeFold() {
+	if t := g.sh.threshold(); t > 0 && g.deltaRecords() >= uint64(t) {
+		g.Fold()
+	}
+}
+
+// Fold advances the lineage's fold point to the current head state:
+// attribute version chains are cut (readers pinned on older snapshots
+// keep their versions — the cut allocates fresh cells rather than
+// truncating shared ones) and the snapshot CSR re-bases here, so the
+// next Freeze builds one canonical CSR at this horizon and later
+// snapshots patch it with their delta edges instead of rebuilding.
+// Fold is a writer-side operation: it must only be called on the head,
+// serialized with mutations.
+func (g *Graph) Fold() {
+	g.mutableOnly("Fold")
+	fp := g.sh.fold.Load()
+	if fp == nil || g.attrVer > fp.attrVer {
+		g.cutAttrChains()
+	}
+	g.publish()
+	g.sh.fold.Store(g.sh.current.Load())
+	g.sh.folds.Add(1)
+}
+
+// cutAttrChains rebuilds the head's attribute cell array so that every
+// cell whose row carries history holds a fresh single-version row.
+// Cells without history are shared with the old array; readers pinned
+// on pre-fold snapshots keep the old array and its chained rows.
+func (g *Graph) cutAttrChains() {
+	changed := false
+	next := make([]*attrCell, len(g.vattr), cap(g.vattr))
+	copy(next, g.vattr)
+	for i, cell := range next {
+		row := cell.p.Load()
+		if row.prev == nil {
+			continue
+		}
+		nc := &attrCell{}
+		nc.p.Store(&attrRow{vals: row.vals, ver: row.ver})
+		next[i] = nc
+		changed = true
+	}
+	if changed {
+		g.vattr = next
+	}
+}
+
+func (g *Graph) mutableOnly(op string) {
+	if !g.head {
+		panic("graph: " + op + " called on an immutable snapshot")
+	}
+}

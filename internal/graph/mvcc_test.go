@@ -1,0 +1,325 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gsqlgo/internal/value"
+)
+
+// TestSnapshotIsolation pins snapshots across every mutation kind and
+// checks each one keeps seeing exactly the state at its capture.
+func TestSnapshotIsolation(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddVertexType("V", AttrDef{Name: "n", Type: AttrInt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+
+	s0 := g.Snapshot()
+	if s0.NumVertices() != 0 || s0.NumEdges() != 0 {
+		t.Fatalf("empty snapshot: %d vertices %d edges", s0.NumVertices(), s0.NumEdges())
+	}
+
+	a := mustVID(g.AddVertex("V", "a", map[string]value.Value{"n": value.NewInt(1)}))
+	b := mustVID(g.AddVertex("V", "b", nil))
+	s1 := g.Snapshot()
+
+	if _, err := g.AddEdge("E", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2 := g.Snapshot()
+
+	if err := g.SetVertexAttr(a, "n", value.NewInt(42)); err != nil {
+		t.Fatal(err)
+	}
+	s3 := g.Snapshot()
+
+	c := mustVID(g.AddVertex("V", "c", nil))
+	if _, err := g.AddEdge("E", b, c, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// s0: nothing visible, not even via indexes.
+	if _, ok := s0.VertexByKey("V", "a"); ok {
+		t.Fatal("s0 sees vertex a")
+	}
+	if got := s0.VerticesOfType("V"); len(got) != 0 {
+		t.Fatalf("s0 VerticesOfType = %v", got)
+	}
+
+	// s1: both vertices, no edges, original attr.
+	if s1.NumVertices() != 2 || s1.NumEdges() != 0 {
+		t.Fatalf("s1: %d vertices %d edges", s1.NumVertices(), s1.NumEdges())
+	}
+	if got := s1.Neighbors(a); len(got) != 0 {
+		t.Fatalf("s1 Neighbors(a) = %v", got)
+	}
+	if v, _ := s1.VertexAttr(a, "n"); v.Int() != 1 {
+		t.Fatalf("s1 attr n = %v, want 1", v)
+	}
+	if _, ok := s1.VertexByKey("V", "c"); ok {
+		t.Fatal("s1 sees vertex c")
+	}
+
+	// s2: the first edge, still the original attr.
+	if s2.NumEdges() != 1 || s2.OutDegree(a) != 1 || s2.Degree(b) != 1 {
+		t.Fatalf("s2: edges=%d outdeg(a)=%d deg(b)=%d", s2.NumEdges(), s2.OutDegree(a), s2.Degree(b))
+	}
+	if v, _ := s2.VertexAttr(a, "n"); v.Int() != 1 {
+		t.Fatalf("s2 attr n = %v, want 1", v)
+	}
+
+	// s3: the new attr version, still one edge.
+	if v, _ := s3.VertexAttr(a, "n"); v.Int() != 42 {
+		t.Fatalf("s3 attr n = %v, want 42", v)
+	}
+	if s3.NumEdges() != 1 {
+		t.Fatalf("s3 edges = %d", s3.NumEdges())
+	}
+
+	// Head sees everything.
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("head: %d vertices %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if got := g.VerticesOfType("V"); len(got) != 3 {
+		t.Fatalf("head VerticesOfType = %v", got)
+	}
+
+	// Epochs are pinned on views, live on the head.
+	if s1.Epoch() >= s2.Epoch() || s2.Epoch() != s3.Epoch() || g.Epoch() <= s3.Epoch() {
+		t.Fatalf("epochs: s1=%d s2=%d s3=%d head=%d", s1.Epoch(), s2.Epoch(), s3.Epoch(), g.Epoch())
+	}
+
+	// Snapshot of a snapshot is itself; mutating a snapshot panics.
+	if s2.Snapshot() != s2 {
+		t.Fatal("Snapshot of a snapshot must be identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AddVertex on a snapshot must panic")
+			}
+		}()
+		_, _ = s2.AddVertex("V", "z", nil)
+	}()
+}
+
+// TestSnapshotSurvivesFold pins a snapshot, folds (cutting attribute
+// chains), keeps mutating, and checks the pinned snapshot still reads
+// its own attribute versions and topology.
+func TestSnapshotSurvivesFold(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddVertexType("V", AttrDef{Name: "n", Type: AttrInt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+	a := mustVID(g.AddVertex("V", "a", nil))
+	for i := 0; i < 5; i++ {
+		if err := g.SetVertexAttr(a, "n", value.NewInt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinned := g.Snapshot() // sees n=4
+	preFoldCSR := pinned.Freeze()
+
+	if err := g.SetVertexAttr(a, "n", value.NewInt(100)); err != nil {
+		t.Fatal(err)
+	}
+	folds0 := g.MVCCStats().Folds
+	g.Fold()
+	if got := g.MVCCStats().Folds; got != folds0+1 {
+		t.Fatalf("folds = %d, want %d", got, folds0+1)
+	}
+	if got := g.MVCCStats().DeltaRecords; got != 0 {
+		t.Fatalf("delta records after fold = %d", got)
+	}
+	if err := g.SetVertexAttr(a, "n", value.NewInt(200)); err != nil {
+		t.Fatal(err)
+	}
+	b := mustVID(g.AddVertex("V", "b", nil))
+	if _, err := g.AddEdge("E", a, b, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := pinned.VertexAttr(a, "n"); v.Int() != 4 {
+		t.Fatalf("pinned attr n = %v, want 4", v)
+	}
+	if pinned.NumVertices() != 1 || pinned.NumEdges() != 0 {
+		t.Fatalf("pinned: %d vertices %d edges", pinned.NumVertices(), pinned.NumEdges())
+	}
+	// Freezing the pre-fold snapshot after the fold point moved still
+	// reflects its own horizon.
+	c := pinned.Freeze()
+	if c.NumVertices() != 1 || c.NumHalfEdges() != 0 {
+		t.Fatalf("pinned CSR: %d vertices %d halves", c.NumVertices(), c.NumHalfEdges())
+	}
+	_ = preFoldCSR
+	if v, _ := g.Snapshot().VertexAttr(a, "n"); v.Int() != 200 {
+		t.Fatalf("head attr n = %v, want 200", v)
+	}
+}
+
+// TestAutoFoldThreshold checks that mutations past the configured
+// threshold fold automatically.
+func TestAutoFoldThreshold(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddVertexType("V"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+	g.SetFoldThreshold(10)
+	for i := 0; i < 25; i++ {
+		mustVID(g.AddVertex("V", fmt.Sprintf("v%d", i), nil))
+	}
+	st := g.MVCCStats()
+	if st.Folds != 2 {
+		t.Fatalf("folds = %d, want 2 after 25 mutations at threshold 10", st.Folds)
+	}
+	if st.BaseVertices != 20 {
+		t.Fatalf("base vertices = %d, want 20", st.BaseVertices)
+	}
+	if st.DeltaRecords != 5 {
+		t.Fatalf("delta records = %d, want 5", st.DeltaRecords)
+	}
+	g.SetFoldThreshold(-1)
+	for i := 25; i < 60; i++ {
+		mustVID(g.AddVertex("V", fmt.Sprintf("v%d", i), nil))
+	}
+	if got := g.MVCCStats().Folds; got != 2 {
+		t.Fatalf("folds = %d after disabling, want 2", got)
+	}
+}
+
+// TestPatchedCSRMatchesCanonical builds random graphs, folds at an
+// arbitrary point, keeps mutating, and verifies the patched CSR of the
+// final snapshot carries exactly the same half-edge multisets and
+// invariants as a canonical rebuild.
+func TestPatchedCSRMatchesCanonical(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := BuildRandomMixedGraph(4+r.Intn(8), 30+r.Intn(30), seed)
+		g.Fold()
+		// Mutate past the fold point with a delta smaller than the base
+		// (so Freeze patches rather than falling back to a canonical
+		// rebuild).
+		nTypes := len(g.Schema.VertexTypes())
+		for i := 0; i < 1+r.Intn(5); i++ {
+			vt := g.Schema.VertexTypes()[r.Intn(nTypes)]
+			mustVID(g.AddVertex(vt.Name, fmt.Sprintf("mvcc-%d-%d", seed, i), nil))
+		}
+		for i := 0; i < 1+r.Intn(10); i++ {
+			et := g.Schema.EdgeTypes()[r.Intn(len(g.Schema.EdgeTypes()))]
+			src := VID(r.Intn(g.NumVertices()))
+			dst := VID(r.Intn(g.NumVertices()))
+			if _, err := g.AddEdge(et.Name, src, dst, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		snap := g.Snapshot()
+		c := snap.Freeze()
+		if !c.HasExt() {
+			t.Fatalf("seed %d: expected a patched CSR after fold + delta", seed)
+		}
+		csrInvariants(t, snap, c)
+		// Same-horizon Freeze calls share the cached patched CSR.
+		if snap.Freeze() != c {
+			t.Fatalf("seed %d: snapshot CSR not cached", seed)
+		}
+	}
+}
+
+// TestConcurrentReadersWriter hammers one writer against many pinned
+// readers under -race: every reader checks its snapshot's invariant
+// (edges == vertices-1 in a growing chain) while the writer keeps
+// appending and folding.
+func TestConcurrentReadersWriter(t *testing.T) {
+	s := NewSchema()
+	if _, err := s.AddVertexType("V", AttrDef{Name: "n", Type: AttrInt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEdgeType("E", true); err != nil {
+		t.Fatal(err)
+	}
+	g := New(s)
+	g.SetFoldThreshold(64) // fold often to exercise chain cuts under load
+	root := mustVID(g.AddVertex("V", "v0", nil))
+	_ = root
+
+	const writerOps = 1500
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := g.Snapshot()
+				nv, ne := snap.NumVertices(), snap.NumEdges()
+				// Writer appends vertex k then edge (k-1)->k: any
+				// published state satisfies ne ∈ {nv-1, nv-2}... but the
+				// initial lone vertex means ne == nv-1 exactly after each
+				// edge, nv-2 between vertex and edge.
+				if ne != nv-1 && ne != nv-2 {
+					t.Errorf("worker %d: snapshot saw %d vertices / %d edges", worker, nv, ne)
+					return
+				}
+				// Deep-read the snapshot: degrees, attrs, CSR.
+				total := 0
+				for v := 0; v < nv; v++ {
+					total += len(snap.Neighbors(VID(v)))
+				}
+				if total != 2*ne {
+					t.Errorf("worker %d: %d half-edges for %d edges", worker, total, ne)
+					return
+				}
+				if nv > 0 {
+					if _, ok := snap.VertexAttr(VID(nv-1), "n"); !ok {
+						t.Errorf("worker %d: missing attr on newest vertex", worker)
+						return
+					}
+					if _, ok := snap.VertexByKey("V", fmt.Sprintf("v%d", nv-1)); !ok {
+						t.Errorf("worker %d: newest vertex not in key index", worker)
+						return
+					}
+				}
+				if i%16 == 0 {
+					c := snap.Freeze()
+					if c.NumVertices() != nv || c.NumHalfEdges() != total {
+						t.Errorf("worker %d: CSR %d/%d vs snapshot %d/%d", worker, c.NumVertices(), c.NumHalfEdges(), nv, total)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for i := 1; i <= writerOps; i++ {
+		v := mustVID(g.AddVertex("V", fmt.Sprintf("v%d", i), map[string]value.Value{"n": value.NewInt(int64(i))}))
+		if _, err := g.AddEdge("E", v-1, v, nil); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := g.SetVertexAttr(v, "n", value.NewInt(int64(-i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if g.MVCCStats().Folds == 0 {
+		t.Fatal("expected automatic folds during the stress run")
+	}
+}

@@ -91,6 +91,7 @@ func countASP(g *graph.Graph, d *darpe.DFA, src graph.VID, done <-chan struct{})
 // false return means the BFS aborted and res holds partial garbage.
 func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scratch, res *Counts, done <-chan struct{}) bool {
 	nQ := d.NumStates()
+	hasExt := c.HasExt()
 	epoch := s.nextEpoch()
 	stamp, dist, cnt := s.stamp, s.dist, s.cnt
 
@@ -144,6 +145,30 @@ func countASPInto(c *graph.CSR, d *darpe.DFA, types []int, src graph.VID, s *scr
 					continue
 				}
 				for _, h := range c.HalfEdges(sg) {
+					m := int32(int(h.To)*nQ + q2)
+					if stamp[m] != epoch {
+						stamp[m] = epoch
+						dist[m] = layerDist + 1
+						cnt[m] = c0
+						next = append(next, m)
+					} else if dist[m] == layerDist+1 {
+						res.satAdd(&cnt[m], c0)
+					}
+				}
+			}
+			if !hasExt {
+				continue
+			}
+			// Patched-CSR snapshots keep post-fold delta edges in ext
+			// segments; counts are order-independent sums (and Reached is
+			// sorted below), so walking them as a second pass is
+			// equivalent to a canonical layout.
+			for _, sg := range c.ExtSegments(v) {
+				q2 := d.StepIdx(q, types[sg.Type], adornOf(sg.Dir))
+				if q2 < 0 {
+					continue
+				}
+				for _, h := range c.ExtHalfEdges(sg) {
 					m := int32(int(h.To)*nQ + q2)
 					if stamp[m] != epoch {
 						stamp[m] = epoch

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/storage"
+)
+
+// censusQuery reports the pinned snapshot's vertex count and summed
+// Knows degree in ONE select block — both numbers come from the same
+// epoch by construction, so a torn pair proves an isolation bug. For
+// the undirected Knows type the degree sum is exactly 2·edges.
+const censusQuery = `CREATE QUERY Census() {
+  SumAccum<int> @@v;
+  SumAccum<int> @@d;
+  S = SELECT p FROM Person:p ACCUM @@v += 1, @@d += p.outdegree("Knows");
+  PRINT @@v, @@d;
+}`
+
+const holdQuery = `CREATE QUERY Hold(int n) {
+  SumAccum<int> @@x;
+  WHILE true LIMIT n DO @@x += 1; END;
+  RETURN @@x;
+}`
+
+// metricValue scrapes one unlabeled metric off GET /metrics.
+func metricValue(s *Server, name string) (float64, bool) {
+	for _, line := range strings.Split(do(s, "GET", "/metrics", "").Body.String(), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return 0, false
+			}
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// TestMVCCMetricsAndTraceEpoch is the observability e2e for snapshot
+// reads: the three gsqld_mvcc_* series are exported with live values
+// (the pinned gauge visibly rises during a run and returns to zero,
+// folds accumulate, delta tracks the graph), and a traced run's root
+// span carries the snapshot_epoch it pinned.
+func TestMVCCMetricsAndTraceEpoch(t *testing.T) {
+	g, _ := socialInit()
+	g.SetFoldThreshold(4) // tiny threshold so HTTP mutations fold visibly
+	eng := core.New(g, core.Options{Workers: 2})
+	srv := New(Config{Engine: eng})
+	for _, src := range []string{censusQuery, holdQuery} {
+		if w := do(srv, "POST", "/queries", src); w.Code != http.StatusCreated {
+			t.Fatalf("install: %d %s", w.Code, w.Body)
+		}
+	}
+
+	// Mutations over HTTP advance the epoch and cross the fold threshold.
+	for i := 0; i < 10; i++ {
+		addPerson(t, srv, fmt.Sprintf("p%d", i), 20+i)
+		if i > 0 {
+			addKnows(t, srv, fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i-1), 2000+i)
+		}
+	}
+	st := g.MVCCStats()
+	if st.Folds == 0 {
+		t.Fatalf("no folds after 19 mutations at threshold 4: %+v", st)
+	}
+
+	// The pinned gauge rises while a run holds its snapshot...
+	holdDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		holdDone <- do(srv, "POST", "/queries/Hold/run",
+			`{"params":{"n":2000000000},"timeout_ms":2000}`)
+	}()
+	sawPinned := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if v, ok := metricValue(srv, "gsqld_mvcc_snapshots_pinned"); ok && v >= 1 {
+			sawPinned = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawPinned {
+		t.Fatal("gsqld_mvcc_snapshots_pinned never rose during a run")
+	}
+	<-holdDone // 200 or 408, either way the snapshot is released
+	// ...and returns to zero once the run releases it.
+	if v, ok := metricValue(srv, "gsqld_mvcc_snapshots_pinned"); !ok || v != 0 {
+		t.Fatalf("gsqld_mvcc_snapshots_pinned = %v (present=%v), want 0", v, ok)
+	}
+
+	// Folds counter and delta gauge mirror the graph's MVCC stats.
+	if v, ok := metricValue(srv, "gsqld_mvcc_folds_total"); !ok || uint64(v) != st.Folds {
+		t.Fatalf("gsqld_mvcc_folds_total = %v (present=%v), want %d", v, ok, st.Folds)
+	}
+	if v, ok := metricValue(srv, "gsqld_mvcc_delta_records"); !ok || uint64(v) != g.MVCCStats().DeltaRecords {
+		t.Fatalf("gsqld_mvcc_delta_records = %v (present=%v), want %d", v, ok, g.MVCCStats().DeltaRecords)
+	}
+
+	// A traced run records which epoch it pinned.
+	w := do(srv, "POST", "/queries/Census/run?trace=1", "{}")
+	if w.Code != http.StatusOK {
+		t.Fatalf("traced run: %d %s", w.Code, w.Body)
+	}
+	resp := decode[struct {
+		Trace struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"trace"`
+	}](t, w)
+	got, ok := resp.Trace.Attrs["snapshot_epoch"].(float64)
+	if !ok {
+		t.Fatalf("trace root has no snapshot_epoch attr: %+v", resp.Trace.Attrs)
+	}
+	if uint64(got) != g.Epoch() {
+		t.Fatalf("snapshot_epoch = %d, want head epoch %d", uint64(got), g.Epoch())
+	}
+}
+
+// censusPair runs Census and returns the (vertices, degree-sum) pair
+// its pinned snapshot saw.
+func censusPair(t *testing.T, s *Server) (int, int) {
+	t.Helper()
+	w := do(s, "POST", "/queries/Census/run", "{}")
+	if w.Code != http.StatusOK {
+		t.Fatalf("census run: %d %s", w.Code, w.Body)
+	}
+	// PRINT @@v, @@d renders one single-cell table per expression.
+	resp := decode[struct {
+		Printed []tableJSON `json:"printed"`
+	}](t, w)
+	if len(resp.Printed) != 2 ||
+		len(resp.Printed[0].Rows) == 0 || len(resp.Printed[0].Rows[0]) == 0 ||
+		len(resp.Printed[1].Rows) == 0 || len(resp.Printed[1].Rows[0]) == 0 {
+		t.Fatalf("census shape: %+v", resp.Printed)
+	}
+	return int(resp.Printed[0].Rows[0][0].(float64)), int(resp.Printed[1].Rows[0][0].(float64))
+}
+
+// TestMVCCStressSerialEpochOrder is the whole-system isolation stress
+// (run it under -race): one writer grows a Person chain over HTTP
+// (vertex k, then edge k→k−1), concurrent readers run Census on the
+// leader AND on a bound replication follower, and a checkpointer
+// rotates the WAL throughout. Every result must be bit-identical to
+// some serial epoch order: the chain makes that checkable — a snapshot
+// between the two halves of step k sees degreeSum = 2·(v−2), one at a
+// step boundary sees 2·(v−1), and NOTHING else exists in any serial
+// order. Readers also check snapshots never travel backwards, and the
+// follower must converge to a bit-identical graph at the end.
+func TestMVCCStressSerialEpochOrder(t *testing.T) {
+	leaderDir, replicaDir := t.TempDir(), t.TempDir()
+	st, err := storage.Open(leaderDir, storage.Options{Init: socialInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Graph().SetFoldThreshold(64) // folds happen mid-traffic, not just at the end
+	leader := New(Config{Engine: core.New(st.Graph(), core.Options{Workers: 2}), Store: st})
+	ts := httptest.NewServer(leader)
+	defer ts.Close()
+	if w := do(leader, "POST", "/queries", censusQuery); w.Code != http.StatusCreated {
+		t.Fatalf("install: %d %s", w.Code, w.Body)
+	}
+	addPerson(t, leader, "p0", 20)
+	if w := do(leader, "POST", "/admin/checkpoint", "{}"); w.Code != http.StatusOK {
+		t.Fatalf("seed checkpoint: %d %s", w.Code, w.Body)
+	}
+
+	rep := startReplica(t, ts.URL, replicaDir)
+	if w := do(rep.srv, "POST", "/queries", censusQuery); w.Code != http.StatusCreated {
+		t.Fatalf("follower install: %d %s", w.Code, w.Body)
+	}
+
+	const steps = 300
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for i := 1; i <= steps; i++ {
+			addPerson(t, leader, fmt.Sprintf("p%d", i), 20+i%60)
+			addKnows(t, leader, fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i-1), 2000+i)
+		}
+	}()
+
+	// checkConsistent asserts a census pair could have come from SOME
+	// epoch of the serial mutation order, and that epochs only advance
+	// within one reader's sequence of runs.
+	checkConsistent := func(who string, v, d, lastV int) (int, error) {
+		if v < lastV {
+			return v, fmt.Errorf("%s: snapshot went backwards: %d vertices after %d", who, v, lastV)
+		}
+		if d != 2*(v-1) && !(v >= 2 && d == 2*(v-2)) {
+			return v, fmt.Errorf("%s: torn snapshot: %d vertices with degree sum %d "+
+				"(no serial epoch order produces this pair)", who, v, d)
+		}
+		return v, nil
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	reader := func(who string, s *Server) {
+		defer wg.Done()
+		lastV := 0
+		for done := false; !done; {
+			select {
+			case <-writerDone:
+				done = true
+			default:
+			}
+			v, d := censusPair(t, s)
+			var err error
+			if lastV, err = checkConsistent(who, v, d, lastV); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}
+	wg.Add(3)
+	go reader("leader-1", leader)
+	go reader("leader-2", leader)
+	go reader("follower", rep.srv)
+	wg.Add(1)
+	go func() { // checkpointer: WAL rotations race the readers and the writer
+		defer wg.Done()
+		for done := false; !done; {
+			select {
+			case <-writerDone:
+				done = true
+			default:
+			}
+			if w := do(leader, "POST", "/admin/checkpoint", "{}"); w.Code != http.StatusOK {
+				errs <- fmt.Errorf("checkpoint: %d %s", w.Code, w.Body)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		errs <- nil
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The leader folded mid-traffic, and folding never broke a reader.
+	if folds := st.Graph().MVCCStats().Folds; folds == 0 {
+		t.Fatalf("no folds during %d mutations at threshold 64", 2*steps)
+	}
+
+	// Quiescent convergence: the follower's graph is bit-identical to
+	// the leader's (canonical snapshot encodings match), so concurrent
+	// apply-under-wmu never raced a snapshot reader into divergence.
+	waitReplicaCaughtUp(t, rep, st)
+	if !bytes.Equal(snapshotSig(t, st.Graph()), snapshotSig(t, rep.fw.Graph())) {
+		t.Fatal("follower snapshot signature diverged from leader under stress")
+	}
+	v, d := censusPair(t, leader)
+	if v != steps+1 || d != 2*steps {
+		t.Fatalf("final census = (%d, %d), want (%d, %d)", v, d, steps+1, 2*steps)
+	}
+
+	rep.stop(t)
+	_ = leader.Shutdown(context.Background())
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -144,15 +144,21 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
-	// gmu serializes graph mutation against everything that reads the
-	// graph: run handlers and checkpoints hold it shared, the mutation
-	// routes exclusively. The graph's own methods are deliberately
-	// unsynchronized (the library's single-writer discipline); this is
-	// where the serving layer supplies that discipline.
-	gmu sync.RWMutex
+	// wmu serializes graph mutation against graph mutation: the mutation
+	// routes, checkpoints, and a bound follower's apply loop hold it
+	// exclusively. Readers never take it — a run pins an immutable MVCC
+	// snapshot (graph.Snapshot) at admission and executes lock-free, so
+	// writers never block the query path. The graph's own methods supply
+	// the reader-side safety (epoch-stamped views over append-only
+	// columns); this mutex supplies only the single-writer discipline
+	// those methods still demand.
+	wmu sync.Mutex
 
 	storageMu   sync.Mutex    // guards lastStorage delta-sync
 	lastStorage storage.Stats // counters already folded into the registry
+
+	mvccMu    sync.Mutex // guards lastFolds delta-sync
+	lastFolds uint64     // fold count already folded into the registry
 
 	replMu   sync.Mutex                // guards lastRepl delta-sync
 	lastRepl replication.FollowerStats // counters already folded into the registry
@@ -180,6 +186,10 @@ type Server struct {
 
 	mTracedRuns  *metrics.Counter // gsqld_traced_runs_total
 	mSlowQueries *metrics.Counter // gsqld_slow_queries_total
+
+	mMVCCPinned *metrics.Gauge   // gsqld_mvcc_snapshots_pinned
+	mMVCCDelta  *metrics.Gauge   // gsqld_mvcc_delta_records
+	mMVCCFolds  *metrics.Counter // gsqld_mvcc_folds_total
 
 	// Follower-mode metrics (registered only when cfg.Follower is set).
 	mReplApplied    *metrics.Counter // gsqld_replication_records_applied_total
@@ -244,6 +254,12 @@ func New(cfg Config) *Server {
 		"Runs executed with a span trace attached (?trace=1 or slow-query log).")
 	s.mSlowQueries = s.reg.Counter("gsqld_slow_queries_total",
 		"Runs at or above the slow-query threshold.")
+	s.mMVCCPinned = s.reg.Gauge("gsqld_mvcc_snapshots_pinned",
+		"Runs currently executing against a pinned graph snapshot.")
+	s.mMVCCDelta = s.reg.Gauge("gsqld_mvcc_delta_records",
+		"Mutation records accumulated since the graph's last fold point.")
+	s.mMVCCFolds = s.reg.Counter("gsqld_mvcc_folds_total",
+		"Delta folds re-basing the graph's canonical representation.")
 	if cfg.Follower != nil {
 		s.mReplApplied = s.reg.Counter("gsqld_replication_records_applied_total",
 			"WAL records shipped from the leader and applied locally.")
@@ -261,6 +277,7 @@ func New(cfg Config) *Server {
 	s.registerBuildInfo()
 	s.syncStorageMetrics() // fold in recovery/initial-persist counts from Open
 	s.syncReplicationMetrics()
+	s.syncMVCCMetrics() // folds from WAL replay before the server existed
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", s.handleInstall)
@@ -294,10 +311,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.root.Serv
 // Registry exposes the metrics registry (tests, expvar publication).
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// ReplicationLock exposes the graph RWMutex for a follower to bind
-// (replication.Follower.Bind takes its writer side, so shipped records
-// apply with the same exclusion the mutation routes get).
-func (s *Server) ReplicationLock() *sync.RWMutex { return &s.gmu }
+// ReplicationLock exposes the writer mutex for a follower to bind
+// (replication.Follower.Bind holds it around each applied record, so
+// shipped records land with the same exclusion the mutation routes
+// get; reads stay lock-free on pinned snapshots either way).
+func (s *Server) ReplicationLock() sync.Locker { return &s.wmu }
 
 // AddTrace retains a span in the /debug/traces ring — the follower's
 // bootstrap and rotation spans land next to query and mutation traces.
@@ -346,9 +364,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// generations must keep mirroring the leader's, and its position is
 	// already continuously durable (every applied record is re-logged).
 	if s.cfg.Store != nil && s.cfg.Follower == nil {
-		s.gmu.Lock()
+		s.wmu.Lock()
 		err := s.cfg.Store.Checkpoint()
-		s.gmu.Unlock()
+		s.wmu.Unlock()
 		if err != nil {
 			return fmt.Errorf("server: checkpoint on drain: %w", err)
 		}
@@ -502,12 +520,11 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: %w", core.ErrParse, err))
 		return
 	}
-	// Install validates queries against the graph's schema — a read of
-	// the graph pointer, which a follower re-bootstrap swaps under the
-	// writer side of this lock.
-	s.gmu.RLock()
+	// Install validates queries against the graph's schema. The engine
+	// loads its graph pointer atomically, so a follower re-bootstrap
+	// swapping the graph mid-install is safe without any lock here —
+	// the schema is immutable per graph.
 	err = s.eng.Install(src)
-	s.gmu.RUnlock()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -610,25 +627,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	// Everything that reads the graph — parameter decoding (vertex
 	// params resolve keys), execution, and response rendering (tables
-	// hold VIDs that render as keys) — happens under one shared section,
-	// so a follower applying shipped records or swapping its store on
-	// re-bootstrap can never race a run's reads.
+	// hold VIDs that render as keys) — runs against ONE pinned snapshot,
+	// taken here at admission. Concurrent mutations, a follower applying
+	// shipped records, even a delta fold re-basing the graph: none of
+	// them touch this run, and the run takes no lock. The response is
+	// internally consistent at the snapshot's epoch by construction.
+	snap := s.eng.Graph().Snapshot()
+	root.SetInt("snapshot_epoch", int64(snap.Epoch()))
+	s.mMVCCPinned.Inc()
+	defer s.mMVCCPinned.Dec()
 	start := time.Now()
-	s.gmu.RLock()
-	args, err := decodeParams(s.eng.Graph(), specs, req.Params)
+	args, err := decodeParams(snap, specs, req.Params)
 	if err != nil {
-		s.gmu.RUnlock()
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: err.Error(), Code: "bad_params"})
 		return
 	}
-	res, err := s.eng.RunCtx(ctx, name, args)
+	res, err := s.eng.RunOn(ctx, snap, name, args)
 	elapsed := time.Since(start)
 	root.End()
 	s.mLatency.With(name).Observe(elapsed.Seconds())
 	slow := s.cfg.SlowQueryThreshold > 0 && elapsed >= s.cfg.SlowQueryThreshold
 	if err != nil {
-		s.gmu.RUnlock()
 		status := "error"
 		if errors.Is(err, core.ErrCancelled) {
 			status = "cancelled"
@@ -660,7 +680,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.mAccumInterpreted.Add(uint64(res.Stats.AccumInterpretedStmts))
 	s.mFusedBlocks.Add(uint64(res.Stats.FusionBlocksFused))
 
-	g := s.eng.Graph()
 	resp := runResponse{
 		Query:     name,
 		RequestID: requestID(r.Context()),
@@ -680,16 +699,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if len(res.Tables) > 0 {
 		resp.Tables = make(map[string]*tableJSON, len(res.Tables))
 		for tn, t := range res.Tables {
-			resp.Tables[tn] = toTableJSON(g, t)
+			resp.Tables[tn] = toTableJSON(snap, t)
 		}
 	}
 	for _, t := range res.Printed {
-		resp.Printed = append(resp.Printed, toTableJSON(g, t))
+		resp.Printed = append(resp.Printed, toTableJSON(snap, t))
 	}
 	if res.Returned != nil {
-		resp.Returned = toTableJSON(g, res.Returned)
+		resp.Returned = toTableJSON(snap, res.Returned)
 	}
-	s.gmu.RUnlock()
 	if wantTrace {
 		resp.Trace = root
 	}
@@ -699,6 +717,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.syncStorageMetrics()
 	s.syncReplicationMetrics()
+	s.syncMVCCMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 }

@@ -16,9 +16,13 @@ import (
 // Mutation and durability routes. These exist only in the serving
 // layer: the engine's read path stays oblivious to persistence, and
 // the graph's own mutation methods stay single-writer. The server
-// enforces that discipline with gmu — run handlers hold it shared,
-// mutation handlers exclusively — so a WAL-backed graph behaves under
-// concurrent HTTP traffic exactly like a single-threaded program.
+// enforces that discipline with wmu — mutation handlers, checkpoints,
+// and a bound follower's apply loop hold it exclusively — while runs
+// never touch it: each pins an MVCC snapshot and reads lock-free.
+// Under -fsync the disk barrier happens AFTER wmu is released
+// (storage.Options.DeferSync + Store.WaitDurable), so concurrent HTTP
+// writers share group-commit fsync cohorts instead of serializing one
+// barrier each inside the lock.
 
 type vertexRef struct {
 	Type string `json:"type"`
@@ -171,17 +175,41 @@ func (s *Server) handleAddVertex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	done := s.traceMutation(r, "add_vertex")
-	s.gmu.Lock()
+	s.wmu.Lock()
 	id, err := g.AddVertex(req.Type, req.Key, attrs)
 	resp := mutationResponse{ID: int64(id),
 		Vertices: g.NumVertices(), Edges: g.NumEdges(), Epoch: g.Epoch()}
-	s.gmu.Unlock()
+	seq, off := s.mutationPosition(err)
+	s.wmu.Unlock()
+	err = s.awaitDurable(err, seq, off)
 	done(err)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// mutationPosition captures the WAL position a just-applied mutation
+// reached. Called under wmu so the position is exactly this mutation's
+// frame end; (0, 0) when there is nothing to make durable.
+func (s *Server) mutationPosition(err error) (uint64, int64) {
+	if err != nil || s.cfg.Store == nil {
+		return 0, 0
+	}
+	return s.cfg.Store.Position()
+}
+
+// awaitDurable blocks until the captured WAL position is on disk —
+// OUTSIDE wmu, so writers waiting here together share one fsync
+// (group commit) while further mutations and every read proceed. A
+// no-op when the mutation failed, no store is attached, or the store
+// does not fsync.
+func (s *Server) awaitDurable(err error, seq uint64, off int64) error {
+	if err != nil || s.cfg.Store == nil || (seq == 0 && off == 0) {
+		return err
+	}
+	return s.cfg.Store.WaitDurable(seq, off)
 }
 
 // handleAddEdge inserts one edge between key-addressed endpoints:
@@ -209,13 +237,13 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	}
 	// Endpoint resolution reads the key index, which handleAddVertex
 	// writes; both lookups and the insert share one exclusive section so
-	// a concurrent vertex POST can neither race the map nor invalidate a
-	// resolved VID before the edge lands.
+	// the resolved VIDs and the insert observe one writer serialization
+	// point (a concurrent vertex POST lands wholly before or after).
 	done := s.traceMutation(r, "add_edge")
-	s.gmu.Lock()
+	s.wmu.Lock()
 	src, ok := g.VertexByKey(req.Src.Type, req.Src.Key)
 	if !ok {
-		s.gmu.Unlock()
+		s.wmu.Unlock()
 		done(nil)
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Src.Type, req.Src.Key), Code: "unknown_vertex"})
@@ -223,7 +251,7 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	}
 	dst, ok := g.VertexByKey(req.Dst.Type, req.Dst.Key)
 	if !ok {
-		s.gmu.Unlock()
+		s.wmu.Unlock()
 		done(nil)
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Dst.Type, req.Dst.Key), Code: "unknown_vertex"})
@@ -232,7 +260,9 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	id, err := g.AddEdge(req.Type, src, dst, attrs)
 	resp := mutationResponse{ID: int64(id),
 		Vertices: g.NumVertices(), Edges: g.NumEdges(), Epoch: g.Epoch()}
-	s.gmu.Unlock()
+	seq, off := s.mutationPosition(err)
+	s.wmu.Unlock()
+	err = s.awaitDurable(err, seq, off)
 	done(err)
 	if err != nil {
 		writeError(w, err)
@@ -275,9 +305,10 @@ func (s *Server) traceMutation(r *http.Request, op string) func(err error) {
 	}
 }
 
-// handleCheckpoint snapshots the graph and rotates the WAL. It shares
-// gmu with readers (a checkpoint is a consistent read of the graph);
-// only mutations are excluded.
+// handleCheckpoint snapshots the graph and rotates the WAL. It holds
+// wmu — a checkpoint must see a graph consistent with the WAL position
+// it seals, so mutations are excluded — but runs proceed untouched on
+// their pinned snapshots.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) || s.rejectReadOnly(w) {
 		return
@@ -293,9 +324,9 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		root = startTrace("checkpoint", r)
 	}
 	csp := root.Start("snapshot_write")
-	s.gmu.RLock()
+	s.wmu.Lock()
 	err := st.Checkpoint()
-	s.gmu.RUnlock()
+	s.wmu.Unlock()
 	csp.End()
 	stats := st.Stats()
 	if root != nil {
@@ -368,4 +399,22 @@ func (s *Server) syncReplicationMetrics() {
 	s.mReplReconnects.Add(now.Reconnects - last.Reconnects)
 	s.mReplLagRecords.Set(now.LagRecords)
 	s.mReplLagBytes.Set(now.LagBytes)
+}
+
+// syncMVCCMetrics refreshes the MVCC gauges and folds the graph's fold
+// counter into the registry by delta. The delta-records gauge is read
+// straight off the live graph's fold point; a follower re-bootstrap
+// swaps in a fresh graph whose counters restart, which shows up as a
+// fold count going backwards — the baseline resets with it.
+func (s *Server) syncMVCCMetrics() {
+	st := s.eng.Graph().MVCCStats()
+	s.mvccMu.Lock()
+	last := s.lastFolds
+	if st.Folds < last {
+		last = 0
+	}
+	s.lastFolds = st.Folds
+	s.mvccMu.Unlock()
+	s.mMVCCFolds.Add(st.Folds - last)
+	s.mMVCCDelta.Set(int64(st.DeltaRecords))
 }

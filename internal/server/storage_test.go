@@ -254,7 +254,8 @@ func TestCheckpointEndpoint(t *testing.T) {
 }
 
 // TestConcurrentMutationsAndRuns hammers mutation and run routes
-// concurrently; under -race this checks the gmu discipline.
+// concurrently; under -race this checks the writer-mutex discipline
+// and the lock-free snapshot read path against each other.
 func TestConcurrentMutationsAndRuns(t *testing.T) {
 	dir := t.TempDir()
 	srv, st, ts := newStorageServer(t, dir)

@@ -28,6 +28,14 @@ type Options struct {
 	// covered by the next flush. Off by default: the paper's serving
 	// workloads are read-heavy, and Checkpoint/Close always sync.
 	Fsync bool
+	// DeferSync, meaningful only with Fsync, moves the durability wait
+	// out of the append: logAppend returns as soon as the frame is
+	// written, and the caller makes it durable later with
+	// WaitDurable(Position()) — after releasing whatever writer lock it
+	// holds. That keeps the disk barrier outside the mutation critical
+	// section, so concurrent HTTP writers form group-commit cohorts
+	// instead of serializing one fsync each under the lock.
+	DeferSync bool
 	// Retain is how many snapshot/WAL generations Checkpoint keeps on
 	// disk, minimum (and default) 2 — enough for recovery to fall back
 	// across one snapshot's bit rot. Raise it on a replication leader
@@ -52,8 +60,9 @@ func (o Options) retain() uint64 {
 // Store couples a live graph with its durable representation. All
 // methods are safe for concurrent use with each other; mutations to
 // the underlying graph follow the graph's own discipline (the caller
-// serializes mutation against reads AND against Checkpoint — the
-// serving layer uses an RWMutex, single-threaded callers need nothing).
+// serializes mutation against mutation and against Checkpoint — the
+// serving layer uses a writer mutex, single-threaded callers need
+// nothing; reads need no coordination at all, they pin MVCC snapshots).
 type Store struct {
 	dir  string
 	opts Options
@@ -368,9 +377,30 @@ func (s *Store) logAppend(payload []byte) error {
 	}
 	seq, end := s.seq, s.walOff
 	s.mu.Unlock()
+	if !s.opts.Fsync || s.opts.DeferSync {
+		// DeferSync: the caller owns the durability wait (WaitDurable
+		// after its writer lock is released).
+		return nil
+	}
+	return s.waitDurable(seq, end)
+}
+
+// WaitDurable blocks until byte offset end of WAL segment seq — as
+// returned by Position() — is durable on disk. It is the DeferSync
+// caller's half of group commit: append under the writer lock, release
+// it, then wait here, so concurrent writers waiting together share one
+// fsync. A no-op when the store does not fsync at all.
+func (s *Store) WaitDurable(seq uint64, end int64) error {
 	if !s.opts.Fsync {
 		return nil
 	}
+	return s.waitDurable(seq, end)
+}
+
+// waitDurable runs syncWAL and records its failure as the store's
+// sticky poison (further mutations refuse rather than interleave after
+// an unflushed tail).
+func (s *Store) waitDurable(seq uint64, end int64) error {
 	if err := s.syncWAL(seq, end); err != nil {
 		s.mu.Lock()
 		if s.failed == nil {
