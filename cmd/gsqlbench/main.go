@@ -1,0 +1,183 @@
+// Command gsqlbench drives one or more running gsqld servers with a
+// sustained mixed workload — installed IC-query reads, vertex/edge
+// mutations, periodic checkpoints — and reports throughput and latency
+// percentiles per op class. Reads round-robin across every target
+// (leader plus -follow replicas); writes follow the leader via the 403
+// Leader header. Results land in the shared BENCH_*.json schema, and
+// -compare gates the run against a committed baseline for CI.
+//
+// Single node:
+//
+//	gsqld -listen :8844 -builtin snb:0.1 -data-dir /tmp/leader &
+//	gsqlbench -targets http://localhost:8844 -sf 0.1 -duration 30s
+//
+// Leader + replica fan-out with regression gating:
+//
+//	gsqlbench -targets http://leader:8844,http://replica:8845 \
+//	    -sf 0.1 -duration 30s -mode both -mix 90:8:2 \
+//	    -json BENCH_load.json -compare BENCH_load.json -tolerance 0.3
+//
+// Exit status: 0 ok, 1 usage/run error, 2 regression detected.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"gsqlgo/internal/bench"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/load"
+)
+
+func main() {
+	var (
+		targets     = flag.String("targets", "http://localhost:8844", "comma-separated gsqld base URLs; first is the presumed leader, reads round-robin across all")
+		mode        = flag.String("mode", "both", "closed | open | both")
+		duration    = flag.Duration("duration", 30*time.Second, "wall-clock budget per mode (ignored when -ops is set)")
+		ops         = flag.Uint64("ops", 0, "exact op count per mode instead of -duration (hits the mix ratios exactly)")
+		concurrency = flag.Int("c", 8, "closed-loop workers / open-loop pool size")
+		rate        = flag.Float64("rate", 200, "open loop arrival rate, ops/sec")
+		mix         = flag.String("mix", "90:8:2", "read:write:checkpoint weights")
+		sf          = flag.Float64("sf", 0.1, "scale factor the servers were seeded with (-builtin snb:SF)")
+		seed        = flag.Int64("seed", 7, "workload seed; must match the servers' -builtin seed for reads to hit")
+		hops        = flag.Int("hops", 2, "KNOWS hop bound h for the IC query family")
+		queries     = flag.String("queries", "", "comma-separated IC subset (ic3,ic5,ic6,ic9,ic11); empty = all")
+		prefix      = flag.String("write-prefix", "bench", "key namespace for vertices the write stream adds (vary across runs against one durable server)")
+		timeout     = flag.Duration("op-timeout", 30*time.Second, "per-request HTTP timeout")
+		jsonOut     = flag.String("json", "", "write the merged BENCH report to this file")
+		compare     = flag.String("compare", "", "baseline BENCH_load.json to gate against")
+		tolerance   = flag.Float64("tolerance", 0.3, "relative regression tolerance for -compare (0.3 = 30%)")
+	)
+	flag.Parse()
+
+	r, w, c, err := parseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	var modes []load.Mode
+	switch *mode {
+	case "closed":
+		modes = []load.Mode{load.ModeClosed}
+	case "open":
+		modes = []load.Mode{load.ModeOpen}
+	case "both":
+		modes = []load.Mode{load.ModeClosed, load.ModeOpen}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q (closed, open, both)", *mode))
+	}
+
+	var qs []string
+	if *queries != "" {
+		qs = strings.Split(*queries, ",")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := ldbc.Config{SF: *sf, Seed: *seed}
+	var results []*load.Result
+	for _, m := range modes {
+		// Each mode gets its own write-key namespace so running both
+		// against one durable server never collides on duplicate keys.
+		wl, err := load.NewWorkload(cfg, *seed, *hops, qs, fmt.Sprintf("%s-%s", *prefix, m))
+		if err != nil {
+			fatal(err)
+		}
+		client, err := load.NewClient(strings.Split(*targets, ","), *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		if err := client.InstallAll(wl.InstallSources()); err != nil {
+			fatal(err)
+		}
+		res, err := load.Run(ctx, load.Config{
+			Client:        client,
+			Workload:      wl,
+			Mode:          m,
+			Duration:      *duration,
+			MaxOps:        *ops,
+			Concurrency:   *concurrency,
+			Rate:          *rate,
+			MixRead:       r,
+			MixWrite:      w,
+			MixCheckpoint: c,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(load.Summary(res))
+		results = append(results, res)
+	}
+
+	rep := load.Reportify(bench.CurrentMeta(headCommit()), results...)
+	if err := rep.Validate(); err != nil {
+		fatal(err)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d entries)\n", *jsonOut, len(rep.Benchmarks))
+	}
+
+	if *compare != "" {
+		base, err := bench.ReadReportFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		regs := bench.CompareReports(base, rep, *tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "REGRESSION vs %s (tolerance %.0f%%):\n", *compare, *tolerance*100)
+			for _, reg := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", reg)
+			}
+			os.Exit(2)
+		}
+		fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *compare, *tolerance*100)
+	}
+}
+
+func parseMix(s string) (r, w, c int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("-mix wants R:W:C, got %q", s)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		if vals[i], err = strconv.Atoi(p); err != nil || vals[i] < 0 {
+			return 0, 0, 0, fmt.Errorf("-mix wants three non-negative ints, got %q", s)
+		}
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsqlbench:", err)
+	os.Exit(1)
+}
+
+// headCommit resolves the short HEAD hash for the meta stamp; empty
+// when git (or a checkout) is unavailable — the artifact is still
+// valid, just unpinned.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

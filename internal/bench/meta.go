@@ -35,10 +35,3 @@ func CurrentMeta(commit string) RunMeta {
 		Commit:     commit,
 	}
 }
-
-// Report is the on-disk shape of a BENCH_*.json artifact: run metadata
-// plus the measurements.
-type Report struct {
-	Meta       RunMeta          `json:"meta"`
-	Benchmarks map[string]Micro `json:"benchmarks"`
-}

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -14,24 +13,6 @@ import (
 	"gsqlgo/internal/match"
 	"gsqlgo/internal/value"
 )
-
-// Micro is one machine-readable microbenchmark measurement. The JSON
-// emitted by WriteMicroJSON (cmd/benchtables -json, conventionally
-// BENCH_csr.json) tracks the perf trajectory of the hot kernels across
-// PRs: compare ns_per_op and allocs_per_op against the committed
-// baseline before and after touching a hot path.
-type Micro struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// MBPerS is throughput for cases that declare a payload size via
-	// b.SetBytes (the storage codec suite); zero elsewhere.
-	MBPerS float64 `json:"mb_per_s,omitempty"`
-	// Extra carries custom per-case metrics reported via
-	// b.ReportMetric — the mixed read/write cases use it for reader
-	// latency percentiles (p50-ns, p99-ns).
-	Extra map[string]float64 `json:"extra,omitempty"`
-}
 
 // microSuite mirrors the allocation-sensitive benchmarks of
 // bench_test.go (the SDMC kernel family and the Table 1 counting
@@ -130,9 +111,7 @@ func writeSuiteJSON(cases []benchCase, meta RunMeta, w, progress io.Writer) erro
 			fmt.Fprintf(progress, " %.0f ns/op, %d allocs/op\n", m.NsPerOp, m.AllocsPerOp)
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return rep.WriteJSON(w)
 }
 
 // WriteMicroJSON runs the kernel microbenchmark suite and writes the

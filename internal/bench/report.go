@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The committed BENCH_*.json artifacts all share one schema — {"meta":
+// RunMeta, "benchmarks": {name: Micro}} — whether they come from
+// cmd/benchtables microbenchmark suites or cmd/gsqlbench sustained-load
+// runs. This file is that schema's home: the measurement type, the
+// reader/writer, structural validation, and the tolerance-gated
+// comparison CI's regression jobs exit nonzero on.
+
+// Micro is one machine-readable measurement. For microbenchmarks it
+// tracks ns/op and allocation counts; load benchmarks reuse the same
+// shape with mean latency in NsPerOp and throughput/percentiles in
+// Extra. Compare ns_per_op (and the Extra percentiles) against the
+// committed baseline before and after touching a hot path.
+type Micro struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// MBPerS is throughput for cases that declare a payload size via
+	// b.SetBytes (the storage codec suite); zero elsewhere.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// Extra carries custom per-case metrics: b.ReportMetric values from
+	// testing benchmarks (the mixed read/write cases use p50-ns/p99-ns)
+	// and the load suite's percentile/throughput columns (p50_ns,
+	// p99_ns, p999_ns, ops_per_s, ops, errors).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the on-disk shape of a BENCH_*.json artifact: run metadata
+// plus the measurements.
+type Report struct {
+	Meta       RunMeta          `json:"meta"`
+	Benchmarks map[string]Micro `json:"benchmarks"`
+}
+
+// WriteJSON writes the report in the artifacts' canonical indented
+// form.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReportFile loads a committed BENCH_*.json artifact.
+func ReadReportFile(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Validate checks the structural invariants every committed artifact
+// must hold: environment stamps present (without them the numbers are
+// not comparable across machines), at least one benchmark, no negative
+// measurements, and — where a case reports latency percentiles —
+// monotone quantiles (p50 ≤ p99 ≤ p999).
+func (r Report) Validate() error {
+	if r.Meta.GoVersion == "" || r.Meta.GOOS == "" || r.Meta.GOARCH == "" {
+		return fmt.Errorf("bench: meta missing environment stamps: %+v", r.Meta)
+	}
+	if r.Meta.GOMAXPROCS <= 0 || r.Meta.NumCPU <= 0 {
+		return fmt.Errorf("bench: meta missing CPU stamps: %+v", r.Meta)
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("bench: report has no benchmarks")
+	}
+	for name, m := range r.Benchmarks {
+		if m.NsPerOp < 0 || m.AllocsPerOp < 0 || m.BytesPerOp < 0 || m.MBPerS < 0 {
+			return fmt.Errorf("bench: %s: negative measurement: %+v", name, m)
+		}
+		for k, v := range m.Extra {
+			if v < 0 {
+				return fmt.Errorf("bench: %s: negative extra metric %s=%v", name, k, v)
+			}
+		}
+		p50, ok50 := m.Extra["p50_ns"]
+		p99, ok99 := m.Extra["p99_ns"]
+		p999, ok999 := m.Extra["p999_ns"]
+		if ok50 && ok99 && p50 > p99 {
+			return fmt.Errorf("bench: %s: p50 %v > p99 %v", name, p50, p99)
+		}
+		if ok99 && ok999 && p99 > p999 {
+			return fmt.Errorf("bench: %s: p99 %v > p999 %v", name, p99, p999)
+		}
+	}
+	return nil
+}
+
+// Regression is one comparison failure: a metric that moved past the
+// tolerance in its bad direction, or a benchmark the current report
+// lost entirely.
+type Regression struct {
+	Benchmark string
+	Metric    string
+	Base, Cur float64
+	// Limit is the bound Cur crossed, already tolerance-adjusted.
+	Limit float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: present in baseline, missing from current report", r.Benchmark)
+	}
+	return fmt.Sprintf("%s: %s regressed: baseline %.0f, current %.0f (limit %.0f)",
+		r.Benchmark, r.Metric, r.Base, r.Cur, r.Limit)
+}
+
+// metricDirection reports whether a metric regresses by going up
+// (latency-like), down (throughput-like), or is informational only.
+func metricDirection(name string) int {
+	switch {
+	case name == "ns_per_op" || strings.HasSuffix(name, "_ns") || strings.HasSuffix(name, "-ns"):
+		return +1 // lower is better; regression when it inflates
+	case name == "mb_per_s" || strings.HasSuffix(name, "_per_s"):
+		return -1 // higher is better; regression when it collapses
+	default:
+		return 0 // counts (ops, errors, requests, lag) — not gated
+	}
+}
+
+// CompareReports gates cur against base with a symmetric relative
+// tolerance: a latency-like metric regresses when cur > base·(1+tol),
+// a throughput-like metric when cur < base/(1+tol). Benchmarks only in
+// cur are fine (coverage grew); benchmarks only in base are flagged
+// (coverage silently lost is how regressions hide). Zero-valued
+// baseline metrics are skipped — no ratio is meaningful. Returned
+// regressions are sorted for stable CI output.
+func CompareReports(base, cur Report, tol float64) []Regression {
+	var out []Regression
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			out = append(out, Regression{Benchmark: name, Metric: "missing"})
+			continue
+		}
+		check := func(metric string, bv, cv float64) {
+			if bv <= 0 {
+				return
+			}
+			switch metricDirection(metric) {
+			case +1:
+				if limit := bv * (1 + tol); cv > limit {
+					out = append(out, Regression{name, metric, bv, cv, limit})
+				}
+			case -1:
+				if limit := bv / (1 + tol); cv < limit {
+					out = append(out, Regression{name, metric, bv, cv, limit})
+				}
+			}
+		}
+		check("ns_per_op", b.NsPerOp, c.NsPerOp)
+		check("mb_per_s", b.MBPerS, c.MBPerS)
+		keys := make([]string, 0, len(b.Extra))
+		for k := range b.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if cv, ok := c.Extra[k]; ok {
+				check(k, b.Extra[k], cv)
+			}
+		}
+	}
+	return out
+}

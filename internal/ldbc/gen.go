@@ -42,6 +42,34 @@ func (c Config) persons() int {
 	return n
 }
 
+// Persons reports how many Person vertices Generate will create for
+// this config — keys are "person0" … "person{Persons()-1}". Exported so
+// workload generators (internal/load) can address the generated key
+// space without materializing a graph.
+func (c Config) Persons() int { return c.persons() }
+
+// Derived population sizes, shared by Generate and the mutation-stream
+// generator (mutations.go) so streamed records only ever reference
+// vertices Generate actually created. Keys follow the same "%s%d"
+// convention: "country0", "tag12", "comment99", …
+const (
+	NumCountries = 12
+	NumCities    = 40
+	NumCompanies = 60
+	NumTags      = 80
+)
+
+func (c Config) posts() int    { return c.persons() * 5 }
+func (c Config) comments() int { return c.persons() * 10 }
+
+func (c Config) forums() int {
+	n := c.persons() / 10
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
 func (c Config) knowsDegree() int {
 	if c.AvgKnowsDegree > 0 {
 		return c.AvgKnowsDegree
@@ -117,16 +145,13 @@ func Generate(cfg Config) *graph.Graph {
 	g := graph.New(Schema())
 	r := rand.New(rand.NewSource(cfg.Seed))
 	nPersons := cfg.persons()
-	nCountries := 12
-	nCities := 40
-	nCompanies := 60
-	nTags := 80
-	nForums := nPersons / 10
-	if nForums < 10 {
-		nForums = 10
-	}
-	nPosts := nPersons * 5
-	nComments := nPersons * 10
+	nCountries := NumCountries
+	nCities := NumCities
+	nCompanies := NumCompanies
+	nTags := NumTags
+	nForums := cfg.forums()
+	nPosts := cfg.posts()
+	nComments := cfg.comments()
 
 	addV := func(typ, key string, attrs map[string]value.Value) graph.VID {
 		v, err := g.AddVertex(typ, key, attrs)

@@ -1,0 +1,81 @@
+package ldbc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMutationStreamDeterministic(t *testing.T) {
+	cfg := Config{SF: 0.05, Seed: 7}
+	a := Mutations(cfg, 200, 11, "mut")
+	b := Mutations(cfg, 200, 11, "mut")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (cfg, seed, prefix) must generate identical streams")
+	}
+	c := Mutations(cfg, 200, 12, "mut")
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds must generate different streams")
+	}
+	// The mix hits every op kind within a modest window.
+	seen := map[string]bool{}
+	for _, m := range a {
+		seen[m.Op] = true
+	}
+	for _, op := range []string{OpAddVertex, OpAddEdge, OpSetAttr} {
+		if !seen[op] {
+			t.Errorf("no %s record in the first 200", op)
+		}
+	}
+}
+
+// TestMutationStreamApplies proves schema- and key-space-consistency:
+// every record of a long stream applies cleanly to the graph Generate
+// built with the same Config.
+func TestMutationStreamApplies(t *testing.T) {
+	cfg := Config{SF: 0.05, Seed: 7}
+	g := Generate(cfg)
+	v0, e0 := g.NumVertices(), g.NumEdges()
+	muts := Mutations(cfg, 500, 3, "t")
+	for i, m := range muts {
+		if err := Apply(g, m); err != nil {
+			t.Fatalf("record %d (%+v): %v", i, m, err)
+		}
+	}
+	if g.NumVertices() <= v0 || g.NumEdges() <= e0 {
+		t.Fatalf("stream grew nothing: vertices %d->%d, edges %d->%d",
+			v0, g.NumVertices(), e0, g.NumEdges())
+	}
+}
+
+// TestMutationStreamInterleavable applies the same stream in a shuffled
+// order: records must be order-independent (edges and attr updates only
+// reference base vertices; added keys are unique), which is what lets a
+// load generator fan them across concurrent workers.
+func TestMutationStreamInterleavable(t *testing.T) {
+	cfg := Config{SF: 0.05, Seed: 7}
+	g := Generate(cfg)
+	muts := Mutations(cfg, 300, 5, "t")
+	rand.New(rand.NewSource(1)).Shuffle(len(muts), func(i, j int) {
+		muts[i], muts[j] = muts[j], muts[i]
+	})
+	for i, m := range muts {
+		if err := Apply(g, m); err != nil {
+			t.Fatalf("shuffled record %d (%+v): %v", i, m, err)
+		}
+	}
+}
+
+// TestMutationPrefixNamespacing: distinct prefixes can never collide
+// with each other or Generate's own key space.
+func TestMutationPrefixNamespacing(t *testing.T) {
+	cfg := Config{SF: 0.05, Seed: 7}
+	g := Generate(cfg)
+	for _, prefix := range []string{"a", "b"} {
+		for _, m := range Mutations(cfg, 100, 9, prefix) {
+			if err := Apply(g, m); err != nil {
+				t.Fatalf("prefix %s: %v", prefix, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"gsqlgo/internal/ldbc"
+)
+
+// Client fans the workload out over one or more gsqld targets. Reads
+// round-robin across every target (leader plus `-follow` replicas —
+// the replica read-scaling story); writes and checkpoints go to the
+// current write target, which starts at targets[0] and follows the
+// Leader header whenever a follower answers 403 read_only. Per-target
+// request and error counters are atomics so every worker shares one
+// Client.
+type Client struct {
+	targets []*target
+	http    *http.Client
+	next    atomic.Uint64 // round-robin cursor for reads
+	writeTo atomic.Int64  // index of the current write target
+}
+
+type target struct {
+	url      string
+	requests atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// TargetStats is the per-target slice of a run's Result.
+type TargetStats struct {
+	URL        string `json:"url"`
+	Requests   uint64 `json:"requests"`
+	Errors     uint64 `json:"errors"`
+	LagRecords int64  `json:"lag_records"` // -1 when the target exports no lag gauge (a leader)
+}
+
+// NewClient builds a client over the given base URLs (no trailing
+// slash needed; one is trimmed if present).
+func NewClient(urls []string, timeout time.Duration) (*Client, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("load: no targets")
+	}
+	c := &Client{http: &http.Client{Timeout: timeout}}
+	for _, u := range urls {
+		c.targets = append(c.targets, &target{url: strings.TrimRight(u, "/")})
+	}
+	return c, nil
+}
+
+// Targets returns the configured base URLs in order.
+func (c *Client) Targets() []string {
+	out := make([]string, len(c.targets))
+	for i, t := range c.targets {
+		out[i] = t.url
+	}
+	return out
+}
+
+// post sends body to tgt at path and returns (status, response body).
+// The target's request counter is bumped here; error accounting is the
+// caller's call — a 403 on a follower is protocol, not failure.
+func (c *Client) post(tgt *target, path string, body []byte, contentType string) (int, []byte, http.Header, error) {
+	tgt.requests.Add(1)
+	req, err := http.NewRequest("POST", tgt.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, resp.Header, err
+	}
+	return resp.StatusCode, rb, resp.Header, nil
+}
+
+// InstallAll installs the given GSQL sources on every target (each
+// gsqld keeps its own catalog; followers accept installs — only graph
+// mutations are read-only). 409 duplicate_query is treated as success
+// so reruns against a durable server are idempotent.
+func (c *Client) InstallAll(sources map[string]string) error {
+	for _, t := range c.targets {
+		for name, src := range sources {
+			status, body, _, err := c.post(t, "/queries", []byte(src), "text/plain")
+			if err != nil {
+				return fmt.Errorf("install %s on %s: %w", name, t.url, err)
+			}
+			if status != http.StatusCreated && status != http.StatusConflict {
+				return fmt.Errorf("install %s on %s: %d %s", name, t.url, status, body)
+			}
+		}
+	}
+	return nil
+}
+
+// RunQuery runs an installed query on the next read target in
+// round-robin order. Any non-200 counts as a target error.
+func (c *Client) RunQuery(name string, params map[string]any) error {
+	t := c.targets[c.next.Add(1)%uint64(len(c.targets))]
+	body, err := json.Marshal(map[string]any{"params": params})
+	if err != nil {
+		return err
+	}
+	status, rb, _, err := c.post(t, "/queries/"+name+"/run", body, "application/json")
+	if err != nil {
+		t.errors.Add(1)
+		return fmt.Errorf("run %s on %s: %w", name, t.url, err)
+	}
+	if status != http.StatusOK {
+		t.errors.Add(1)
+		return fmt.Errorf("run %s on %s: %d %s", name, t.url, status, rb)
+	}
+	return nil
+}
+
+// Mutate applies one mutation record to the write target. When a
+// follower answers 403 read_only, the advertised Leader header
+// switches the write target and the op is retried there once — the
+// fan-out needs no out-of-band leader configuration.
+func (c *Client) Mutate(m ldbc.Mutation) error {
+	path, body, err := mutationRequest(m)
+	if err != nil {
+		return err
+	}
+	return c.postWrite(path, body)
+}
+
+// Checkpoint asks the write target to checkpoint.
+func (c *Client) Checkpoint() error {
+	return c.postWrite("/admin/checkpoint", []byte("{}"))
+}
+
+func (c *Client) postWrite(path string, body []byte) error {
+	for attempt := 0; ; attempt++ {
+		idx := int(c.writeTo.Load())
+		t := c.targets[idx]
+		status, rb, hdr, err := c.post(t, path, body, "application/json")
+		if err != nil {
+			t.errors.Add(1)
+			return fmt.Errorf("write %s to %s: %w", path, t.url, err)
+		}
+		if status == http.StatusForbidden && attempt == 0 {
+			if leader := c.redirectWrite(idx, hdr.Get("Leader")); leader {
+				continue
+			}
+		}
+		if status != http.StatusOK && status != http.StatusCreated {
+			t.errors.Add(1)
+			return fmt.Errorf("write %s to %s: %d %s", path, t.url, status, rb)
+		}
+		return nil
+	}
+}
+
+// redirectWrite moves the write cursor to the target matching the
+// advertised leader URL, returning whether a retry makes sense. An
+// advertised leader outside the target set is added on the fly.
+func (c *Client) redirectWrite(from int, leader string) bool {
+	if leader == "" {
+		return false
+	}
+	leader = strings.TrimRight(leader, "/")
+	for i, t := range c.targets {
+		if t.url == leader {
+			c.writeTo.CompareAndSwap(int64(from), int64(i))
+			return true
+		}
+	}
+	return false
+}
+
+// Lag probes each target's /metrics for the replication lag gauge and
+// returns the per-target stats snapshot. Call once at end of run —
+// it issues one extra GET per target.
+func (c *Client) Lag() []TargetStats {
+	out := make([]TargetStats, len(c.targets))
+	for i, t := range c.targets {
+		out[i] = TargetStats{
+			URL:        t.url,
+			Requests:   t.requests.Load(),
+			Errors:     t.errors.Load(),
+			LagRecords: -1,
+		}
+		resp, err := c.http.Get(t.url + "/metrics")
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		for _, line := range strings.Split(string(body), "\n") {
+			if v, ok := strings.CutPrefix(line, "gsqld_replication_lag_records "); ok {
+				if n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+					out[i].LagRecords = n
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mutationRequest maps a mutation record onto the gsqld write API.
+func mutationRequest(m ldbc.Mutation) (path string, body []byte, err error) {
+	switch m.Op {
+	case ldbc.OpAddVertex:
+		path = "/graph/vertices"
+		body, err = json.Marshal(map[string]any{"type": m.Type, "key": m.Key, "attrs": m.Attrs})
+	case ldbc.OpAddEdge:
+		path = "/graph/edges"
+		body, err = json.Marshal(map[string]any{
+			"type":  m.Type,
+			"src":   map[string]string{"type": m.SrcType, "key": m.SrcKey},
+			"dst":   map[string]string{"type": m.DstType, "key": m.DstKey},
+			"attrs": m.Attrs,
+		})
+	case ldbc.OpSetAttr:
+		path = "/graph/vertices/attrs"
+		body, err = json.Marshal(map[string]any{"type": m.Type, "key": m.Key, "attrs": m.Attrs})
+	default:
+		return "", nil, fmt.Errorf("load: unknown mutation op %q", m.Op)
+	}
+	return path, body, err
+}

@@ -1,0 +1,131 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistBucketMath checks every value lands in a bucket that
+// contains it and whose width honours the 1/32 relative-error bound.
+func TestHistBucketMath(t *testing.T) {
+	vals := []int64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 4096,
+		1e6, 1e9, 123456789, math.MaxInt64 / 2, math.MaxInt64}
+	// Dense sweep over the small range plus a pseudo-random spray.
+	for v := int64(0); v < 5000; v++ {
+		vals = append(vals, v)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		vals = append(vals, int64(mix64(i)>>1))
+	}
+	prevIdx := -1
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if idx < prevIdx {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		lo, hi := bucketBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, idx, lo, hi)
+		}
+		if lo > 0 {
+			if rel := float64(hi-lo) / float64(lo); rel > 1.0/32+1e-9 {
+				t.Fatalf("bucket %d width %d too wide for lo %d (rel %.4f)", idx, hi-lo, lo, rel)
+			}
+		}
+	}
+}
+
+// TestHistQuantilesVsExact records a deterministic heavy-tailed sample
+// and compares the bucketed quantiles against the exact (sorted)
+// answers: within the histogram's ~3.1% relative error bound plus the
+// midpoint's half-bucket.
+func TestHistQuantilesVsExact(t *testing.T) {
+	const n = 200_000
+	var h Hist
+	exact := make([]int64, n)
+	for i := uint64(0); i < n; i++ {
+		// Latency-shaped: ~1µs body with a 1% tail two decades up.
+		v := int64(1000 + mix64(i)%9000)
+		if mix64(i^0x7a11)%100 == 0 {
+			v *= 100
+		}
+		exact[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	var sum int64
+	for _, v := range exact {
+		sum += v
+	}
+	if got, want := int64(h.Mean()), sum/n; got != want {
+		t.Fatalf("mean = %d, want exact %d", got, want)
+	}
+	if got, want := int64(h.Max()), exact[n-1]; got != want {
+		t.Fatalf("max = %d, want exact %d", got, want)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		rank := int(q * n)
+		if rank < 1 {
+			rank = 1
+		}
+		want := exact[rank-1]
+		got := int64(h.Quantile(q))
+		if rel := math.Abs(float64(got-want)) / float64(want); rel > 0.05 {
+			t.Errorf("q%.3f = %d, exact %d (rel err %.4f > 5%%)", q, got, want, rel)
+		}
+	}
+
+	// Monotone in q by construction.
+	prev := time.Duration(0)
+	for q := 0.01; q <= 1.0; q += 0.01 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: q=%.2f gives %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestHistMerge checks split-then-merge equals recording everything
+// into one histogram.
+func TestHistMerge(t *testing.T) {
+	var whole, a, b Hist
+	for i := uint64(0); i < 10_000; i++ {
+		d := time.Duration(mix64(i) % 1e7)
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Mean() != whole.Mean() || a.Max() != whole.Max() {
+		t.Fatalf("merge mismatch: count %d/%d mean %v/%v max %v/%v",
+			a.Count(), whole.Count(), a.Mean(), whole.Mean(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%.3f: merged %v, whole %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistEmpty: zero-value histogram is usable.
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}

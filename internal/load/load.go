@@ -1,0 +1,302 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode selects how load is offered.
+type Mode string
+
+const (
+	// ModeClosed runs a fixed number of workers, each issuing its next
+	// op as soon as the previous one returns: throughput floats with
+	// server latency. The classic "N concurrent clients" benchmark.
+	ModeClosed Mode = "closed"
+	// ModeOpen offers ops at a fixed arrival rate regardless of how the
+	// server keeps up, and measures each latency from the op's intended
+	// send time — so a server stall shows up as queueing delay in the
+	// percentiles instead of silently slowing the arrival process
+	// (coordinated omission).
+	ModeOpen Mode = "open"
+)
+
+// Op classes reported separately.
+const (
+	ClassRead       = "read"
+	ClassWrite      = "write"
+	ClassCheckpoint = "checkpoint"
+)
+
+// Config parameterises one run.
+type Config struct {
+	Client   *Client
+	Workload *Workload
+	Mode     Mode
+	Duration time.Duration // wall-clock budget (ignored if MaxOps set and hit first)
+	MaxOps   uint64        // exact op count; 0 = run until Duration
+
+	Concurrency int // closed-loop worker count / open-loop pool size
+
+	Rate float64 // open loop only: target arrival rate, ops/sec
+
+	// Mix weights per op class. Op i's class is i mod (R+W+C) against
+	// the cumulative weights, so a MaxOps run hits the ratios exactly —
+	// MaxOps=300 at 8:1:1 is exactly 240 reads, 30 writes, 30
+	// checkpoints, which the e2e test asserts.
+	MixRead, MixWrite, MixCheckpoint int
+}
+
+// ClassStats aggregates one op class across all workers.
+type ClassStats struct {
+	Ops    uint64
+	Errors uint64
+	Hist   Hist // successful ops only
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Mode    Mode
+	Elapsed time.Duration
+	Classes map[string]*ClassStats
+	Targets []TargetStats
+}
+
+// classIndex numbers the classes for array-indexed per-worker locals.
+const (
+	ciRead = iota
+	ciWrite
+	ciCheckpoint
+	numClasses
+)
+
+var classNames = [numClasses]string{ClassRead, ClassWrite, ClassCheckpoint}
+
+// schedule maps global op index → (class, per-class sequence) from the
+// mix weights alone: block b covers ops [b·sum, (b+1)·sum), the first
+// R of a block are reads numbered b·R+offset, and so on. Pure
+// arithmetic — no shared counters, identical across modes and reruns.
+type schedule struct {
+	r, w, c int
+	sum     uint64
+}
+
+func newSchedule(cfg Config) (schedule, error) {
+	s := schedule{r: cfg.MixRead, w: cfg.MixWrite, c: cfg.MixCheckpoint}
+	if s.r < 0 || s.w < 0 || s.c < 0 {
+		return s, fmt.Errorf("load: negative mix weight")
+	}
+	s.sum = uint64(s.r + s.w + s.c)
+	if s.sum == 0 {
+		return s, fmt.Errorf("load: mix is 0:0:0")
+	}
+	return s, nil
+}
+
+func (s schedule) at(i uint64) (class int, seq uint64) {
+	block, off := i/s.sum, i%s.sum
+	switch {
+	case off < uint64(s.r):
+		return ciRead, block*uint64(s.r) + off
+	case off < uint64(s.r+s.w):
+		return ciWrite, block*uint64(s.w) + (off - uint64(s.r))
+	default:
+		return ciCheckpoint, block*uint64(s.c) + (off - uint64(s.r+s.w))
+	}
+}
+
+// workerStats is one worker's private accumulator, merged at the end;
+// no cross-worker synchronisation on the hot path.
+type workerStats struct {
+	ops    [numClasses]uint64
+	errors [numClasses]uint64
+	hists  [numClasses]Hist
+}
+
+// execute runs op i and returns whether it succeeded. Latency is the
+// caller's concern (the two modes measure different spans).
+func execute(cfg Config, sched schedule, i uint64) (class int, err error) {
+	class, seq := sched.at(i)
+	switch class {
+	case ciRead:
+		name, params := cfg.Workload.Read(seq)
+		err = cfg.Client.RunQuery(name, params)
+	case ciWrite:
+		err = cfg.Client.Mutate(cfg.Workload.Write(seq))
+	default:
+		err = cfg.Client.Checkpoint()
+	}
+	return class, err
+}
+
+// Run offers the workload per cfg and returns merged stats. The first
+// few op errors are returned via Result (counted per class); Run
+// itself errors only on bad configuration.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	sched, err := newSchedule(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.MaxOps == 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: need MaxOps or Duration")
+	}
+	if cfg.Mode == ModeOpen && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("load: open loop needs a positive -rate")
+	}
+
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	var stats []*workerStats
+	switch cfg.Mode {
+	case ModeClosed:
+		stats = runClosed(ctx, cfg, sched)
+	case ModeOpen:
+		stats = runOpen(ctx, cfg, sched)
+	default:
+		return nil, fmt.Errorf("load: unknown mode %q", cfg.Mode)
+	}
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Mode:    cfg.Mode,
+		Elapsed: elapsed,
+		Classes: map[string]*ClassStats{},
+		Targets: cfg.Client.Lag(),
+	}
+	for ci, name := range classNames {
+		cs := &ClassStats{}
+		for _, ws := range stats {
+			cs.Ops += ws.ops[ci]
+			cs.Errors += ws.errors[ci]
+			cs.Hist.Merge(&ws.hists[ci])
+		}
+		if cs.Ops > 0 {
+			res.Classes[name] = cs
+		}
+	}
+	return res, nil
+}
+
+// runClosed: Concurrency workers pull indices off a shared cursor and
+// issue back-to-back. Latency is the call's own duration.
+func runClosed(ctx context.Context, cfg Config, sched schedule) []*workerStats {
+	var (
+		mu   sync.Mutex
+		next uint64
+	)
+	take := func() (uint64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if cfg.MaxOps > 0 && next >= cfg.MaxOps {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	stats := make([]*workerStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		ws := &workerStats{}
+		stats[w] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil && cfg.MaxOps == 0 {
+					return
+				}
+				i, ok := take()
+				if !ok {
+					return
+				}
+				t0 := time.Now()
+				class, err := execute(cfg, sched, i)
+				ws.ops[class]++
+				if err != nil {
+					ws.errors[class]++
+				} else {
+					ws.hists[class].Record(time.Since(t0))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return stats
+}
+
+// openOp is one scheduled arrival.
+type openOp struct {
+	i        uint64
+	intended time.Time
+}
+
+// runOpen: a pacer emits op i at start + i/Rate into a buffer deep
+// enough to hold the whole run, so the arrival process never slows
+// down when the server lags (that slowdown is what coordinated
+// omission hides). Workers record latency from the intended time —
+// queueing delay counts.
+func runOpen(ctx context.Context, cfg Config, sched schedule) []*workerStats {
+	total := cfg.MaxOps
+	if total == 0 {
+		total = uint64(cfg.Rate*cfg.Duration.Seconds()) + uint64(cfg.Concurrency) + 1
+	}
+	ops := make(chan openOp, total)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	go func() {
+		defer close(ops)
+		start := time.Now()
+		for i := uint64(0); i < total; i++ {
+			intended := start.Add(time.Duration(i) * interval)
+			if d := time.Until(intended); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					if cfg.MaxOps == 0 {
+						return
+					}
+					// With an exact op count requested, keep emitting —
+					// the buffer absorbs the rest instantly.
+				}
+			}
+			if cfg.MaxOps == 0 && ctx.Err() != nil {
+				return
+			}
+			ops <- openOp{i: i, intended: intended}
+		}
+	}()
+
+	stats := make([]*workerStats, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		ws := &workerStats{}
+		stats[w] = ws
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for op := range ops {
+				class, err := execute(cfg, sched, op.i)
+				ws.ops[class]++
+				if err != nil {
+					ws.errors[class]++
+				} else {
+					ws.hists[class].Record(time.Since(op.intended))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return stats
+}

@@ -1,0 +1,229 @@
+package load
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/bench"
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/graph"
+	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/server"
+	"gsqlgo/internal/storage"
+)
+
+var testCfg = ldbc.Config{SF: 0.05, Seed: 7}
+
+// startGsqld boots a real leader gsqld on loopback over a freshly
+// generated SNB graph — the same wiring cmd/gsqld does, minus flags.
+func startGsqld(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := storage.Open(t.TempDir(), storage.Options{
+		Init: func() (*graph.Graph, error) { return ldbc.Generate(testCfg), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Engine: core.New(st.Graph(), core.Options{Workers: 2}), Store: st})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		_ = srv.Shutdown(context.Background())
+		_ = st.Close()
+	})
+	return ts
+}
+
+func newTestWorkload(t *testing.T, prefix string) *Workload {
+	t.Helper()
+	w, err := NewWorkload(testCfg, 7, 2, []string{"ic5", "ic11"}, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func newTestClient(t *testing.T, w *Workload, urls ...string) *Client {
+	t.Helper()
+	c, err := NewClient(urls, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallAll(w.InstallSources()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestClosedLoopEndToEnd is the subsystem's acceptance test: a real
+// gsqld takes a 300-op closed-loop mixed run and the result must show
+// zero errors, the exact 8:1:1 per-class counts the deterministic
+// schedule promises, and monotone latency percentiles.
+func TestClosedLoopEndToEnd(t *testing.T) {
+	ts := startGsqld(t)
+	w := newTestWorkload(t, "e2e-closed")
+	c := newTestClient(t, w, ts.URL)
+
+	res, err := Run(context.Background(), Config{
+		Client: c, Workload: w,
+		Mode: ModeClosed, MaxOps: 300, Concurrency: 4,
+		MixRead: 8, MixWrite: 1, MixCheckpoint: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]uint64{ClassRead: 240, ClassWrite: 30, ClassCheckpoint: 30}
+	for class, n := range want {
+		cs := res.Classes[class]
+		if cs == nil {
+			t.Fatalf("class %s missing from result", class)
+		}
+		if cs.Ops != n {
+			t.Errorf("class %s: %d ops, want exactly %d", class, cs.Ops, n)
+		}
+		if cs.Errors != 0 {
+			t.Errorf("class %s: %d errors, want 0", class, cs.Errors)
+		}
+		p50, p99, p999 := cs.Hist.Quantile(0.50), cs.Hist.Quantile(0.99), cs.Hist.Quantile(0.999)
+		if p50 <= 0 || p50 > p99 || p99 > p999 {
+			t.Errorf("class %s: percentiles not monotone positive: p50=%v p99=%v p999=%v",
+				class, p50, p99, p999)
+		}
+	}
+
+	// The run folds into a committed-artifact-shaped report that passes
+	// the shared structural validation.
+	rep := Reportify(bench.CurrentMeta(""), res)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report validation: %v", err)
+	}
+	if _, ok := rep.Benchmarks["load/closed/read"]; !ok {
+		t.Fatalf("report missing load/closed/read: %v", rep.Benchmarks)
+	}
+	if m := rep.Benchmarks["load/closed/read"]; m.Extra["ops_per_s"] <= 0 {
+		t.Fatalf("read ops_per_s = %v, want > 0", m.Extra["ops_per_s"])
+	}
+	if !strings.Contains(Summary(res), "read") {
+		t.Fatal("summary missing read row")
+	}
+}
+
+// TestOpenLoopEndToEnd drives the same server at a fixed arrival rate
+// and checks the coordinated-omission-safe path produces the same
+// exact class accounting.
+func TestOpenLoopEndToEnd(t *testing.T) {
+	ts := startGsqld(t)
+	w := newTestWorkload(t, "e2e-open")
+	c := newTestClient(t, w, ts.URL)
+
+	res, err := Run(context.Background(), Config{
+		Client: c, Workload: w,
+		Mode: ModeOpen, MaxOps: 120, Concurrency: 4, Rate: 400,
+		MixRead: 10, MixWrite: 1, MixCheckpoint: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{ClassRead: 100, ClassWrite: 10, ClassCheckpoint: 10}
+	for class, n := range want {
+		cs := res.Classes[class]
+		if cs == nil || cs.Ops != n || cs.Errors != 0 {
+			t.Fatalf("class %s: got %+v, want %d ops 0 errors", class, cs, n)
+		}
+	}
+	// At 400/s the run takes ≥ 120/400 = 300ms of paced arrivals.
+	if res.Elapsed < 250*time.Millisecond {
+		t.Fatalf("open loop finished in %v — pacing did not happen", res.Elapsed)
+	}
+}
+
+// TestReadsRoundRobinAcrossTargets checks the replica fan-out: with
+// two targets, reads alternate and both serve a meaningful share.
+func TestReadsRoundRobinAcrossTargets(t *testing.T) {
+	a, b := startGsqld(t), startGsqld(t)
+	w := newTestWorkload(t, "e2e-rr")
+	c := newTestClient(t, w, a.URL, b.URL)
+
+	res, err := Run(context.Background(), Config{
+		Client: c, Workload: w,
+		Mode: ModeClosed, MaxOps: 40, Concurrency: 2,
+		MixRead: 1, MixWrite: 0, MixCheckpoint: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Classes[ClassRead].Ops; got != 40 {
+		t.Fatalf("read ops = %d, want 40", got)
+	}
+	if len(res.Targets) != 2 {
+		t.Fatalf("got %d targets, want 2", len(res.Targets))
+	}
+	// Each target took its half of the 40 reads (installs add 2 more
+	// requests per target; both servers here are leaders so no lag
+	// gauge is exported).
+	for _, tgt := range res.Targets {
+		if tgt.Requests < 20 {
+			t.Errorf("target %s got %d requests, want ≥ 20", tgt.URL, tgt.Requests)
+		}
+		if tgt.Errors != 0 {
+			t.Errorf("target %s: %d errors", tgt.URL, tgt.Errors)
+		}
+		if tgt.LagRecords != -1 {
+			t.Errorf("leader target %s exports lag %d, want -1 (absent)", tgt.URL, tgt.LagRecords)
+		}
+	}
+}
+
+// TestWriteRedirectFollowsLeaderHeader: when the write target answers
+// 403 read_only with a Leader header (what a follower does), the
+// client retries against the advertised leader and pins writes there.
+func TestWriteRedirectFollowsLeaderHeader(t *testing.T) {
+	leader := startGsqld(t)
+
+	// Stub follower: rejects writes the way internal/server does —
+	// 403 + Leader header — without booting a whole replication pair.
+	var followerWrites int
+	follower := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.Method == "POST" && strings.HasPrefix(r.URL.Path, "/graph/") {
+			followerWrites++
+			rw.Header().Set("Leader", leader.URL)
+			rw.WriteHeader(http.StatusForbidden)
+			rw.Write([]byte(`{"error":"replica is read-only","code":"read_only","leader":"` + leader.URL + `"}`))
+			return
+		}
+		rw.WriteHeader(http.StatusCreated)
+		rw.Write([]byte("{}"))
+	}))
+	defer follower.Close()
+
+	w := newTestWorkload(t, "e2e-redirect")
+	c, err := NewClient([]string{follower.URL, leader.URL}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install only on the real leader; the stub accepts anything.
+	if err := c.InstallAll(w.InstallSources()); err != nil {
+		t.Fatal(err)
+	}
+
+	// First write hits the stub follower, gets 403+Leader, retries on
+	// the leader, succeeds.
+	if err := c.Mutate(w.Write(0)); err != nil {
+		t.Fatalf("redirected write failed: %v", err)
+	}
+	if followerWrites != 1 {
+		t.Fatalf("follower saw %d writes, want 1", followerWrites)
+	}
+	// Subsequent writes go straight to the leader — the cursor moved.
+	if err := c.Mutate(w.Write(1)); err != nil {
+		t.Fatal(err)
+	}
+	if followerWrites != 1 {
+		t.Fatalf("follower saw %d writes after redirect, want still 1", followerWrites)
+	}
+}

@@ -1,0 +1,77 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gsqlgo/internal/bench"
+)
+
+// Reportify folds one or more run results into the shared BENCH_*.json
+// schema so gsqlbench artifacts travel through the exact machinery
+// (Validate, CompareReports) the microbenchmark suites use. Per-class
+// entries are named load/{mode}/{class} with mean latency in ns_per_op
+// and percentiles/throughput in Extra — all metric names chosen so the
+// comparison gates latency and throughput but treats the raw counters
+// (ops, errors, requests, lag) as informational.
+func Reportify(meta bench.RunMeta, results ...*Result) bench.Report {
+	rep := bench.Report{Meta: meta, Benchmarks: map[string]bench.Micro{}}
+	for _, res := range results {
+		for class, cs := range res.Classes {
+			name := fmt.Sprintf("load/%s/%s", res.Mode, class)
+			m := bench.Micro{
+				NsPerOp: float64(cs.Hist.Mean()),
+				Extra: map[string]float64{
+					"p50_ns":  float64(cs.Hist.Quantile(0.50)),
+					"p99_ns":  float64(cs.Hist.Quantile(0.99)),
+					"p999_ns": float64(cs.Hist.Quantile(0.999)),
+					"ops":     float64(cs.Ops),
+					"errors":  float64(cs.Errors),
+				},
+			}
+			if res.Elapsed > 0 {
+				m.Extra["ops_per_s"] = float64(cs.Ops) / res.Elapsed.Seconds()
+			}
+			rep.Benchmarks[name] = m
+		}
+		for i, t := range res.Targets {
+			extra := map[string]float64{
+				"requests": float64(t.Requests),
+				"errors":   float64(t.Errors),
+			}
+			if t.LagRecords >= 0 {
+				extra["lag_records"] = float64(t.LagRecords)
+			}
+			rep.Benchmarks[fmt.Sprintf("load/%s/target%d", res.Mode, i)] = bench.Micro{Extra: extra}
+		}
+	}
+	return rep
+}
+
+// Summary renders a run as the human-readable table gsqlbench prints.
+func Summary(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%s elapsed=%s\n", res.Mode, res.Elapsed.Round(1e6))
+	classes := make([]string, 0, len(res.Classes))
+	for c := range res.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		cs := res.Classes[c]
+		fmt.Fprintf(&b, "  %-10s ops=%-7d err=%-4d %7.1f op/s  mean=%-10s p50=%-10s p99=%-10s p999=%s\n",
+			c, cs.Ops, cs.Errors,
+			float64(cs.Ops)/res.Elapsed.Seconds(),
+			cs.Hist.Mean(), cs.Hist.Quantile(0.50), cs.Hist.Quantile(0.99), cs.Hist.Quantile(0.999))
+	}
+	for _, t := range res.Targets {
+		lag := "n/a"
+		if t.LagRecords >= 0 {
+			lag = fmt.Sprint(t.LagRecords)
+		}
+		fmt.Fprintf(&b, "  target %-28s requests=%-7d errors=%-4d lag_records=%s\n",
+			t.URL, t.Requests, t.Errors, lag)
+	}
+	return b.String()
+}

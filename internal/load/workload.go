@@ -1,0 +1,106 @@
+package load
+
+import (
+	"fmt"
+
+	"gsqlgo/internal/ldbc"
+)
+
+// Workload generates the op stream: installed-query reads over the IC
+// family and mutations from the ldbc mutation stream, both pure
+// functions of (config, seed, index) so closed- and open-loop runs —
+// and reruns — issue the same requests in the same order.
+type Workload struct {
+	cfg     ldbc.Config
+	seed    int64
+	hops    int
+	queries []string // short names, e.g. "ic5"
+	muts    *ldbc.MutGen
+}
+
+// Epoch bounds of the generated creationDate range (2009-01-01 and
+// 2013-01-01 UTC), matching internal/ldbc/gen.go.
+const (
+	epochLo = 1230768000
+	epochHi = 1356998400
+)
+
+// NewWorkload builds a workload against a graph generated with cfg.
+// queries picks the IC subset to exercise (nil → all five); prefix
+// namespaces the keys of vertices the write stream adds, so separate
+// runs against one durable server don't collide.
+func NewWorkload(cfg ldbc.Config, seed int64, hops int, queries []string, prefix string) (*Workload, error) {
+	if len(queries) == 0 {
+		queries = []string{"ic3", "ic5", "ic6", "ic9", "ic11"}
+	}
+	family := ldbc.ICQueries(hops)
+	for _, q := range queries {
+		if _, ok := family[q]; !ok {
+			return nil, fmt.Errorf("unknown query %q (have ic3, ic5, ic6, ic9, ic11)", q)
+		}
+	}
+	return &Workload{
+		cfg:     cfg,
+		seed:    seed,
+		hops:    hops,
+		queries: queries,
+		muts:    ldbc.NewMutGen(cfg, seed, prefix),
+	}, nil
+}
+
+// InstallSources returns the GSQL sources to install before the run,
+// keyed by installed name.
+func (w *Workload) InstallSources() map[string]string {
+	family := ldbc.ICQueries(w.hops)
+	out := make(map[string]string, len(w.queries))
+	for _, q := range w.queries {
+		out[ldbc.ICName(q, w.hops)] = family[q]
+	}
+	return out
+}
+
+// mix64 is the splitmix64 finalizer — the same bijective mixer the
+// ldbc mutation stream uses for its draws.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rnd derives a per-(read-op, salt) pseudo-random value.
+func (w *Workload) rnd(i uint64, salt uint64) uint64 {
+	return mix64(uint64(w.seed) ^ mix64(i*2654435761+salt))
+}
+
+// Read returns the installed query name and parameter map for read op
+// i. Parameters are drawn from the generated key spaces: start persons
+// cycle over the whole population, countries and tags over their full
+// ranges, datetimes over the generated creationDate window.
+func (w *Workload) Read(i uint64) (name string, params map[string]any) {
+	short := w.queries[i%uint64(len(w.queries))]
+	person := fmt.Sprintf("person%d", w.rnd(i, 1)%uint64(w.cfg.Persons()))
+	date := int64(epochLo + w.rnd(i, 2)%(epochHi-epochLo))
+	p := map[string]any{"p": person, "k": 20}
+	switch short {
+	case "ic3":
+		cx := w.rnd(i, 3) % ldbc.NumCountries
+		p["countryX"] = fmt.Sprintf("Country-%d", cx)
+		p["countryY"] = fmt.Sprintf("Country-%d", (cx+1+w.rnd(i, 4)%(ldbc.NumCountries-1))%ldbc.NumCountries)
+	case "ic5":
+		p["minDate"] = date
+	case "ic6":
+		p["tagName"] = fmt.Sprintf("Tag-%d", w.rnd(i, 5)%ldbc.NumTags)
+	case "ic9":
+		p["maxDate"] = date
+	case "ic11":
+		p["countryName"] = fmt.Sprintf("Country-%d", w.rnd(i, 6)%ldbc.NumCountries)
+		p["maxYear"] = 2005 + int(w.rnd(i, 7)%10)
+	}
+	return ldbc.ICName(short, w.hops), p
+}
+
+// Write returns mutation i of the stream.
+func (w *Workload) Write(i uint64) ldbc.Mutation { return w.muts.At(i) }

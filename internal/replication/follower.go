@@ -184,6 +184,12 @@ func (f *Follower) Store() *storage.Store {
 // Store).
 func (f *Follower) Graph() *graph.Graph { return f.Store().Graph() }
 
+// LeaderURL returns the base URL of the leader this follower tails.
+// The serving layer advertises it on rejected writes (Leader response
+// header + "leader" body field) so clients can redirect mutations
+// without out-of-band configuration.
+func (f *Follower) LeaderURL() string { return f.cfg.LeaderURL }
+
 // Stats snapshots the follower's counters and lag gauges.
 func (f *Follower) Stats() FollowerStats {
 	return FollowerStats{

@@ -177,14 +177,24 @@ func TestReplicationEndToEnd(t *testing.T) {
 	installDegree(t, rep.srv)
 
 	// Mutations and checkpoints are refused with the typed read-only
-	// error; reads keep working.
-	for _, route := range []string{"/graph/vertices", "/admin/checkpoint"} {
+	// error; reads keep working. The rejection advertises the leader in
+	// both the Leader header and the body so a client (gsqlbench's load
+	// client does exactly this) can redirect the write with no
+	// out-of-band configuration.
+	for _, route := range []string{"/graph/vertices", "/graph/vertices/attrs", "/graph/edges", "/admin/checkpoint"} {
 		w := do(rep.srv, "POST", route, `{"type":"Person","key":"x"}`)
 		if w.Code != http.StatusForbidden {
 			t.Fatalf("follower POST %s: %d, want 403", route, w.Code)
 		}
-		if resp := decode[errorResponse](t, w); resp.Code != "read_only" {
+		if got := w.Header().Get("Leader"); got != ts.URL {
+			t.Fatalf("follower POST %s: Leader header %q, want %q", route, got, ts.URL)
+		}
+		resp := decode[errorResponse](t, w)
+		if resp.Code != "read_only" {
 			t.Fatalf("follower POST %s: code %q, want read_only", route, resp.Code)
+		}
+		if resp.Leader != ts.URL {
+			t.Fatalf("follower POST %s: body leader %q, want %q", route, resp.Leader, ts.URL)
 		}
 	}
 

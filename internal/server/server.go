@@ -284,6 +284,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /queries", s.handleList)
 	mux.HandleFunc("POST /queries/{name}/run", s.handleRun)
 	mux.HandleFunc("POST /graph/vertices", s.handleAddVertex)
+	mux.HandleFunc("POST /graph/vertices/attrs", s.handleSetVertexAttrs)
 	mux.HandleFunc("POST /graph/edges", s.handleAddEdge)
 	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -429,6 +430,11 @@ type paramInfo struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// Leader carries the leader's base URL on a follower's read_only
+	// rejection (alongside the Leader response header), so load
+	// generators and clients can redirect the mutation without
+	// out-of-band configuration.
+	Leader string `json:"leader,omitempty"`
 }
 
 // ---- error mapping --------------------------------------------------------
@@ -482,13 +488,23 @@ func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	return true
 }
 
-// rejectReadOnly 403s mutation routes on a follower.
+// rejectReadOnly 403s mutation routes on a follower, advertising the
+// leader's base URL in a Leader response header and the JSON body so
+// the client can redirect the write itself.
 func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
 	if s.cfg.Follower == nil {
 		return false
 	}
 	s.mRejected.With("read_only").Inc()
-	writeError(w, fmt.Errorf("%w (mutate the leader instead)", replication.ErrReadOnly))
+	leader := s.cfg.Follower.LeaderURL()
+	if leader != "" {
+		w.Header().Set("Leader", leader)
+	}
+	writeJSON(w, http.StatusForbidden, errorResponse{
+		Error:  fmt.Sprintf("%v (mutate the leader at %s)", replication.ErrReadOnly, leader),
+		Code:   "read_only",
+		Leader: leader,
+	})
 	return true
 }
 

@@ -212,6 +212,73 @@ func (s *Server) awaitDurable(err error, seq uint64, off int64) error {
 	return s.cfg.Store.WaitDurable(seq, off)
 }
 
+type setAttrsRequest struct {
+	Type  string                     `json:"type"`
+	Key   string                     `json:"key"`
+	Attrs map[string]json.RawMessage `json:"attrs"`
+}
+
+// handleSetVertexAttrs updates attributes of one key-addressed vertex:
+// {"type","key","attrs":{...}} → 200 with the vertex id. Each update is
+// WAL-logged individually through the observer path, exactly like the
+// in-process SetVertexAttr call sites — the SNB-shaped update stream's
+// set_attr records land here.
+func (s *Server) handleSetVertexAttrs(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) || s.rejectReadOnly(w) {
+		return
+	}
+	var req setAttrsRequest
+	if !readMutationBody(w, r, &req) {
+		return
+	}
+	g := s.eng.Graph()
+	vt := g.Schema.VertexType(req.Type)
+	if vt == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("unknown vertex type %q", req.Type), Code: "unknown_type"})
+		return
+	}
+	attrs, err := decodeAttrs(vt.Attrs, req.Attrs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: "bad_attrs"})
+		return
+	}
+	if len(attrs) == 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "attrs must name at least one attribute", Code: "bad_attrs"})
+		return
+	}
+	// Key resolution and the updates share one exclusive section for the
+	// same reason handleAddEdge's endpoint lookups do: the key index is
+	// written by concurrent vertex POSTs.
+	done := s.traceMutation(r, "set_attr")
+	s.wmu.Lock()
+	id, ok := g.VertexByKey(req.Type, req.Key)
+	if !ok {
+		s.wmu.Unlock()
+		done(nil)
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("no %s vertex with key %q", req.Type, req.Key), Code: "unknown_vertex"})
+		return
+	}
+	for name, val := range attrs {
+		if err = g.SetVertexAttr(id, name, val); err != nil {
+			break
+		}
+	}
+	resp := mutationResponse{ID: int64(id),
+		Vertices: g.NumVertices(), Edges: g.NumEdges(), Epoch: g.Epoch()}
+	seq, off := s.mutationPosition(err)
+	s.wmu.Unlock()
+	err = s.awaitDurable(err, seq, off)
+	done(err)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleAddEdge inserts one edge between key-addressed endpoints:
 // {"type","src":{"type","key"},"dst":{...},"attrs"} → 201 with the
 // assigned id. Unknown endpoints are 404.

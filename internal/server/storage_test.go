@@ -74,6 +74,53 @@ func runDegree(t *testing.T, baseURL string) string {
 	return string(body)
 }
 
+// TestSetVertexAttrsRoute: POST /graph/vertices/attrs updates a
+// key-addressed vertex, WAL-logs the change, and rejects unknown
+// types, vertices, and attributes with the usual taxonomy.
+func TestSetVertexAttrsRoute(t *testing.T) {
+	dir := t.TempDir()
+	_, st, ts := newStorageServer(t, dir)
+	resp, body := postJSON(t, ts.URL+"/graph/vertices", map[string]any{
+		"type": "Person", "key": "ada",
+		"attrs": map[string]any{"name": "Ada", "age": 36},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add vertex: %d %s", resp.StatusCode, body)
+	}
+	walBefore := st.Stats().WALRecords
+
+	resp, body = postJSON(t, ts.URL+"/graph/vertices/attrs", map[string]any{
+		"type": "Person", "key": "ada",
+		"attrs": map[string]any{"age": 37},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set attrs: %d %s", resp.StatusCode, body)
+	}
+	g := st.Graph()
+	id, _ := g.VertexByKey("Person", "ada")
+	if v, ok := g.VertexAttr(id, "age"); !ok || v.Int() != 37 {
+		t.Fatalf("age after update: %v", v)
+	}
+	if got := st.Stats().WALRecords; got != walBefore+1 {
+		t.Fatalf("WAL records %d, want %d (update must be logged)", got, walBefore+1)
+	}
+
+	for _, bad := range []struct {
+		body map[string]any
+		want int
+	}{
+		{map[string]any{"type": "Robot", "key": "ada", "attrs": map[string]any{"age": 1}}, http.StatusNotFound},
+		{map[string]any{"type": "Person", "key": "nobody", "attrs": map[string]any{"age": 1}}, http.StatusNotFound},
+		{map[string]any{"type": "Person", "key": "ada", "attrs": map[string]any{"shoeSize": 1}}, http.StatusBadRequest},
+		{map[string]any{"type": "Person", "key": "ada"}, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, ts.URL+"/graph/vertices/attrs", bad.body)
+		if resp.StatusCode != bad.want {
+			t.Errorf("set attrs %v: %d %s, want %d", bad.body, resp.StatusCode, body, bad.want)
+		}
+	}
+}
+
 // TestServerMutationsSurviveRestart is the serving-layer acceptance
 // test: mutate over HTTP, stop the server (graceful drain +
 // checkpoint), start a fresh server over the same directory, and see
