@@ -27,6 +27,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"gsqlgo/internal/bench"
 	"gsqlgo/internal/ldbc"
 	"gsqlgo/internal/load"
+	"gsqlgo/internal/trace"
 )
 
 func main() {
@@ -51,6 +53,8 @@ func main() {
 		queries     = flag.String("queries", "", "comma-separated IC subset (ic3,ic5,ic6,ic9,ic11); empty = all")
 		prefix      = flag.String("write-prefix", "bench", "key namespace for vertices the write stream adds (vary across runs against one durable server)")
 		timeout     = flag.Duration("op-timeout", 30*time.Second, "per-request HTTP timeout")
+		traceSample = flag.Int("trace-sample", 0, "tag every Nth read with a fresh X-Trace-Id and, after the run, fetch and print the server span trees of the slowest sampled reads (0 = off)")
+		traceTopK   = flag.Int("trace-top", 3, "how many of the slowest sampled reads to fetch server traces for")
 		jsonOut     = flag.String("json", "", "write the merged BENCH report to this file")
 		compare     = flag.String("compare", "", "baseline BENCH_load.json to gate against")
 		tolerance   = flag.Float64("tolerance", 0.3, "relative regression tolerance for -compare (0.3 = 30%)")
@@ -97,6 +101,7 @@ func main() {
 		if err := client.InstallAll(wl.InstallSources()); err != nil {
 			fatal(err)
 		}
+		client.SetTraceSampling(*traceSample, 0)
 		res, err := load.Run(ctx, load.Config{
 			Client:        client,
 			Workload:      wl,
@@ -113,6 +118,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(load.Summary(res))
+		if *traceSample > 0 {
+			printSampledTraces(client, *traceTopK)
+		}
 		results = append(results, res)
 	}
 
@@ -150,6 +158,41 @@ func main() {
 		}
 		fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *compare, *tolerance*100)
 	}
+}
+
+// printSampledTraces fetches and renders the server span trees for the
+// slowest sampled reads — the payoff of -trace-sample: the id this
+// client minted comes back as the root span's trace_id attribute on
+// the server that actually executed the run.
+func printSampledTraces(client *load.Client, topK int) {
+	samples := client.TraceSamples()
+	if len(samples) == 0 {
+		fmt.Println("trace sample: no reads sampled")
+		return
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a].LatencyMS > samples[b].LatencyMS })
+	if topK > 0 && len(samples) > topK {
+		samples = samples[:topK]
+	}
+	fmt.Printf("trace sample: server span trees for the %d slowest sampled reads\n", len(samples))
+	matched := 0
+	for _, s := range samples {
+		fmt.Printf("-- trace %s  query=%s target=%s client_latency=%.3fms\n",
+			s.ID, s.Query, s.Target, s.LatencyMS)
+		spans, err := client.FetchTrace(s.Target, s.ID)
+		switch {
+		case err != nil:
+			fmt.Printf("   (fetch failed: %v)\n", err)
+		case len(spans) == 0:
+			fmt.Println("   (trace aged out of the server ring)")
+		default:
+			matched++
+			for _, sp := range spans {
+				trace.RenderJSON(os.Stdout, sp)
+			}
+		}
+	}
+	fmt.Printf("trace sample: %d/%d matched server-side\n", matched, len(samples))
 }
 
 func parseMix(s string) (r, w, c int, err error) {

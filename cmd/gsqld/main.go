@@ -49,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -78,6 +79,10 @@ func main() {
 	fsync := flag.Bool("fsync", false, "fsync the WAL after every mutation (durable against power loss, not just crashes); concurrent mutations share flushes (group commit)")
 	walRetain := flag.Int("wal-retain", 0, "snapshot/WAL generations to keep (0 = default 2); raise on a leader so slow followers keep tailing across checkpoints")
 	follow := flag.String("follow", "", "run as a read replica of the leader at this base URL (requires -data-dir; mutation routes answer 403)")
+	metricsHistory := flag.Duration("metrics-history", 0, "sample every metric into a bounded in-memory ring at this interval, served at GET /debug/metrics/history (0 = off)")
+	metricsHistorySize := flag.Int("metrics-history-size", 0, "samples the metrics history retains (0 = default 600)")
+	advertise := flag.String("advertise", "", "this node's base URL as peers reach it (default http://127.0.0.1:PORT from -addr); identifies the node in /cluster/status and is sent to the leader on replication fetches")
+	peers := flag.String("peers", "", "comma-separated base URLs of other cluster nodes for the /cluster/status fan-out (replication peers are learned automatically)")
 	data := flag.String("data", "", "directory with schema.json and CSV files (from snbgen or DumpCSV)")
 	builtin := flag.String("builtin", "", "built-in graph: diamond:N | sales | snb:SF | g1 | g2 | linkgraph:N")
 	queryFile := flag.String("query", "", "optional GSQL source file to pre-install at startup")
@@ -101,6 +106,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	advertiseURL := *advertise
+	if advertiseURL == "" {
+		advertiseURL = deriveAdvertise(*addr)
+	}
+	advertiseURL = strings.TrimRight(advertiseURL, "/")
+
 	var g *graph.Graph
 	var store *storage.Store
 	var follower *replication.Follower
@@ -109,11 +120,12 @@ func main() {
 			fatal("starting follower", fmt.Errorf("-follow requires -data-dir for the replica's local store"))
 		}
 		fw, err := replication.OpenFollower(context.Background(), replication.FollowerConfig{
-			LeaderURL: strings.TrimRight(*follow, "/"),
-			Dir:       *dataDir,
-			Fsync:     *fsync,
-			Retain:    *walRetain,
-			Logger:    logger,
+			LeaderURL:    strings.TrimRight(*follow, "/"),
+			Dir:          *dataDir,
+			Fsync:        *fsync,
+			Retain:       *walRetain,
+			Logger:       logger,
+			AdvertiseURL: advertiseURL,
 		})
 		if err != nil {
 			fatal("opening follower", err)
@@ -180,6 +192,10 @@ func main() {
 		Logger:             logger,
 		SlowQueryThreshold: time.Duration(*slowMs) * time.Millisecond,
 		TraceRingSize:      *traceRing,
+		MetricsHistory:     *metricsHistory,
+		MetricsHistorySize: *metricsHistorySize,
+		AdvertiseURL:       advertiseURL,
+		Peers:              splitPeers(*peers),
 	})
 	srv.PublishExpvar("gsqld")
 
@@ -245,6 +261,32 @@ func main() {
 			logger.Warn("closing store", "error", err)
 		}
 	}
+}
+
+// deriveAdvertise guesses this node's reachable base URL from the
+// listen address: the listen host when it names one, 127.0.0.1 for the
+// wildcard. Single-machine clusters (tests, CI smoke, local dev) just
+// work; multi-host deployments pass -advertise explicitly.
+func deriveAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return ""
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// splitPeers parses the comma-separated -peers list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(strings.TrimRight(p, "/")); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func buildLogger(asJSON bool, level string) (*slog.Logger, error) {

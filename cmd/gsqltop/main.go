@@ -1,0 +1,123 @@
+// Command gsqltop is a live terminal dashboard for a gsqld cluster. It
+// polls one node's GET /cluster/status — the node fans out to every
+// peer it knows about and merges the reports — and renders a
+// refreshing per-node table: role, QPS, latency quantiles, replication
+// lag, MVCC epoch and fold count, WAL position. When the polled node
+// samples metrics history (-metrics-history on gsqld), a per-query
+// breakdown over the recent window is appended.
+//
+//	gsqltop -cluster http://localhost:8844
+//	gsqltop -cluster http://localhost:8844 -once   # one plain-text frame
+//
+// -once renders a single frame without ANSI escapes and exits — the
+// form CI smoke tests and scripts consume.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"gsqlgo/internal/cluster"
+	"gsqlgo/internal/metrics"
+)
+
+func main() {
+	var (
+		base     = flag.String("cluster", "http://localhost:8844", "base URL of any cluster node; its /cluster/status fan-out defines the membership shown")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval in live mode")
+		window   = flag.Duration("window", 30*time.Second, "metrics-history window for the per-query breakdown")
+		once     = flag.Bool("once", false, "render one plain frame and exit (no ANSI escapes)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
+	)
+	flag.Parse()
+	client := &http.Client{Timeout: *timeout}
+
+	if *once {
+		if err := renderOnce(os.Stdout, client, *base, *window); err != nil {
+			fmt.Fprintln(os.Stderr, "gsqltop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		var buf []byte
+		{
+			var b bytesWriter
+			if err := renderOnce(&b, client, *base, *window); err != nil {
+				fmt.Fprintf(&b, "gsqltop: %v\n", err)
+			}
+			buf = b.data
+		}
+		// One write per frame, after clearing: no partial-frame flicker.
+		fmt.Print("\033[H\033[2J")
+		os.Stdout.Write(buf)
+		time.Sleep(*interval)
+	}
+}
+
+type bytesWriter struct{ data []byte }
+
+func (b *bytesWriter) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+// renderOnce polls one frame's worth of state and renders it.
+func renderOnce(w io.Writer, client *http.Client, base string, window time.Duration) error {
+	st, err := fetchStatus(client, base)
+	if err != nil {
+		return err
+	}
+	hist, _ := fetchHistory(client, base, window) // nil when unavailable; the node table still renders
+	render(w, st, hist)
+	return nil
+}
+
+func fetchStatus(client *http.Client, base string) (*cluster.Status, error) {
+	resp, err := client.Get(base + "/cluster/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("%s/cluster/status: %s: %s", base, resp.Status, body)
+	}
+	var st cluster.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// historyDoc is the slice of GET /debug/metrics/history gsqltop needs.
+type historyDoc struct {
+	Enabled       bool                          `json:"enabled"`
+	WindowSeconds float64                       `json:"window_seconds"`
+	Series        map[string]metrics.SeriesRate `json:"series"`
+}
+
+func fetchHistory(client *http.Client, base string, window time.Duration) (*historyDoc, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/debug/metrics/history?window=%s", base, window))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("history: %s", resp.Status)
+	}
+	var doc historyDoc
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if !doc.Enabled {
+		return nil, nil
+	}
+	return &doc, nil
+}

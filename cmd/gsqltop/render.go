@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"gsqlgo/internal/cluster"
+)
+
+// render writes one dashboard frame: the per-node table from the
+// merged cluster status, then (when the polled node samples metrics
+// history) a per-query breakdown over the recent window. Pure function
+// of its inputs so the golden test can pin the exact output.
+func render(w io.Writer, st *cluster.Status, hist *historyDoc) {
+	fmt.Fprintf(w, "gsqltop — %d node(s), reported by %s at %s\n\n",
+		len(st.Nodes), st.ReportedBy, st.At.Format("15:04:05"))
+
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tROLE\tSTATUS\tQPS\tP50ms\tP99ms\tLAGrec\tLAGbytes\tEPOCH\tFOLDS\tWAL\tRUNS\tERRS\tUPTIME")
+	for _, n := range st.Nodes {
+		if n.Error != "" {
+			fmt.Fprintf(tw, "%s\tunreachable: %s\n", n.URL, n.Error)
+			continue
+		}
+		lagRec, lagBytes := "-", "-"
+		if n.Role == "follower" {
+			lagRec = fmt.Sprintf("%d", n.LagRecords)
+			lagBytes = fmt.Sprintf("%d", n.LagBytes)
+		}
+		wal := "-"
+		if n.WALSeq != 0 {
+			wal = fmt.Sprintf("%d:%d", n.WALSeq, n.WALOffset)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f\t%.2f\t%.2f\t%s\t%s\t%d\t%d\t%s\t%d\t%d\t%s\n",
+			n.URL, n.Role, n.Status, n.QPS,
+			n.P50Seconds*1000, n.P99Seconds*1000,
+			lagRec, lagBytes,
+			n.SnapshotEpoch, n.MVCCFolds, wal,
+			n.RunsTotal, n.ErrorsTotal, fmtUptime(n.UptimeSeconds))
+	}
+	tw.Flush()
+
+	if hist == nil || len(hist.Series) == 0 {
+		return
+	}
+	rows := queryRows(hist)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nper-query (last %.0fs on %s)\n", hist.WindowSeconds, st.ReportedBy)
+	tw = tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "QUERY\tQPS\tP50ms\tP90ms\tP99ms")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%.2f\t%.2f\n",
+			r.name, r.qps, r.p50*1000, r.p90*1000, r.p99*1000)
+	}
+	tw.Flush()
+}
+
+type queryRow struct {
+	name               string
+	qps, p50, p90, p99 float64
+}
+
+// queryRows extracts the per-query latency series from a history
+// document, sorted by rate descending then name.
+func queryRows(hist *historyDoc) []queryRow {
+	const prefix = `gsqld_query_latency_seconds{query="`
+	var rows []queryRow
+	for key, sr := range hist.Series {
+		rest, ok := strings.CutPrefix(key, prefix)
+		if !ok {
+			continue
+		}
+		name, _, ok := strings.Cut(rest, `"`)
+		if !ok || sr.Count == 0 {
+			continue
+		}
+		rows = append(rows, queryRow{name: name, qps: sr.PerSecond, p50: sr.P50, p90: sr.P90, p99: sr.P99})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].qps != rows[b].qps {
+			return rows[a].qps > rows[b].qps
+		}
+		return rows[a].name < rows[b].name
+	})
+	return rows
+}
+
+// fmtUptime renders seconds as 12s / 3m04s / 2h07m.
+func fmtUptime(sec float64) string {
+	s := int64(sec)
+	switch {
+	case s < 60:
+		return fmt.Sprintf("%ds", s)
+	case s < 3600:
+		return fmt.Sprintf("%dm%02ds", s/60, s%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", s/3600, (s%3600)/60)
+	}
+}

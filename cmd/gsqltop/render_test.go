@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/cluster"
+	"gsqlgo/internal/metrics"
+)
+
+// TestRenderGolden pins the exact -once frame for a fixed two-node
+// cluster with a history breakdown — the contract the CI smoke test
+// greps against.
+func TestRenderGolden(t *testing.T) {
+	at := time.Date(2026, 8, 8, 12, 30, 5, 0, time.UTC)
+	st := &cluster.Status{
+		ReportedBy: "http://127.0.0.1:18844",
+		At:         at,
+		Nodes: []cluster.NodeStatus{
+			{
+				URL: "http://127.0.0.1:18844", Role: "leader", Status: "ok",
+				UptimeSeconds: 125, SnapshotEpoch: 120, MVCCFolds: 3,
+				WALSeq: 2, WALOffset: 4096, RunsTotal: 5000,
+				QPS: 123.45, P50Seconds: 0.00123, P99Seconds: 0.00456,
+			},
+			{
+				URL: "http://127.0.0.1:18845", Role: "follower", Status: "ok",
+				UptimeSeconds: 61, SnapshotEpoch: 120, MVCCFolds: 3,
+				WALSeq: 2, WALOffset: 4096, RunsTotal: 4800, ErrorsTotal: 2,
+				LeaderURL: "http://127.0.0.1:18844",
+				QPS:       110.2, P50Seconds: 0.0015, P99Seconds: 0.0061,
+			},
+			{URL: "http://127.0.0.1:18846", Error: "connection refused"},
+		},
+	}
+	hist := &historyDoc{
+		Enabled:       true,
+		WindowSeconds: 30,
+		Series: map[string]metrics.SeriesRate{
+			`gsqld_query_latency_seconds{query="IC6"}`: {
+				Kind: "histogram", Count: 900, PerSecond: 30,
+				P50: 0.001, P90: 0.002, P99: 0.004,
+			},
+			`gsqld_query_latency_seconds{query="IC3"}`: {
+				Kind: "histogram", Count: 2700, PerSecond: 90,
+				P50: 0.0008, P90: 0.0019, P99: 0.0035,
+			},
+			// Non-latency series must not leak into the breakdown.
+			`gsqld_query_runs_total{query="IC3",status="ok"}`: {
+				Kind: "counter", Last: 2700, PerSecond: 90,
+			},
+		},
+	}
+
+	var b strings.Builder
+	render(&b, st, hist)
+	got := b.String()
+
+	want := strings.Join([]string{
+		"gsqltop — 3 node(s), reported by http://127.0.0.1:18844 at 12:30:05",
+		"",
+		"NODE                    ROLE      STATUS  QPS    P50ms  P99ms  LAGrec  LAGbytes  EPOCH  FOLDS  WAL     RUNS  ERRS  UPTIME",
+		"http://127.0.0.1:18844  leader    ok      123.5  1.23   4.56   -       -         120    3      2:4096  5000  0     2m05s",
+		"http://127.0.0.1:18845  follower  ok      110.2  1.50   6.10   0       0         120    3      2:4096  4800  2     1m01s",
+		"http://127.0.0.1:18846  unreachable: connection refused",
+		"",
+		"per-query (last 30s on http://127.0.0.1:18844)",
+		"QUERY  QPS   P50ms  P90ms  P99ms",
+		"IC3    90.0  0.80   1.90   3.50",
+		"IC6    30.0  1.00   2.00   4.00",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("render mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderNoHistory keeps the frame valid when the polled node has
+// the sampler off.
+func TestRenderNoHistory(t *testing.T) {
+	st := &cluster.Status{
+		ReportedBy: "self",
+		At:         time.Date(2026, 8, 8, 9, 0, 0, 0, time.UTC),
+		Nodes: []cluster.NodeStatus{
+			{URL: "self", Role: "standalone", Status: "ok", UptimeSeconds: 5, RunsTotal: 10, QPS: 2},
+		},
+	}
+	var b strings.Builder
+	render(&b, st, nil)
+	out := b.String()
+	for _, frag := range []string{"1 node(s)", "standalone", "UPTIME", "5s"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("frame missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "per-query") {
+		t.Errorf("no-history frame must omit the per-query section:\n%s", out)
+	}
+}

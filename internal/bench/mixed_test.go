@@ -14,3 +14,12 @@ func BenchmarkMixedReadWrite(b *testing.B) {
 	b.Run("noWriters", mixedReadCase(0))
 	b.Run("withWriters", mixedReadCase(2))
 }
+
+// BenchmarkServeHistorySampler is the E17 overhead check runnable
+// standalone: the serving path with the metrics-history sampler ticking
+// at 1s. Compare ns/op against BenchmarkMixedReadWrite/noWriters or
+// the Serve/run row of BENCH_server.json — the sampler is off the
+// request path and must cost nothing measurable per request.
+func BenchmarkServeHistorySampler(b *testing.B) {
+	historyRunCase(b)
+}

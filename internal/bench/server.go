@@ -110,6 +110,42 @@ func serverSuite() []benchCase {
 				}
 			}
 		}},
+		{"Serve/run/history1s", historyRunCase},
+	}
+}
+
+// historyRunCase measures the serving path with the metrics-history
+// sampler enabled at a 1s interval — the overhead comparison against
+// the plain Serve/run case (EXPERIMENTS.md E17). The sampler never
+// touches the request path (one background Gather per tick), so this
+// must sit within noise of Serve/run; a gap here means the registry
+// snapshot started contending with hot-path counter writes.
+func historyRunCase(b *testing.B) {
+	g := graph.BuildSalesGraph(graph.SalesGraphConfig{
+		Customers: 200, Products: 60, Sales: 3000, Likes: 4000, Seed: 42,
+	})
+	eng := core.New(g, core.Options{})
+	if err := eng.Install(recommenderSrc); err != nil {
+		panic(err)
+	}
+	srv := server.New(server.Config{Engine: eng, MetricsHistory: time.Second})
+	defer srv.History().Stop()
+	doReq := func(method, path, body string) int {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := doReq("POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":5}}`); code != http.StatusOK {
+		panic(fmt.Sprintf("prime run: HTTP %d", code))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"params":{"c":"c%d","k":5}}`, i%200)
+		if code := doReq("POST", "/queries/TopKToys/run", body); code != http.StatusOK {
+			b.Fatalf("HTTP %d", code)
+		}
 	}
 }
 

@@ -1,0 +1,103 @@
+// Package cluster defines the wire types for cluster-wide status:
+// what one gsqld reports about itself at GET /cluster/node, and the
+// merged document the leader assembles at GET /cluster/status by
+// fanning out to every node it knows about. cmd/gsqltop decodes the
+// same types to render its dashboard, so the package stays pure data —
+// no server imports, no HTTP.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// NodeStatus is one node's self-report. The zero value of any section
+// means "not applicable to this role" (a standalone node has no lag; a
+// follower has no served-replication counters).
+type NodeStatus struct {
+	URL           string  `json:"url"`
+	Role          string  `json:"role"` // "leader" | "follower" | "standalone"
+	Status        string  `json:"status"`
+	Version       string  `json:"version,omitempty"`
+	Commit        string  `json:"commit,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	// MVCC lineage of the serving graph.
+	SnapshotEpoch uint64 `json:"snapshot_epoch"`
+	MVCCFolds     uint64 `json:"mvcc_folds"`
+	DeltaRecords  uint64 `json:"delta_records"`
+
+	// Durable-store position (zero when serving purely in memory).
+	WALSeq      uint64 `json:"wal_seq,omitempty"`
+	WALOffset   int64  `json:"wal_offset,omitempty"`
+	WALRecords  uint64 `json:"wal_records,omitempty"`
+	WALBytes    uint64 `json:"wal_bytes,omitempty"`
+	Checkpoints uint64 `json:"checkpoints,omitempty"`
+
+	// Replication, follower side.
+	LeaderURL  string `json:"leader_url,omitempty"`
+	LagRecords int64  `json:"lag_records"`
+	LagBytes   int64  `json:"lag_bytes"`
+
+	// Query service.
+	InstalledQueries int64   `json:"installed_queries"`
+	Inflight         int64   `json:"inflight"`
+	RunsTotal        uint64  `json:"runs_total"`
+	ErrorsTotal      uint64  `json:"errors_total"`
+	QPS              float64 `json:"qps"`
+	P50Seconds       float64 `json:"p50_seconds"`
+	P90Seconds       float64 `json:"p90_seconds"`
+	P99Seconds       float64 `json:"p99_seconds"`
+	// WindowSeconds is the span QPS and the quantiles were computed
+	// over: a recent metrics-history window when the node samples
+	// history, otherwise 0 meaning lifetime aggregates.
+	WindowSeconds float64 `json:"window_seconds,omitempty"`
+
+	// Error is set (with every other field zero except URL) when the
+	// aggregating node could not scrape this peer.
+	Error string `json:"error,omitempty"`
+}
+
+// Status is the merged cluster document: every reachable node's
+// self-report, plus who assembled it and when.
+type Status struct {
+	ReportedBy string       `json:"reported_by"`
+	At         time.Time    `json:"at"`
+	Nodes      []NodeStatus `json:"nodes"`
+}
+
+// FetchNode scrapes one peer's GET /cluster/node. The returned
+// NodeStatus always carries url; on failure Error is set instead of
+// returning a Go error, because an unreachable node is a row in the
+// merged document, not a reason to drop the document.
+func FetchNode(ctx context.Context, client *http.Client, url string) NodeStatus {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	fail := func(err error) NodeStatus {
+		return NodeStatus{URL: url, Error: err.Error()}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/cluster/node", nil)
+	if err != nil {
+		return fail(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fail(fmt.Errorf("%s: %s", resp.Status, body))
+	}
+	var ns NodeStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ns); err != nil {
+		return fail(err)
+	}
+	ns.URL = url // the scraped address wins over whatever the node advertised
+	return ns
+}

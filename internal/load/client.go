@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"gsqlgo/internal/ldbc"
+	"gsqlgo/internal/trace"
 )
 
 // Client fans the workload out over one or more gsqld targets. Reads
@@ -26,6 +28,68 @@ type Client struct {
 	http    *http.Client
 	next    atomic.Uint64 // round-robin cursor for reads
 	writeTo atomic.Int64  // index of the current write target
+
+	// Cross-process trace sampling (SetTraceSampling): every Nth read
+	// carries a fresh client-minted X-Trace-Id, and the id is recorded
+	// with the served target and observed latency so the caller can
+	// fetch the matching server span tree afterwards.
+	sampleEvery int
+	sampleMax   int
+	reads       atomic.Uint64
+	sampleMu    sync.Mutex
+	samples     []TraceSample
+}
+
+// TraceSample records one sampled read: the client-minted trace id,
+// what ran where, and the client-observed latency. The server's span
+// tree for it is at {Target}/debug/traces?trace_id={ID}.
+type TraceSample struct {
+	ID        string  `json:"id"`
+	Query     string  `json:"query"`
+	Target    string  `json:"target"`
+	LatencyMS float64 `json:"latency_ms"`
+	Err       bool    `json:"err,omitempty"`
+}
+
+// SetTraceSampling tags every Nth read with a fresh X-Trace-Id
+// (every <= 0 disables sampling), retaining at most maxSamples sampled
+// reads (<= 0 = 256). Call before the run starts.
+func (c *Client) SetTraceSampling(every, maxSamples int) {
+	if maxSamples <= 0 {
+		maxSamples = 256
+	}
+	c.sampleEvery, c.sampleMax = every, maxSamples
+}
+
+// TraceSamples returns the sampled reads recorded so far.
+func (c *Client) TraceSamples() []TraceSample {
+	c.sampleMu.Lock()
+	defer c.sampleMu.Unlock()
+	return append([]TraceSample(nil), c.samples...)
+}
+
+// sampleTraceID decides whether this read is sampled, minting its
+// trace id if so ("" otherwise). Sampling stops once the retention cap
+// is reached — an id we can't retain would tag a trace nobody fetches.
+func (c *Client) sampleTraceID() string {
+	if c.sampleEvery <= 0 || c.reads.Add(1)%uint64(c.sampleEvery) != 0 {
+		return ""
+	}
+	c.sampleMu.Lock()
+	full := len(c.samples) >= c.sampleMax
+	c.sampleMu.Unlock()
+	if full {
+		return ""
+	}
+	return trace.NewID()
+}
+
+func (c *Client) recordSample(s TraceSample) {
+	c.sampleMu.Lock()
+	if len(c.samples) < c.sampleMax {
+		c.samples = append(c.samples, s)
+	}
+	c.sampleMu.Unlock()
 }
 
 type target struct {
@@ -67,7 +131,8 @@ func (c *Client) Targets() []string {
 // post sends body to tgt at path and returns (status, response body).
 // The target's request counter is bumped here; error accounting is the
 // caller's call — a 403 on a follower is protocol, not failure.
-func (c *Client) post(tgt *target, path string, body []byte, contentType string) (int, []byte, http.Header, error) {
+// traceID, when non-empty, rides as the X-Trace-Id header.
+func (c *Client) post(tgt *target, path string, body []byte, contentType, traceID string) (int, []byte, http.Header, error) {
 	tgt.requests.Add(1)
 	req, err := http.NewRequest("POST", tgt.url+path, bytes.NewReader(body))
 	if err != nil {
@@ -75,6 +140,9 @@ func (c *Client) post(tgt *target, path string, body []byte, contentType string)
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if traceID != "" {
+		req.Header.Set("X-Trace-Id", traceID)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -95,7 +163,7 @@ func (c *Client) post(tgt *target, path string, body []byte, contentType string)
 func (c *Client) InstallAll(sources map[string]string) error {
 	for _, t := range c.targets {
 		for name, src := range sources {
-			status, body, _, err := c.post(t, "/queries", []byte(src), "text/plain")
+			status, body, _, err := c.post(t, "/queries", []byte(src), "text/plain", "")
 			if err != nil {
 				return fmt.Errorf("install %s on %s: %w", name, t.url, err)
 			}
@@ -115,7 +183,16 @@ func (c *Client) RunQuery(name string, params map[string]any) error {
 	if err != nil {
 		return err
 	}
-	status, rb, _, err := c.post(t, "/queries/"+name+"/run", body, "application/json")
+	tid := c.sampleTraceID()
+	start := time.Now()
+	status, rb, _, err := c.post(t, "/queries/"+name+"/run", body, "application/json", tid)
+	if tid != "" {
+		c.recordSample(TraceSample{
+			ID: tid, Query: name, Target: t.url,
+			LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+			Err:       err != nil || status != http.StatusOK,
+		})
+	}
 	if err != nil {
 		t.errors.Add(1)
 		return fmt.Errorf("run %s on %s: %w", name, t.url, err)
@@ -148,7 +225,7 @@ func (c *Client) postWrite(path string, body []byte) error {
 	for attempt := 0; ; attempt++ {
 		idx := int(c.writeTo.Load())
 		t := c.targets[idx]
-		status, rb, hdr, err := c.post(t, path, body, "application/json")
+		status, rb, hdr, err := c.post(t, path, body, "application/json", "")
 		if err != nil {
 			t.errors.Add(1)
 			return fmt.Errorf("write %s to %s: %w", path, t.url, err)
@@ -181,6 +258,29 @@ func (c *Client) redirectWrite(from int, leader string) bool {
 		}
 	}
 	return false
+}
+
+// FetchTrace fetches the server span trees recorded under a sampled
+// trace id from target's /debug/traces ring — the retrieve half of
+// cross-process trace propagation. An empty slice means the trace has
+// already aged out of the ring (or never armed).
+func (c *Client) FetchTrace(target, traceID string) ([]*trace.SpanJSON, error) {
+	resp, err := c.http.Get(strings.TrimRight(target, "/") + "/debug/traces?trace_id=" + traceID)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("load: fetching trace %s from %s: %d %s", traceID, target, resp.StatusCode, body)
+	}
+	var out struct {
+		Traces []*trace.SpanJSON `json:"traces"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Traces, nil
 }
 
 // Lag probes each target's /metrics for the replication lag gauge and

@@ -99,6 +99,10 @@ gsqld_latency_seconds_bucket{le="2"} 2
 gsqld_latency_seconds_bucket{le="+Inf"} 3
 gsqld_latency_seconds_sum 11.1
 gsqld_latency_seconds_count 3
+# TYPE gsqld_latency_seconds_quantile gauge
+gsqld_latency_seconds_quantile{q="0.5"} 1.25
+gsqld_latency_seconds_quantile{q="0.9"} 2
+gsqld_latency_seconds_quantile{q="0.99"} 2
 `
 	if sb.String() != want {
 		t.Fatalf("exposition drifted\n got:\n%s\nwant:\n%s", sb.String(), want)

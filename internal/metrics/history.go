@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// History samples a Registry on a fixed interval into a bounded ring
+// of timestamped Point snapshots — enough recent state to answer "what
+// was QPS and p99 over the last N seconds" without an external TSDB.
+//
+// The sampler is a single background goroutine; the serving hot path
+// never touches it, so the disabled-path overhead is exactly zero and
+// the enabled-path overhead is one Gather per interval. The ring is
+// bounded (capacity * one Gather's worth of points), so memory is flat
+// regardless of uptime.
+type History struct {
+	reg      *Registry
+	interval time.Duration
+
+	// PreSample, when set before Start, runs before every Gather — the
+	// serving layer uses it to fold externally-owned counters (storage,
+	// replication, MVCC) into the registry so samples see fresh values,
+	// exactly as a /metrics scrape would.
+	PreSample func()
+
+	mu   sync.Mutex
+	buf  []*Sample // ring storage, len == cap once full
+	next int       // ring write cursor
+	size int       // ring capacity
+	n    int       // samples currently retained (<= size)
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// Sample is one timestamped snapshot of every series.
+type Sample struct {
+	At     time.Time `json:"at"`
+	Points []Point   `json:"points"`
+}
+
+// DefHistorySamples is the default ring capacity: ten minutes at the
+// default one-second interval.
+const DefHistorySamples = 600
+
+// NewHistory builds a sampler over reg. interval <= 0 defaults to one
+// second; capacity <= 0 defaults to DefHistorySamples. The sampler is
+// inert until Start.
+func NewHistory(reg *Registry, interval time.Duration, capacity int) *History {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if capacity <= 0 {
+		capacity = DefHistorySamples
+	}
+	return &History{
+		reg:      reg,
+		interval: interval,
+		size:     capacity,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval reports the sampling interval.
+func (h *History) Interval() time.Duration { return h.interval }
+
+// Start launches the sampling goroutine (idempotent). One sample is
+// taken immediately so rate windows open as soon as the second tick
+// lands, not after two full intervals.
+func (h *History) Start() {
+	h.startOnce.Do(func() {
+		h.SampleNow()
+		go h.run()
+	})
+}
+
+// Stop halts the sampler and waits for the goroutine to exit
+// (idempotent; safe even if Start was never called).
+func (h *History) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	h.startOnce.Do(func() { close(h.done) }) // never started: unblock the wait
+	<-h.done
+}
+
+func (h *History) run() {
+	defer close(h.done)
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-t.C:
+			h.SampleNow()
+		}
+	}
+}
+
+// SampleNow takes one snapshot immediately — the ticker body, exported
+// so tests drive the ring without real time.
+func (h *History) SampleNow() {
+	if h.PreSample != nil {
+		h.PreSample()
+	}
+	s := &Sample{At: time.Now(), Points: h.reg.Gather()}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.buf) < h.size {
+		h.buf = append(h.buf, s)
+		h.n = len(h.buf)
+		h.next = h.n % h.size
+		return
+	}
+	h.buf[h.next] = s
+	h.next = (h.next + 1) % h.size
+}
+
+// Snapshot returns retained samples oldest-first, restricted to those
+// within window of the newest sample (window <= 0 returns everything
+// retained).
+func (h *History) Snapshot(window time.Duration) []*Sample {
+	h.mu.Lock()
+	out := make([]*Sample, 0, h.n)
+	if h.n == len(h.buf) && h.n == h.size {
+		out = append(out, h.buf[h.next:]...)
+		out = append(out, h.buf[:h.next]...)
+	} else {
+		out = append(out, h.buf[:h.n]...)
+	}
+	h.mu.Unlock()
+	if window <= 0 || len(out) == 0 {
+		return out
+	}
+	cutoff := out[len(out)-1].At.Add(-window)
+	lo := 0
+	for lo < len(out)-1 && out[lo].At.Before(cutoff) {
+		lo++
+	}
+	return out[lo:]
+}
+
+// SeriesRate summarises one series over a window: last value for
+// gauges; delta and per-second rate for counters; observation count,
+// rate and window-local quantiles for histograms.
+type SeriesRate struct {
+	Kind      string  `json:"kind"`
+	Last      float64 `json:"last"`
+	Delta     float64 `json:"delta,omitempty"`
+	PerSecond float64 `json:"per_second,omitempty"`
+
+	// Histograms only: observations within the window.
+	Count uint64  `json:"count,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P90   float64 `json:"p90,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+}
+
+// RatesOver computes per-series rates between the first and last of a
+// sample run (as returned by Snapshot): counter deltas and per-second
+// rates, gauge last-values, histogram window-quantiles from bucket
+// deltas. Returns the window span in seconds and a map keyed by
+// Point.Key(). Fewer than two samples yields last-values with zero
+// rates over a zero-second window.
+func RatesOver(samples []*Sample) (windowSeconds float64, out map[string]SeriesRate) {
+	out = map[string]SeriesRate{}
+	if len(samples) == 0 {
+		return 0, out
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	windowSeconds = last.At.Sub(first.At).Seconds()
+	base := map[string]Point{}
+	if len(samples) > 1 {
+		for _, p := range first.Points {
+			base[p.Key()] = p
+		}
+	}
+	for _, p := range last.Points {
+		sr := SeriesRate{Kind: p.Kind}
+		b, haveBase := base[p.Key()] // zero Point when created mid-window
+		switch p.Kind {
+		case "gauge":
+			sr.Last = p.Value
+		case "counter":
+			sr.Last = p.Value
+			sr.Delta = p.Value - b.Value
+			if sr.Delta < 0 {
+				// Counter reset (restart, store swap): the lifetime since
+				// reset is the only delta we can still attribute.
+				sr.Delta = p.Value
+			}
+			if windowSeconds > 0 {
+				sr.PerSecond = sr.Delta / windowSeconds
+			}
+		case "histogram":
+			sr.Last = float64(p.Count)
+			deltas := make([]uint64, len(p.Buckets))
+			reset := haveBase && b.Count > p.Count
+			for i, c := range p.Buckets {
+				var prev uint64
+				if haveBase && !reset && i < len(b.Buckets) {
+					prev = b.Buckets[i]
+				}
+				if c >= prev {
+					deltas[i] = c - prev
+				}
+			}
+			for _, d := range deltas {
+				sr.Count += d
+			}
+			if windowSeconds > 0 {
+				sr.PerSecond = float64(sr.Count) / windowSeconds
+			}
+			sr.P50 = QuantileFromBuckets(p.Bounds, deltas, 0.5)
+			sr.P90 = QuantileFromBuckets(p.Bounds, deltas, 0.9)
+			sr.P99 = QuantileFromBuckets(p.Bounds, deltas, 0.99)
+		}
+		out[p.Key()] = sr
+	}
+	return windowSeconds, out
+}

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileFromBuckets(t *testing.T) {
+	bounds := []float64{1, 2, 3}
+	cases := []struct {
+		name    string
+		buckets []uint64 // per-bucket, +Inf last
+		q       float64
+		want    float64
+	}{
+		{"empty", []uint64{0, 0, 0, 0}, 0.5, 0},
+		{"median-interpolates", []uint64{1, 1, 1, 0}, 0.5, 1.5},
+		{"all-first-bucket", []uint64{4, 0, 0, 0}, 0.99, 0.99},
+		{"inf-bucket-clamps", []uint64{0, 0, 0, 5}, 0.5, 3},
+		{"p0-still-finds-a-bucket", []uint64{2, 2, 0, 0}, 0, 0.5},
+		{"p100-top-of-range", []uint64{2, 2, 0, 0}, 1, 2},
+	}
+	for _, c := range cases {
+		if got := QuantileFromBuckets(bounds, c.buckets, c.q); got != c.want {
+			t.Errorf("%s: QuantileFromBuckets(q=%g) = %g, want %g", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.01, 0.1, 1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // third bucket
+	}
+	if p50 := h.Quantile(0.5); p50 >= 0.01 {
+		t.Errorf("p50 = %g, want inside first bucket (< 0.01)", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Errorf("p99 = %g, want inside (0.1, 1]", p99)
+	}
+}
+
+// TestQuantileExposition: every histogram family is followed by a
+// derived <name>_quantile gauge family with q labels, alongside the
+// regular cumulative buckets.
+func TestQuantileExposition(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("lat_seconds", "help", []float64{0.1, 1}, "query")
+	hv.With("Q1").Observe(0.05)
+	hv.With("Q1").Observe(0.05)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds_quantile gauge",
+		`lat_seconds_quantile{query="Q1",q="0.5"} `,
+		`lat_seconds_quantile{query="Q1",q="0.9"} `,
+		`lat_seconds_quantile{query="Q1",q="0.99"} `,
+		`lat_seconds_bucket{query="Q1",le="0.1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(7)
+	r.GaugeVec("g", "", "role").With("leader").Set(-3)
+	h := r.Histogram("h_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(5)
+
+	pts := r.Gather()
+	byKey := map[string]Point{}
+	for _, p := range pts {
+		byKey[p.Key()] = p
+	}
+	if p := byKey["c_total"]; p.Kind != "counter" || p.Value != 7 {
+		t.Errorf("counter point = %+v", p)
+	}
+	if p := byKey[`g{role="leader"}`]; p.Kind != "gauge" || p.Value != -3 {
+		t.Errorf("gauge point = %+v", p)
+	}
+	p := byKey["h_seconds"]
+	if p.Kind != "histogram" || p.Count != 2 || p.Sum != 5.5 {
+		t.Errorf("histogram point = %+v", p)
+	}
+	if len(p.Buckets) != 3 || p.Buckets[0] != 1 || p.Buckets[2] != 1 {
+		t.Errorf("histogram buckets = %v, want [1 0 1]", p.Buckets)
+	}
+}
+
+// TestHistoryRing: the ring stays bounded and Snapshot returns
+// oldest-first.
+func TestHistoryRing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ticks_total", "")
+	h := NewHistory(r, time.Hour, 4)
+	for i := 0; i < 7; i++ {
+		c.Inc()
+		h.SampleNow()
+	}
+	got := h.Snapshot(0)
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for i, s := range got {
+		// Sample k saw counter value k+1; the last 4 of 7 are 4..7.
+		if want := float64(i + 4); s.Points[0].Value != want {
+			t.Errorf("sample %d counter = %g, want %g", i, s.Points[0].Value, want)
+		}
+		if i > 0 && s.At.Before(got[i-1].At) {
+			t.Errorf("samples out of order at %d", i)
+		}
+	}
+}
+
+func TestRatesOver(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total", "")
+	g := r.Gauge("inflight", "")
+	h := r.Histogram("lat", "", []float64{1, 2, 3})
+	hist := NewHistory(r, time.Hour, 16)
+
+	c.Add(10)
+	g.Set(2)
+	h.Observe(0.5)
+	hist.SampleNow()
+	time.Sleep(10 * time.Millisecond) // real window > 0
+	c.Add(30)
+	g.Set(5)
+	h.Observe(2.5)
+	h.Observe(2.5)
+	hist.SampleNow()
+
+	win, rates := RatesOver(hist.Snapshot(0))
+	if win <= 0 {
+		t.Fatalf("window = %g, want > 0", win)
+	}
+	cr := rates["runs_total"]
+	if cr.Delta != 30 || cr.Last != 40 {
+		t.Errorf("counter rate = %+v, want delta 30 last 40", cr)
+	}
+	if cr.PerSecond <= 0 {
+		t.Errorf("counter per-second = %g, want > 0", cr.PerSecond)
+	}
+	if gr := rates["inflight"]; gr.Last != 5 {
+		t.Errorf("gauge last = %g, want 5", gr.Last)
+	}
+	hr := rates["lat"]
+	if hr.Count != 2 {
+		t.Errorf("histogram window count = %d, want 2 (the 0.5 obs predates the window)", hr.Count)
+	}
+	// Both window observations landed in (2,3]; quantiles interpolate
+	// inside that bucket only.
+	if hr.P50 <= 2 || hr.P50 > 3 || hr.P99 <= 2 || hr.P99 > 3 {
+		t.Errorf("histogram window quantiles = p50 %g p99 %g, want inside (2,3]", hr.P50, hr.P99)
+	}
+}
+
+func TestRatesOverCounterReset(t *testing.T) {
+	first := &Sample{At: time.Unix(100, 0), Points: []Point{{Name: "c", Kind: "counter", Value: 50}}}
+	last := &Sample{At: time.Unix(110, 0), Points: []Point{{Name: "c", Kind: "counter", Value: 8}}}
+	_, rates := RatesOver([]*Sample{first, last})
+	if d := rates["c"].Delta; d != 8 {
+		t.Errorf("reset delta = %g, want 8 (the lifetime since reset)", d)
+	}
+}
+
+func TestHistoryStopIdempotent(t *testing.T) {
+	h := NewHistory(NewRegistry(), time.Millisecond, 8)
+	h.Stop() // never started: must not hang
+	h.Stop()
+	h2 := NewHistory(NewRegistry(), time.Millisecond, 8)
+	h2.Start()
+	h2.Start() // idempotent
+	h2.Stop()
+	h2.Stop()
+}
+
+// TestHistoryConcurrency hammers one registry from every direction the
+// server does — the sampler goroutine, Prometheus scrapes, label-series
+// creation on the hot path, snapshot/rate readers — under -race.
+func TestHistoryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	runs := r.CounterVec("runs_total", "", "query", "status")
+	lat := r.HistogramVec("lat_seconds", "", []float64{0.001, 0.01, 0.1}, "query")
+	hist := NewHistory(r, time.Millisecond, 32)
+	hist.PreSample = func() { r.Gauge("synced", "").Inc() }
+	hist.Start()
+	defer hist.Stop()
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := fmt.Sprintf("q%d", (w*13+i)%5) // churn label series
+				runs.With(q, "ok").Inc()
+				lat.With(q).Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Add(2)
+	go func() { // scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.WritePrometheus(io.Discard)
+		}
+	}()
+	go func() { // history reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			RatesOver(hist.Snapshot(50 * time.Millisecond))
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	hist.SampleNow()
+	if got := hist.Snapshot(0); len(got) == 0 {
+		t.Fatal("no samples retained")
+	}
+}

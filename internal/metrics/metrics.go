@@ -95,6 +95,75 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum reads the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Bounds returns the histogram's bucket bounds. Shared, do not mutate.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts reads the per-bucket (non-cumulative) counts; the last
+// entry is the implicit +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution from the bucket counts, interpolating linearly within
+// the bucket holding the target rank — the same estimate
+// histogram_quantile() would compute from the exposition, precomputed
+// here so dashboards don't re-derive it. 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	return QuantileFromBuckets(h.bounds, h.BucketCounts(), q)
+}
+
+// QuantileFromBuckets is Histogram.Quantile over explicit per-bucket
+// counts (len(bounds)+1, last = +Inf) — shared with the metrics
+// history, which computes quantiles over bucket *deltas* between two
+// samples to get per-window rather than lifetime percentiles.
+func QuantileFromBuckets(bounds []float64, buckets []uint64, q float64) float64 {
+	var total uint64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// +Inf bucket: no upper bound to interpolate toward; the
+			// highest finite bound is the best (under)estimate.
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // metric is anything a family's series map can hold.
 type metric interface{ isMetric() }
 
@@ -321,8 +390,92 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 			}
 		}
+		if f.typ == "histogram" {
+			if err := writeQuantiles(w, f, keys, ms); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// expositionQuantiles are the precomputed percentiles appended after
+// each histogram family as a derived <name>_quantile gauge family, so
+// scrapers without a PromQL engine (gsqltop, curl) get p50/p90/p99
+// without re-deriving them from buckets.
+var expositionQuantiles = []float64{0.5, 0.9, 0.99}
+
+func writeQuantiles(w io.Writer, f *family, keys []string, ms []metric) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s_quantile gauge\n", f.name); err != nil {
+		return err
+	}
+	for i, key := range keys {
+		h, ok := ms[i].(*Histogram)
+		if !ok {
+			continue
+		}
+		buckets := h.BucketCounts()
+		for _, q := range expositionQuantiles {
+			ls := f.labelString(key, "q", formatFloat(q))
+			v := QuantileFromBuckets(h.bounds, buckets, q)
+			if _, err := fmt.Fprintf(w, "%s_quantile%s %s\n", f.name, ls, formatFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- structured gather ---------------------------------------------------
+
+// Point is one series' state at a moment: name, rendered labels, kind,
+// and the kind-appropriate payload. The structured sibling of
+// WritePrometheus, consumed by the metrics history sampler and the
+// /cluster/node status builder — both need values, not text.
+type Point struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"` // rendered {a="b",...}, "" when unlabeled
+	Kind   string  `json:"kind"`             // "counter" | "gauge" | "histogram"
+	Value  float64 `json:"value"`            // counters and gauges
+
+	// Histograms only.
+	Count   uint64    `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`  // shared with the live histogram; do not mutate
+	Buckets []uint64  `json:"buckets,omitempty"` // per-bucket counts, len(Bounds)+1 (+Inf last)
+}
+
+// Key identifies the series across samples: name plus rendered labels.
+func (p Point) Key() string { return p.Name + p.Labels }
+
+// Gather snapshots every series in registration order. Values within
+// one histogram point are read bucket-by-bucket (same tearing window
+// as a scrape), but each Point is internally consistent enough for
+// rate and quantile math over successive gathers.
+func (r *Registry) Gather() []Point {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var out []Point
+	for _, f := range fams {
+		keys, ms := f.snapshot()
+		for i, key := range keys {
+			p := Point{Name: f.name, Labels: f.labelString(key), Kind: f.typ}
+			switch m := ms[i].(type) {
+			case *Counter:
+				p.Value = float64(m.Value())
+			case *Gauge:
+				p.Value = float64(m.Value())
+			case *Histogram:
+				p.Count = m.Count()
+				p.Sum = m.Sum()
+				p.Bounds = m.bounds
+				p.Buckets = m.BucketCounts()
+			}
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // PublishExpvar publishes the registry as one expvar.Func under name.

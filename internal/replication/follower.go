@@ -45,6 +45,10 @@ type FollowerConfig struct {
 	// failure (defaults 100ms and 5s).
 	Backoff    time.Duration
 	MaxBackoff time.Duration
+	// AdvertiseURL, when set, is this follower's own base URL, sent to
+	// the leader on every fetch (HdrReplicaURL) so the leader's
+	// /cluster/status learns cluster membership from replication traffic.
+	AdvertiseURL string
 }
 
 func (c FollowerConfig) withDefaults() FollowerConfig {
@@ -109,6 +113,12 @@ type Follower struct {
 	nReconnects atomic.Uint64
 	lagRecords  atomic.Int64
 	lagBytes    atomic.Int64
+
+	// traceID is minted once per follower lifetime and sent as
+	// X-Trace-Id on every leader fetch, and stamped on bootstrap and
+	// rotation spans — so one id stitches a follower's replication
+	// activity across both nodes' /debug/traces rings.
+	traceID string
 }
 
 // OpenFollower opens (or bootstraps) a follower. When dir already
@@ -120,7 +130,7 @@ func OpenFollower(ctx context.Context, cfg FollowerConfig) (*Follower, error) {
 	if cfg.LeaderURL == "" {
 		return nil, errors.New("replication: FollowerConfig.LeaderURL is required")
 	}
-	f := &Follower{cfg: cfg, log: cfg.Logger, lock: noopLocker{}}
+	f := &Follower{cfg: cfg, log: cfg.Logger, lock: noopLocker{}, traceID: trace.NewID()}
 	has, err := storage.HasStore(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -189,6 +199,21 @@ func (f *Follower) Graph() *graph.Graph { return f.Store().Graph() }
 // header + "leader" body field) so clients can redirect mutations
 // without out-of-band configuration.
 func (f *Follower) LeaderURL() string { return f.cfg.LeaderURL }
+
+// TraceID returns the follower's lifetime trace id — the X-Trace-Id it
+// sends to the leader on every fetch.
+func (f *Follower) TraceID() string { return f.traceID }
+
+// decorate stamps the follower's identity on an outgoing leader fetch:
+// the lifetime trace id and, when configured, the advertised base URL.
+func (f *Follower) decorate(req *http.Request) {
+	if f.traceID != "" {
+		req.Header.Set("X-Trace-Id", f.traceID)
+	}
+	if f.cfg.AdvertiseURL != "" {
+		req.Header.Set(HdrReplicaURL, f.cfg.AdvertiseURL)
+	}
+}
 
 // Stats snapshots the follower's counters and lag gauges.
 func (f *Follower) Stats() FollowerStats {
@@ -307,6 +332,7 @@ func (f *Follower) tailOnce(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	f.decorate(req)
 	resp, err := f.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -365,6 +391,7 @@ func (f *Follower) apply(st *storage.Store, payloads [][]byte, nextSeq uint64) e
 	f.nBytes.Add(uint64(bytes))
 	if nextSeq != 0 {
 		span := trace.New("replication.rotate")
+		span.SetStr("trace_id", f.traceID)
 		err := st.AdvanceSegment(nextSeq)
 		span.SetStr("seq", strconv.FormatUint(nextSeq, 10))
 		span.End()
@@ -411,6 +438,7 @@ func (f *Follower) fetchSnapshot(ctx context.Context) (seq uint64, data []byte, 
 	if err != nil {
 		return 0, nil, err
 	}
+	f.decorate(req)
 	resp, err := f.cfg.Client.Do(req)
 	if err != nil {
 		return 0, nil, err
@@ -436,6 +464,7 @@ func (f *Follower) fetchSnapshot(ctx context.Context) (seq uint64, data []byte, 
 // rebootstrap's job).
 func (f *Follower) fetchAndInstallSnapshot(ctx context.Context) error {
 	span := trace.New("replication.bootstrap")
+	span.SetStr("trace_id", f.traceID)
 	defer func() {
 		span.End()
 		if f.onTrace != nil {
@@ -467,6 +496,7 @@ func (f *Follower) fetchAndInstallSnapshot(ctx context.Context) error {
 // resume.
 func (f *Follower) rebootstrap(ctx context.Context) error {
 	span := trace.New("replication.rebootstrap")
+	span.SetStr("trace_id", f.traceID)
 	defer func() {
 		span.End()
 		if f.onTrace != nil {

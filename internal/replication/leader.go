@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +30,13 @@ type Leader struct {
 	nSnapshots atomic.Uint64
 	nChunks    atomic.Uint64
 	nBytes     atomic.Uint64
+
+	// peers remembers each follower base URL (HdrReplicaURL) with when
+	// it last fetched, so cluster status learns membership from the
+	// replication traffic itself. Bounded by the number of distinct
+	// advertised URLs; stale entries age out of Peers' answers.
+	peersMu sync.Mutex
+	peers   map[string]time.Time
 }
 
 // NewLeader wraps store as a replication leader. logger may be nil.
@@ -35,7 +44,38 @@ func NewLeader(store *storage.Store, logger *slog.Logger) *Leader {
 	if logger == nil {
 		logger = slog.Default()
 	}
-	return &Leader{store: store, log: logger, maxWait: 30 * time.Second}
+	return &Leader{store: store, log: logger, maxWait: 30 * time.Second,
+		peers: map[string]time.Time{}}
+}
+
+// notePeer records a follower's advertised base URL from a fetch.
+func (l *Leader) notePeer(r *http.Request) {
+	u := r.Header.Get(HdrReplicaURL)
+	if u == "" {
+		return
+	}
+	l.peersMu.Lock()
+	l.peers[u] = time.Now()
+	l.peersMu.Unlock()
+}
+
+// Peers returns the base URLs of followers seen within maxAge
+// (maxAge <= 0 returns every URL ever seen), sorted for stable output.
+func (l *Leader) Peers(maxAge time.Duration) []string {
+	cutoff := time.Time{}
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	l.peersMu.Lock()
+	out := make([]string, 0, len(l.peers))
+	for u, seen := range l.peers {
+		if cutoff.IsZero() || !seen.Before(cutoff) {
+			out = append(out, u)
+		}
+	}
+	l.peersMu.Unlock()
+	sort.Strings(out)
+	return out
 }
 
 // Register mounts the replication routes on mux.
@@ -56,6 +96,7 @@ func (l *Leader) setLeaderPosition(h http.Header) {
 
 // handleSnapshot serves the newest decodable snapshot generation.
 func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	l.notePeer(r)
 	seq, data, err := l.store.BootstrapSnapshot()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -78,6 +119,7 @@ func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // offset past the end, bytes that do not frame — is 410 Gone: the
 // follower must re-bootstrap.
 func (l *Leader) handleWAL(w http.ResponseWriter, r *http.Request) {
+	l.notePeer(r)
 	q := r.URL.Query()
 	seq, err1 := strconv.ParseUint(q.Get("seq"), 10, 64)
 	from, err2 := strconv.ParseInt(q.Get("from"), 10, 64)

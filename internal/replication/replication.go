@@ -72,4 +72,9 @@ const (
 	// holds — with the follower's own in-segment record count, the
 	// exact record lag whenever both sit on the same segment.
 	HdrLeaderRecords = "X-Replication-Leader-Records"
+	// HdrReplicaURL is the follower's advertised base URL, sent on every
+	// fetch. The leader remembers recently-seen values so the cluster
+	// membership behind GET /cluster/status is learned from replication
+	// traffic itself — no static topology file required.
+	HdrReplicaURL = "X-Replication-Replica"
 )

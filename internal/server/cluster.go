@@ -1,0 +1,269 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gsqlgo/internal/cluster"
+	"gsqlgo/internal/metrics"
+)
+
+// Cluster-wide status: every gsqld self-reports at GET /cluster/node,
+// and GET /cluster/status fans out to every peer the node knows about
+// — the explicit -peers list, followers learned from replication
+// traffic (leader side), and the leader being tailed (follower side) —
+// merging the reports into one cluster.Status document. The fan-out is
+// best-effort by design: an unreachable peer becomes a row with its
+// Error field set, never a failed request.
+
+// peerMaxAge bounds how stale a replication-learned peer may be before
+// /cluster/status stops fanning out to it. Followers long-poll with a
+// 10s default wait, so anything silent for this long is gone or stuck.
+const peerMaxAge = 90 * time.Second
+
+// clusterFanoutTimeout caps the whole peer fan-out.
+const clusterFanoutTimeout = 2 * time.Second
+
+// clusterClient performs peer scrapes; its timeout backstops the
+// fan-out context for connections that stall mid-body.
+var clusterClient = &http.Client{Timeout: clusterFanoutTimeout + time.Second}
+
+// role names this node's replication role, as /healthz reports it.
+func (s *Server) role() string {
+	switch {
+	case s.cfg.Follower != nil:
+		return "follower"
+	case s.cfg.Store != nil:
+		return "leader"
+	}
+	return "standalone"
+}
+
+// peerURLs assembles every known peer base URL: configured peers, plus
+// followers seen recently on the replication routes, plus (on a
+// follower) the leader itself. Self-advertised URL excluded, "/"
+// suffixes normalized, sorted for stable fan-out order.
+func (s *Server) peerURLs() []string {
+	self := strings.TrimSuffix(s.cfg.AdvertiseURL, "/")
+	seen := map[string]bool{}
+	var out []string
+	add := func(u string) {
+		u = strings.TrimSuffix(u, "/")
+		if u == "" || u == self || seen[u] {
+			return
+		}
+		seen[u] = true
+		out = append(out, u)
+	}
+	for _, u := range s.cfg.Peers {
+		add(u)
+	}
+	if s.leader != nil {
+		for _, u := range s.leader.Peers(peerMaxAge) {
+			add(u)
+		}
+	}
+	if s.cfg.Follower != nil {
+		add(s.cfg.Follower.LeaderURL())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nodeStatus assembles this node's self-report from live state: role
+// and build identity, the serving graph's MVCC lineage, the durable
+// store's WAL position, replication lag (follower), and query-service
+// rates — window-local when the metrics history is sampling, lifetime
+// otherwise.
+func (s *Server) nodeStatus() cluster.NodeStatus {
+	ns := cluster.NodeStatus{
+		URL:           strings.TrimSuffix(s.cfg.AdvertiseURL, "/"),
+		Role:          s.role(),
+		Status:        "ok",
+		Version:       s.buildVersion,
+		Commit:        s.buildCommit,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if ns.URL == "" {
+		ns.URL = "self"
+	}
+	if s.draining.Load() {
+		ns.Status = "draining"
+	}
+	mv := s.eng.Graph().MVCCStats()
+	ns.SnapshotEpoch, ns.MVCCFolds, ns.DeltaRecords = mv.Epoch, mv.Folds, mv.DeltaRecords
+	if st := s.store(); st != nil {
+		seq, off := st.Position()
+		stats := st.Stats()
+		ns.WALSeq, ns.WALOffset = seq, off
+		ns.WALRecords, ns.WALBytes = stats.WALRecords, stats.WALBytes
+		ns.Checkpoints = stats.Checkpoints
+	}
+	if f := s.cfg.Follower; f != nil {
+		fs := f.Stats()
+		ns.LeaderURL = f.LeaderURL()
+		ns.LagRecords, ns.LagBytes = fs.LagRecords, fs.LagBytes
+	}
+	ns.InstalledQueries = s.mInstalled.Value()
+	ns.Inflight = s.mInflight.Value()
+
+	var latBounds []float64
+	var latMerged []uint64
+	for _, p := range s.reg.Gather() {
+		switch p.Name {
+		case "gsqld_query_runs_total":
+			ns.RunsTotal += uint64(p.Value)
+			if !strings.Contains(p.Labels, `status="ok"`) {
+				ns.ErrorsTotal += uint64(p.Value)
+			}
+		case "gsqld_query_latency_seconds":
+			if latBounds == nil {
+				latBounds = p.Bounds
+				latMerged = make([]uint64, len(p.Buckets))
+			}
+			for i, c := range p.Buckets {
+				if i < len(latMerged) {
+					latMerged[i] += c
+				}
+			}
+		}
+	}
+	if w, qps, p50, p90, p99, ok := s.windowStats(30 * time.Second); ok {
+		ns.WindowSeconds = w
+		ns.QPS, ns.P50Seconds, ns.P90Seconds, ns.P99Seconds = qps, p50, p90, p99
+	} else {
+		if ns.UptimeSeconds > 0 {
+			ns.QPS = float64(ns.RunsTotal) / ns.UptimeSeconds
+		}
+		ns.P50Seconds = metrics.QuantileFromBuckets(latBounds, latMerged, 0.5)
+		ns.P90Seconds = metrics.QuantileFromBuckets(latBounds, latMerged, 0.9)
+		ns.P99Seconds = metrics.QuantileFromBuckets(latBounds, latMerged, 0.99)
+	}
+	return ns
+}
+
+// windowStats computes QPS and latency quantiles over the most recent
+// history window: run-counter deltas for the rate, latency bucket
+// deltas merged across queries for the quantiles. ok is false when the
+// history is off or holds fewer than two samples in the window —
+// callers fall back to lifetime aggregates.
+func (s *Server) windowStats(window time.Duration) (w, qps, p50, p90, p99 float64, ok bool) {
+	if s.hist == nil {
+		return
+	}
+	samples := s.hist.Snapshot(window)
+	if len(samples) < 2 {
+		return
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	w = last.At.Sub(first.At).Seconds()
+	if w <= 0 {
+		return
+	}
+	base := make(map[string]metrics.Point, len(first.Points))
+	for _, p := range first.Points {
+		base[p.Key()] = p
+	}
+	var runsDelta float64
+	var bounds []float64
+	var deltas []uint64
+	for _, p := range last.Points {
+		b := base[p.Key()] // zero Point for series created mid-window
+		switch p.Name {
+		case "gsqld_query_runs_total":
+			d := p.Value - b.Value
+			if d < 0 {
+				d = p.Value // counter reset
+			}
+			runsDelta += d
+		case "gsqld_query_latency_seconds":
+			if bounds == nil {
+				bounds = p.Bounds
+				deltas = make([]uint64, len(p.Buckets))
+			}
+			for i, c := range p.Buckets {
+				var prev uint64
+				if i < len(b.Buckets) {
+					prev = b.Buckets[i]
+				}
+				if c >= prev && i < len(deltas) {
+					deltas[i] += c - prev
+				}
+			}
+		}
+	}
+	qps = runsDelta / w
+	p50 = metrics.QuantileFromBuckets(bounds, deltas, 0.5)
+	p90 = metrics.QuantileFromBuckets(bounds, deltas, 0.9)
+	p99 = metrics.QuantileFromBuckets(bounds, deltas, 0.99)
+	return w, qps, p50, p90, p99, true
+}
+
+// handleClusterNode serves this node's self-report.
+func (s *Server) handleClusterNode(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.nodeStatus())
+}
+
+// handleClusterStatus serves the merged cluster document: this node's
+// self-report first, then every known peer scraped concurrently.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), clusterFanoutTimeout)
+	defer cancel()
+	self := s.nodeStatus()
+	peers := s.peerURLs()
+	nodes := make([]cluster.NodeStatus, len(peers))
+	var wg sync.WaitGroup
+	for i, u := range peers {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			nodes[i] = cluster.FetchNode(ctx, clusterClient, u)
+		}(i, u)
+	}
+	wg.Wait()
+	out := cluster.Status{
+		ReportedBy: self.URL,
+		At:         time.Now().UTC(),
+		Nodes:      append([]cluster.NodeStatus{self}, nodes...),
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMetricsHistory serves the sampled time-series ring with
+// computed per-series rates over ?window= (default: everything
+// retained). ?raw=1 appends the raw samples. When the sampler is off
+// the endpoint answers {"enabled": false} rather than 404, so probes
+// can tell "disabled" from "old binary".
+func (s *Server) handleMetricsHistory(w http.ResponseWriter, r *http.Request) {
+	if s.hist == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	var window time.Duration
+	if v := r.URL.Query().Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "bad window: " + err.Error(), Code: "bad_request"})
+			return
+		}
+		window = d
+	}
+	samples := s.hist.Snapshot(window)
+	winSec, rates := metrics.RatesOver(samples)
+	out := map[string]any{
+		"enabled":          true,
+		"interval_seconds": s.hist.Interval().Seconds(),
+		"samples":          len(samples),
+		"window_seconds":   winSec,
+		"series":           rates,
+	}
+	if r.URL.Query().Get("raw") == "1" {
+		out["raw"] = samples
+	}
+	writeJSON(w, http.StatusOK, out)
+}

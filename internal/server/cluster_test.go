@@ -1,0 +1,348 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gsqlgo/internal/cluster"
+	"gsqlgo/internal/core"
+	"gsqlgo/internal/replication"
+	"gsqlgo/internal/storage"
+	"gsqlgo/internal/trace"
+)
+
+// doHdr is do() with extra request headers (pairs).
+func doHdr(s *Server, method, path, body string, hdr ...string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// TestTraceIDRoundTrip is the in-process half of cross-process trace
+// propagation: a client-supplied X-Trace-Id is echoed on the response,
+// arms span collection for the run, lands as the root span's trace_id
+// attribute, and the trace is fetchable by that exact id afterwards.
+func TestTraceIDRoundTrip(t *testing.T) {
+	s := salesServer(t, Config{})
+	if w := do(s, "POST", "/queries", topKToysSrc); w.Code != http.StatusCreated {
+		t.Fatalf("install: %d %s", w.Code, w.Body)
+	}
+
+	tid := trace.NewID()
+	w := doHdr(s, "POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":3}}`,
+		"X-Trace-Id", tid)
+	if w.Code != http.StatusOK {
+		t.Fatalf("run: %d %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("X-Trace-Id"); got != tid {
+		t.Fatalf("echoed X-Trace-Id = %q, want %q", got, tid)
+	}
+	// The trace must NOT be inlined — only ?trace=1 does that.
+	if resp := decode[runResponse](t, w); resp.Trace != nil {
+		t.Fatal("X-Trace-Id alone must not inline the trace in the response")
+	}
+
+	// An unrelated run (no id) so the ring holds more than our trace.
+	if w := do(s, "POST", "/queries/TopKToys/run", `{"params":{"c":"c1","k":3}}`); w.Code != http.StatusOK {
+		t.Fatalf("unsampled run: %d %s", w.Code, w.Body)
+	}
+
+	var traces struct {
+		Traces []*trace.SpanJSON `json:"traces"`
+	}
+	traces = decode[struct {
+		Traces []*trace.SpanJSON `json:"traces"`
+	}](t, do(s, "GET", "/debug/traces?trace_id="+tid, ""))
+	if len(traces.Traces) != 1 {
+		t.Fatalf("fetch by id returned %d traces, want exactly 1", len(traces.Traces))
+	}
+	root := traces.Traces[0]
+	if root.Name != "query" {
+		t.Errorf("root span = %q, want query", root.Name)
+	}
+	if got := root.Attrs["trace_id"]; got != tid {
+		t.Errorf("root trace_id attr = %v, want %q", got, tid)
+	}
+	if len(root.Children) == 0 {
+		t.Error("root span has no children — execution stages missing")
+	}
+
+	// A different id matches nothing.
+	miss := decode[struct {
+		Traces []*trace.SpanJSON `json:"traces"`
+	}](t, do(s, "GET", "/debug/traces?trace_id="+trace.NewID(), ""))
+	if len(miss.Traces) != 0 {
+		t.Fatalf("unknown id matched %d traces", len(miss.Traces))
+	}
+
+	// A malformed header is ignored, not echoed.
+	w = doHdr(s, "POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":3}}`,
+		"X-Trace-Id", "not hex!")
+	if got := w.Header().Get("X-Trace-Id"); got != "" {
+		t.Fatalf("malformed id echoed as %q", got)
+	}
+}
+
+// TestMetricsHistoryEndpoint drives the sampler by hand and reads the
+// computed rates back through the HTTP surface.
+func TestMetricsHistoryEndpoint(t *testing.T) {
+	// Disabled server: the endpoint self-describes rather than 404ing.
+	off := salesServer(t, Config{})
+	if doc := decode[map[string]any](t, do(off, "GET", "/debug/metrics/history", "")); doc["enabled"] != false {
+		t.Fatalf("disabled doc = %v", doc)
+	}
+
+	// Enabled, but with an hour-long interval so only SampleNow drives
+	// the ring — the test owns the timeline.
+	s := salesServer(t, Config{MetricsHistory: time.Hour})
+	defer s.History().Stop()
+	if w := do(s, "POST", "/queries", topKToysSrc); w.Code != http.StatusCreated {
+		t.Fatalf("install: %d %s", w.Code, w.Body)
+	}
+	for i := 0; i < 3; i++ {
+		if w := do(s, "POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":3}}`); w.Code != http.StatusOK {
+			t.Fatalf("run: %d %s", w.Code, w.Body)
+		}
+	}
+	time.Sleep(5 * time.Millisecond) // Start() took sample 0 at boot; give the window width
+	s.History().SampleNow()
+
+	type doc struct {
+		Enabled         bool                   `json:"enabled"`
+		IntervalSeconds float64                `json:"interval_seconds"`
+		Samples         int                    `json:"samples"`
+		WindowSeconds   float64                `json:"window_seconds"`
+		Series          map[string]seriesRateJ `json:"series"`
+	}
+	d := decode[doc](t, do(s, "GET", "/debug/metrics/history", ""))
+	if !d.Enabled || d.Samples < 2 || d.WindowSeconds <= 0 {
+		t.Fatalf("history doc = %+v", d)
+	}
+	runs := d.Series[`gsqld_query_runs_total{query="TopKToys",status="ok"}`]
+	if runs.Delta != 3 || runs.PerSecond <= 0 {
+		t.Errorf("runs series = %+v, want delta 3 with positive rate", runs)
+	}
+	lat := d.Series[`gsqld_query_latency_seconds{query="TopKToys"}`]
+	if lat.Count != 3 || lat.P50 <= 0 || lat.P99 < lat.P50 {
+		t.Errorf("latency series = %+v, want 3 window obs with ordered quantiles", lat)
+	}
+
+	if w := do(s, "GET", "/debug/metrics/history?window=bogus", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad window: %d", w.Code)
+	}
+}
+
+type seriesRateJ struct {
+	Kind      string  `json:"kind"`
+	Last      float64 `json:"last"`
+	Delta     float64 `json:"delta"`
+	PerSecond float64 `json:"per_second"`
+	Count     uint64  `json:"count"`
+	P50       float64 `json:"p50"`
+	P90       float64 `json:"p90"`
+	P99       float64 `json:"p99"`
+}
+
+// TestClusterNodeStandalone: the self-report of a plain in-memory node.
+func TestClusterNodeStandalone(t *testing.T) {
+	s := salesServer(t, Config{})
+	if w := do(s, "POST", "/queries", topKToysSrc); w.Code != http.StatusCreated {
+		t.Fatalf("install: %d %s", w.Code, w.Body)
+	}
+	for i := 0; i < 2; i++ {
+		if w := do(s, "POST", "/queries/TopKToys/run", `{"params":{"c":"c0","k":3}}`); w.Code != http.StatusOK {
+			t.Fatalf("run: %d %s", w.Code, w.Body)
+		}
+	}
+	ns := decode[cluster.NodeStatus](t, do(s, "GET", "/cluster/node", ""))
+	if ns.Role != "standalone" || ns.Status != "ok" || ns.URL != "self" {
+		t.Fatalf("node status = %+v", ns)
+	}
+	if ns.RunsTotal != 2 || ns.ErrorsTotal != 0 || ns.InstalledQueries != 1 {
+		t.Errorf("counters = runs %d errs %d installed %d", ns.RunsTotal, ns.ErrorsTotal, ns.InstalledQueries)
+	}
+	if ns.QPS <= 0 || ns.P50Seconds <= 0 {
+		t.Errorf("rates = qps %g p50 %g, want positive lifetime fallbacks", ns.QPS, ns.P50Seconds)
+	}
+	if ns.WALSeq != 0 {
+		t.Errorf("in-memory node reports WAL seq %d", ns.WALSeq)
+	}
+
+	// A cluster/status with no peers is just the self row.
+	st := decode[cluster.Status](t, do(s, "GET", "/cluster/status", ""))
+	if len(st.Nodes) != 1 || st.Nodes[0].Role != "standalone" || st.ReportedBy != "self" {
+		t.Fatalf("cluster status = %+v", st)
+	}
+}
+
+// listenURL reserves a real port so a node can know its advertised URL
+// before the server handling it exists.
+func listenURL(t *testing.T) (net.Listener, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln, "http://" + ln.Addr().String()
+}
+
+func serveOn(ln net.Listener, s *Server) *httptest.Server {
+	ts := &httptest.Server{Listener: ln, Config: &http.Server{Handler: s}}
+	ts.Start()
+	return ts
+}
+
+// TestClusterStatusEndToEnd boots a real leader and follower on real
+// sockets, replicates live writes, and asserts the leader's merged
+// /cluster/status sees both nodes with exact roles and drained lag —
+// the follower having been learned from replication traffic alone (no
+// -peers configuration anywhere).
+func TestClusterStatusEndToEnd(t *testing.T) {
+	leaderLn, leaderURL := listenURL(t)
+	followerLn, followerURL := listenURL(t)
+
+	st, err := storage.Open(t.TempDir(), storage.Options{Init: socialInit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	leader := New(Config{
+		Engine:       core.New(st.Graph(), core.Options{Workers: 2}),
+		Store:        st,
+		AdvertiseURL: leaderURL,
+	})
+	lts := serveOn(leaderLn, leader)
+	defer lts.Close()
+
+	installDegree(t, leader)
+	for i := 0; i < 50; i++ {
+		addPerson(t, leader, fmt.Sprintf("p-%d", i), 20+i)
+	}
+	if w := do(leader, "POST", "/admin/checkpoint", "{}"); w.Code != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", w.Code, w.Body)
+	}
+
+	fw, err := replication.OpenFollower(context.Background(), replication.FollowerConfig{
+		LeaderURL:    leaderURL,
+		Dir:          t.TempDir(),
+		AdvertiseURL: followerURL,
+		PollWait:     20 * time.Millisecond,
+		Backoff:      5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(fw.Graph(), core.Options{Workers: 2})
+	follower := New(Config{Engine: eng, Follower: fw, AdvertiseURL: followerURL})
+	fw.Bind(follower.ReplicationLock(), func(st *storage.Store) { eng.SetGraph(st.Graph()) }, follower.AddTrace)
+	fts := serveOn(followerLn, follower)
+	defer fts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- fw.Run(ctx) }()
+	defer func() {
+		cancel()
+		<-done
+		fw.Close()
+	}()
+
+	// More writes while the follower tails — including a checkpoint, so
+	// the tail loop crosses a WAL rotation and records a rotate span
+	// under the follower's lifetime trace id. Then wait for convergence.
+	for i := 50; i < 100; i++ {
+		addPerson(t, leader, fmt.Sprintf("p-%d", i), 20+i%60)
+	}
+	if w := do(leader, "POST", "/admin/checkpoint", "{}"); w.Code != http.StatusOK {
+		t.Fatalf("mid-tail checkpoint: %d %s", w.Code, w.Body)
+	}
+	for i := 100; i < 120; i++ {
+		addPerson(t, leader, fmt.Sprintf("p-%d", i), 20+i%60)
+	}
+	for i := 0; i < 4; i++ {
+		if w := do(leader, "POST", "/queries/Degree/run", "{}"); w.Code != http.StatusOK {
+			t.Fatalf("leader read: %d %s", w.Code, w.Body)
+		}
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		wantSeq, wantOff := st.Position()
+		seq, off := fw.Position()
+		if seq == wantSeq && off == wantOff && fw.Stats().LagRecords == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at (%d,%d) lag %d, leader at (%d,%d)",
+				seq, off, fw.Stats().LagRecords, wantSeq, wantOff)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The leader learned the follower purely from HdrReplicaURL.
+	doc := decode[cluster.Status](t, do(leader, "GET", "/cluster/status", ""))
+	if doc.ReportedBy != leaderURL {
+		t.Fatalf("reported_by = %q, want %q", doc.ReportedBy, leaderURL)
+	}
+	if len(doc.Nodes) != 2 {
+		t.Fatalf("cluster sees %d nodes, want 2: %+v", len(doc.Nodes), doc.Nodes)
+	}
+	byRole := map[string]cluster.NodeStatus{}
+	for _, n := range doc.Nodes {
+		if n.Error != "" {
+			t.Fatalf("node %s unreachable: %s", n.URL, n.Error)
+		}
+		byRole[n.Role] = n
+	}
+	l, ok := byRole["leader"]
+	if !ok {
+		t.Fatalf("no leader row: %+v", doc.Nodes)
+	}
+	f, ok := byRole["follower"]
+	if !ok {
+		t.Fatalf("no follower row: %+v", doc.Nodes)
+	}
+	if l.URL != leaderURL || f.URL != followerURL {
+		t.Errorf("urls = leader %q follower %q, want %q / %q", l.URL, f.URL, leaderURL, followerURL)
+	}
+	if f.LeaderURL != leaderURL {
+		t.Errorf("follower leader_url = %q, want %q", f.LeaderURL, leaderURL)
+	}
+	if f.LagRecords != 0 || f.LagBytes != 0 {
+		t.Errorf("follower lag = %d records %d bytes, want 0/0 after convergence", f.LagRecords, f.LagBytes)
+	}
+	if l.WALSeq == 0 || l.WALSeq != f.WALSeq || l.WALOffset != f.WALOffset {
+		t.Errorf("WAL positions: leader (%d,%d) follower (%d,%d), want equal and nonzero",
+			l.WALSeq, l.WALOffset, f.WALSeq, f.WALOffset)
+	}
+	if l.SnapshotEpoch != f.SnapshotEpoch {
+		t.Errorf("epochs: leader %d follower %d, want equal", l.SnapshotEpoch, f.SnapshotEpoch)
+	}
+	if l.RunsTotal != 4 {
+		t.Errorf("leader runs_total = %d, want the 4 Degree runs", l.RunsTotal)
+	}
+
+	// The follower's own status fans out to the leader (learned from
+	// its -follow target) and sees both rows too.
+	fdoc := decode[cluster.Status](t, do(follower, "GET", "/cluster/status", ""))
+	if len(fdoc.Nodes) != 2 {
+		t.Fatalf("follower-side cluster sees %d nodes, want 2", len(fdoc.Nodes))
+	}
+
+	// The follower's lifetime trace id stitches its replication spans
+	// into its /debug/traces ring.
+	ftr := decode[struct {
+		Traces []*trace.SpanJSON `json:"traces"`
+	}](t, do(follower, "GET", "/debug/traces?trace_id="+fw.TraceID(), ""))
+	if len(ftr.Traces) == 0 {
+		t.Error("follower ring holds no spans under its lifetime trace id")
+	}
+}

@@ -26,11 +26,21 @@ import (
 // ---- request ids ----------------------------------------------------------
 
 type ridKey struct{}
+type tidKey struct{}
 
 // requestID returns the id assigned to this request ("" outside the
 // middleware, e.g. direct handler tests).
 func requestID(ctx context.Context) string {
 	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// traceID returns the client-supplied cross-process trace id ("" when
+// the request carried none). Unlike request ids, trace ids are never
+// minted server-side: an id only means something if the caller holds
+// the same one, so an absent header stays absent.
+func traceID(ctx context.Context) string {
+	id, _ := ctx.Value(tidKey{}).(string)
 	return id
 }
 
@@ -54,7 +64,11 @@ func randPrefix() string {
 // withRequestID is the outermost middleware: honor a caller-supplied
 // X-Request-Id (so ids correlate across proxies), mint one otherwise,
 // echo it on the response, and stash it in the context for handlers,
-// logs and traces.
+// logs and traces. A caller-supplied X-Trace-Id (W3C traceparent-style
+// hex; see trace.ValidID) rides the same middleware: it is echoed and
+// stashed but never minted — its presence is what arms cross-process
+// trace collection for the request, so the caller can fetch the span
+// tree that served it at /debug/traces?trace_id= afterwards.
 func (s *Server) withRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-Id")
@@ -62,7 +76,12 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 			id = s.newRequestID()
 		}
 		w.Header().Set("X-Request-Id", id)
-		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ridKey{}, id)))
+		ctx := context.WithValue(r.Context(), ridKey{}, id)
+		if tid := r.Header.Get("X-Trace-Id"); trace.ValidID(tid) {
+			w.Header().Set("X-Trace-Id", tid)
+			ctx = context.WithValue(ctx, tidKey{}, tid)
+		}
+		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 
@@ -79,18 +98,33 @@ func traceWanted(r *http.Request) bool {
 }
 
 // startTrace builds a trace root for one request, pre-tagged with the
-// operation and request id.
+// operation, request id, and (when the caller sent one) trace id.
 func startTrace(op string, r *http.Request) *trace.Span {
 	sp := trace.New(op)
 	if rid := requestID(r.Context()); rid != "" {
 		sp.SetStr("request_id", rid)
 	}
+	if tid := traceID(r.Context()); tid != "" {
+		sp.SetStr("trace_id", tid)
+	}
 	return sp
 }
 
 // handleTraces serves the ring of recent traces, newest first.
+// ?trace_id= narrows the response to traces whose root span carries
+// that client-supplied id — the fetch-by-id half of cross-process
+// propagation (the X-Trace-Id middleware is the inject half).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	spans := s.ring.Snapshot()
+	if tid := r.URL.Query().Get("trace_id"); tid != "" {
+		matched := spans[:0:0]
+		for _, sp := range spans {
+			if v, ok := sp.Attr("trace_id"); ok && v == tid {
+				matched = append(matched, sp)
+			}
+		}
+		spans = matched
+	}
 	out := struct {
 		Total  uint64        `json:"total"`
 		Traces []*trace.Span `json:"traces"`
@@ -159,6 +193,7 @@ func (s *Server) logSlowQuery(r *http.Request, name string, req runRequest, elap
 	s.log.Warn("slow query",
 		"query", name,
 		"request_id", requestID(r.Context()),
+		"trace_id", traceID(r.Context()),
 		"params_hash", paramsHash(req.Params),
 		"elapsed_ms", float64(elapsed.Microseconds())/1000,
 		"threshold_ms", float64(s.cfg.SlowQueryThreshold.Microseconds())/1000,

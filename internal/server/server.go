@@ -95,6 +95,25 @@ type Config struct {
 	// TraceRingSize bounds the in-memory ring of recent traces served
 	// at GET /debug/traces (default 64).
 	TraceRingSize int
+
+	// MetricsHistory, when positive, turns on the metrics history
+	// sampler: every counter, gauge and histogram is snapshotted into a
+	// bounded in-memory ring at this interval, served with computed
+	// rates at GET /debug/metrics/history. Zero (the default) disables
+	// the sampler entirely — no goroutine, no allocation, no overhead.
+	MetricsHistory time.Duration
+	// MetricsHistorySize bounds retained samples (default 600 — ten
+	// minutes at a one-second interval).
+	MetricsHistorySize int
+
+	// AdvertiseURL is this node's own base URL as peers should reach it
+	// — the node's identity in GET /cluster/status. A follower should
+	// also set replication.FollowerConfig.AdvertiseURL to the same
+	// value so the leader learns it from replication traffic.
+	AdvertiseURL string
+	// Peers lists other nodes' base URLs for the /cluster/status
+	// fan-out, joined with peers learned from replication traffic.
+	Peers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +153,14 @@ type Server struct {
 	reg  *metrics.Registry
 	log  *slog.Logger
 	ring *trace.Ring
+
+	// leader is set when this node serves the /replication/* routes —
+	// its learned-peer map feeds the /cluster/status fan-out.
+	leader *replication.Leader
+	// hist is the metrics history sampler (nil unless
+	// Config.MetricsHistory is positive).
+	hist    *metrics.History
+	started time.Time
 
 	ridPrefix  string
 	ridCounter atomic.Uint64
@@ -214,6 +241,7 @@ func New(cfg Config) *Server {
 		log:       cfg.Logger,
 		ring:      trace.NewRing(cfg.TraceRingSize),
 		ridPrefix: randPrefix(),
+		started:   time.Now(),
 	}
 	s.mRuns = s.reg.CounterVec("gsqld_query_runs_total",
 		"Completed query runs by query name and outcome.", "query", "status")
@@ -290,17 +318,35 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/metrics/history", s.handleMetricsHistory)
+	mux.HandleFunc("GET /cluster/node", s.handleClusterNode)
+	mux.HandleFunc("GET /cluster/status", s.handleClusterStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	if cfg.Store != nil && cfg.Follower == nil {
 		// Any durable non-follower gsqld can lead: the replication
 		// routes are read-only views of the store, safe to expose
 		// unconditionally next to the query routes.
-		replication.NewLeader(cfg.Store, s.log).Register(mux)
+		s.leader = replication.NewLeader(cfg.Store, s.log)
+		s.leader.Register(mux)
+	}
+	if cfg.MetricsHistory > 0 {
+		s.hist = metrics.NewHistory(s.reg, cfg.MetricsHistory, cfg.MetricsHistorySize)
+		// Samples must see the same values a scrape would, so fold the
+		// externally-owned counters in before each Gather.
+		s.hist.PreSample = func() {
+			s.syncStorageMetrics()
+			s.syncReplicationMetrics()
+			s.syncMVCCMetrics()
+		}
+		s.hist.Start()
 	}
 	s.mux = mux
 	s.root = s.withRequestID(mux)
 	return s
 }
+
+// History exposes the metrics history sampler (nil when disabled).
+func (s *Server) History() *metrics.History { return s.hist }
 
 // Handler returns the root http.Handler (request-id middleware
 // included).
@@ -348,6 +394,9 @@ func (s *Server) PublishExpvar(name string) {
 // requests get 503 while draining.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.hist != nil {
+		s.hist.Stop()
+	}
 	s.log.Info("draining", "reason", "shutdown")
 	start := time.Now()
 	done := make(chan struct{})
@@ -552,6 +601,7 @@ func (s *Server) handleInstall(w http.ResponseWriter, r *http.Request) {
 	s.mInstalled.Set(int64(len(s.eng.Queries())))
 	s.log.Info("queries installed",
 		"request_id", requestID(r.Context()),
+		"trace_id", traceID(r.Context()),
 		"queries", names,
 		"catalog_size", len(s.eng.Queries()))
 	writeJSON(w, http.StatusCreated, installResponse{Installed: names})
@@ -631,12 +681,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	// A span tree is collected when the client asks for it inline
-	// (?trace=1) or the slow-query log is armed — in the latter case
-	// every run traces, because by the time a run proves slow it is
-	// too late to start instrumenting it.
+	// (?trace=1), the request carries a cross-process X-Trace-Id (the
+	// caller intends to fetch the tree by id later), or the slow-query
+	// log is armed — in the latter case every run traces, because by
+	// the time a run proves slow it is too late to start instrumenting
+	// it.
 	wantTrace := traceWanted(r)
+	tid := traceID(r.Context())
 	var root *trace.Span
-	if wantTrace || s.cfg.SlowQueryThreshold > 0 {
+	if wantTrace || tid != "" || s.cfg.SlowQueryThreshold > 0 {
 		root = startTrace("query", r)
 		ctx = trace.NewContext(ctx, root)
 		s.mTracedRuns.Inc()
@@ -670,7 +723,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			status = "cancelled"
 		}
 		root.SetStr("error", err.Error())
-		if wantTrace || slow {
+		if wantTrace || tid != "" || slow {
 			s.ring.Add(root)
 		}
 		if slow {
@@ -680,7 +733,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if wantTrace || slow {
+	if wantTrace || tid != "" || slow {
 		s.ring.Add(root)
 	}
 	if slow {
@@ -745,16 +798,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// instance is on its way out (runs still in flight complete).
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	role := "standalone"
-	switch {
-	case s.cfg.Follower != nil:
-		role = "follower"
-	case s.cfg.Store != nil:
-		role = "leader"
-	}
 	writeJSON(w, code, map[string]string{
 		"status":  status,
-		"role":    role,
+		"role":    s.role(),
 		"version": s.buildVersion,
 		"commit":  s.buildCommit,
 	})

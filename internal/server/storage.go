@@ -338,15 +338,16 @@ func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, resp)
 }
 
-// traceMutation begins a span tree for a ?trace=1 mutation request —
-// a "mutation" root (op + request id) with a "wal_append" child
-// bracketing the logged mutation: validate → WAL append → apply, the
-// WAL write dominating once fsync is on ("apply" when no store is
-// attached and nothing hits a log). The returned func finishes the
-// trace and retains it in the /debug/traces ring; for an untraced
-// request it is a no-op, so call sites stay branch-free.
+// traceMutation begins a span tree for a traced mutation request
+// (?trace=1 or a cross-process X-Trace-Id) — a "mutation" root (op +
+// request id + trace id) with a "wal_append" child bracketing the
+// logged mutation: validate → WAL append → apply, the WAL write
+// dominating once fsync is on ("apply" when no store is attached and
+// nothing hits a log). The returned func finishes the trace and
+// retains it in the /debug/traces ring; for an untraced request it is
+// a no-op, so call sites stay branch-free.
 func (s *Server) traceMutation(r *http.Request, op string) func(err error) {
-	if !traceWanted(r) {
+	if !traceWanted(r) && traceID(r.Context()) == "" {
 		return func(error) {}
 	}
 	root := startTrace("mutation", r)

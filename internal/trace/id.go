@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Trace ids stitch one logical request across processes: a client (a
+// load generator, a proxy, another gsqld) mints an id, sends it as the
+// X-Trace-Id header, and every server hop stamps it on its root span,
+// slow-query record and structured logs — so the span tree that served
+// a request can be fetched later by the id the client still holds
+// (GET /debug/traces?trace_id=). The format follows the W3C
+// traceparent trace-id field: 16 random bytes as 32 lowercase hex
+// characters.
+
+// IDLen is the canonical rendered length of a minted trace id.
+const IDLen = 32
+
+// NewID mints a fresh random trace id.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; correlation degrades
+		// to "no id" rather than taking the caller down.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidID reports whether s is acceptable as a caller-supplied trace
+// id: 1–64 characters of hex digits or dashes. Anything else is
+// dropped (not escaped) — ids travel into logs and JSON verbatim, so
+// the grammar is deliberately tight.
+func ValidID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
